@@ -1,0 +1,47 @@
+// Shared scaffolding for the figure-regeneration benchmarks.
+//
+// Every binary prints the paper-figure header, an aligned table (rows =
+// thread counts, columns = synchronization strategies) and the same data as
+// CSV. Workload sizes scale with SEMLOCK_BENCH_SCALE (default 1; the paper's
+// testbed ran 10M ops/thread on 32 cores — far beyond a CI container).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/compute_if_absent.h"
+#include "util/stats.h"
+
+namespace semlock::bench {
+
+inline double scale_factor() {
+  const char* env = std::getenv("SEMLOCK_BENCH_SCALE");
+  if (!env) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline std::vector<std::size_t> default_threads() {
+  return {1, 2, 4, 8, 16, 32};
+}
+
+inline void print_figure_header(const std::string& figure,
+                                const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("hardware threads available: %u (paper: 32 physical cores)\n",
+              std::thread::hardware_concurrency());
+  std::printf("scale factor: %.2f (set SEMLOCK_BENCH_SCALE to change)\n",
+              scale_factor());
+  std::printf("==============================================================\n");
+}
+
+inline void print_results(const util::SeriesTable& table) {
+  std::printf("%s\ncsv:\n%s\n", table.to_table().c_str(),
+              table.to_csv().c_str());
+}
+
+}  // namespace semlock::bench

@@ -1,0 +1,343 @@
+// Conflict probability: the machine-independent reproduction of the SHAPE
+// of Figs. 21–25.
+//
+// For each benchmark we sample random pairs of transactions from the
+// paper's workload mix and ask: would these two transactions' lock sets
+// conflict? Under Amdahl-style reasoning the conflict probability is what
+// caps scalability — a strategy whose transactions conflict with
+// probability ~1 (Global; 2PL over few instances) stays flat as threads
+// grow, while a strategy with ~0 conflicts (Ours via commuting modes,
+// Manual via striping, V8 via bucket locks) scales — which is exactly the
+// separation every figure in the paper shows on its 32-core testbed.
+//
+// "Ours" uses the real synthesized ModeTables (the same symbolic sets the
+// benchmark modules compile) and the real F_c: a pair conflicts iff some
+// shared ADT instance is locked in non-commuting modes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "commute/builtin_specs.h"
+#include "semlock/mode_table.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace semlock;
+using commute::op;
+using commute::star;
+using commute::SymbolicSet;
+using commute::Value;
+using commute::var;
+
+constexpr int kPairs = 200'000;
+constexpr std::size_t kManualStripes = 64;
+constexpr std::size_t kV8Stripes = 256;
+
+ModeTableConfig cfg64() {
+  ModeTableConfig c;
+  c.abstract_values = 64;
+  return c;
+}
+
+// A transaction's lock set: (instance id, mode id) pairs for Ours,
+// instance ids for 2PL, stripe ids for Manual.
+struct TxnLocks {
+  std::vector<std::pair<int, int>> ours;    // (instance, mode)
+  std::vector<int> twopl;                   // instances
+  std::vector<std::size_t> manual;          // stripes
+};
+
+bool ours_conflict(const ModeTable& t, const TxnLocks& a, const TxnLocks& b) {
+  for (const auto& [ia, ma] : a.ours) {
+    for (const auto& [ib, mb] : b.ours) {
+      if (ia == ib && !t.commutes(ma, mb)) return true;
+    }
+  }
+  return false;
+}
+
+bool shared_instance(const TxnLocks& a, const TxnLocks& b) {
+  for (const int ia : a.twopl) {
+    for (const int ib : b.twopl) {
+      if (ia == ib) return true;
+    }
+  }
+  return false;
+}
+
+bool shared_stripe(const TxnLocks& a, const TxnLocks& b) {
+  for (const auto sa : a.manual) {
+    for (const auto sb : b.manual) {
+      if (sa == sb) return true;
+    }
+  }
+  return false;
+}
+
+struct Row {
+  double ours, global, twopl, manual;
+  double v8 = -1;  // only CIA reports V8
+};
+
+void print_row(const char* name, const Row& r) {
+  std::printf("%-16s Ours=%6.2f%%  Global=%6.2f%%  2PL=%6.2f%%  "
+              "Manual=%6.2f%%",
+              name, r.ours, r.global, r.twopl, r.manual);
+  if (r.v8 >= 0) std::printf("  V8=%6.2f%%", r.v8);
+  std::printf("\n");
+}
+
+template <typename SampleTxn>
+Row measure_conflicts(const ModeTable& table, SampleTxn&& sample,
+                      util::Xoshiro256& rng, bool with_v8 = false,
+                      double v8_rate = 0.0) {
+  long ours = 0, twopl = 0, manual = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    const TxnLocks a = sample(rng);
+    const TxnLocks b = sample(rng);
+    if (ours_conflict(table, a, b)) ++ours;
+    if (shared_instance(a, b)) ++twopl;
+    if (shared_stripe(a, b)) ++manual;
+  }
+  Row r{100.0 * ours / kPairs, 100.0, 100.0 * twopl / kPairs,
+        100.0 * manual / kPairs};
+  if (with_v8) r.v8 = v8_rate;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace semlock::bench;
+  print_figure_header(
+      "Conflict probability",
+      "probability two concurrent transactions conflict (shape of "
+      "Figs. 21-25)");
+  util::Xoshiro256 rng(2026);
+
+  // --- Fig. 21 ComputeIfAbsent ----------------------------------------------
+  {
+    const ModeTable table = ModeTable::compile(
+        commute::map_spec(),
+        {SymbolicSet({op("containsKey", {var("k")}),
+                      op("put", {var("k"), star()})})},
+        cfg64());
+    constexpr std::uint64_t kKeys = 1 << 18;
+    auto sample = [&](util::Xoshiro256& r) {
+      const Value k = static_cast<Value>(r.next_below(kKeys));
+      TxnLocks t;
+      const Value vals[1] = {k};
+      t.ours = {{0, table.resolve(0, vals)}};
+      t.twopl = {0};  // the single Map instance
+      t.manual = {static_cast<std::size_t>(k) % kManualStripes};
+      return t;
+    };
+    // V8: two computeIfAbsent conflict iff the keys share a bucket stripe.
+    const Row r = measure_conflicts(table, sample, rng, true,
+                                    100.0 / static_cast<double>(kV8Stripes));
+    print_row("Fig21/CIA", r);
+  }
+
+  // --- Fig. 22 Graph ----------------------------------------------------------
+  {
+    const ModeTable table = ModeTable::compile(
+        commute::multimap_spec(),
+        {SymbolicSet({op("getAll", {var("k")})}),
+         SymbolicSet({op("put", {var("k"), var("v")})}),
+         SymbolicSet({op("removeEntry", {var("k"), var("v")})})},
+        [] {
+          auto c = cfg64();
+          c.max_modes = 256;
+          return c;
+        }());
+    constexpr std::uint64_t kNodes = 1 << 14;
+    // Instances: 0 = succ multimap, 1 = pred multimap.
+    auto sample = [&](util::Xoshiro256& r) {
+      const Value a = static_cast<Value>(r.next_below(kNodes));
+      const Value b = static_cast<Value>(r.next_below(kNodes));
+      const auto pick = r.next_below(100);
+      TxnLocks t;
+      auto lock2 = [&](int site) {
+        const Value sv[2] = {a, b};
+        const Value pv[2] = {b, a};
+        const auto k = table.site_variables(site).size();
+        t.ours = {{0, table.resolve(site, std::span(sv).subspan(0, k))},
+                  {1, table.resolve(site, std::span(pv).subspan(0, k))}};
+        t.twopl = {0, 1};
+        t.manual = {static_cast<std::size_t>(a) % kManualStripes,
+                    static_cast<std::size_t>(b) % kManualStripes};
+      };
+      if (pick < 35) {
+        const Value sv[1] = {a};
+        t.ours = {{0, table.resolve(0, sv)}};
+        t.twopl = {0};
+        t.manual = {static_cast<std::size_t>(a) % kManualStripes};
+      } else if (pick < 70) {
+        const Value sv[1] = {a};
+        t.ours = {{1, table.resolve(0, sv)}};
+        t.twopl = {1};
+        t.manual = {static_cast<std::size_t>(a) % kManualStripes};
+      } else if (pick < 90) {
+        lock2(1);
+      } else {
+        lock2(2);
+      }
+      return t;
+    };
+    print_row("Fig22/Graph", measure_conflicts(table, sample, rng));
+  }
+
+  // --- Fig. 23 Cache ----------------------------------------------------------
+  {
+    const ModeTable eden = ModeTable::compile(
+        commute::map_spec(),
+        {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})}),
+         SymbolicSet({op("size"), op("clear"),
+                      op("put", {var("k"), star()})})},
+        cfg64());
+    // (The longterm map's modes mirror eden's; eden dominates conflicts.)
+    constexpr std::uint64_t kKeys = 1 << 18;
+    auto sample = [&](util::Xoshiro256& r) {
+      const Value k = static_cast<Value>(r.next_below(kKeys));
+      const bool is_put = r.chance_percent(10);
+      TxnLocks t;
+      const Value vals[1] = {k};
+      t.ours = {{0, eden.resolve(is_put ? 1 : 0, vals)}};
+      t.twopl = {0};
+      // Manual: gets take a stripe; puts normally take a stripe, and the
+      // rare demotion takes the writer gate — approximate with stripes.
+      t.manual = {static_cast<std::size_t>(k) % kManualStripes};
+      return t;
+    };
+    print_row("Fig23/Cache", measure_conflicts(eden, sample, rng));
+  }
+
+  // --- Fig. 24 Intruder -------------------------------------------------------
+  {
+    const ModeTable table = ModeTable::compile(
+        commute::map_spec(),
+        {SymbolicSet({op("get", {var("f")}), op("put", {var("f"), star()}),
+                      op("remove", {var("f")})})},
+        cfg64());
+    constexpr std::uint64_t kFlows = 16384;
+    auto sample = [&](util::Xoshiro256& r) {
+      const Value f = static_cast<Value>(r.next_below(kFlows));
+      TxnLocks t;
+      const Value vals[1] = {f};
+      // Decode: map keyed mode + per-flow assembly (instance = 1000+f,
+      // mode commutes) + pool enqueue (commutes). Only the map matters.
+      t.ours = {{0, table.resolve(0, vals)}};
+      t.twopl = {0};  // 2PL locks the single shared Map instance
+      t.manual = {static_cast<std::size_t>(f) % kManualStripes};
+      return t;
+    };
+    print_row("Fig24/Intruder", measure_conflicts(table, sample, rng));
+  }
+
+  // --- Fig. 25 GossipRouter ---------------------------------------------------
+  {
+    // The GroupMap spec from the gossip module: forEach commutes with
+    // itself, conflicts with put/remove.
+    static const commute::AdtSpec group_spec = [] {
+      commute::AdtSpec::Builder b("GroupMap");
+      b.method("put", 2).method("remove", 1).method("forEach", 0);
+      b.commute("put", "put", commute::CommCondition::differ(0, 0));
+      b.commute("put", "remove", commute::CommCondition::differ(0, 0));
+      b.commute("remove", "remove", commute::CommCondition::always());
+      b.commute("forEach", "forEach", commute::CommCondition::always());
+      return b.build();
+    }();
+    const ModeTable group = ModeTable::compile(
+        group_spec,
+        {SymbolicSet({op("put", {var("a"), star()})}),
+         SymbolicSet({op("remove", {var("a")})}),
+         SymbolicSet({op("forEach")})},
+        cfg64());
+    constexpr std::uint64_t kGroups = 8;
+    auto sample = [&](util::Xoshiro256& r) {
+      const Value g = static_cast<Value>(r.next_below(kGroups));
+      TxnLocks t;
+      const int ginst = static_cast<int>(10 + g);
+      if (r.chance_percent(1)) {  // membership churn
+        const Value a = static_cast<Value>(g * 100 + r.next_below(16));
+        const Value av[1] = {a};
+        t.ours = {{ginst, group.resolve(0, av)}};
+        t.twopl = {0, ginst};  // table + group instance
+        t.manual = {static_cast<std::size_t>(ginst)};  // group exclusive
+      } else {
+        t.ours = {{ginst, group.resolve(2, {})}};  // forEach: commutes
+        t.twopl = {0, ginst};
+        t.manual = {};  // Manual routes take shared locks: no conflicts
+      }
+      return t;
+    };
+    print_row("Fig25/Gossip", measure_conflicts(group, sample, rng));
+  }
+
+  // --- Ablation: abstract-value count (phi range) on the CIA workload -------
+  std::printf("\nAbstract-value ablation (CIA, Ours):");
+  for (const int n : {1, 4, 16, 64}) {
+    ModeTableConfig c;
+    c.abstract_values = n;
+    const ModeTable table = ModeTable::compile(
+        commute::map_spec(),
+        {SymbolicSet({op("containsKey", {var("k")}),
+                      op("put", {var("k"), star()})})},
+        c);
+    long conflicts = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      const Value k1 = static_cast<Value>(rng.next_below(1 << 18));
+      const Value k2 = static_cast<Value>(rng.next_below(1 << 18));
+      const Value v1[1] = {k1};
+      const Value v2[1] = {k2};
+      if (!table.commutes(table.resolve(0, v1), table.resolve(0, v2))) {
+        ++conflicts;
+      }
+    }
+    std::printf("  n=%d: %.2f%%", n, 100.0 * conflicts / kPairs);
+  }
+  std::printf("\n");
+
+  // --- Ablation: mode bound N on the Graph workload --------------------------
+  // Unbounded, insert/remove keep both arguments (conflict only on the exact
+  // same edge); with N=256 the trailing argument widens and conflicts happen
+  // per source node.
+  std::printf("Mode-bound ablation (Graph insert/remove pairs):");
+  for (const int max_modes : {1 << 20, 256, 130, 8}) {
+    ModeTableConfig c = cfg64();
+    c.max_modes = max_modes;
+    const ModeTable table = ModeTable::compile(
+        commute::multimap_spec(),
+        {SymbolicSet({op("getAll", {var("k")})}),
+         SymbolicSet({op("put", {var("k"), var("v")})}),
+         SymbolicSet({op("removeEntry", {var("k"), var("v")})})},
+        c);
+    long conflicts = 0;
+    constexpr int kEdgePairs = 100'000;
+    for (int i = 0; i < kEdgePairs; ++i) {
+      const Value a1 = static_cast<Value>(rng.next_below(1 << 14));
+      const Value b1 = static_cast<Value>(rng.next_below(1 << 14));
+      const Value a2 = static_cast<Value>(rng.next_below(1 << 14));
+      const Value b2 = static_cast<Value>(rng.next_below(1 << 14));
+      const Value e1[2] = {a1, b1};
+      const Value e2[2] = {a2, b2};
+      const auto k1 = table.site_variables(1).size();
+      const auto k2 = table.site_variables(2).size();
+      const int put_mode =
+          table.resolve(1, std::span<const Value>(e1).subspan(0, k1));
+      const int rem_mode =
+          table.resolve(2, std::span<const Value>(e2).subspan(0, k2));
+      if (!table.commutes(put_mode, rem_mode)) ++conflicts;
+    }
+    std::printf("  N=%d(modes=%d): %.3f%%", max_modes, table.num_modes(),
+                100.0 * conflicts / kEdgePairs);
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nReading: ~0%% conflicts -> near-linear scaling on multicore "
+      "hardware;\n~100%% -> serialized execution (flat or declining "
+      "curves in the paper's figures).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 21: ComputeIfAbsent throughput as a function of the number of
+// threads, for Ours / Global / 2PL / Manual / V8.
+//
+// Paper workload: each thread performs randomly keyed computeIfAbsent
+// invocations; the computation allocates 128 bytes. Manual uses 64-lock
+// striping; Ours compiles {containsKey(k),put(k,*)} with 64 abstract values
+// (striping synthesized from the commutativity spec).
+#include "apps/compute_if_absent.h"
+#include "apps/harness.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace semlock;
+  using namespace semlock::apps;
+  using namespace semlock::bench;
+
+  print_figure_header("Fig. 21", "ComputeIfAbsent throughput vs threads");
+
+  SweepConfig cfg;
+  cfg.ops_per_thread =
+      static_cast<std::size_t>(40'000 * scale_factor());
+  const std::vector<Strategy> strategies = {
+      Strategy::Ours, Strategy::Global, Strategy::TwoPL, Strategy::Manual,
+      Strategy::V8};
+
+  util::SeriesTable table("threads", "ops/ms");
+  std::vector<std::string> names;
+  for (auto s : strategies) names.emplace_back(strategy_name(s));
+  table.set_series(names);
+
+  CiaParams params;
+  params.key_range = 1 << 18;
+
+  for (const std::size_t threads : default_threads()) {
+    std::vector<double> row;
+    for (const Strategy s : strategies) {
+      const double tput = measure<CiaModule>(
+          cfg, threads, [&] { return make_cia_module(s, params); },
+          [&](CiaModule& m, std::size_t, util::Xoshiro256& rng,
+              std::size_t ops) {
+            for (std::size_t i = 0; i < ops; ++i) {
+              m.compute_if_absent(static_cast<commute::Value>(
+                  rng.next_below(params.key_range)));
+            }
+          });
+      row.push_back(tput);
+    }
+    table.add_row(static_cast<double>(threads), row);
+  }
+  print_results(table);
+  return 0;
+}

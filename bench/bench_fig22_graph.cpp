@@ -1,0 +1,97 @@
+// Fig. 22: Graph throughput as a function of the number of threads.
+// Workload: 35% find-successors, 35% find-predecessors, 20% insert-edge,
+// 10% remove-edge (Hawkins et al. workload).
+#include "apps/graph_module.h"
+#include "apps/harness.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+// A workload mix: cumulative percentages for find-succ / find-pred /
+// insert-edge (remainder removes).
+struct Mix {
+  const char* name;
+  unsigned find_succ, find_pred, insert;
+};
+
+void run_mix(const semlock::apps::GraphParams& params, const Mix& mix) {
+  using namespace semlock;
+  using namespace semlock::apps;
+  using namespace semlock::bench;
+
+  SweepConfig cfg;
+  cfg.ops_per_thread = static_cast<std::size_t>(30'000 * scale_factor());
+  const std::vector<Strategy> strategies = {
+      Strategy::Ours, Strategy::Global, Strategy::TwoPL, Strategy::Manual};
+
+  util::SeriesTable table("threads", "ops/ms");
+  std::vector<std::string> names;
+  for (auto s : strategies) names.emplace_back(strategy_name(s));
+  table.set_series(names);
+
+  for (const std::size_t threads : default_threads()) {
+    std::vector<double> row;
+    for (const Strategy s : strategies) {
+      const double tput = measure<GraphModule>(
+          cfg, threads,
+          [&] {
+            auto g = make_graph_module(s, params);
+            // Pre-populate with a base edge set.
+            util::Xoshiro256 rng(7);
+            for (int i = 0; i < 20'000; ++i) {
+              g->insert_edge(
+                  static_cast<commute::Value>(rng.next_below(
+                      static_cast<std::uint64_t>(params.node_range))),
+                  static_cast<commute::Value>(rng.next_below(
+                      static_cast<std::uint64_t>(params.node_range))));
+            }
+            return g;
+          },
+          [&](GraphModule& g, std::size_t, util::Xoshiro256& rng,
+              std::size_t ops) {
+            for (std::size_t i = 0; i < ops; ++i) {
+              const auto a = static_cast<commute::Value>(rng.next_below(
+                  static_cast<std::uint64_t>(params.node_range)));
+              const auto b = static_cast<commute::Value>(rng.next_below(
+                  static_cast<std::uint64_t>(params.node_range)));
+              const auto pick = rng.next_below(100);
+              if (pick < mix.find_succ) {
+                g.find_successors(a);
+              } else if (pick < mix.find_succ + mix.find_pred) {
+                g.find_predecessors(a);
+              } else if (pick < mix.find_succ + mix.find_pred + mix.insert) {
+                g.insert_edge(a, b);
+              } else {
+                g.remove_edge(a, b);
+              }
+            }
+          });
+      row.push_back(tput);
+    }
+    table.add_row(static_cast<double>(threads), row);
+  }
+  std::printf("--- workload: %s\n", mix.name);
+  print_results(table);
+}
+
+}  // namespace
+
+int main() {
+  using namespace semlock::apps;
+  using namespace semlock::bench;
+
+  print_figure_header(
+      "Fig. 22",
+      "Graph throughput vs threads (main mix 35/35/20/10; the paper notes "
+      "the other Hawkins et al. workloads behave similarly)");
+
+  GraphParams params;
+  params.node_range = 1 << 14;
+
+  run_mix(params, Mix{"35% find-succ / 35% find-pred / 20% insert / 10% "
+                      "remove (Fig. 22)",
+                      35, 35, 20});
+  run_mix(params, Mix{"45/45/7/3 (read-heavy)", 45, 45, 7});
+  run_mix(params, Mix{"25/25/30/20 (write-heavy)", 25, 25, 30});
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 23: Cache (Tomcat ConcurrentCache) throughput as a function of the
+// number of threads. Workload: 90% Get, 10% Put; size parameter scaled from
+// the paper's 5000K by SEMLOCK_BENCH_SCALE.
+#include "apps/cache_module.h"
+#include "apps/harness.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace semlock;
+  using namespace semlock::apps;
+  using namespace semlock::bench;
+
+  print_figure_header("Fig. 23",
+                      "Cache throughput vs threads (main workload 90% Get / "
+                      "10% Put; the paper notes the other workload of [9] "
+                      "behaves similarly)");
+
+  SweepConfig cfg;
+  cfg.ops_per_thread =
+      static_cast<std::size_t>(40'000 * scale_factor());
+  const std::vector<Strategy> strategies = {
+      Strategy::Ours, Strategy::Global, Strategy::TwoPL, Strategy::Manual};
+
+  CacheParams params;
+  params.size = static_cast<std::size_t>(100'000 * scale_factor());
+  params.key_range = 1 << 18;
+
+  for (const unsigned put_percent : {10u, 30u}) {
+    util::SeriesTable table("threads", "ops/ms");
+    std::vector<std::string> names;
+    for (auto s : strategies) names.emplace_back(strategy_name(s));
+    table.set_series(names);
+
+    for (const std::size_t threads : default_threads()) {
+      std::vector<double> row;
+      for (const Strategy s : strategies) {
+        const double tput = measure<CacheModule>(
+            cfg, threads,
+            [&] {
+              auto c = make_cache_module(s, params);
+              util::Xoshiro256 rng(3);
+              for (int i = 0; i < 30'000; ++i) {
+                const auto k = static_cast<commute::Value>(rng.next_below(
+                    static_cast<std::uint64_t>(params.key_range)));
+                c->put(k, k * 10);
+              }
+              return c;
+            },
+            [&](CacheModule& c, std::size_t, util::Xoshiro256& rng,
+                std::size_t ops) {
+              for (std::size_t i = 0; i < ops; ++i) {
+                const auto k = static_cast<commute::Value>(rng.next_below(
+                    static_cast<std::uint64_t>(params.key_range)));
+                if (rng.chance_percent(put_percent)) {
+                  c.put(k, k * 10);
+                } else {
+                  c.get(k);
+                }
+              }
+            });
+        row.push_back(tput);
+      }
+      table.add_row(static_cast<double>(threads), row);
+    }
+    std::printf("--- workload: %u%% Get / %u%% Put\n", 100 - put_percent,
+                put_percent);
+    print_results(table);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 25: GossipRouter — speedup over a single-core execution, for
+// Ours / Global / 2PL / Manual. MPerf-style workload: 16 clients, 5000
+// messages each. The paper varies active cores; this reproduction varies
+// router worker threads (documented in EXPERIMENTS.md).
+#include <algorithm>
+#include <atomic>
+
+#include "apps/gossip_router.h"
+#include "apps/harness.h"
+#include "bench/bench_common.h"
+#include "util/thread_team.h"
+
+int main() {
+  using namespace semlock;
+  using namespace semlock::apps;
+  using namespace semlock::bench;
+
+  print_figure_header("Fig. 25",
+                      "GossipRouter speedup vs threads (16 clients x 5000 "
+                      "messages, MPerf)");
+
+  GossipParams params;
+  const std::size_t total_messages =
+      static_cast<std::size_t>(16 * 5000 * scale_factor());
+
+  const std::vector<Strategy> strategies = {
+      Strategy::Ours, Strategy::Global, Strategy::TwoPL, Strategy::Manual};
+
+  util::SeriesTable table("threads", "speedup vs 1 thread");
+  std::vector<std::string> names;
+  for (auto s : strategies) names.emplace_back(strategy_name(s));
+  table.set_series(names);
+
+  // Simulated MPerf: 16 member connections per group; router threads drain
+  // the message stream, routing each message to its group (plus a light
+  // membership-churn component, as clients reconnect).
+  auto run_once = [&](Strategy s, std::size_t threads) {
+    auto router = make_gossip_router(s, params);
+    for (std::size_t g = 0; g < params.num_groups; ++g) {
+      for (int a = 0; a < params.num_clients; ++a) {
+        router->register_member(static_cast<commute::Value>(g),
+                                static_cast<commute::Value>(g * 100 + a));
+      }
+    }
+    std::atomic<std::size_t> next{0};
+    const auto result = util::run_team(threads, [&](std::size_t tid) {
+      util::Xoshiro256 rng(util::derive_seed(11, tid));
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_messages) break;
+        const auto group = static_cast<commute::Value>(
+            i % params.num_groups);
+        if (rng.chance_percent(1)) {  // connection churn
+          const auto addr = static_cast<commute::Value>(
+              group * 100 + rng.next_below(
+                  static_cast<std::uint64_t>(params.num_clients)));
+          router->unregister_member(group, addr);
+          router->register_member(group, addr);
+        }
+        router->route(group, static_cast<std::int64_t>(i));
+      }
+    });
+    return result.wall_seconds;
+  };
+
+  // Best of three runs per point (first runs pay allocator warm-up).
+  auto best_of = [&](Strategy s, std::size_t threads) {
+    double best = run_once(s, threads);
+    for (int i = 0; i < 2; ++i) best = std::min(best, run_once(s, threads));
+    return best;
+  };
+
+  std::vector<double> base(strategies.size(), 0.0);
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    base[si] = best_of(strategies[si], 1);
+  }
+
+  for (const std::size_t threads : default_threads()) {
+    std::vector<double> row;
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+      row.push_back(base[si] / best_of(strategies[si], threads));
+    }
+    table.add_row(static_cast<double>(threads), row);
+  }
+  print_results(table);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark): the raw cost of the semantic-locking
+// runtime — uncontended acquire/release vs std::mutex, mode resolution, and
+// mode-table compilation.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "commute/builtin_specs.h"
+#include "semlock/semantic_lock.h"
+#include "semlock/transaction.h"
+
+namespace {
+
+using namespace semlock;
+using commute::op;
+using commute::star;
+using commute::SymbolicSet;
+using commute::Value;
+using commute::var;
+
+ModeTable cia_table(int n) {
+  ModeTableConfig cfg;
+  cfg.abstract_values = n;
+  return ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("containsKey", {var("k")}),
+                    op("put", {var("k"), star()})})},
+      cfg);
+}
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex m;
+  for (auto _ : state) {
+    m.lock();
+    benchmark::DoNotOptimize(&m);
+    m.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_SemanticLockUncontended(benchmark::State& state) {
+  static const ModeTable table = cia_table(64);
+  SemanticLock lock(table);
+  const Value vals[1] = {42};
+  for (auto _ : state) {
+    const int mode = lock.lock_site(0, vals);
+    benchmark::DoNotOptimize(mode);
+    lock.unlock(mode);
+  }
+}
+BENCHMARK(BM_SemanticLockUncontended);
+
+void BM_SemanticLockModeKnown(benchmark::State& state) {
+  static const ModeTable table = cia_table(64);
+  SemanticLock lock(table);
+  const Value vals[1] = {42};
+  const int mode = table.resolve(0, vals);
+  for (auto _ : state) {
+    lock.lock(mode);
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock(mode);
+  }
+}
+BENCHMARK(BM_SemanticLockModeKnown);
+
+void BM_ModeResolve(benchmark::State& state) {
+  static const ModeTable table = cia_table(64);
+  Value k = 0;
+  for (auto _ : state) {
+    const Value vals[1] = {k++};
+    benchmark::DoNotOptimize(table.resolve(0, vals));
+  }
+}
+BENCHMARK(BM_ModeResolve);
+
+void BM_TransactionLvUnlockAll(benchmark::State& state) {
+  static const ModeTable table = cia_table(64);
+  SemanticLock a(table), b(table);
+  const Value vals[1] = {7};
+  for (auto _ : state) {
+    Transaction txn;
+    txn.lv(&a, 0, vals);
+    txn.lv(&b, 0, vals);
+    txn.unlock_all();
+  }
+}
+BENCHMARK(BM_TransactionLvUnlockAll);
+
+void BM_ModeTableCompile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cia_table(n));
+  }
+}
+BENCHMARK(BM_ModeTableCompile)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

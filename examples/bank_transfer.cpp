@@ -1,0 +1,110 @@
+// Bank transfer: a user-defined commutativity specification end-to-end
+// through the COMPILER — we write the atomic sections in the IR, let the
+// synthesis insert semantic locking (dynamic same-class ordering included),
+// and execute them concurrently through the interpreter.
+//
+// The Account spec says deposit/withdraw commute (addition is commutative),
+// so transfers between disjoint AND overlapping account pairs proceed in
+// parallel — yet balance() audits are serialized against all movement.
+//
+// Build & run:  ./build/examples/bank_transfer
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "synth/interpreter.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+#include "util/rng.h"
+
+using namespace semlock;
+using namespace semlock::synth;
+
+int main() {
+  // The client program: two atomic sections over Account ADTs.
+  Program p;
+  p.adt_types = {{"Account", &commute::account_spec()}};
+
+  AtomicSection transfer;
+  transfer.name = "transfer";
+  transfer.var_types = {{"from", "Account"}, {"to", "Account"}};
+  transfer.params = {"from", "to", "amt"};
+  transfer.body = {callv("from", "withdraw", {evar("amt")}),
+                   callv("to", "deposit", {evar("amt")})};
+
+  AtomicSection audit;
+  audit.name = "audit";
+  audit.var_types = {{"a", "Account"}, {"b", "Account"}};
+  audit.params = {"a", "b"};
+  audit.body = {call("x", "a", "balance", {}), call("y", "b", "balance", {}),
+                assign("total", eadd(evar("x"), evar("y")))};
+
+  p.sections = {transfer, audit};
+
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.mode_config.abstract_values = 8;
+  const auto res = synthesize(p, classes, opts);
+
+  std::printf("=== synthesized sections =========================\n");
+  for (const auto& s : res.program.sections) {
+    std::printf("%s\n", print_section(s).c_str());
+  }
+  std::printf("=== Account locking modes ========================\n%s\n",
+              res.plans.at("Account").table->describe().c_str());
+
+  // Execute: 4 threads hammer transfers + audits over 6 accounts.
+  Heap heap(res);
+  constexpr int kAccounts = 6;
+  constexpr commute::Value kInitial = 1000;
+  std::vector<AdtInstance*> accounts;
+  for (int i = 0; i < kAccounts; ++i) {
+    AdtInstance* a = heap.create("Account");
+    a->invoke("deposit", {RtValue::of_int(kInitial)});
+    accounts.push_back(a);
+  }
+
+  std::atomic<long> audits_ok{0}, audits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(2026, t));
+      Interpreter interp(heap);
+      for (int i = 0; i < 10'000; ++i) {
+        const auto a = rng.next_below(kAccounts);
+        auto b = rng.next_below(kAccounts);
+        if (a == b) b = (b + 1) % kAccounts;
+        Interpreter::Env env;
+        if (rng.chance_percent(90)) {
+          env["from"] = RtValue::of_ref(accounts[a]);
+          env["to"] = RtValue::of_ref(accounts[b]);
+          env["amt"] = RtValue::of_int(
+              static_cast<commute::Value>(rng.next_below(50)));
+          interp.run("transfer", env);
+        } else {
+          env["a"] = RtValue::of_ref(accounts[a]);
+          env["b"] = RtValue::of_ref(accounts[b]);
+          const auto out = interp.run("audit", env);
+          ++audits;
+          // An atomic audit of two accounts mid-transfer can see any split,
+          // but a *pairwise* total can only change if a transfer touching
+          // exactly this pair interleaved — which the locks forbid... the
+          // stronger check below audits the global invariant at the end.
+          if (out.at("total").i <= 2 * kAccounts * kInitial) ++audits_ok;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  commute::Value total = 0;
+  for (AdtInstance* a : accounts) total += a->invoke("balance", {}).i;
+  std::printf("final total: %lld (expected %lld), audits: %ld\n",
+              static_cast<long long>(total),
+              static_cast<long long>(kAccounts * kInitial), audits.load());
+  const bool ok = total == kAccounts * kInitial;
+  std::printf("%s\n", ok ? "INVARIANT HELD" : "INVARIANT VIOLATED");
+  return ok ? 0 : 1;
+}

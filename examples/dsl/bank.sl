@@ -1,0 +1,14 @@
+// User-defined semantics: deposits and withdrawals commute, so transfers
+// between any accounts run in parallel while balance audits serialize.
+adt Account;
+
+atomic transfer(Account from, Account to, int amt) {
+  from.withdraw(amt);
+  to.deposit(amt);
+}
+
+atomic audit(Account a, Account b) {
+  x = a.balance();
+  y = b.balance();
+  total = x + y;
+}

@@ -1,0 +1,20 @@
+// The paper's Fig. 1: the Intruder-inspired atomic section.
+// Compile: semlockc --show-graph --show-modes fig1.sl
+adt Map;
+adt Set;
+adt Queue(pool);
+
+atomic fig1(Map map, Queue queue, int id, int x, int y, int flag) {
+  var set: Set;
+  set = map.get(id);
+  if (set == null) {
+    set = new Set();
+    map.put(id, set);
+  }
+  set.add(x);
+  set.add(y);
+  if (flag) {
+    queue.enqueue(set);
+    map.remove(id);
+  }
+}

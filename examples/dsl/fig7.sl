@@ -1,0 +1,16 @@
+// The paper's Fig. 7: two same-class Sets force dynamic lock ordering (LV2).
+adt Map;
+adt Set;
+adt Queue(pool);
+
+atomic g(Map m, int key1, int key2, Queue q) {
+  var s1: Set;
+  var s2: Set;
+  s1 = m.get(key1);
+  s2 = m.get(key2);
+  if (s1 != null && s2 != null) {
+    s1.add(1);
+    s2.add(2);
+    q.enqueue(s1);
+  }
+}

@@ -1,0 +1,19 @@
+// The paper's Fig. 9: the loop reassigns `set` between its uses, producing
+// a cyclic restrictions-graph; the compiler collapses the Set class into a
+// global wrapper ADT (Fig. 15).
+adt Map;
+adt Set;
+
+atomic loop(Map map, int n) {
+  var set: Set;
+  sum = 0;
+  i = 0;
+  while (i < n) {
+    set = map.get(i);
+    if (set != null) {
+      t = set.size();
+      sum = sum + t;
+    }
+    i = i + 1;
+  }
+}

@@ -1,0 +1,70 @@
+// Quickstart: semantic locking in five minutes.
+//
+// We take one shared Map and run the classic compute-if-absent atomic
+// section from several threads. Instead of a mutex, each transaction locks
+// the *operations* it is about to perform — {containsKey(k), put(k,*)} — so
+// transactions on different keys run fully in parallel, while same-key
+// transactions serialize. The locking modes, their commutativity function
+// and the partitioned lock mechanisms are all compiled from the Map's
+// commutativity specification (Fig. 3-style).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adt/striped_hash_map.h"
+#include "commute/builtin_specs.h"
+#include "semlock/semantic_lock.h"
+#include "util/rng.h"
+#include "util/thread_team.h"
+
+using namespace semlock;
+using commute::Value;
+
+int main() {
+  // 1. Describe the lock sites: one site whose symbolic set says "I will
+  //    call containsKey(k) and possibly put(k, something)".
+  const ModeTable table = ModeTable::compile(
+      commute::map_spec(),
+      {commute::SymbolicSet({
+          commute::op("containsKey", {commute::var("k")}),
+          commute::op("put", {commute::var("k"), commute::star()}),
+      })},
+      ModeTableConfig{.abstract_values = 64});
+
+  std::printf("compiled %d locking modes in %d partitions (from %d raw)\n",
+              table.num_modes(), table.num_partitions(),
+              table.num_raw_modes());
+
+  // 2. Pair a linearizable map with a semantic lock.
+  adt::StripedHashMap<Value, Value> map;
+  SemanticLock lock(table);
+
+  // 3. Run transactions from 8 threads.
+  constexpr int kKeys = 1000;
+  util::run_team(8, [&](std::size_t tid) {
+    util::Xoshiro256 rng(util::derive_seed(42, tid));
+    for (int i = 0; i < 50'000; ++i) {
+      const Value key = static_cast<Value>(rng.next_below(kKeys));
+      // --- the atomic section, as the compiler would emit it ---
+      const Value vals[1] = {key};
+      const int mode = lock.lock_site(0, vals);
+      if (!map.contains_key(key)) {
+        map.put(key, key * 10);  // "expensive" computed value
+      }
+      lock.unlock(mode);
+      // ----------------------------------------------------------
+    }
+  });
+
+  std::printf("map holds %zu entries (expected %d: one per key, no torn "
+              "check-then-act)\n",
+              map.size(), kKeys);
+
+  const auto& stats = local_acquire_stats();
+  std::printf("main-thread acquisitions: %llu (%llu contended)\n",
+              static_cast<unsigned long long>(stats.acquisitions),
+              static_cast<unsigned long long>(stats.contended));
+  return map.size() == kKeys ? 0 : 1;
+}

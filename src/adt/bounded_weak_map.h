@@ -1,0 +1,142 @@
+// BoundedWeakMap: a linearizable map whose entries may disappear — the
+// C++ stand-in for Java's WeakHashMap (used by the Tomcat cache's longterm
+// area), where the garbage collector may reclaim weakly-referenced entries
+// at any time.
+//
+// Instead of modeling a GC, the map bounds its capacity and evicts in
+// clock (second-chance) order: a `get` marks the entry referenced; an
+// insert over capacity sweeps unreferenced entries first. Lookups are thus
+// allowed to miss entries that were once present — exactly the observable
+// contract cache code must tolerate from a weak map.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace semlock::adt {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BoundedWeakMap {
+ public:
+  explicit BoundedWeakMap(std::size_t capacity = 1 << 16,
+                          std::size_t num_stripes = 64)
+      : capacity_per_stripe_(
+            std::max<std::size_t>(1, capacity / round_up_pow2(num_stripes))),
+        mask_(round_up_pow2(num_stripes) - 1),
+        stripes_(mask_ + 1) {}
+
+  BoundedWeakMap(const BoundedWeakMap&) = delete;
+  BoundedWeakMap& operator=(const BoundedWeakMap&) = delete;
+
+  std::optional<V> get(const K& key) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    auto it = s.entries.find(key);
+    if (it == s.entries.end()) return std::nullopt;
+    it->second.referenced = true;  // second chance
+    return it->second.value;
+  }
+
+  void put(const K& key, V value) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    auto it = s.entries.find(key);
+    if (it != s.entries.end()) {
+      it->second.value = std::move(value);
+      it->second.referenced = true;
+      return;
+    }
+    if (s.entries.size() >= capacity_per_stripe_) evict_one(s);
+    // Fresh entries start unreferenced (clock convention): an entry only
+    // survives a full sweep if it is touched between sweeps.
+    s.entries.emplace(key, Entry{std::move(value), false});
+    s.clock.push_back(key);
+  }
+
+  bool remove(const K& key) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    return s.entries.erase(key) != 0;  // clock entry lazily skipped
+  }
+
+  bool contains_key(const K& key) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    return s.entries.count(key) != 0;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : stripes_) {
+      std::scoped_lock guard(s.lock);
+      total += s.entries.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (auto& s : stripes_) {
+      std::scoped_lock guard(s.lock);
+      s.entries.clear();
+      s.clock.clear();
+    }
+  }
+
+  std::size_t capacity() const {
+    return capacity_per_stripe_ * (mask_ + 1);
+  }
+
+ private:
+  struct Entry {
+    V value;
+    bool referenced = false;
+  };
+
+  struct Stripe {
+    mutable util::Spinlock lock;
+    std::unordered_map<K, Entry, Hash> entries;
+    std::list<K> clock;  // FIFO of candidate victims (may hold stale keys)
+  };
+
+  static std::size_t round_up_pow2(std::size_t x) {
+    std::size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  Stripe& stripe_of(const K& key) {
+    return stripes_[Hash{}(key) & mask_];
+  }
+
+  // Clock sweep: skip stale keys; give referenced entries a second chance.
+  void evict_one(Stripe& s) {
+    while (!s.clock.empty()) {
+      K candidate = s.clock.front();
+      s.clock.pop_front();
+      auto it = s.entries.find(candidate);
+      if (it == s.entries.end()) continue;  // stale clock entry
+      if (it->second.referenced) {
+        it->second.referenced = false;
+        s.clock.push_back(candidate);
+        continue;
+      }
+      s.entries.erase(it);
+      return;
+    }
+    // Everything referenced and clock drained: drop an arbitrary entry.
+    if (!s.entries.empty()) s.entries.erase(s.entries.begin());
+  }
+
+  std::size_t capacity_per_stripe_;
+  std::size_t mask_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace semlock::adt

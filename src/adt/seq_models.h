@@ -1,0 +1,120 @@
+// Sequential reference models of the ADTs.
+//
+// Used (a) as the executable "sequential specification" in the
+// commutativity-spec soundness property tests — we literally apply operation
+// pairs in both orders and compare states/results against the spec's
+// condition — and (b) as the unprotected data structures for the Global and
+// 2PL baselines, where an external lock already serializes access.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "commute/value.h"
+
+namespace semlock::adt {
+
+class SeqSet {
+ public:
+  void add(commute::Value v) { elems_.insert(v); }
+  void remove(commute::Value v) { elems_.erase(v); }
+  bool contains(commute::Value v) const { return elems_.count(v) != 0; }
+  std::size_t size() const { return elems_.size(); }
+  void clear() { elems_.clear(); }
+
+  bool operator==(const SeqSet&) const = default;
+
+ private:
+  std::set<commute::Value> elems_;
+};
+
+class SeqMap {
+ public:
+  std::optional<commute::Value> get(commute::Value k) const {
+    auto it = entries_.find(k);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+  void put(commute::Value k, commute::Value v) { entries_[k] = v; }
+  void remove(commute::Value k) { entries_.erase(k); }
+  bool contains_key(commute::Value k) const { return entries_.count(k) != 0; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  bool operator==(const SeqMap&) const = default;
+
+ private:
+  std::map<commute::Value, commute::Value> entries_;
+};
+
+class SeqQueue {
+ public:
+  void enqueue(commute::Value v) { elems_.push_back(v); }
+  std::optional<commute::Value> dequeue() {
+    if (elems_.empty()) return std::nullopt;
+    commute::Value v = elems_.front();
+    elems_.pop_front();
+    return v;
+  }
+  bool is_empty() const { return elems_.empty(); }
+  std::size_t size() const { return elems_.size(); }
+
+  bool operator==(const SeqQueue&) const = default;
+
+ private:
+  std::deque<commute::Value> elems_;
+};
+
+// Unordered-bag view of a queue: state equality ignores order. Models the
+// Pool specification used for Intruder's completed-flow queue.
+class SeqPool {
+ public:
+  void enqueue(commute::Value v) { elems_.insert(v); }
+  std::optional<commute::Value> dequeue() {
+    if (elems_.empty()) return std::nullopt;
+    auto it = elems_.begin();
+    commute::Value v = *it;
+    elems_.erase(it);
+    return v;
+  }
+  bool is_empty() const { return elems_.empty(); }
+
+  bool operator==(const SeqPool&) const = default;
+
+ private:
+  std::multiset<commute::Value> elems_;
+};
+
+class SeqMultimap {
+ public:
+  void put(commute::Value k, commute::Value v) { entries_[k].insert(v); }
+  void remove_entry(commute::Value k, commute::Value v) {
+    auto it = entries_.find(k);
+    if (it == entries_.end()) return;
+    it->second.erase(v);
+    if (it->second.empty()) entries_.erase(it);
+  }
+  std::vector<commute::Value> get_all(commute::Value k) const {
+    auto it = entries_.find(k);
+    if (it == entries_.end()) return {};
+    return {it->second.begin(), it->second.end()};
+  }
+  void remove_all(commute::Value k) { entries_.erase(k); }
+  std::size_t num_entries() const {
+    std::size_t total = 0;
+    for (const auto& [k, vs] : entries_) total += vs.size();
+    return total;
+  }
+
+  bool operator==(const SeqMultimap&) const = default;
+
+ private:
+  std::map<commute::Value, std::set<commute::Value>> entries_;
+};
+
+}  // namespace semlock::adt

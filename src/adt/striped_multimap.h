@@ -1,0 +1,100 @@
+// StripedMultimap: a linearizable multimap with set semantics per key
+// (Guava SetMultimap-like), used by the Graph benchmark (two Multimap
+// instances hold successor and predecessor edges, as in Hawkins et al.).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "adt/striped_hash_map.h"
+#include "util/spinlock.h"
+
+namespace semlock::adt {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class StripedMultimap {
+ public:
+  explicit StripedMultimap(std::size_t num_stripes = 64)
+      : mask_(round_up_pow2(num_stripes) - 1), stripes_(mask_ + 1) {}
+
+  StripedMultimap(const StripedMultimap&) = delete;
+  StripedMultimap& operator=(const StripedMultimap&) = delete;
+
+  // Adds (key, value); returns true if the entry was new.
+  bool put(const K& key, const V& value) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    auto& vals = s.entries[key];  // creates empty vector if absent
+    if (std::find(vals.begin(), vals.end(), value) != vals.end()) {
+      return false;
+    }
+    vals.push_back(value);
+    return true;
+  }
+
+  // Removes (key, value); returns true if the entry existed.
+  bool remove_entry(const K& key, const V& value) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    auto it = s.entries.find(key);
+    if (it == s.entries.end()) return false;
+    auto& vals = it->second;
+    auto pos = std::find(vals.begin(), vals.end(), value);
+    if (pos == vals.end()) return false;
+    *pos = vals.back();
+    vals.pop_back();
+    if (vals.empty()) s.entries.erase(it);
+    return true;
+  }
+
+  // Snapshot of the values of `key`.
+  std::vector<V> get_all(const K& key) const {
+    const Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    auto it = s.entries.find(key);
+    if (it == s.entries.end()) return {};
+    return it->second;
+  }
+
+  void remove_all(const K& key) {
+    Stripe& s = stripe_of(key);
+    std::scoped_lock guard(s.lock);
+    s.entries.erase(key);
+  }
+
+  std::size_t num_entries() const {
+    std::size_t total = 0;
+    for (const auto& s : stripes_) {
+      std::scoped_lock guard(s.lock);
+      for (const auto& [k, vals] : s.entries) total += vals.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Stripe {
+    mutable util::Spinlock lock;
+    std::unordered_map<K, std::vector<V>, Hash> entries;
+  };
+
+  static std::size_t round_up_pow2(std::size_t x) {
+    std::size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  Stripe& stripe_of(const K& key) {
+    return stripes_[mix_hash(Hash{}(key)) & mask_];
+  }
+  const Stripe& stripe_of(const K& key) const {
+    return stripes_[mix_hash(Hash{}(key)) & mask_];
+  }
+
+  std::size_t mask_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace semlock::adt

@@ -1,0 +1,74 @@
+// TwoLockQueue: the classic Michael & Scott two-lock concurrent FIFO queue
+// with a dummy head node. enqueue and dequeue proceed in parallel; the queue
+// is linearizable.
+//
+// The `next` link is atomic because when the queue is empty the enqueuer
+// (holding the tail lock) and the dequeuer (holding the head lock) touch the
+// same field: release/acquire on the link publishes the node's payload.
+//
+// This is the Queue substrate of Fig. 1/Fig. 2 and the Intruder benchmark's
+// completed-flow queue.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "util/spinlock.h"
+
+namespace semlock::adt {
+
+template <typename T>
+class TwoLockQueue {
+ public:
+  TwoLockQueue() { head_ = tail_ = new Node{}; }
+
+  TwoLockQueue(const TwoLockQueue&) = delete;
+  TwoLockQueue& operator=(const TwoLockQueue&) = delete;
+
+  ~TwoLockQueue() {
+    Node* n = head_;
+    while (n) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  void enqueue(T value) {
+    Node* node = new Node{};
+    node->value = std::move(value);
+    std::scoped_lock guard(tail_lock_);
+    tail_->next.store(node, std::memory_order_release);
+    tail_ = node;
+  }
+
+  std::optional<T> dequeue() {
+    std::scoped_lock guard(head_lock_);
+    Node* first = head_->next.load(std::memory_order_acquire);
+    if (!first) return std::nullopt;
+    std::optional<T> out(std::move(first->value));
+    Node* old_dummy = head_;
+    head_ = first;  // `first` becomes the new dummy; its value is moved-from
+    delete old_dummy;
+    return out;
+  }
+
+  bool is_empty() const {
+    std::scoped_lock guard(head_lock_);
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  mutable util::Spinlock head_lock_;
+  util::Spinlock tail_lock_;
+  Node* head_;  // dummy
+  Node* tail_;
+};
+
+}  // namespace semlock::adt

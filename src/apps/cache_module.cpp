@@ -1,0 +1,236 @@
+#include "apps/cache_module.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "adt/striped_hash_map.h"
+#include "baseline/global_lock.h"
+#include "baseline/two_pl.h"
+#include "commute/builtin_specs.h"
+#include "commute/symbolic.h"
+#include "semlock/semantic_lock.h"
+#include "util/align.h"
+
+namespace semlock::apps {
+
+namespace {
+
+using commute::Value;
+
+// --- Ours ------------------------------------------------------------------
+//
+// Lock sites (refined symbolic sets inferred for the two atomic sections):
+//   eden     site 0: {get(k), put(k,*)}        (Get)
+//   eden     site 1: {size(), clear(), put(k,*)}  (Put)
+//   longterm site 0: {get(k)}                  (Get)
+//   longterm site 1: {putAll()}                (Put)
+// Mode-table structure that falls out: eden's Put modes all conflict with
+// everything (size/clear), so the indistinguishable-mode merge collapses
+// them into one writer mode; Get modes stripe by phi(k).
+class CacheOurs final : public CacheModule {
+ public:
+  explicit CacheOurs(const CacheParams& params)
+      : params_(params),
+        eden_table_(ModeTable::compile(
+            commute::map_spec(),
+            {commute::SymbolicSet(
+                 {commute::op("get", {commute::var("k")}),
+                  commute::op("put", {commute::var("k"), commute::star()})}),
+             commute::SymbolicSet(
+                 {commute::op("size"), commute::op("clear"),
+                  commute::op("put", {commute::var("k"), commute::star()})})},
+            ModeTableConfig{.abstract_values = params.abstract_values})),
+        longterm_table_(ModeTable::compile(
+            commute::weakmap_spec(),
+            {commute::SymbolicSet({commute::op("get", {commute::var("k")})}),
+             commute::SymbolicSet({commute::op("putAll")})},
+            ModeTableConfig{.abstract_values = params.abstract_values})),
+        eden_lock_(eden_table_),
+        longterm_lock_(longterm_table_),
+        eden_(/*num_stripes=*/256),
+        longterm_(/*num_stripes=*/256) {}
+
+  std::optional<Value> get(Value key) override {
+    const Value vals[1] = {key};
+    const int em = eden_lock_.lock_site(0, vals);
+    const int lm = longterm_lock_.lock_site(0, vals);
+    std::optional<Value> v = eden_.get(key);
+    if (!v) {
+      v = longterm_.get(key);
+      if (v) eden_.put(key, *v);
+    }
+    longterm_lock_.unlock(lm);
+    eden_lock_.unlock(em);
+    return v;
+  }
+
+  void put(Value key, Value value) override {
+    const Value vals[1] = {key};
+    const int em = eden_lock_.lock_site(1, vals);
+    const int lm = longterm_lock_.lock_site(1, {});
+    if (eden_.size() >= params_.size) {
+      eden_.for_each([&](const Value& k, const Value& v) {
+        longterm_.put(k, v);
+      });
+      eden_.clear();
+    }
+    eden_.put(key, value);
+    longterm_lock_.unlock(lm);
+    eden_lock_.unlock(em);
+  }
+
+ private:
+  CacheParams params_;
+  ModeTable eden_table_;
+  ModeTable longterm_table_;
+  SemanticLock eden_lock_;
+  SemanticLock longterm_lock_;
+  adt::StripedHashMap<Value, Value> eden_;
+  adt::StripedHashMap<Value, Value> longterm_;
+};
+
+// --- Global ------------------------------------------------------------------
+class CacheGlobal final : public CacheModule {
+ public:
+  explicit CacheGlobal(const CacheParams& params) : params_(params) {}
+
+  std::optional<Value> get(Value key) override {
+    baseline::GlobalSection g(global_);
+    return get_impl(key);
+  }
+  void put(Value key, Value value) override {
+    baseline::GlobalSection g(global_);
+    put_impl(key, value);
+  }
+
+ private:
+  std::optional<Value> get_impl(Value key) {
+    auto it = eden_.find(key);
+    if (it != eden_.end()) return it->second;
+    auto lt = longterm_.find(key);
+    if (lt == longterm_.end()) return std::nullopt;
+    eden_.emplace(key, lt->second);
+    return lt->second;
+  }
+  void put_impl(Value key, Value value) {
+    if (eden_.size() >= params_.size) {
+      longterm_.insert(eden_.begin(), eden_.end());
+      eden_.clear();
+    }
+    eden_[key] = value;
+  }
+
+  CacheParams params_;
+  baseline::GlobalLock global_;
+  std::unordered_map<Value, Value> eden_;
+  std::unordered_map<Value, Value> longterm_;
+};
+
+// --- 2PL ---------------------------------------------------------------------
+class CacheTwoPL final : public CacheModule {
+ public:
+  explicit CacheTwoPL(const CacheParams& params) : params_(params) {}
+
+  std::optional<Value> get(Value key) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&eden_lock_);  // order: eden < longterm, as synthesized
+    txn.acquire(&longterm_lock_);
+    auto it = eden_.find(key);
+    if (it != eden_.end()) return it->second;
+    auto lt = longterm_.find(key);
+    if (lt == longterm_.end()) return std::nullopt;
+    eden_.emplace(key, lt->second);
+    return lt->second;
+  }
+  void put(Value key, Value value) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&eden_lock_);
+    txn.acquire(&longterm_lock_);
+    if (eden_.size() >= params_.size) {
+      longterm_.insert(eden_.begin(), eden_.end());
+      eden_.clear();
+    }
+    eden_[key] = value;
+  }
+
+ private:
+  CacheParams params_;
+  baseline::InstanceLock eden_lock_;
+  baseline::InstanceLock longterm_lock_;
+  std::unordered_map<Value, Value> eden_;
+  std::unordered_map<Value, Value> longterm_;
+};
+
+// --- Manual ------------------------------------------------------------------
+// Hand-crafted readers/writer-plus-striping scheme: Gets take a per-key
+// stripe lock in shared fashion (stripe spinlock) plus a shared "no demotion
+// in progress" gate; Put normally takes only its stripe; an overflowing Put
+// takes the writer gate exclusively. This mirrors what a careful engineer
+// would write for the Tomcat cache.
+class CacheManual final : public CacheModule {
+ public:
+  explicit CacheManual(const CacheParams& params)
+      : params_(params),
+        stripes_(kStripes),
+        eden_(/*num_stripes=*/256),
+        longterm_(/*num_stripes=*/256) {}
+
+  std::optional<Value> get(Value key) override {
+    CountedSharedGuard gate(gate_);
+    CountedGuard g(stripe(key));
+    std::optional<Value> v = eden_.get(key);
+    if (!v) {
+      v = longterm_.get(key);
+      if (v) eden_.put(key, *v);
+    }
+    return v;
+  }
+
+  void put(Value key, Value value) override {
+    {
+      CountedSharedGuard gate(gate_);
+      if (eden_.size() < params_.size) {
+        CountedGuard g(stripe(key));
+        eden_.put(key, value);
+        return;
+      }
+    }
+    CountedGuard gate(gate_);  // exclusive: demote
+    if (eden_.size() >= params_.size) {
+      eden_.for_each(
+          [&](const Value& k, const Value& v) { longterm_.put(k, v); });
+      eden_.clear();
+    }
+    eden_.put(key, value);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  util::Spinlock& stripe(Value v) {
+    return stripes_[static_cast<std::size_t>(v) % kStripes].value;
+  }
+
+  CacheParams params_;
+  std::shared_mutex gate_;
+  std::vector<util::CacheLinePadded<util::Spinlock>> stripes_;
+  adt::StripedHashMap<Value, Value> eden_;
+  adt::StripedHashMap<Value, Value> longterm_;
+};
+
+}  // namespace
+
+std::unique_ptr<CacheModule> make_cache_module(Strategy strategy,
+                                               const CacheParams& params) {
+  switch (strategy) {
+    case Strategy::Ours: return std::make_unique<CacheOurs>(params);
+    case Strategy::Global: return std::make_unique<CacheGlobal>(params);
+    case Strategy::TwoPL: return std::make_unique<CacheTwoPL>(params);
+    case Strategy::Manual: return std::make_unique<CacheManual>(params);
+    case Strategy::V8: return nullptr;  // not part of Fig. 23
+  }
+  return nullptr;
+}
+
+}  // namespace semlock::apps

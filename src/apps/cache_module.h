@@ -1,0 +1,41 @@
+// The Cache composite module (Section 6.1, Fig. 23): Tomcat's
+// ConcurrentCache, built from an "eden" Map and a "longterm" WeakMap.
+//
+//   get(k):  v = eden.get(k);
+//            if (v == null) { v = longterm.get(k); if (v != null) eden.put(k,v); }
+//            return v;                       // NOT read-only
+//   put(k,v): if (eden.size() >= size) {     // overflow: demote eden
+//               longterm.putAll(eden); eden.clear();
+//             }
+//             eden.put(k, v);
+//
+// Workload of Fig. 23: 90% Get, 10% Put. The paper runs size=5000K; the
+// parameter scales the eden capacity.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "apps/compute_if_absent.h"  // Strategy enum
+#include "commute/value.h"
+
+namespace semlock::apps {
+
+struct CacheParams {
+  std::size_t size = 200'000;  // eden capacity before demotion
+  commute::Value key_range = 1 << 20;
+  int abstract_values = 64;
+};
+
+class CacheModule {
+ public:
+  virtual ~CacheModule() = default;
+  virtual std::optional<commute::Value> get(commute::Value key) = 0;
+  virtual void put(commute::Value key, commute::Value value) = 0;
+};
+
+std::unique_ptr<CacheModule> make_cache_module(Strategy strategy,
+                                               const CacheParams& params);
+
+}  // namespace semlock::apps

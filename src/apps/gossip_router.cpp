@@ -1,0 +1,294 @@
+#include "apps/gossip_router.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "adt/striped_hash_map.h"
+#include "baseline/global_lock.h"
+#include "baseline/two_pl.h"
+#include "commute/builtin_specs.h"
+#include "commute/symbolic.h"
+#include "semlock/semantic_lock.h"
+#include "util/spinlock.h"
+
+namespace semlock::apps {
+
+namespace {
+
+using commute::Value;
+
+// A simulated client connection: "sending" accumulates into an atomic
+// checksum, standing in for the socket write (thread-local I/O in the
+// paper's treatment — it never communicates between router threads).
+struct Sink {
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> checksum{0};
+
+  void send(std::int64_t msg) {
+    bytes.fetch_add(64, std::memory_order_relaxed);
+    checksum.fetch_xor(static_cast<std::uint64_t>(msg) * 0x9e3779b97f4a7c15ULL,
+                       std::memory_order_relaxed);
+  }
+};
+
+class SinkArena {
+ public:
+  Sink* create() {
+    std::scoped_lock guard(lock_);
+    sinks_.push_back(std::make_unique<Sink>());
+    return sinks_.back().get();
+  }
+  std::uint64_t total_sends() const {
+    std::scoped_lock guard(lock_);
+    std::uint64_t total = 0;
+    for (const auto& s : sinks_) {
+      total += s->bytes.load(std::memory_order_relaxed) / 64;
+    }
+    return total;
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+};
+
+// Commutativity specification of the per-group membership Map, including the
+// iteration used by route(). forEach conflicts with the mutators but
+// commutes with itself — concurrent routes to the same group proceed in
+// parallel (the scalability Fig. 25 depends on).
+const commute::AdtSpec& group_map_spec() {
+  static const commute::AdtSpec spec = [] {
+    commute::AdtSpec::Builder b("GroupMap");
+    b.method("put", 2).method("remove", 1).method("forEach", 0);
+    b.commute("put", "put", commute::CommCondition::differ(0, 0));
+    b.commute("put", "remove", commute::CommCondition::differ(0, 0));
+    b.commute("remove", "remove", commute::CommCondition::always());
+    b.commute("forEach", "forEach", commute::CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+// --- Ours ------------------------------------------------------------------
+class GossipOurs final : public GossipRouter {
+ public:
+  explicit GossipOurs(const GossipParams& params)
+      : table_table_(ModeTable::compile(
+            commute::map_spec(),
+            {commute::SymbolicSet(
+                 {commute::op("get", {commute::var("g")}),
+                  commute::op("put", {commute::var("g"), commute::star()})}),
+             commute::SymbolicSet({commute::op("get", {commute::var("g")})})},
+            ModeTableConfig{.abstract_values = params.abstract_values})),
+        group_table_(ModeTable::compile(
+            group_map_spec(),
+            {commute::SymbolicSet(
+                 {commute::op("put", {commute::var("a"), commute::star()})}),
+             commute::SymbolicSet({commute::op("remove", {commute::var("a")})}),
+             commute::SymbolicSet({commute::op("forEach")})},
+            ModeTableConfig{.abstract_values = params.abstract_values})),
+        table_lock_(table_table_),
+        table_(/*num_stripes=*/64) {}
+
+  void register_member(Value group, Value addr) override {
+    const Value gv[1] = {group};
+    const int tm = table_lock_.lock_site(0, gv);
+    auto entry = table_.get(group);
+    std::shared_ptr<GroupState> gs;
+    if (!entry) {
+      gs = std::make_shared<GroupState>(group_table_);
+      table_.put(group, gs);
+    } else {
+      gs = *entry;
+    }
+    const Value av[1] = {addr};
+    const int gm = gs->lock.lock_site(0, av);
+    gs->members.put(addr, arena_.create());
+    gs->lock.unlock(gm);
+    table_lock_.unlock(tm);
+  }
+
+  void unregister_member(Value group, Value addr) override {
+    const Value gv[1] = {group};
+    const int tm = table_lock_.lock_site(1, gv);
+    auto entry = table_.get(group);
+    if (entry) {
+      const Value av[1] = {addr};
+      const int gm = (*entry)->lock.lock_site(1, av);
+      (*entry)->members.remove(addr);
+      (*entry)->lock.unlock(gm);
+    }
+    table_lock_.unlock(tm);
+  }
+
+  std::size_t route(Value group, std::int64_t msg) override {
+    const Value gv[1] = {group};
+    const int tm = table_lock_.lock_site(1, gv);
+    std::size_t sends = 0;
+    auto entry = table_.get(group);
+    if (entry) {
+      const int gm = (*entry)->lock.lock_site(2, {});
+      (*entry)->members.for_each([&](const Value&, Sink* const& sink) {
+        sink->send(msg);  // irrevocable I/O inside the atomic section
+        ++sends;
+      });
+      (*entry)->lock.unlock(gm);
+    }
+    table_lock_.unlock(tm);
+    return sends;
+  }
+
+  std::uint64_t total_sends() const override { return arena_.total_sends(); }
+
+ private:
+  struct GroupState {
+    explicit GroupState(const ModeTable& t) : lock(t), members(16) {}
+    SemanticLock lock;
+    adt::StripedHashMap<Value, Sink*> members;
+  };
+
+  ModeTable table_table_;
+  ModeTable group_table_;
+  SemanticLock table_lock_;
+  adt::StripedHashMap<Value, std::shared_ptr<GroupState>> table_;
+  SinkArena arena_;
+};
+
+// --- Global ------------------------------------------------------------------
+class GossipGlobal final : public GossipRouter {
+ public:
+  void register_member(Value group, Value addr) override {
+    baseline::GlobalSection g(global_);
+    table_[group][addr] = arena_.create();
+  }
+  void unregister_member(Value group, Value addr) override {
+    baseline::GlobalSection g(global_);
+    auto it = table_.find(group);
+    if (it != table_.end()) it->second.erase(addr);
+  }
+  std::size_t route(Value group, std::int64_t msg) override {
+    baseline::GlobalSection g(global_);
+    auto it = table_.find(group);
+    if (it == table_.end()) return 0;
+    for (auto& [addr, sink] : it->second) sink->send(msg);
+    return it->second.size();
+  }
+  std::uint64_t total_sends() const override { return arena_.total_sends(); }
+
+ private:
+  baseline::GlobalLock global_;
+  std::unordered_map<Value, std::unordered_map<Value, Sink*>> table_;
+  SinkArena arena_;
+};
+
+// --- 2PL ---------------------------------------------------------------------
+class GossipTwoPL final : public GossipRouter {
+ public:
+  void register_member(Value group, Value addr) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&table_ilock_);
+    auto& gs = table_[group];
+    if (!gs) gs = std::make_shared<GroupState>();
+    txn.acquire(&gs->ilock);
+    gs->members[addr] = arena_.create();
+  }
+  void unregister_member(Value group, Value addr) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&table_ilock_);
+    auto it = table_.find(group);
+    if (it == table_.end()) return;
+    txn.acquire(&it->second->ilock);
+    it->second->members.erase(addr);
+  }
+  std::size_t route(Value group, std::int64_t msg) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&table_ilock_);
+    auto it = table_.find(group);
+    if (it == table_.end()) return 0;
+    txn.acquire(&it->second->ilock);
+    for (auto& [addr, sink] : it->second->members) sink->send(msg);
+    return it->second->members.size();
+  }
+  std::uint64_t total_sends() const override { return arena_.total_sends(); }
+
+ private:
+  struct GroupState {
+    baseline::InstanceLock ilock;
+    std::unordered_map<Value, Sink*> members;
+  };
+
+  baseline::InstanceLock table_ilock_;
+  std::unordered_map<Value, std::shared_ptr<GroupState>> table_;
+  SinkArena arena_;
+};
+
+// --- Manual ------------------------------------------------------------------
+// Hand-optimized reader/writer scheme: the routing table and each group map
+// are guarded by shared_mutexes; route takes both in shared mode (sends use
+// atomics), membership changes take the group exclusively, and only group
+// creation takes the table exclusively.
+class GossipManual final : public GossipRouter {
+ public:
+  void register_member(Value group, Value addr) override {
+    GroupState* gs = find_or_create(group);
+    CountedGuard guard(gs->mutex);
+    gs->members[addr] = arena_.create();
+  }
+  void unregister_member(Value group, Value addr) override {
+    GroupState* gs = find(group);
+    if (!gs) return;
+    CountedGuard guard(gs->mutex);
+    gs->members.erase(addr);
+  }
+  std::size_t route(Value group, std::int64_t msg) override {
+    GroupState* gs = find(group);
+    if (!gs) return 0;
+    CountedSharedGuard guard(gs->mutex);
+    for (auto& [addr, sink] : gs->members) sink->send(msg);
+    return gs->members.size();
+  }
+  std::uint64_t total_sends() const override { return arena_.total_sends(); }
+
+ private:
+  struct GroupState {
+    std::shared_mutex mutex;
+    std::unordered_map<Value, Sink*> members;
+  };
+
+  GroupState* find(Value group) {
+    std::shared_lock guard(table_mutex_);
+    auto it = table_.find(group);
+    return it == table_.end() ? nullptr : it->second.get();
+  }
+  GroupState* find_or_create(Value group) {
+    if (GroupState* gs = find(group)) return gs;
+    std::unique_lock guard(table_mutex_);
+    auto& gs = table_[group];
+    if (!gs) gs = std::make_unique<GroupState>();
+    return gs.get();
+  }
+
+  std::shared_mutex table_mutex_;
+  std::unordered_map<Value, std::unique_ptr<GroupState>> table_;
+  SinkArena arena_;
+};
+
+}  // namespace
+
+std::unique_ptr<GossipRouter> make_gossip_router(Strategy strategy,
+                                                 const GossipParams& params) {
+  switch (strategy) {
+    case Strategy::Ours: return std::make_unique<GossipOurs>(params);
+    case Strategy::Global: return std::make_unique<GossipGlobal>();
+    case Strategy::TwoPL: return std::make_unique<GossipTwoPL>();
+    case Strategy::Manual: return std::make_unique<GossipManual>();
+    case Strategy::V8: return nullptr;  // not part of Fig. 25
+  }
+  return nullptr;
+}
+
+}  // namespace semlock::apps

@@ -1,0 +1,54 @@
+// The GossipRouter benchmark (Section 6.2, Fig. 25): a routing server in the
+// style of JGroups' GossipRouter. The main shared state is a routing table —
+// a Map from group name to a per-group membership Map (address -> sink), an
+// unbounded number of Map ADT instances.
+//
+// Atomic sections:
+//   register(group, addr):   gm = table.get(group);
+//                            if (gm == null) { gm = new; table.put(group, gm); }
+//                            gm.put(addr, sink);
+//   unregister(group, addr): gm = table.get(group); if (gm != null) gm.remove(addr);
+//   route(group, msg):       gm = table.get(group);
+//                            if (gm != null) foreach member: send(msg);
+//
+// The sends are I/O treated as thread-local operations (Section 6.2): here
+// each simulated client connection accumulates a checksum, standing in for a
+// socket write. Because semantic locking never rolls back, the irrevocable
+// send can live inside the atomic section.
+//
+// Workload of Fig. 25: MPerf with 16 clients x 5000 messages each. The paper
+// varies active cores; this reproduction varies worker threads (documented
+// in EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "apps/compute_if_absent.h"  // Strategy enum
+#include "commute/value.h"
+
+namespace semlock::apps {
+
+struct GossipParams {
+  int num_clients = 16;        // members per group
+  std::size_t num_groups = 8;  // groups in the routing table
+  int abstract_values = 64;
+};
+
+class GossipRouter {
+ public:
+  virtual ~GossipRouter() = default;
+  virtual void register_member(commute::Value group, commute::Value addr) = 0;
+  virtual void unregister_member(commute::Value group,
+                                 commute::Value addr) = 0;
+  // Routes `msg` to every member of `group`; returns the number of sends.
+  virtual std::size_t route(commute::Value group, std::int64_t msg) = 0;
+  // Total bytes "sent" across all connections (validation).
+  virtual std::uint64_t total_sends() const = 0;
+};
+
+std::unique_ptr<GossipRouter> make_gossip_router(Strategy strategy,
+                                                 const GossipParams& params);
+
+}  // namespace semlock::apps

@@ -1,0 +1,235 @@
+#include "apps/graph_module.h"
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "adt/seq_models.h"
+#include "adt/striped_multimap.h"
+#include "baseline/global_lock.h"
+#include "baseline/two_pl.h"
+#include "commute/builtin_specs.h"
+#include "commute/symbolic.h"
+#include "semlock/semantic_lock.h"
+#include "util/align.h"
+
+namespace semlock::apps {
+
+namespace {
+
+using commute::Value;
+
+// --- Ours ------------------------------------------------------------------
+//
+// The points-to abstraction separates `succ` and `pred` (two distinct
+// fields), so they form two equivalence classes with a fixed lock order
+// succ < pred and identical mode tables. Lock sites (refined symbolic sets):
+//   site 0: {getAll(k)}            (find procedures)
+//   site 1: {put(k,v)}             (insertEdge)
+//   site 2: {removeEntry(k,v)}     (removeEdge)
+class GraphOurs final : public GraphModule {
+ public:
+  explicit GraphOurs(const GraphParams& params)
+      : table_(ModeTable::compile(
+            commute::multimap_spec(),
+            {commute::SymbolicSet({commute::op("getAll", {commute::var("k")})}),
+             commute::SymbolicSet({commute::op(
+                 "put", {commute::var("k"), commute::var("v")})}),
+             commute::SymbolicSet({commute::op(
+                 "removeEntry", {commute::var("k"), commute::var("v")})})},
+            ModeTableConfig{.abstract_values = params.abstract_values,
+                            .max_modes = params.max_modes})),
+        succ_lock_(table_),
+        pred_lock_(table_) {}
+
+  // The mode bound N may have widened a site's trailing variable away
+  // (Section 5.3); pass only the values of the surviving variables.
+  int lock_trimmed(SemanticLock& lk, int site, std::span<const Value> vals) {
+    const std::size_t k = table_.site_variables(site).size();
+    return lk.lock_site(site, vals.subspan(0, k));
+  }
+
+  void insert_edge(Value a, Value b) override {
+    const Value sv[2] = {a, b};
+    const Value pv[2] = {b, a};
+    const int sm = lock_trimmed(succ_lock_, 1, sv);
+    const int pm = lock_trimmed(pred_lock_, 1, pv);
+    succ_.put(a, b);
+    pred_.put(b, a);
+    pred_lock_.unlock(pm);
+    succ_lock_.unlock(sm);
+  }
+
+  void remove_edge(Value a, Value b) override {
+    const Value sv[2] = {a, b};
+    const Value pv[2] = {b, a};
+    const int sm = lock_trimmed(succ_lock_, 2, sv);
+    const int pm = lock_trimmed(pred_lock_, 2, pv);
+    succ_.remove_entry(a, b);
+    pred_.remove_entry(b, a);
+    pred_lock_.unlock(pm);
+    succ_lock_.unlock(sm);
+  }
+
+  std::size_t find_successors(Value a) override {
+    const Value v[1] = {a};
+    const int m = succ_lock_.lock_site(0, v);
+    const std::size_t n = succ_.get_all(a).size();
+    succ_lock_.unlock(m);
+    return n;
+  }
+
+  std::size_t find_predecessors(Value a) override {
+    const Value v[1] = {a};
+    const int m = pred_lock_.lock_site(0, v);
+    const std::size_t n = pred_.get_all(a).size();
+    pred_lock_.unlock(m);
+    return n;
+  }
+
+ private:
+  ModeTable table_;
+  SemanticLock succ_lock_;
+  SemanticLock pred_lock_;
+  adt::StripedMultimap<Value, Value> succ_;
+  adt::StripedMultimap<Value, Value> pred_;
+};
+
+// --- Global ------------------------------------------------------------------
+class GraphGlobal final : public GraphModule {
+ public:
+  void insert_edge(Value a, Value b) override {
+    baseline::GlobalSection g(global_);
+    succ_.put(a, b);
+    pred_.put(b, a);
+  }
+  void remove_edge(Value a, Value b) override {
+    baseline::GlobalSection g(global_);
+    succ_.remove_entry(a, b);
+    pred_.remove_entry(b, a);
+  }
+  std::size_t find_successors(Value a) override {
+    baseline::GlobalSection g(global_);
+    return succ_.get_all(a).size();
+  }
+  std::size_t find_predecessors(Value a) override {
+    baseline::GlobalSection g(global_);
+    return pred_.get_all(a).size();
+  }
+
+ private:
+  baseline::GlobalLock global_;
+  adt::SeqMultimap succ_;
+  adt::SeqMultimap pred_;
+};
+
+// --- 2PL ---------------------------------------------------------------------
+class GraphTwoPL final : public GraphModule {
+ public:
+  void insert_edge(Value a, Value b) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&succ_lock_);  // static order: succ before pred
+    txn.acquire(&pred_lock_);
+    succ_.put(a, b);
+    pred_.put(b, a);
+  }
+  void remove_edge(Value a, Value b) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&succ_lock_);
+    txn.acquire(&pred_lock_);
+    succ_.remove_entry(a, b);
+    pred_.remove_entry(b, a);
+  }
+  std::size_t find_successors(Value a) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&succ_lock_);
+    return succ_.get_all(a).size();
+  }
+  std::size_t find_predecessors(Value a) override {
+    baseline::TwoPLTxn txn;
+    txn.acquire(&pred_lock_);
+    return pred_.get_all(a).size();
+  }
+
+ private:
+  baseline::InstanceLock succ_lock_;
+  baseline::InstanceLock pred_lock_;
+  adt::SeqMultimap succ_;
+  adt::SeqMultimap pred_;
+};
+
+// --- Manual ------------------------------------------------------------------
+// Hand-optimized fine-grained locking in the spirit of the paper's Manual
+// (an optimized version of the Foresight-generated code): per-node striped
+// locks; a two-node operation takes its two stripes in address order.
+class GraphManual final : public GraphModule {
+ public:
+  GraphManual() : stripes_(kStripes) {}
+
+  void insert_edge(Value a, Value b) override {
+    auto [l1, l2] = two_stripes(a, b);
+    CountedGuard g1(*l1);
+    if (l2) {
+      CountedGuard g2(*l2);
+      succ_.put(a, b);
+      pred_.put(b, a);
+      return;
+    }
+    succ_.put(a, b);
+    pred_.put(b, a);
+  }
+  void remove_edge(Value a, Value b) override {
+    auto [l1, l2] = two_stripes(a, b);
+    CountedGuard g1(*l1);
+    if (l2) {
+      CountedGuard g2(*l2);
+      succ_.remove_entry(a, b);
+      pred_.remove_entry(b, a);
+      return;
+    }
+    succ_.remove_entry(a, b);
+    pred_.remove_entry(b, a);
+  }
+  std::size_t find_successors(Value a) override {
+    CountedGuard g(stripe(a));
+    return succ_.get_all(a).size();
+  }
+  std::size_t find_predecessors(Value a) override {
+    CountedGuard g(stripe(a));
+    return pred_.get_all(a).size();
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+
+  util::Spinlock& stripe(Value v) {
+    return stripes_[static_cast<std::size_t>(v) % kStripes].value;
+  }
+  std::pair<util::Spinlock*, util::Spinlock*> two_stripes(Value a, Value b) {
+    util::Spinlock* x = &stripe(a);
+    util::Spinlock* y = &stripe(b);
+    if (x == y) return {x, nullptr};
+    if (x > y) std::swap(x, y);
+    return {x, y};
+  }
+
+  std::vector<util::CacheLinePadded<util::Spinlock>> stripes_;
+  adt::StripedMultimap<Value, Value> succ_;
+  adt::StripedMultimap<Value, Value> pred_;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphModule> make_graph_module(Strategy strategy,
+                                               const GraphParams& params) {
+  switch (strategy) {
+    case Strategy::Ours: return std::make_unique<GraphOurs>(params);
+    case Strategy::Global: return std::make_unique<GraphGlobal>();
+    case Strategy::TwoPL: return std::make_unique<GraphTwoPL>();
+    case Strategy::Manual: return std::make_unique<GraphManual>();
+    case Strategy::V8: return nullptr;  // not part of Fig. 22
+  }
+  return nullptr;
+}
+
+}  // namespace semlock::apps

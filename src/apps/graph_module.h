@@ -1,0 +1,44 @@
+// The Graph composite module (Section 6.1, Fig. 22), after Hawkins et al.
+// (PLDI'12): a directed graph maintained as two Multimap instances holding
+// successor and predecessor edges. Four public procedures, each an atomic
+// section over the two multimaps:
+//
+//   insertEdge(a,b): succ.put(a,b); pred.put(b,a);
+//   removeEdge(a,b): succ.removeEntry(a,b); pred.removeEntry(b,a);
+//   findSuccessors(a): succ.getAll(a);
+//   findPredecessors(a): pred.getAll(a);
+//
+// Workload mix of Fig. 22: 35% find-successors, 35% find-predecessors,
+// 20% insert-edge, 10% remove-edge.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "apps/compute_if_absent.h"  // Strategy enum
+#include "commute/value.h"
+
+namespace semlock::apps {
+
+struct GraphParams {
+  commute::Value node_range = 1 << 16;
+  int abstract_values = 64;
+  // Mode bound N (Section 5.3): with two-variable symbolic sets, the bound
+  // widens the edge-target argument so modes stripe by source node.
+  int max_modes = 256;
+};
+
+class GraphModule {
+ public:
+  virtual ~GraphModule() = default;
+  virtual void insert_edge(commute::Value a, commute::Value b) = 0;
+  virtual void remove_edge(commute::Value a, commute::Value b) = 0;
+  // Return the out/in degree (stand-in for the returned collections).
+  virtual std::size_t find_successors(commute::Value a) = 0;
+  virtual std::size_t find_predecessors(commute::Value a) = 0;
+};
+
+std::unique_ptr<GraphModule> make_graph_module(Strategy strategy,
+                                               const GraphParams& params);
+
+}  // namespace semlock::apps

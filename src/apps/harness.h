@@ -1,0 +1,53 @@
+// Shared benchmark-driver utilities: thread sweeps, fixed-op workloads,
+// throughput reporting. Mirrors the paper's methodology (Section 6.1): each
+// pass performs a fixed number of randomly chosen procedure invocations per
+// thread; a warm-up pass precedes the timed passes; results are averaged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_team.h"
+
+namespace semlock::apps {
+
+struct SweepConfig {
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8, 16, 32};
+  std::size_t ops_per_thread = 200'000;
+  int timed_passes = 2;
+  int warmup_passes = 1;
+  std::uint64_t seed = 1;
+};
+
+// One strategy's run at one thread count: the factory builds a fresh module
+// state; `worker(state, thread_id, rng, ops)` performs the per-thread
+// workload. Returns throughput in operations per millisecond.
+template <typename State>
+double measure(const SweepConfig& cfg, std::size_t threads,
+               const std::function<std::unique_ptr<State>()>& make_state,
+               const std::function<void(State&, std::size_t, util::Xoshiro256&,
+                                        std::size_t)>& worker) {
+  std::vector<double> samples;
+  for (int pass = 0; pass < cfg.warmup_passes + cfg.timed_passes; ++pass) {
+    auto state = make_state();
+    const auto result = util::run_team(threads, [&](std::size_t tid) {
+      util::Xoshiro256 rng(util::derive_seed(
+          cfg.seed, static_cast<std::uint64_t>(pass * 1000 + tid)));
+      worker(*state, tid, rng, cfg.ops_per_thread);
+    });
+    if (pass >= cfg.warmup_passes) {
+      const double total_ops =
+          static_cast<double>(threads) *
+          static_cast<double>(cfg.ops_per_thread);
+      samples.push_back(total_ops / (result.wall_seconds * 1e3));
+    }
+  }
+  return util::mean(samples);
+}
+
+}  // namespace semlock::apps

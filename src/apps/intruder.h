@@ -1,0 +1,71 @@
+// The Intruder benchmark (Section 6.2, Fig. 24): signature-based network
+// intrusion detection after STAMP's intruder, using its Java port's atomic
+// sections. Configuration "-a 10 -l 256 -n 16384 -s 1": 10% attack flows,
+// maximum flow length 256 bytes, 16384 flows, seed 1.
+//
+// Each flow is split into fragments which arrive interleaved. The decoder's
+// atomic section is exactly Fig. 1's pattern:
+//
+//   atomic {
+//     assembly = fragmented.get(flowId);
+//     if (assembly == null) { assembly = new Assembly(); fragmented.put(flowId, assembly); }
+//     assembly.add(fragment);
+//     if (assembly.complete()) {
+//       completed.enqueue(assembly);
+//       fragmented.remove(flowId);
+//     }
+//   }
+//
+// A second atomic section dequeues a completed flow, which is then scanned
+// for attack signatures outside any lock (irrevocable local work). The
+// completed-flow queue is given the Pool (unordered) specification: the
+// detector does not observe element order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/compute_if_absent.h"  // Strategy enum
+
+namespace semlock::apps {
+
+struct IntruderParams {
+  int attack_percent = 10;     // -a
+  int max_length = 256;        // -l (bytes per flow)
+  std::size_t num_flows = 16384;  // -n
+  std::uint64_t seed = 1;      // -s
+  int abstract_values = 64;
+};
+
+struct Packet {
+  std::int64_t flow_id = 0;
+  std::int32_t fragment_id = 0;
+  std::int32_t num_fragments = 0;
+  std::vector<std::uint8_t> data;
+};
+
+// Pre-generated shuffled packet trace shared by every strategy.
+struct PacketTrace {
+  std::vector<Packet> packets;
+  std::size_t num_attacks = 0;  // ground truth for validation
+
+  static PacketTrace generate(const IntruderParams& params);
+};
+
+class IntruderSystem {
+ public:
+  virtual ~IntruderSystem() = default;
+  // Processes one packet: decode (atomic), then detect if a flow completed.
+  // Returns true if the processed packet completed an attack flow.
+  virtual bool process(const Packet& packet) = 0;
+  // Flows fully detected so far (for end-of-run validation).
+  virtual std::size_t flows_detected() const = 0;
+  virtual std::size_t attacks_found() const = 0;
+};
+
+std::unique_ptr<IntruderSystem> make_intruder_system(
+    Strategy strategy, const IntruderParams& params);
+
+}  // namespace semlock::apps

@@ -1,0 +1,38 @@
+// Global-lock baseline ("Global" in Figs. 21–25): every atomic section runs
+// under one process-wide mutex.
+#pragma once
+
+#include <mutex>
+
+#include "semlock/lock_mechanism.h"  // local_acquire_stats
+
+namespace semlock::baseline {
+
+class GlobalLock {
+ public:
+  void lock() {
+    auto& stats = local_acquire_stats();
+    ++stats.acquisitions;
+    if (mutex_.try_lock()) return;
+    ++stats.contended;
+    mutex_.lock();
+  }
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII section guard.
+class GlobalSection {
+ public:
+  explicit GlobalSection(GlobalLock& g) : lock_(&g) { lock_->lock(); }
+  GlobalSection(const GlobalSection&) = delete;
+  GlobalSection& operator=(const GlobalSection&) = delete;
+  ~GlobalSection() { lock_->unlock(); }
+
+ private:
+  GlobalLock* lock_;
+};
+
+}  // namespace semlock::baseline

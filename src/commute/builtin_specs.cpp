@@ -1,0 +1,207 @@
+#include "commute/builtin_specs.h"
+
+namespace semlock::commute {
+
+namespace {
+CommCondition key_differs() { return CommCondition::differ(0, 0); }
+}  // namespace
+
+const AdtSpec& set_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Set");
+    b.method("add", 1)
+        .method("remove", 1)
+        .method("contains", 1, /*has_result=*/true)
+        .method("size", 0, true)
+        .method("clear", 0);
+    // Fig. 3(b), row by row.
+    b.commute("add", "add", CommCondition::always());
+    b.commute("add", "remove", key_differs());
+    b.commute("add", "contains", key_differs());
+    b.commute("add", "size", CommCondition::never());
+    b.commute("add", "clear", CommCondition::never());
+    b.commute("remove", "remove", CommCondition::always());
+    b.commute("remove", "contains", key_differs());
+    b.commute("remove", "size", CommCondition::never());
+    b.commute("remove", "clear", CommCondition::never());
+    b.commute("contains", "contains", CommCondition::always());
+    b.commute("contains", "size", CommCondition::always());
+    b.commute("contains", "clear", CommCondition::never());
+    b.commute("size", "size", CommCondition::always());
+    b.commute("size", "clear", CommCondition::never());
+    b.commute("clear", "clear", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& map_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Map");
+    b.method("get", 1, true)
+        .method("put", 2)
+        .method("remove", 1)
+        .method("containsKey", 1, true)
+        .method("size", 0, true)
+        .method("clear", 0);
+    b.commute("get", "get", CommCondition::always());
+    b.commute("get", "put", key_differs());
+    b.commute("get", "remove", key_differs());
+    b.commute("get", "containsKey", CommCondition::always());
+    b.commute("get", "size", CommCondition::always());
+    b.commute("get", "clear", CommCondition::never());
+    // put/put on the same key: final value depends on order -> conflict.
+    b.commute("put", "put", key_differs());
+    b.commute("put", "remove", key_differs());
+    b.commute("put", "containsKey", key_differs());
+    b.commute("put", "size", CommCondition::never());
+    b.commute("put", "clear", CommCondition::never());
+    // remove returns void here, so same-key remove/remove commute.
+    b.commute("remove", "remove", CommCondition::always());
+    b.commute("remove", "containsKey", key_differs());
+    b.commute("remove", "size", CommCondition::never());
+    b.commute("remove", "clear", CommCondition::never());
+    b.commute("containsKey", "containsKey", CommCondition::always());
+    b.commute("containsKey", "size", CommCondition::always());
+    b.commute("containsKey", "clear", CommCondition::never());
+    b.commute("size", "size", CommCondition::always());
+    b.commute("size", "clear", CommCondition::never());
+    b.commute("clear", "clear", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& fifo_queue_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Queue");
+    b.method("enqueue", 1)
+        .method("dequeue", 0, true)
+        .method("isEmpty", 0, true)
+        .method("qsize", 0, true);
+    // Strict FIFO: both enqueue order and dequeue results are observable.
+    b.commute("enqueue", "enqueue", CommCondition::never());
+    b.commute("enqueue", "dequeue", CommCondition::never());
+    b.commute("enqueue", "isEmpty", CommCondition::never());
+    b.commute("enqueue", "qsize", CommCondition::never());
+    b.commute("dequeue", "dequeue", CommCondition::never());
+    b.commute("dequeue", "isEmpty", CommCondition::never());
+    b.commute("dequeue", "qsize", CommCondition::never());
+    b.commute("isEmpty", "isEmpty", CommCondition::always());
+    b.commute("isEmpty", "qsize", CommCondition::always());
+    b.commute("qsize", "qsize", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& pool_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Pool");
+    b.method("enqueue", 1)
+        .method("dequeue", 0, true)
+        .method("isEmpty", 0, true);
+    // Unordered bag: adds commute with each other; a take can observe an
+    // add (empty vs non-empty result) and takes race on elements.
+    b.commute("enqueue", "enqueue", CommCondition::always());
+    b.commute("enqueue", "dequeue", CommCondition::never());
+    b.commute("enqueue", "isEmpty", CommCondition::never());
+    b.commute("dequeue", "dequeue", CommCondition::never());
+    b.commute("dequeue", "isEmpty", CommCondition::never());
+    b.commute("isEmpty", "isEmpty", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& multimap_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Multimap");
+    b.method("put", 2)
+        .method("removeEntry", 2)
+        .method("getAll", 1, true)
+        .method("removeAll", 1)
+        .method("mmsize", 0, true);
+    // Set-semantics multimap: put(k,v)/put(k',v') commute even on the same
+    // entry (both orders leave the entry present); removeEntry likewise.
+    b.commute("put", "put", CommCondition::always());
+    b.commute("removeEntry", "removeEntry", CommCondition::always());
+    // put vs removeEntry conflict only on the identical (k,v) entry.
+    b.commute("put", "removeEntry",
+              CommCondition::any_differ({{0, 0}, {1, 1}}));
+    b.commute("put", "getAll", key_differs());
+    b.commute("removeEntry", "getAll", key_differs());
+    b.commute("put", "removeAll", key_differs());
+    b.commute("removeEntry", "removeAll", key_differs());
+    b.commute("getAll", "getAll", CommCondition::always());
+    b.commute("getAll", "removeAll", key_differs());
+    b.commute("removeAll", "removeAll", CommCondition::always());
+    b.commute("put", "mmsize", CommCondition::never());
+    b.commute("removeEntry", "mmsize", CommCondition::never());
+    b.commute("removeAll", "mmsize", CommCondition::never());
+    b.commute("getAll", "mmsize", CommCondition::always());
+    b.commute("mmsize", "mmsize", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& weakmap_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("WeakMap");
+    b.method("get", 1, true)
+        .method("put", 2)
+        .method("remove", 1)
+        .method("size", 0, true)
+        .method("clear", 0)
+        .method("putAll", 0);  // bulk copy; argument is an entire map
+    b.commute("get", "get", CommCondition::always());
+    b.commute("get", "put", key_differs());
+    b.commute("get", "remove", key_differs());
+    b.commute("put", "put", key_differs());
+    b.commute("put", "remove", key_differs());
+    b.commute("remove", "remove", CommCondition::always());
+    b.commute("size", "size", CommCondition::always());
+    b.commute("size", "get", CommCondition::always());
+    b.commute("clear", "clear", CommCondition::always());
+    // putAll touches an unbounded set of keys: conflicts with everything
+    // except another idempotent-free pair we cannot prove — keep `never`
+    // for all pairs involving putAll (the builder default).
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& counter_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Counter");
+    b.method("inc", 0).method("dec", 0).method("read", 0, true);
+    b.always_commute({"inc", "dec"});
+    b.commute("read", "read", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& register_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Register");
+    b.method("write", 1).method("readCell", 0, true);
+    b.commute("readCell", "readCell", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+const AdtSpec& account_spec() {
+  static const AdtSpec spec = [] {
+    AdtSpec::Builder b("Account");
+    b.method("deposit", 1).method("withdraw", 1).method("balance", 0, true);
+    b.always_commute({"deposit", "withdraw"});
+    b.commute("balance", "balance", CommCondition::always());
+    return b.build();
+  }();
+  return spec;
+}
+
+}  // namespace semlock::commute

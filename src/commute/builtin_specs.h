@@ -1,0 +1,61 @@
+// Built-in commutativity specifications for the ADTs used by the paper's
+// examples and benchmarks. Each function returns a process-lifetime
+// singleton.
+//
+// The conditions mirror Fig. 3(b) (Set) and its natural extensions:
+// operations commute exactly when neither can observe the other's effect and
+// their return values are unaffected by the ordering.
+#pragma once
+
+#include "commute/spec.h"
+
+namespace semlock::commute {
+
+// Set: add(v), remove(v), contains(v)->bool, size()->int, clear().
+// This is exactly Fig. 3 of the paper (add/remove return void, so same-value
+// add/add and remove/remove pairs commute).
+const AdtSpec& set_spec();
+
+// Map: get(k)->v, put(k,v), remove(k), containsKey(k)->bool, size()->int,
+// clear(). Key-based conditions: ops on different keys commute; put/put on
+// the same key do not (last writer wins differs); size/clear conflict with
+// all mutators.
+const AdtSpec& map_spec();
+
+// FIFO queue: enqueue(v), dequeue()->v, isEmpty()->bool, qsize()->int.
+// Strict FIFO state: enqueue/enqueue do NOT commute (the resulting order
+// differs), so a FIFO queue admits almost no semantic parallelism.
+const AdtSpec& fifo_queue_spec();
+
+// Pool ("unordered queue"): add(v), take()->v, isEmpty()->bool.
+// Element order is not observable, so add/add commute. The paper's Intruder
+// benchmark enqueues completed flows for detection where processing order is
+// semantically irrelevant — the Queue in Fig. 1/Fig. 2 is given this
+// specification (otherwise the lock on {enqueue(set)} would serialize all
+// producers and Fig. 24's scaling would be impossible).
+const AdtSpec& pool_spec();
+
+// Multimap with set semantics (Guava-style; used by the Graph benchmark):
+// put(k,v), removeEntry(k,v), getAll(k)->list, removeAll(k), mmsize()->int.
+// put/put always commute; put/removeEntry commute unless both key and value
+// match; getAll conflicts with same-key mutators.
+const AdtSpec& multimap_spec();
+
+// Weak map used by the Tomcat cache's longterm area. Same interface shape as
+// Map plus putAll(m) which conflicts with everything.
+const AdtSpec& weakmap_spec();
+
+// Shared counter: inc(), dec(), read()->int. inc/inc, dec/dec, inc/dec all
+// commute; read conflicts with mutators.
+const AdtSpec& counter_spec();
+
+// Single mutable cell: write(v), readCell()->v. Writes of possibly-different
+// values conflict; reads commute with reads.
+const AdtSpec& register_spec();
+
+// Accumulator register: deposit(v), withdraw(v), balance()->v. deposit and
+// withdraw commute with each other (addition is commutative); balance
+// conflicts with both. Used by the bank-account example.
+const AdtSpec& account_spec();
+
+}  // namespace semlock::commute

@@ -1,0 +1,93 @@
+#include "commute/condition.h"
+
+#include <stdexcept>
+
+namespace semlock::commute {
+
+CommCondition CommCondition::differ(int lhs_arg, int rhs_arg) {
+  return all_differ({ArgsDiffer{lhs_arg, rhs_arg}});
+}
+
+CommCondition CommCondition::all_differ(std::vector<ArgsDiffer> atoms) {
+  return dnf({std::move(atoms)});
+}
+
+CommCondition CommCondition::any_differ(std::vector<ArgsDiffer> atoms) {
+  std::vector<std::vector<ArgsDiffer>> clauses;
+  clauses.reserve(atoms.size());
+  for (const auto& a : atoms) clauses.push_back({a});
+  return dnf(std::move(clauses));
+}
+
+CommCondition CommCondition::dnf(
+    std::vector<std::vector<ArgsDiffer>> clauses) {
+  if (clauses.empty()) return never();
+  CommCondition c(Kind::Dnf);
+  c.clauses_ = std::move(clauses);
+  return c;
+}
+
+CommCondition CommCondition::mirrored() const {
+  if (kind_ != Kind::Dnf) return *this;
+  std::vector<std::vector<ArgsDiffer>> swapped;
+  swapped.reserve(clauses_.size());
+  for (const auto& clause : clauses_) {
+    std::vector<ArgsDiffer> sc;
+    sc.reserve(clause.size());
+    for (const auto& a : clause) sc.push_back(ArgsDiffer{a.rhs_arg, a.lhs_arg});
+    swapped.push_back(std::move(sc));
+  }
+  return dnf(std::move(swapped));
+}
+
+bool CommCondition::evaluate(const std::vector<std::int64_t>& lhs_args,
+                             const std::vector<std::int64_t>& rhs_args) const {
+  switch (kind_) {
+    case Kind::Always:
+      return true;
+    case Kind::Never:
+      return false;
+    case Kind::Dnf:
+      for (const auto& clause : clauses_) {
+        bool all = true;
+        for (const auto& atom : clause) {
+          if (atom.lhs_arg >= static_cast<int>(lhs_args.size()) ||
+              atom.rhs_arg >= static_cast<int>(rhs_args.size())) {
+            throw std::out_of_range("condition references missing argument");
+          }
+          if (lhs_args[static_cast<std::size_t>(atom.lhs_arg)] ==
+              rhs_args[static_cast<std::size_t>(atom.rhs_arg)]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string CommCondition::to_string() const {
+  switch (kind_) {
+    case Kind::Always:
+      return "true";
+    case Kind::Never:
+      return "false";
+    case Kind::Dnf: {
+      std::string out;
+      for (std::size_t c = 0; c < clauses_.size(); ++c) {
+        if (c) out += " | ";
+        for (std::size_t a = 0; a < clauses_[c].size(); ++a) {
+          if (a) out += " & ";
+          out += "a" + std::to_string(clauses_[c][a].lhs_arg) + "!=b" +
+                 std::to_string(clauses_[c][a].rhs_arg);
+        }
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace semlock::commute

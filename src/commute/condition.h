@@ -1,0 +1,67 @@
+// The commutativity-condition language of commutativity specifications
+// (Section 5.2, Fig. 3b).
+//
+// For a pair of operations (o, o') a specification gives a condition I_{o,o'}
+// under which o and o' commute. The conditions that appear in the paper (and
+// in every spec we ship) are boolean combinations of argument disequalities,
+// so the language is:
+//
+//   cond ::= true | false | DNF of conjunctions of "o.arg_i != o'.arg_j"
+//
+// e.g. Set:      add(v) / remove(v')      ->  v != v'
+//      Multimap: put(k,v) / remove(k',v') ->  k != k'  OR  v != v'
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace semlock::commute {
+
+// One disequality atom: argument `lhs_arg` of the first operation differs
+// from argument `rhs_arg` of the second operation.
+struct ArgsDiffer {
+  int lhs_arg = 0;
+  int rhs_arg = 0;
+
+  bool operator==(const ArgsDiffer&) const = default;
+};
+
+class CommCondition {
+ public:
+  enum class Kind { Always, Never, Dnf };
+
+  static CommCondition always() { return CommCondition(Kind::Always); }
+  static CommCondition never() { return CommCondition(Kind::Never); }
+  // Single atom: args differ.
+  static CommCondition differ(int lhs_arg, int rhs_arg);
+  // Conjunction: all listed pairs differ.
+  static CommCondition all_differ(std::vector<ArgsDiffer> atoms);
+  // Disjunction of single atoms: at least one listed pair differs.
+  static CommCondition any_differ(std::vector<ArgsDiffer> atoms);
+  // General DNF.
+  static CommCondition dnf(std::vector<std::vector<ArgsDiffer>> clauses);
+
+  Kind kind() const { return kind_; }
+  const std::vector<std::vector<ArgsDiffer>>& clauses() const {
+    return clauses_;
+  }
+
+  // The same condition with operand roles swapped — used to derive the
+  // (m2, m1) specification entry from the (m1, m2) entry.
+  CommCondition mirrored() const;
+
+  // Concrete evaluation given the runtime argument vectors of both
+  // operations (used by the spec-soundness property tests).
+  bool evaluate(const std::vector<std::int64_t>& lhs_args,
+                const std::vector<std::int64_t>& rhs_args) const;
+
+  std::string to_string() const;
+
+ private:
+  explicit CommCondition(Kind k) : kind_(k) {}
+
+  Kind kind_;
+  std::vector<std::vector<ArgsDiffer>> clauses_;  // valid when kind == Dnf
+};
+
+}  // namespace semlock::commute

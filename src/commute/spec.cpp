@@ -1,0 +1,82 @@
+#include "commute/spec.h"
+
+#include <stdexcept>
+
+namespace semlock::commute {
+
+int AdtSpec::method_index(const std::string& method) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i].name == method) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const CommCondition& AdtSpec::condition(int m1, int m2) const {
+  const auto n = methods_.size();
+  if (m1 < 0 || m2 < 0 || static_cast<std::size_t>(m1) >= n ||
+      static_cast<std::size_t>(m2) >= n) {
+    throw std::out_of_range("AdtSpec::condition: bad method index");
+  }
+  return matrix_[static_cast<std::size_t>(m1) * n +
+                 static_cast<std::size_t>(m2)];
+}
+
+int AdtSpec::Builder::index_of(const std::string& method_name) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i].name == method_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void AdtSpec::Builder::initMatrix() {
+  const auto n = methods_.size();
+  matrix_.assign(n * n, CommCondition::never());
+  matrix_built_ = true;
+}
+
+AdtSpec::Builder& AdtSpec::Builder::method(std::string name, int arity,
+                                           bool has_result) {
+  if (matrix_built_) {
+    throw std::logic_error("declare all methods before commute() entries");
+  }
+  if (index_of(name) >= 0) {
+    throw std::invalid_argument("duplicate method: " + name);
+  }
+  methods_.push_back(MethodSig{std::move(name), arity, has_result});
+  return *this;
+}
+
+AdtSpec::Builder& AdtSpec::Builder::commute(const std::string& m1,
+                                            const std::string& m2,
+                                            CommCondition cond) {
+  const int i = index_of(m1);
+  const int j = index_of(m2);
+  if (i < 0 || j < 0) {
+    throw std::invalid_argument("commute() on undeclared method: " + m1 +
+                                "/" + m2);
+  }
+  if (!matrix_built_) initMatrix();
+  const auto n = methods_.size();
+  matrix_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+      cond;
+  matrix_[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)] =
+      cond.mirrored();
+  return *this;
+}
+
+AdtSpec::Builder& AdtSpec::Builder::always_commute(
+    const std::vector<std::string>& method_names) {
+  for (std::size_t i = 0; i < method_names.size(); ++i) {
+    for (std::size_t j = i; j < method_names.size(); ++j) {
+      commute(method_names[i], method_names[j], CommCondition::always());
+    }
+  }
+  return *this;
+}
+
+AdtSpec AdtSpec::Builder::build() {
+  if (!matrix_built_) initMatrix();
+  return AdtSpec(std::move(name_), std::move(methods_), std::move(matrix_));
+}
+
+}  // namespace semlock::commute

@@ -1,0 +1,77 @@
+// ADT descriptors and commutativity specifications (Section 5.2).
+//
+// An AdtSpec names an abstract data type, lists its method signatures, and
+// holds for every (method, method) pair the condition under which two
+// invocations commute. Missing entries default to `never` (conservative).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "commute/condition.h"
+
+namespace semlock::commute {
+
+struct MethodSig {
+  std::string name;
+  int arity = 0;
+  bool has_result = false;  // whether the method returns a value
+};
+
+class AdtSpec {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<MethodSig>& methods() const { return methods_; }
+
+  // Index of `method` in methods(), or -1 if unknown.
+  int method_index(const std::string& method) const;
+  const MethodSig& method(int index) const {
+    return methods_[static_cast<std::size_t>(index)];
+  }
+  int num_methods() const { return static_cast<int>(methods_.size()); }
+
+  // The commutativity condition for an (op of m1, op of m2) pair. Argument
+  // indices in the condition refer to (m1's args, m2's args) respectively.
+  const CommCondition& condition(int m1, int m2) const;
+
+  class Builder {
+   public:
+    explicit Builder(std::string adt_name) : name_(std::move(adt_name)) {}
+
+    Builder& method(std::string name, int arity, bool has_result = false);
+
+    // Declares the condition for (m1, m2) and automatically installs the
+    // mirrored condition for (m2, m1). `m1`/`m2` must already be declared.
+    Builder& commute(const std::string& m1, const std::string& m2,
+                     CommCondition cond);
+
+    // Shorthand: all pairs among `methods` always commute with each other
+    // (including self pairs).
+    Builder& always_commute(const std::vector<std::string>& methods);
+
+    AdtSpec build();
+
+   private:
+    int index_of(const std::string& name) const;
+    void initMatrix();
+
+    std::string name_;
+    std::vector<MethodSig> methods_;
+    std::vector<CommCondition> matrix_;
+    bool matrix_built_ = false;
+  };
+
+ private:
+  AdtSpec(std::string name, std::vector<MethodSig> methods,
+          std::vector<CommCondition> matrix)
+      : name_(std::move(name)),
+        methods_(std::move(methods)),
+        matrix_(std::move(matrix)) {}
+
+  std::string name_;
+  std::vector<MethodSig> methods_;
+  // Row-major matrix [m1][m2].
+  std::vector<CommCondition> matrix_;
+};
+
+}  // namespace semlock::commute

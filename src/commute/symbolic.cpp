@@ -1,0 +1,122 @@
+#include "commute/symbolic.h"
+
+#include <algorithm>
+
+namespace semlock::commute {
+
+std::string SymArg::to_string() const {
+  switch (kind) {
+    case Kind::Star:
+      return "*";
+    case Kind::Const:
+      return std::to_string(constant);
+    case Kind::Var:
+      return var;
+  }
+  return "?";
+}
+
+bool SymOp::subsumes(const SymOp& o) const {
+  if (method != o.method || args.size() != o.args.size()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].kind == SymArg::Kind::Star) continue;
+    if (!(args[i] == o.args[i])) return false;
+  }
+  return true;
+}
+
+std::string SymOp::to_string() const {
+  std::string out = method + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ",";
+    out += args[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+SymbolicSet::SymbolicSet(std::vector<SymOp> ops) : ops_(std::move(ops)) {
+  normalize();
+}
+
+void SymbolicSet::insert(SymOp oper) {
+  ops_.push_back(std::move(oper));
+  normalize();
+}
+
+void SymbolicSet::merge(const SymbolicSet& other) {
+  for (const auto& o : other.ops_) ops_.push_back(o);
+  normalize();
+}
+
+bool SymbolicSet::is_constant() const {
+  for (const auto& o : ops_) {
+    for (const auto& a : o.args) {
+      if (a.kind == SymArg::Kind::Var) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SymbolicSet::variables() const {
+  std::vector<std::string> names;
+  for (const auto& o : ops_) {
+    for (const auto& a : o.args) {
+      if (a.kind == SymArg::Kind::Var &&
+          std::find(names.begin(), names.end(), a.var) == names.end()) {
+        names.push_back(a.var);
+      }
+    }
+  }
+  return names;
+}
+
+void SymbolicSet::widen_variable(const std::string& name) {
+  for (auto& o : ops_) {
+    for (auto& a : o.args) {
+      if (a.kind == SymArg::Kind::Var && a.var == name) a = SymArg::star();
+    }
+  }
+  normalize();
+}
+
+void SymbolicSet::normalize() {
+  std::vector<SymOp> kept;
+  for (auto& candidate : ops_) {
+    bool subsumed = false;
+    for (const auto& k : kept) {
+      if (k.subsumes(candidate)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    // Remove previously kept ops that the candidate subsumes.
+    std::erase_if(kept,
+                  [&](const SymOp& k) { return candidate.subsumes(k); });
+    kept.push_back(std::move(candidate));
+  }
+  // Canonical order: by method name, then argument spelling. Keeps set
+  // equality structural and golden prints deterministic.
+  std::sort(kept.begin(), kept.end(), [](const SymOp& a, const SymOp& b) {
+    if (a.method != b.method) return a.method < b.method;
+    return a.to_string() < b.to_string();
+  });
+  ops_ = std::move(kept);
+}
+
+std::string SymbolicSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (i) out += ",";
+    out += ops_[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+SymOp op(std::string method, std::vector<SymArg> args) {
+  return SymOp{std::move(method), std::move(args)};
+}
+
+}  // namespace semlock::commute

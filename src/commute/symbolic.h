@@ -1,0 +1,94 @@
+// Symbolic operations and symbolic sets (Section 2.2.1).
+//
+// A symbolic operation is `p(a1, ..., an)` where each `ai` is a program
+// variable, a literal constant, or `*` (all values). A symbolic set is a set
+// of symbolic operations; it is the static parameter of the `lock` method.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "commute/value.h"
+
+namespace semlock::commute {
+
+struct SymArg {
+  enum class Kind { Star, Const, Var };
+
+  Kind kind = Kind::Star;
+  Value constant = 0;   // valid when kind == Const
+  std::string var;      // valid when kind == Var
+
+  static SymArg star() { return SymArg{}; }
+  static SymArg of_const(Value v) { return SymArg{Kind::Const, v, {}}; }
+  static SymArg of_var(std::string name) {
+    return SymArg{Kind::Var, 0, std::move(name)};
+  }
+
+  bool operator==(const SymArg& o) const {
+    return kind == o.kind && (kind != Kind::Const || constant == o.constant) &&
+           (kind != Kind::Var || var == o.var);
+  }
+
+  std::string to_string() const;
+};
+
+struct SymOp {
+  std::string method;
+  std::vector<SymArg> args;
+
+  bool operator==(const SymOp& o) const {
+    return method == o.method && args == o.args;
+  }
+
+  // True if `this` represents every runtime operation `o` represents (i.e.
+  // same method and each of our args is `*` or equal to the corresponding
+  // arg of `o`).
+  bool subsumes(const SymOp& o) const;
+
+  std::string to_string() const;
+};
+
+// A set of symbolic operations. Kept as a normalized vector: duplicates and
+// subsumed operations removed, in first-insertion order (which keeps golden
+// prints deterministic).
+class SymbolicSet {
+ public:
+  SymbolicSet() = default;
+  explicit SymbolicSet(std::vector<SymOp> ops);
+
+  void insert(SymOp op);
+  // Union with another set (normalizing).
+  void merge(const SymbolicSet& other);
+
+  bool empty() const { return ops_.empty(); }
+  const std::vector<SymOp>& ops() const { return ops_; }
+
+  // A constant symbolic set has no Var arguments (Section 5.1).
+  bool is_constant() const;
+
+  // Distinct variable names appearing in the set, in order of appearance.
+  std::vector<std::string> variables() const;
+
+  // Replaces every occurrence of variable `name` with `*` — used when the
+  // backward analysis crosses an assignment to `name` (Section 4) and when
+  // the mode bound forces widening (Section 5.3, optimization 3).
+  void widen_variable(const std::string& name);
+
+  bool operator==(const SymbolicSet& o) const { return ops_ == o.ops_; }
+
+  // Rendered like the paper: "{get(id),put(id,*),remove(id)}".
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  std::vector<SymOp> ops_;
+};
+
+// Convenience constructors used throughout tests and benchmarks.
+SymOp op(std::string method, std::vector<SymArg> args = {});
+inline SymArg star() { return SymArg::star(); }
+inline SymArg cst(Value v) { return SymArg::of_const(v); }
+inline SymArg var(std::string name) { return SymArg::of_var(std::move(name)); }
+
+}  // namespace semlock::commute

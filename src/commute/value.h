@@ -1,0 +1,37 @@
+// Runtime value domain for ADT operation arguments.
+//
+// The paper's ADT operations carry Java values; for the reproduction all
+// operation arguments are modelled as 64-bit integers (keys, node ids,
+// element values, and opaque references such as "the Set pointed to by
+// `set`" — references are identified by address cast to Value).
+#pragma once
+
+#include <cstdint>
+
+namespace semlock::commute {
+
+using Value = std::int64_t;
+
+// The abstraction function phi : Value -> {alpha_0 .. alpha_{n-1}} of
+// Section 5.1. The paper uses an arbitrary hash; we use a transparent
+// modulus so tests can predict alpha assignments (e.g. Fig. 19 fixes
+// phi(5) = alpha_1; with n = 2, 5 mod 2 = 1 reproduces it directly).
+class ValueAbstraction {
+ public:
+  // `num_abstract` is n, the number of abstract values (paper uses up to 64).
+  explicit constexpr ValueAbstraction(int num_abstract) noexcept
+      : n_(num_abstract > 0 ? num_abstract : 1) {}
+
+  constexpr int size() const noexcept { return n_; }
+
+  // phi(v): non-negative remainder of v modulo n.
+  constexpr int alpha_of(Value v) const noexcept {
+    const Value m = v % n_;
+    return static_cast<int>(m < 0 ? m + n_ : m);
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace semlock::commute

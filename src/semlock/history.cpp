@@ -1,0 +1,106 @@
+#include "semlock/history.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace semlock {
+
+std::string SerializabilityReport::to_string() const {
+  if (serializable) {
+    return "serializable (" + std::to_string(precedence_edges) +
+           " precedence edges)";
+  }
+  std::string out = "NOT serializable; cycle:";
+  for (const auto t : cycle) out += " T" + std::to_string(t);
+  return out;
+}
+
+namespace {
+
+bool ops_conflict(const HistoryEvent& a, const HistoryEvent& b) {
+  // Different instances never conflict; same instance: consult the spec.
+  if (a.instance != b.instance) return false;
+  const commute::CommCondition& cond = a.spec->condition(a.method, b.method);
+  return !cond.evaluate(a.args, b.args);
+}
+
+}  // namespace
+
+SerializabilityReport check_conflict_serializability(
+    const std::vector<HistoryEvent>& events) {
+  SerializabilityReport report;
+
+  // Group events per instance, ordered by sequence number.
+  std::map<const void*, std::vector<const HistoryEvent*>> per_instance;
+  for (const auto& e : events) per_instance[e.instance].push_back(&e);
+  for (auto& [inst, evs] : per_instance) {
+    (void)inst;
+    std::sort(evs.begin(), evs.end(),
+              [](const HistoryEvent* a, const HistoryEvent* b) {
+                return a->seq < b->seq;
+              });
+  }
+
+  // Precedence edges between distinct transactions.
+  std::map<std::uint64_t, std::set<std::uint64_t>> succ;
+  for (const auto& [inst, evs] : per_instance) {
+    (void)inst;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      for (std::size_t j = i + 1; j < evs.size(); ++j) {
+        if (evs[i]->txn == evs[j]->txn) continue;
+        if (ops_conflict(*evs[i], *evs[j])) {
+          if (succ[evs[i]->txn].insert(evs[j]->txn).second) {
+            ++report.precedence_edges;
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection (iterative DFS with colors).
+  enum class Color { White, Gray, Black };
+  std::map<std::uint64_t, Color> color;
+  std::map<std::uint64_t, std::uint64_t> parent;
+  for (const auto& [t, s] : succ) {
+    (void)s;
+    color[t] = Color::White;
+  }
+
+  std::function<bool(std::uint64_t)> dfs = [&](std::uint64_t u) -> bool {
+    color[u] = Color::Gray;
+    auto it = succ.find(u);
+    if (it != succ.end()) {
+      for (const auto v : it->second) {
+        auto cit = color.find(v);
+        const Color c = cit == color.end() ? Color::White : cit->second;
+        if (c == Color::Gray) {
+          // Reconstruct the cycle v -> ... -> u -> v.
+          report.cycle.push_back(v);
+          for (std::uint64_t w = u; w != v; w = parent[w]) {
+            report.cycle.push_back(w);
+          }
+          std::reverse(report.cycle.begin(), report.cycle.end());
+          return true;
+        }
+        if (c == Color::White) {
+          parent[v] = u;
+          if (dfs(v)) return true;
+        }
+      }
+    }
+    color[u] = Color::Black;
+    return false;
+  };
+
+  for (const auto& [t, s] : succ) {
+    (void)s;
+    if (color[t] == Color::White && dfs(t)) {
+      report.serializable = false;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace semlock

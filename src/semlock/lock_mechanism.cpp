@@ -1,0 +1,90 @@
+#include "semlock/lock_mechanism.h"
+
+#include <new>
+
+#include "util/align.h"
+
+namespace semlock {
+
+AcquireStats& local_acquire_stats() {
+  thread_local AcquireStats stats;
+  return stats;
+}
+
+LockMechanism::LockMechanism(const ModeTable& table)
+    : table_(&table),
+      stride_(table.config().pad_counters
+                  ? util::kCacheLineSize
+                  : sizeof(std::atomic<std::uint32_t>)),
+      counters_(new std::byte[static_cast<std::size_t>(table.num_modes()) *
+                              stride_]),
+      partition_locks_(
+          new util::Spinlock[static_cast<std::size_t>(
+              table.num_partitions())]) {
+  for (int m = 0; m < table.num_modes(); ++m) {
+    new (counters_.get() + static_cast<std::size_t>(m) * stride_)
+        std::atomic<std::uint32_t>(0);
+  }
+}
+
+bool LockMechanism::conflicts_clear(int mode) const {
+  for (const std::int32_t other : table_->conflicts_of(mode)) {
+    if (counter(other).load(std::memory_order_acquire) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockMechanism::lock(int mode) {
+  auto& stats = local_acquire_stats();
+  ++stats.acquisitions;
+  util::Spinlock& internal =
+      partition_locks_[static_cast<std::size_t>(table_->partition_of(mode))];
+  util::Backoff backoff;
+  bool waited = false;
+  const bool precheck = table_->config().fast_path_precheck;
+  for (;;) {
+    // Fast-path pre-check (Fig. 20 lines 3–4): avoid taking the internal
+    // lock while a conflicting mode is visibly held.
+    while (precheck && !conflicts_clear(mode)) {
+      waited = true;
+      backoff.pause();
+    }
+    internal.lock();
+    if (conflicts_clear(mode)) {
+      counter(mode).fetch_add(1, std::memory_order_relaxed);
+      internal.unlock();
+      if (waited) ++stats.contended;
+      return;
+    }
+    internal.unlock();
+    waited = true;
+    backoff.pause();
+  }
+}
+
+bool LockMechanism::try_lock(int mode) {
+  auto& stats = local_acquire_stats();
+  ++stats.acquisitions;
+  util::Spinlock& internal =
+      partition_locks_[static_cast<std::size_t>(table_->partition_of(mode))];
+  if (!conflicts_clear(mode)) {
+    ++stats.contended;
+    return false;
+  }
+  internal.lock();
+  const bool ok = conflicts_clear(mode);
+  if (ok) {
+    counter(mode).fetch_add(1, std::memory_order_relaxed);
+  }
+  internal.unlock();
+  if (!ok) ++stats.contended;
+  return ok;
+}
+
+void LockMechanism::unlock(int mode) {
+  counter(mode).fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace semlock

@@ -1,0 +1,121 @@
+// The runtime locking mechanism of Fig. 20.
+//
+// Per ADT instance, one atomic counter per (canonical) locking mode holds the
+// number of transactions currently holding that mode. `lock(l)` first spins
+// outside the internal lock until no conflicting mode is held (the fast-path
+// pre-check of Fig. 20 lines 3–4), then revalidates under the internal lock
+// and increments C_l. `unlock(l)` just decrements C_l.
+//
+// Lock partitioning (Section 5.2) gives each connected component of the
+// conflict graph its own internal lock, so commuting mode families never
+// contend on mechanism metadata — this is what turns the synthesized
+// synchronization into, e.g., key striping for ComputeIfAbsent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "semlock/mode_table.h"
+#include "util/spinlock.h"
+
+namespace semlock {
+
+// Thread-local acquisition statistics (cheap; used by benchmarks and tests
+// to observe contention rather than infer it).
+struct AcquireStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;  // acquisitions that waited at least once
+  void reset() { *this = AcquireStats{}; }
+};
+AcquireStats& local_acquire_stats();
+
+// Counted RAII acquisition of any BasicLockable with try_lock — used by the
+// Manual baselines so the contention benchmark observes every strategy
+// through the same thread-local counters.
+template <typename Lockable>
+class CountedGuard {
+ public:
+  explicit CountedGuard(Lockable& l) : lock_(&l) {
+    auto& stats = local_acquire_stats();
+    ++stats.acquisitions;
+    if (lock_->try_lock()) return;
+    ++stats.contended;
+    lock_->lock();
+  }
+  CountedGuard(const CountedGuard&) = delete;
+  CountedGuard& operator=(const CountedGuard&) = delete;
+  ~CountedGuard() { lock_->unlock(); }
+
+ private:
+  Lockable* lock_;
+};
+
+// Shared-mode variant for std::shared_mutex-style locks.
+template <typename SharedLockable>
+class CountedSharedGuard {
+ public:
+  explicit CountedSharedGuard(SharedLockable& l) : lock_(&l) {
+    auto& stats = local_acquire_stats();
+    ++stats.acquisitions;
+    if (lock_->try_lock_shared()) return;
+    ++stats.contended;
+    lock_->lock_shared();
+  }
+  CountedSharedGuard(const CountedSharedGuard&) = delete;
+  CountedSharedGuard& operator=(const CountedSharedGuard&) = delete;
+  ~CountedSharedGuard() { lock_->unlock_shared(); }
+
+ private:
+  SharedLockable* lock_;
+};
+
+class LockMechanism {
+ public:
+  // `table` must outlive the mechanism; it is shared by all instances of the
+  // same (ADT class, pointer class).
+  explicit LockMechanism(const ModeTable& table);
+
+  LockMechanism(const LockMechanism&) = delete;
+  LockMechanism& operator=(const LockMechanism&) = delete;
+
+  // Blocks until no other transaction holds a mode conflicting with `mode`,
+  // then registers the caller as a holder. (Fig. 20 `lock`.)
+  void lock(int mode);
+
+  // Non-blocking variant: returns false instead of waiting.
+  bool try_lock(int mode);
+
+  // Releases one hold on `mode`. (Fig. 20 `unlock`.)
+  void unlock(int mode);
+
+  // Number of transactions currently holding `mode` (approximate under
+  // concurrency; exact when quiescent).
+  std::uint32_t holders(int mode) const {
+    return counter(mode).load(std::memory_order_acquire);
+  }
+
+  const ModeTable& table() const { return *table_; }
+
+ private:
+  bool conflicts_clear(int mode) const;
+
+  std::atomic<std::uint32_t>& counter(int mode) {
+    return *reinterpret_cast<std::atomic<std::uint32_t>*>(
+        counters_.get() + static_cast<std::size_t>(mode) * stride_);
+  }
+  const std::atomic<std::uint32_t>& counter(int mode) const {
+    return *reinterpret_cast<const std::atomic<std::uint32_t>*>(
+        counters_.get() + static_cast<std::size_t>(mode) * stride_);
+  }
+
+  const ModeTable* table_;
+  // Counter storage with configurable stride: sizeof(atomic) packed, or a
+  // full cache line per counter when ModeTableConfig::pad_counters is set.
+  std::size_t stride_;
+  std::unique_ptr<std::byte[]> counters_;
+  std::unique_ptr<util::Spinlock[]> partition_locks_;
+};
+
+}  // namespace semlock

@@ -1,0 +1,88 @@
+#include "semlock/mode.h"
+
+namespace semlock {
+
+std::string AbstractArg::to_string() const {
+  switch (kind) {
+    case Kind::Star:
+      return "*";
+    case Kind::Const:
+      return std::to_string(constant);
+    case Kind::Alpha:
+      return "a" + std::to_string(alpha + 1);  // 1-based like the paper's α1
+  }
+  return "?";
+}
+
+std::string Mode::to_string(const commute::AdtSpec& spec) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) out += ",";
+    out += spec.method(ops[i].method).name + "(";
+    for (std::size_t j = 0; j < ops[i].args.size(); ++j) {
+      if (j) out += ",";
+      out += ops[i].args[j].to_string();
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+bool definitely_differ(const AbstractArg& a, const AbstractArg& b,
+                       const commute::ValueAbstraction& phi) {
+  using Kind = AbstractArg::Kind;
+  if (a.kind == Kind::Star || b.kind == Kind::Star) return false;
+  if (a.kind == Kind::Const && b.kind == Kind::Const) {
+    return a.constant != b.constant;
+  }
+  if (a.kind == Kind::Alpha && b.kind == Kind::Alpha) {
+    return a.alpha != b.alpha;
+  }
+  // Mixed Const/Alpha: phi partitions the value domain, so a constant whose
+  // abstract value differs from alpha_k can never equal a value mapped to
+  // alpha_k.
+  const auto& c = (a.kind == Kind::Const) ? a : b;
+  const auto& al = (a.kind == Kind::Alpha) ? a : b;
+  return phi.alpha_of(c.constant) != al.alpha;
+}
+
+bool abstract_ops_commute(const commute::AdtSpec& spec,
+                          const commute::ValueAbstraction& phi,
+                          const AbstractOp& a, const AbstractOp& b) {
+  const commute::CommCondition& cond = spec.condition(a.method, b.method);
+  switch (cond.kind()) {
+    case commute::CommCondition::Kind::Always:
+      return true;
+    case commute::CommCondition::Kind::Never:
+      return false;
+    case commute::CommCondition::Kind::Dnf:
+      for (const auto& clause : cond.clauses()) {
+        bool all = true;
+        for (const auto& atom : clause) {
+          if (!definitely_differ(
+                  a.args[static_cast<std::size_t>(atom.lhs_arg)],
+                  b.args[static_cast<std::size_t>(atom.rhs_arg)], phi)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool modes_commute(const commute::AdtSpec& spec,
+                   const commute::ValueAbstraction& phi, const Mode& a,
+                   const Mode& b) {
+  for (const auto& oa : a.ops) {
+    for (const auto& ob : b.ops) {
+      if (!abstract_ops_commute(spec, phi, oa, ob)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace semlock

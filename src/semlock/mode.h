@@ -1,0 +1,78 @@
+// Locking modes (Section 5.1).
+//
+// A locking mode is a finite description of a set of runtime operations on
+// one ADT. Modes are obtained from symbolic sets by replacing each program
+// variable with an abstract value alpha_i of the hash phi (constant and `*`
+// arguments stay as-is). The commutativity function F_c over modes (Fig. 19)
+// is derived here from the ADT's commutativity specification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "commute/spec.h"
+#include "commute/symbolic.h"
+#include "commute/value.h"
+
+namespace semlock {
+
+struct AbstractArg {
+  enum class Kind { Star, Const, Alpha };
+
+  Kind kind = Kind::Star;
+  commute::Value constant = 0;  // Kind::Const
+  int alpha = 0;                // Kind::Alpha
+
+  static AbstractArg star() { return AbstractArg{}; }
+  static AbstractArg of_const(commute::Value v) {
+    return AbstractArg{Kind::Const, v, 0};
+  }
+  static AbstractArg of_alpha(int a) { return AbstractArg{Kind::Alpha, 0, a}; }
+
+  bool operator==(const AbstractArg& o) const {
+    return kind == o.kind && (kind != Kind::Const || constant == o.constant) &&
+           (kind != Kind::Alpha || alpha == o.alpha);
+  }
+
+  std::string to_string() const;
+};
+
+struct AbstractOp {
+  int method = -1;  // index into the AdtSpec's method table
+  std::vector<AbstractArg> args;
+
+  bool operator==(const AbstractOp&) const = default;
+};
+
+// A mode: a set of abstract operations.
+struct Mode {
+  std::vector<AbstractOp> ops;
+
+  bool operator==(const Mode&) const = default;
+
+  std::string to_string(const commute::AdtSpec& spec) const;
+};
+
+// Do two abstract arguments *definitely* denote different runtime values?
+//  - Const(a), Const(b): a != b.
+//  - Const(a), Alpha(k): phi(a) != k (phi partitions Value, so different
+//    abstract values imply different concrete values).
+//  - Alpha(k), Alpha(k'): k != k'.
+//  - anything involving Star: no.
+bool definitely_differ(const AbstractArg& a, const AbstractArg& b,
+                       const commute::ValueAbstraction& phi);
+
+// Must every operation represented by `a` commute with every operation
+// represented by `b`? Evaluates the specification condition under the
+// abstract arguments: a DNF clause holds only if each of its disequalities
+// definitely holds.
+bool abstract_ops_commute(const commute::AdtSpec& spec,
+                          const commute::ValueAbstraction& phi,
+                          const AbstractOp& a, const AbstractOp& b);
+
+// F_c(l, l'): true iff all ops of `a` commute with all ops of `b`.
+bool modes_commute(const commute::AdtSpec& spec,
+                   const commute::ValueAbstraction& phi, const Mode& a,
+                   const Mode& b);
+
+}  // namespace semlock

@@ -1,0 +1,129 @@
+// ModeTable: compiles the symbolic sets of an ADT's lock sites into locking
+// modes and precomputes everything the runtime lock mechanism needs
+// (Sections 5.1–5.3).
+//
+// One ModeTable is shared, immutably, by every ADT instance of the same
+// (ADT class, pointer equivalence class) pair — per-instance state is only
+// the counters held by SemanticLock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "commute/spec.h"
+#include "commute/symbolic.h"
+#include "commute/value.h"
+#include "semlock/mode.h"
+
+namespace semlock {
+
+struct ModeTableConfig {
+  // n: number of abstract values of phi (the paper evaluates with 64).
+  int abstract_values = 64;
+  // N: maximum number of locking modes (Section 5.3, optimization 3). When
+  // exceeded, variable arguments are widened to `*` (which merges modes)
+  // until the bound holds.
+  int max_modes = 256;
+  // Optimization 1 of Section 5.3: share a counter between modes with
+  // identical F_c rows.
+  bool merge_indistinguishable = true;
+  // Section 5.2 lock partitioning: split modes into connected components of
+  // the conflict graph, each with its own internal lock. Disabling this is
+  // exposed only for the ablation benchmark (a single internal lock).
+  bool partition = true;
+  // Fig. 20 lines 3–4: spin outside the internal lock until the conflicting
+  // counters clear. Disabling (ablation) makes every acquisition take the
+  // internal lock immediately.
+  bool fast_path_precheck = true;
+  // Give every mode counter its own cache line. Costs memory per instance
+  // (64 B per mode instead of 4 B) but removes false sharing between
+  // commuting modes that happen to share a line — worthwhile for hot,
+  // few-mode ADTs on real multicore hardware.
+  bool pad_counters = false;
+  // Safety cap on a single site's alpha-tuple resolution table.
+  int max_tuple_entries = 1 << 16;
+};
+
+class ModeTable {
+ public:
+  // `site_sets[i]` is the symbolic set of lock site i. Sites with equal
+  // symbolic structure share modes.
+  static ModeTable compile(const commute::AdtSpec& spec,
+                           std::vector<commute::SymbolicSet> site_sets,
+                           const ModeTableConfig& cfg = ModeTableConfig{});
+
+  const commute::AdtSpec& spec() const { return *spec_; }
+  const commute::ValueAbstraction& abstraction() const { return phi_; }
+  const ModeTableConfig& config() const { return cfg_; }
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  int num_modes() const { return static_cast<int>(modes_.size()); }
+  int num_raw_modes() const { return num_raw_modes_; }
+  const Mode& mode(int id) const {
+    return modes_[static_cast<std::size_t>(id)];
+  }
+
+  // F_c over (canonical) modes.
+  bool commutes(int m1, int m2) const {
+    return fc_[static_cast<std::size_t>(m1) * modes_.size() +
+               static_cast<std::size_t>(m2)] != 0;
+  }
+
+  // The variables of site `s` that remained after any widening, in the
+  // order `resolve` expects their runtime values.
+  const std::vector<std::string>& site_variables(int site) const {
+    return sites_[static_cast<std::size_t>(site)].variables;
+  }
+  // The (possibly widened) symbolic set of site `s`.
+  const commute::SymbolicSet& site_set(int site) const {
+    return sites_[static_cast<std::size_t>(site)].set;
+  }
+
+  // Runtime mode lookup for site `s` given the runtime values of
+  // site_variables(s), in order. O(k) hashing + one table read.
+  int resolve(int site, std::span<const commute::Value> values) const;
+  // Shorthand for sites whose set is constant (no variables).
+  int resolve_constant(int site) const { return resolve(site, {}); }
+
+  // Lock partitioning.
+  int num_partitions() const { return num_partitions_; }
+  int partition_of(int mode) const {
+    return partition_[static_cast<std::size_t>(mode)];
+  }
+  // Canonical ids of the modes conflicting with `mode` (all of them live in
+  // partition_of(mode); may include `mode` itself if self-conflicting).
+  const std::vector<std::int32_t>& conflicts_of(int mode) const {
+    return conflicts_[static_cast<std::size_t>(mode)];
+  }
+
+  // Human-readable dump of modes, F_c and partitions (used by examples and
+  // golden tests; reproduces Fig. 19 for the paper's Set example).
+  std::string describe() const;
+
+ private:
+  struct Site {
+    commute::SymbolicSet set;            // after widening
+    std::vector<std::string> variables;  // after widening
+    std::vector<int> strides;            // mixed-radix strides, size == vars
+    std::vector<std::int32_t> lookup;    // tuple index -> canonical mode id
+  };
+
+  ModeTable(const commute::AdtSpec& spec, ModeTableConfig cfg)
+      : spec_(&spec), cfg_(cfg), phi_(cfg.abstract_values) {}
+
+  const commute::AdtSpec* spec_;
+  ModeTableConfig cfg_;
+  commute::ValueAbstraction phi_;
+
+  std::vector<Site> sites_;
+  std::vector<Mode> modes_;       // canonical modes
+  int num_raw_modes_ = 0;         // before indistinguishable merging
+  std::vector<char> fc_;          // row-major F_c over canonical modes
+  std::vector<std::int32_t> partition_;
+  int num_partitions_ = 0;
+  std::vector<std::vector<std::int32_t>> conflicts_;
+};
+
+}  // namespace semlock

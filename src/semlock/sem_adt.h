@@ -1,0 +1,230 @@
+// Ready-made "ADTs with semantic locking" (Section 2.2): linearizable data
+// structures bundled with a SemanticLock and a standard palette of lock
+// intents, for users who want the paper's programming model without running
+// the synthesis compiler. Each intent corresponds to a symbolic set the
+// compiler commonly infers; acquire() returns an RAII guard.
+//
+//   SemMap<int64_t, std::string> map;
+//   {
+//     auto g = map.acquire(MapIntent::UpdateKey, k);   // {get(k),put(k,*),remove(k)}
+//     if (!map.get(k)) map.put(k, make_value());
+//   }                                                  // released
+//
+// Same-key updates serialize; different-alpha keys run in parallel; Readers
+// (ReadKey) never block each other; Exclusive conflicts with everything
+// (size/clear semantics).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "adt/striped_hash_map.h"
+#include "adt/striped_hash_set.h"
+#include "adt/two_lock_queue.h"
+#include "commute/builtin_specs.h"
+#include "commute/symbolic.h"
+#include "semlock/semantic_lock.h"
+
+namespace semlock {
+
+// RAII hold on one acquired mode. Movable, not copyable.
+class ModeGuard {
+ public:
+  ModeGuard() = default;
+  ModeGuard(SemanticLock* lk, int mode) : lk_(lk), mode_(mode) {}
+  ModeGuard(ModeGuard&& o) noexcept : lk_(o.lk_), mode_(o.mode_) {
+    o.lk_ = nullptr;
+  }
+  ModeGuard& operator=(ModeGuard&& o) noexcept {
+    release();
+    lk_ = o.lk_;
+    mode_ = o.mode_;
+    o.lk_ = nullptr;
+    return *this;
+  }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+  ~ModeGuard() { release(); }
+
+  void release() {
+    if (lk_) lk_->unlock(mode_);
+    lk_ = nullptr;
+  }
+  int mode() const { return mode_; }
+  bool held() const { return lk_ != nullptr; }
+
+ private:
+  SemanticLock* lk_ = nullptr;
+  int mode_ = 0;
+};
+
+enum class MapIntent {
+  ReadKey,    // {get(k), containsKey(k)}           — readers never conflict
+  WriteKey,   // {put(k,*), remove(k)}              — same-alpha writes conflict
+  UpdateKey,  // {get(k), containsKey(k), put(k,*), remove(k)}
+  Exclusive,  // {size(), clear(), put(*,*), remove(*)} — conflicts with all
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SemMap {
+ public:
+  explicit SemMap(int abstract_values = 64, std::size_t num_stripes = 64)
+      : table_(make_table(abstract_values)),
+        lock_(table_),
+        map_(num_stripes) {}
+
+  // `key_id` is the abstraction key for keyed intents (usually the key
+  // itself when K is integral); ignored for Exclusive.
+  ModeGuard acquire(MapIntent intent, commute::Value key_id = 0) {
+    const int site = static_cast<int>(intent);
+    const commute::Value vals[1] = {key_id};
+    const bool keyed = intent != MapIntent::Exclusive;
+    const int mode =
+        lock_.lock_site(site, keyed ? std::span<const commute::Value>(vals)
+                                    : std::span<const commute::Value>());
+    return ModeGuard(&lock_, mode);
+  }
+
+  // Standard API — call only while holding a covering guard.
+  std::optional<V> get(const K& k) const { return map_.get(k); }
+  bool contains_key(const K& k) const { return map_.contains_key(k); }
+  bool put(const K& k, V v) { return map_.put(k, std::move(v)); }
+  bool put_if_absent(const K& k, V v) {
+    return map_.put_if_absent(k, std::move(v));
+  }
+  bool remove(const K& k) { return map_.remove(k); }
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+  const ModeTable& mode_table() const { return table_; }
+
+ private:
+  static ModeTable make_table(int abstract_values) {
+    using commute::op;
+    using commute::star;
+    using commute::SymbolicSet;
+    using commute::var;
+    ModeTableConfig cfg;
+    cfg.abstract_values = abstract_values;
+    return ModeTable::compile(
+        commute::map_spec(),
+        {
+            SymbolicSet({op("get", {var("k")}),
+                         op("containsKey", {var("k")})}),
+            SymbolicSet({op("put", {var("k"), star()}),
+                         op("remove", {var("k")})}),
+            SymbolicSet({op("get", {var("k")}), op("containsKey", {var("k")}),
+                         op("put", {var("k"), star()}),
+                         op("remove", {var("k")})}),
+            SymbolicSet({op("size"), op("clear"), op("put", {star(), star()}),
+                         op("remove", {star()})}),
+        },
+        cfg);
+  }
+
+  ModeTable table_;
+  SemanticLock lock_;
+  adt::StripedHashMap<K, V, Hash> map_;
+};
+
+enum class SetIntent {
+  ReadElem,    // {contains(v)}
+  WriteElem,   // {add(v), remove(v)}
+  AddAny,      // {add(*)} — bulk insertion, commutes with itself
+  Exclusive,   // {size(), clear(), add(*), remove(*)}
+};
+
+template <typename K, typename Hash = std::hash<K>>
+class SemSet {
+ public:
+  explicit SemSet(int abstract_values = 64, std::size_t num_stripes = 64)
+      : table_(make_table(abstract_values)),
+        lock_(table_),
+        set_(num_stripes) {}
+
+  ModeGuard acquire(SetIntent intent, commute::Value elem_id = 0) {
+    const int site = static_cast<int>(intent);
+    const commute::Value vals[1] = {elem_id};
+    const bool keyed =
+        intent == SetIntent::ReadElem || intent == SetIntent::WriteElem;
+    const int mode =
+        lock_.lock_site(site, keyed ? std::span<const commute::Value>(vals)
+                                    : std::span<const commute::Value>());
+    return ModeGuard(&lock_, mode);
+  }
+
+  bool add(const K& k) { return set_.add(k); }
+  bool remove(const K& k) { return set_.remove(k); }
+  bool contains(const K& k) const { return set_.contains(k); }
+  std::size_t size() const { return set_.size(); }
+  void clear() { set_.clear(); }
+
+  const ModeTable& mode_table() const { return table_; }
+
+ private:
+  static ModeTable make_table(int abstract_values) {
+    using commute::op;
+    using commute::star;
+    using commute::SymbolicSet;
+    using commute::var;
+    ModeTableConfig cfg;
+    cfg.abstract_values = abstract_values;
+    return ModeTable::compile(
+        commute::set_spec(),
+        {
+            SymbolicSet({op("contains", {var("v")})}),
+            SymbolicSet({op("add", {var("v")}), op("remove", {var("v")})}),
+            SymbolicSet({op("add", {star()})}),
+            SymbolicSet({op("size"), op("clear"), op("add", {star()}),
+                         op("remove", {star()})}),
+        },
+        cfg);
+  }
+
+  ModeTable table_;
+  SemanticLock lock_;
+  adt::StripedHashSet<K, Hash> set_;
+};
+
+enum class PoolIntent {
+  Produce,  // {enqueue(*)} — producers run in parallel (Pool spec)
+  Consume,  // {dequeue()}  — exclusive vs producers and consumers
+};
+
+template <typename T>
+class SemPool {
+ public:
+  explicit SemPool() : table_(make_table()), lock_(table_) {}
+
+  ModeGuard acquire(PoolIntent intent) {
+    const int mode = lock_.lock_site(static_cast<int>(intent), {});
+    return ModeGuard(&lock_, mode);
+  }
+
+  void enqueue(T value) { queue_.enqueue(std::move(value)); }
+  std::optional<T> dequeue() { return queue_.dequeue(); }
+  bool is_empty() const { return queue_.is_empty(); }
+
+  const ModeTable& mode_table() const { return table_; }
+
+ private:
+  static ModeTable make_table() {
+    using commute::op;
+    using commute::star;
+    using commute::SymbolicSet;
+    return ModeTable::compile(
+        commute::pool_spec(),
+        {
+            SymbolicSet({op("enqueue", {star()})}),
+            SymbolicSet({op("dequeue")}),
+        },
+        ModeTableConfig{});
+  }
+
+  ModeTable table_;
+  SemanticLock lock_;
+  adt::TwoLockQueue<T> queue_;
+};
+
+}  // namespace semlock

@@ -1,0 +1,50 @@
+// SemanticLock: the per-ADT-instance synchronization facade (Section 2.2).
+//
+// An "ADT with semantic locking" pairs a linearizable data structure with one
+// of these. Transactions address it through the `lock(site, values...)` /
+// `unlock` API; the symbolic-set semantics live in the shared ModeTable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "semlock/lock_mechanism.h"
+#include "semlock/mode_table.h"
+
+namespace semlock {
+
+class SemanticLock {
+ public:
+  explicit SemanticLock(const ModeTable& table)
+      : mechanism_(table) {}
+
+  const ModeTable& table() const { return mechanism_.table(); }
+
+  // Resolves lock site `site` under the runtime `values` of its symbolic
+  // variables and acquires the resulting mode. Returns the mode id, which
+  // the caller passes back to unlock (or hands to a Transaction).
+  int lock_site(int site, std::span<const commute::Value> values) {
+    const int mode = table().resolve(site, values);
+    mechanism_.lock(mode);
+    return mode;
+  }
+
+  // Direct mode-level interface (used when the mode is known statically,
+  // i.e. constant symbolic sets).
+  void lock(int mode) { mechanism_.lock(mode); }
+  bool try_lock(int mode) { return mechanism_.try_lock(mode); }
+  void unlock(int mode) { mechanism_.unlock(mode); }
+
+  std::uint32_t holders(int mode) const { return mechanism_.holders(mode); }
+
+  // Unique ADT-instance identifier used for the dynamic lock ordering of
+  // same-equivalence-class instances (Fig. 12 `unique`).
+  std::uintptr_t unique_id() const {
+    return reinterpret_cast<std::uintptr_t>(this);
+  }
+
+ private:
+  LockMechanism mechanism_;
+};
+
+}  // namespace semlock

@@ -1,0 +1,31 @@
+#include "semlock/transaction.h"
+
+#include <algorithm>
+
+namespace semlock {
+
+void Transaction::lv_ordered(std::span<DynTarget> targets) {
+  // Sort by unique id; duplicates (aliasing variables) collapse through the
+  // holds() check in lv_mode.
+  std::sort(targets.begin(), targets.end(),
+            [](const DynTarget& a, const DynTarget& b) {
+              const auto ida = a.lk ? a.lk->unique_id() : 0;
+              const auto idb = b.lk ? b.lk->unique_id() : 0;
+              return ida < idb;
+            });
+  for (const auto& t : targets) lv_mode(t.lk, t.mode);
+}
+
+void Transaction::unlock_instance(SemanticLock* lk) {
+  for (auto& e : entries_) {
+    if (e.lk == lk) e.lk->unlock(e.mode);
+  }
+  std::erase_if(entries_, [&](const Entry& e) { return e.lk == lk; });
+}
+
+void Transaction::unlock_all() {
+  for (auto& e : entries_) e.lk->unlock(e.mode);
+  entries_.clear();
+}
+
+}  // namespace semlock

@@ -1,0 +1,88 @@
+// Transaction-side bookkeeping for the OS2PL protocol (Sections 2.3 and 3).
+//
+// A Transaction plays the role of the generated prologue/epilogue plus the
+// thread-local LOCAL_SET: it remembers which ADT instances are locked (and in
+// which mode), skips re-locking (the LV macro of Fig. 5), orders
+// same-equivalence-class instances dynamically by unique id (Fig. 12), and
+// releases everything at the end of the atomic section — or earlier, for the
+// early-release optimization of Appendix A.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "semlock/semantic_lock.h"
+
+namespace semlock {
+
+class Transaction {
+ public:
+  Transaction() { entries_.reserve(8); }
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  ~Transaction() { unlock_all(); }
+
+  // LV(x) of Fig. 5: lock `lk` in the mode resolved for (site, values)
+  // unless this transaction already holds it. Null `lk` is a no-op, like
+  // the null check in LV.
+  void lv(SemanticLock* lk, int site,
+          std::span<const commute::Value> values = {}) {
+    if (lk == nullptr || holds(lk)) return;
+    const int mode = lk->lock_site(site, values);
+    entries_.push_back(Entry{lk, mode});
+  }
+
+  // Mode-level LV for callers that resolved the mode themselves.
+  void lv_mode(SemanticLock* lk, int mode) {
+    if (lk == nullptr || holds(lk)) return;
+    lk->lock(mode);
+    entries_.push_back(Entry{lk, mode});
+  }
+
+  // LV2/LVn (Fig. 12): lock several same-equivalence-class instances in
+  // ascending unique-id order. Each element pairs an instance with the mode
+  // to acquire. Null instances are skipped.
+  struct DynTarget {
+    SemanticLock* lk = nullptr;
+    int mode = 0;
+  };
+  void lv_ordered(std::span<DynTarget> targets);
+
+  bool holds(const SemanticLock* lk) const {
+    for (const auto& e : entries_) {
+      if (e.lk == lk) return true;
+    }
+    return false;
+  }
+
+  struct HeldEntry {
+    SemanticLock* lk;
+    int mode;
+  };
+  // The instances/modes currently held (introspection for protocol checks).
+  std::vector<HeldEntry> held() const {
+    std::vector<HeldEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(HeldEntry{e.lk, e.mode});
+    return out;
+  }
+
+  std::size_t num_held() const { return entries_.size(); }
+
+  // Early lock release for one instance (Appendix A): unlocks every mode
+  // this transaction holds on `lk`. No-op if none are held.
+  void unlock_instance(SemanticLock* lk);
+
+  // The epilogue: release everything.
+  void unlock_all();
+
+ private:
+  struct Entry {
+    SemanticLock* lk;
+    int mode;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace semlock

@@ -1,0 +1,157 @@
+#include "synth/ast.h"
+
+namespace semlock::synth {
+
+namespace {
+std::string op_text(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::Not: return "!";
+    case Expr::Op::Eq: return "==";
+    case Expr::Op::Ne: return "!=";
+    case Expr::Op::Lt: return "<";
+    case Expr::Op::Le: return "<=";
+    case Expr::Op::Add: return "+";
+    case Expr::Op::Sub: return "-";
+    case Expr::Op::Mul: return "*";
+    case Expr::Op::Mod: return "%";
+    case Expr::Op::And: return "&&";
+    case Expr::Op::Or: return "||";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::Null:
+      return "null";
+    case Kind::Int:
+      return std::to_string(literal);
+    case Kind::Var:
+      return var;
+    case Kind::Unary:
+      return op_text(op) + lhs->to_string();
+    case Kind::Binary:
+      return lhs->to_string() + op_text(op) + rhs->to_string();
+  }
+  return "?";
+}
+
+ExprPtr enull() {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Null;
+  return e;
+}
+
+ExprPtr eint(commute::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Int;
+  e->literal = v;
+  return e;
+}
+
+ExprPtr evar(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Var;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr eunary(Expr::Op op, ExprPtr e) {
+  auto out = std::make_shared<Expr>();
+  out->kind = Expr::Kind::Unary;
+  out->op = op;
+  out->lhs = std::move(e);
+  return out;
+}
+
+ExprPtr ebin(Expr::Op op, ExprPtr l, ExprPtr r) {
+  auto out = std::make_shared<Expr>();
+  out->kind = Expr::Kind::Binary;
+  out->op = op;
+  out->lhs = std::move(l);
+  out->rhs = std::move(r);
+  return out;
+}
+
+void collect_vars(const ExprPtr& e, std::vector<std::string>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::Var:
+      out.push_back(e->var);
+      break;
+    case Expr::Kind::Unary:
+      collect_vars(e->lhs, out);
+      break;
+    case Expr::Kind::Binary:
+      collect_vars(e->lhs, out);
+      collect_vars(e->rhs, out);
+      break;
+    default:
+      break;
+  }
+}
+
+StmtPtr call(std::string lhs, std::string recv, std::string method,
+             std::vector<ExprPtr> args) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Call;
+  s->lhs = std::move(lhs);
+  s->recv = std::move(recv);
+  s->method = std::move(method);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr callv(std::string recv, std::string method,
+              std::vector<ExprPtr> args) {
+  return call("", std::move(recv), std::move(method), std::move(args));
+}
+
+StmtPtr assign(std::string lhs, ExprPtr rhs) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr make_new(std::string lhs, std::string adt_type) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::New;
+  s->lhs = std::move(lhs);
+  s->adt_type = std::move(adt_type);
+  return s;
+}
+
+StmtPtr make_if(ExprPtr cond, Block then_block, Block else_block) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::If;
+  s->cond = std::move(cond);
+  s->then_block = std::move(then_block);
+  s->else_block = std::move(else_block);
+  return s;
+}
+
+StmtPtr make_while(ExprPtr cond, Block body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::While;
+  s->cond = std::move(cond);
+  s->body = std::move(body);
+  return s;
+}
+
+Block clone_block(const Block& b) {
+  Block out;
+  out.reserve(b.size());
+  for (const auto& s : b) {
+    auto copy = std::make_shared<Stmt>(*s);
+    copy->then_block = clone_block(s->then_block);
+    copy->else_block = clone_block(s->else_block);
+    copy->body = clone_block(s->body);
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace semlock::synth

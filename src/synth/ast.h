@@ -1,0 +1,157 @@
+// The intermediate representation of client atomic sections.
+//
+// The paper's compiler rewrites Java source; this reproduction's synthesis
+// runs on a small structured IR that captures exactly the program features
+// the algorithm reasons about: ADT method calls, (pointer and scalar)
+// assignments, object creation, branches and loops. Expressions are
+// executable (for the interpreter) but treated opaquely by the static
+// analyses, except for null tests which feed the null-check remover.
+//
+// Lock/UnlockAll/Prologue/Epilogue statements never appear in client input;
+// they are inserted by the synthesis passes (Sections 3–4, Appendix A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "commute/spec.h"
+#include "commute/symbolic.h"
+#include "commute/value.h"
+
+namespace semlock::synth {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { Null, Int, Var, Unary, Binary };
+  enum class Op { Not, Eq, Ne, Lt, Le, Add, Sub, Mul, Mod, And, Or };
+
+  Kind kind = Kind::Null;
+  Op op = Op::Not;
+  commute::Value literal = 0;  // Kind::Int
+  std::string var;             // Kind::Var
+  ExprPtr lhs, rhs;            // Unary uses lhs only
+
+  std::string to_string() const;
+};
+
+ExprPtr enull();
+ExprPtr eint(commute::Value v);
+ExprPtr evar(std::string name);
+ExprPtr eunary(Expr::Op op, ExprPtr e);
+ExprPtr ebin(Expr::Op op, ExprPtr l, ExprPtr r);
+inline ExprPtr eeq(ExprPtr l, ExprPtr r) { return ebin(Expr::Op::Eq, l, r); }
+inline ExprPtr ene(ExprPtr l, ExprPtr r) { return ebin(Expr::Op::Ne, l, r); }
+inline ExprPtr elt(ExprPtr l, ExprPtr r) { return ebin(Expr::Op::Lt, l, r); }
+inline ExprPtr eadd(ExprPtr l, ExprPtr r) { return ebin(Expr::Op::Add, l, r); }
+
+// Collects the variable names read by `e`.
+void collect_vars(const ExprPtr& e, std::vector<std::string>& out);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind {
+    Call,       // [lhs =] recv.method(args...)
+    Assign,     // lhs = expr
+    New,        // lhs = new AdtType()
+    If,         // if (cond) then_block else else_block
+    While,      // while (cond) body
+    // --- instrumentation, inserted by the synthesis passes ---
+    Prologue,   // LOCAL_SET.init()
+    Epilogue,   // foreach(t : LOCAL_SET) t.unlockAll()
+    Lock,       // LV(x) / LVn(x1..xk) / if(x!=null) x.lock(SY)
+    UnlockAll,  // [if (x!=null)] x.unlockAll()
+  };
+
+  Kind kind = Kind::Assign;
+
+  // Call
+  std::string lhs;   // result variable; empty if the result is discarded
+  std::string recv;  // receiver variable
+  std::string method;
+  std::vector<ExprPtr> args;
+
+  // Assign / New
+  ExprPtr rhs;           // Assign
+  std::string adt_type;  // New
+
+  // If / While
+  ExprPtr cond;
+  Block then_block;
+  Block else_block;
+  Block body;
+
+  // Lock. `lock_vars.size() > 1` means dynamic same-class ordering (LVn,
+  // Fig. 12). `lock_all` renders as lock(+) (Section 3's generic set);
+  // otherwise `lock_set` holds the refined symbolic set (Section 4).
+  std::vector<std::string> lock_vars;
+  commute::SymbolicSet lock_set;
+  bool lock_all = true;
+  bool guard_null = false;     // emit as if(x!=null) x.lock(...)
+  bool use_local_set = true;   // LV via LOCAL_SET vs direct lock call
+  // Non-empty when this lock targets a global-wrapper ADT (Section 3.4):
+  // the key identifies the wrapper; lock_vars then holds the wrapper's
+  // global pointer name (e.g. "p1") for printing.
+  std::string wrapper_key;
+  // Mode-table site id for each lock_var's class, assigned by the planner.
+  int site_id = -1;
+
+  // UnlockAll
+  std::string unlock_var;  // the x of x.unlockAll()
+};
+
+StmtPtr call(std::string lhs, std::string recv, std::string method,
+             std::vector<ExprPtr> args = {});
+StmtPtr callv(std::string recv, std::string method,
+              std::vector<ExprPtr> args = {});  // void call
+StmtPtr assign(std::string lhs, ExprPtr rhs);
+StmtPtr make_new(std::string lhs, std::string adt_type);
+StmtPtr make_if(ExprPtr cond, Block then_block, Block else_block = {});
+StmtPtr make_while(ExprPtr cond, Block body);
+
+// Deep copy of a block (statements are mutated by the passes, so sections
+// must not share statement nodes).
+Block clone_block(const Block& b);
+
+// ---------------------------------------------------------------------------
+// Sections and programs
+// ---------------------------------------------------------------------------
+
+struct AtomicSection {
+  std::string name;
+  // Variable typing: var -> ADT type name for pointer variables. Variables
+  // not present are scalars. Parameters and locals are both declared here;
+  // `params` lists the subset bound at invocation time.
+  std::map<std::string, std::string> var_types;
+  std::vector<std::string> params;
+  Block body;
+
+  bool is_pointer(const std::string& v) const {
+    return var_types.count(v) != 0;
+  }
+  const std::string& type_of(const std::string& v) const {
+    return var_types.at(v);
+  }
+};
+
+struct Program {
+  // ADT type name -> commutativity specification.
+  std::map<std::string, const commute::AdtSpec*> adt_types;
+  std::vector<AtomicSection> sections;
+};
+
+}  // namespace semlock::synth

@@ -1,0 +1,192 @@
+#include "synth/cfg.h"
+
+#include <climits>
+#include <deque>
+
+namespace semlock::synth {
+
+namespace {
+
+// Detects `x == null` / `null == x` / `x != null` / `null != x` patterns.
+// Returns true and fills (var, eq) when matched; eq==true for the == form.
+bool match_null_test(const ExprPtr& cond, std::string& var, bool& eq) {
+  if (!cond || cond->kind != Expr::Kind::Binary) return false;
+  if (cond->op != Expr::Op::Eq && cond->op != Expr::Op::Ne) return false;
+  const Expr* l = cond->lhs.get();
+  const Expr* r = cond->rhs.get();
+  const Expr* v = nullptr;
+  if (l->kind == Expr::Kind::Var && r->kind == Expr::Kind::Null) {
+    v = l;
+  } else if (r->kind == Expr::Kind::Var && l->kind == Expr::Kind::Null) {
+    v = r;
+  } else {
+    return false;
+  }
+  var = v->var;
+  eq = (cond->op == Expr::Op::Eq);
+  return true;
+}
+
+}  // namespace
+
+int Cfg::add_node(const Stmt* s) {
+  nodes_.push_back(CfgNode{s, {}, {}});
+  const int idx = static_cast<int>(nodes_.size()) - 1;
+  if (s) index_[s] = idx;
+  return idx;
+}
+
+void Cfg::add_edge(int from, int to, CfgEdge::Refine r, std::string var) {
+  nodes_[static_cast<std::size_t>(from)].out.push_back(
+      CfgEdge{to, r, std::move(var)});
+  nodes_[static_cast<std::size_t>(to)].in.push_back(from);
+}
+
+std::vector<Cfg::Pred> Cfg::build_block(const Block& block,
+                                        std::vector<Pred> preds) {
+  for (const auto& stmt : block) {
+    const int n = add_node(stmt.get());
+    for (const auto& p : preds) add_edge(p.node, n, p.refine, p.var);
+    preds.clear();
+
+    switch (stmt->kind) {
+      case Stmt::Kind::If: {
+        std::string var;
+        bool eq = false;
+        const bool refined = match_null_test(stmt->cond, var, eq);
+        // then-branch edge refinement: `x == null` makes x null in `then`,
+        // non-null in `else`; `x != null` the reverse.
+        const auto then_ref = refined ? (eq ? CfgEdge::Refine::IsNull
+                                            : CfgEdge::Refine::NonNull)
+                                      : CfgEdge::Refine::None;
+        const auto else_ref = refined ? (eq ? CfgEdge::Refine::NonNull
+                                            : CfgEdge::Refine::IsNull)
+                                      : CfgEdge::Refine::None;
+        auto then_out = build_block(
+            stmt->then_block, {Pred{n, then_ref, refined ? var : ""}});
+        auto else_out = build_block(
+            stmt->else_block, {Pred{n, else_ref, refined ? var : ""}});
+        preds = std::move(then_out);
+        preds.insert(preds.end(), else_out.begin(), else_out.end());
+        break;
+      }
+      case Stmt::Kind::While: {
+        auto body_out = build_block(stmt->body, {Pred{n, CfgEdge::Refine::None, {}}});
+        for (const auto& p : body_out) {
+          add_edge(p.node, n, p.refine, p.var);  // back-edge
+        }
+        preds = {Pred{n, CfgEdge::Refine::None, {}}};  // loop exit: fall through from the test
+        break;
+      }
+      default:
+        preds = {Pred{n, CfgEdge::Refine::None, {}}};
+        break;
+    }
+  }
+  return preds;
+}
+
+Cfg Cfg::build(const AtomicSection& section) {
+  Cfg cfg;
+  cfg.entry_ = cfg.add_node(nullptr);
+  auto outs = cfg.build_block(section.body, {Pred{cfg.entry_, CfgEdge::Refine::None, {}}});
+  cfg.exit_ = cfg.add_node(nullptr);
+  for (const auto& p : outs) cfg.add_edge(p.node, cfg.exit_, p.refine, p.var);
+  return cfg;
+}
+
+int Cfg::node_of(const Stmt* s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<char> Cfg::reachable_from(int n, bool strict) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::deque<int> work;
+  if (strict) {
+    for (const auto& e : nodes_[static_cast<std::size_t>(n)].out) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        work.push_back(e.to);
+      }
+    }
+  } else {
+    seen[static_cast<std::size_t>(n)] = 1;
+    work.push_back(n);
+  }
+  while (!work.empty()) {
+    const int cur = work.front();
+    work.pop_front();
+    for (const auto& e : nodes_[static_cast<std::size_t>(cur)].out) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Cfg::all_paths_pass_through(int from, int through) const {
+  if (from == through) return true;
+  // BFS from `from` avoiding `through`; if exit is reachable, some path
+  // dodges `through`.
+  std::vector<char> seen(nodes_.size(), 0);
+  std::deque<int> work{from};
+  seen[static_cast<std::size_t>(from)] = 1;
+  while (!work.empty()) {
+    const int cur = work.front();
+    work.pop_front();
+    if (cur == exit_) return false;
+    for (const auto& e : nodes_[static_cast<std::size_t>(cur)].out) {
+      if (e.to == through) continue;
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int> Cfg::distance_from_entry() const {
+  std::vector<int> dist(nodes_.size(), INT_MAX);
+  std::deque<int> work{entry_};
+  dist[static_cast<std::size_t>(entry_)] = 0;
+  while (!work.empty()) {
+    const int cur = work.front();
+    work.pop_front();
+    for (const auto& e : nodes_[static_cast<std::size_t>(cur)].out) {
+      if (dist[static_cast<std::size_t>(e.to)] == INT_MAX) {
+        dist[static_cast<std::size_t>(e.to)] =
+            dist[static_cast<std::size_t>(cur)] + 1;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> Cfg::call_nodes_of(const std::string& v) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Stmt* s = nodes_[static_cast<std::size_t>(i)].stmt;
+    if (s && s->kind == Stmt::Kind::Call && s->recv == v) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Cfg::assigned_var(const Stmt* s) {
+  if (!s) return {};
+  switch (s->kind) {
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::New:
+      return s->lhs;
+    case Stmt::Kind::Call:
+      return s->lhs;  // may be empty
+    default:
+      return {};
+  }
+}
+
+}  // namespace semlock::synth

@@ -1,0 +1,88 @@
+// Control-flow graph over the statement IR.
+//
+// Every statement (including If/While condition evaluations) is one node,
+// plus synthetic entry/exit nodes. Edges carry optional null-test
+// refinements ("on this edge, variable v is known null / non-null") which
+// feed the Appendix-A null-check remover. Each synthesis pass rebuilds the
+// CFG after mutating the AST; sections are small so the O(V^2) closure
+// queries below are never a concern.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/ast.h"
+
+namespace semlock::synth {
+
+struct CfgEdge {
+  enum class Refine { None, IsNull, NonNull };
+  int to = -1;
+  Refine refine = Refine::None;
+  std::string var;  // refined variable (when refine != None)
+};
+
+struct CfgNode {
+  const Stmt* stmt = nullptr;  // null for entry/exit
+  std::vector<CfgEdge> out;
+  std::vector<int> in;  // predecessor node indices
+};
+
+class Cfg {
+ public:
+  static Cfg build(const AtomicSection& section);
+
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const CfgNode& node(int i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  // Node index of a statement; -1 if the statement is not in this CFG.
+  int node_of(const Stmt* s) const;
+
+  // Nodes reachable from `n`. With `strict`, excludes `n` itself unless it
+  // is reachable through a cycle.
+  std::vector<char> reachable_from(int n, bool strict) const;
+  bool reaches(int a, int b, bool strict) const {
+    return reachable_from(a, strict)[static_cast<std::size_t>(b)] != 0;
+  }
+
+  // True iff every path from `from` to the exit passes through `through`
+  // (i.e. `through` postdominates `from`); computed by testing whether exit
+  // stays reachable when `through` is removed.
+  bool all_paths_pass_through(int from, int through) const;
+
+  // BFS distance from entry (INT_MAX for unreachable nodes).
+  std::vector<int> distance_from_entry() const;
+
+  // All node indices whose statement is a Call with receiver `v`.
+  std::vector<int> call_nodes_of(const std::string& v) const;
+
+  // The variable assigned by the statement at node `n` ("" if none).
+  // Covers Assign, New, and Call-with-result.
+  static std::string assigned_var(const Stmt* s);
+
+ private:
+  // Links `from` -> first node of `block`; returns the dangling exits of the
+  // block (nodes whose control continues past the block).
+  int add_node(const Stmt* s);
+  void add_edge(int from, int to, CfgEdge::Refine r = CfgEdge::Refine::None,
+                std::string var = {});
+  // Builds `block`, connecting every (node, refinement) in `preds` to its
+  // first statement; returns the predecessors for whatever follows.
+  struct Pred {
+    int node;
+    CfgEdge::Refine refine = CfgEdge::Refine::None;
+    std::string var;
+  };
+  std::vector<Pred> build_block(const Block& block, std::vector<Pred> preds);
+
+  int entry_ = -1;
+  int exit_ = -1;
+  std::vector<CfgNode> nodes_;
+  std::unordered_map<const Stmt*, int> index_;
+};
+
+}  // namespace semlock::synth

@@ -1,0 +1,606 @@
+#include "synth/interpreter.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "util/spinlock.h"
+
+namespace semlock::synth {
+
+using commute::Value;
+
+commute::Value RtValue::as_value() const {
+  switch (kind) {
+    case Kind::Null:
+      return 0;
+    case Kind::Int:
+      return i;
+    case Kind::Ref:
+      return static_cast<Value>(reinterpret_cast<std::uintptr_t>(ref));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in dynamic instances
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class DynSet final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    std::scoped_lock guard(lock_);
+    if (m == "add") {
+      elems_.insert(a.at(0).as_value());
+      return RtValue::null();
+    }
+    if (m == "remove") {
+      elems_.erase(a.at(0).as_value());
+      return RtValue::null();
+    }
+    if (m == "contains") {
+      return RtValue::of_int(elems_.count(a.at(0).as_value()) ? 1 : 0);
+    }
+    if (m == "size") return RtValue::of_int(static_cast<Value>(elems_.size()));
+    if (m == "clear") {
+      elems_.clear();
+      return RtValue::null();
+    }
+    throw std::invalid_argument("Set has no method " + m);
+  }
+  std::set<Value> snapshot() const {
+    std::scoped_lock guard(lock_);
+    return elems_;
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  std::set<Value> elems_;
+};
+
+class DynMap final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    std::scoped_lock guard(lock_);
+    if (m == "get") {
+      auto it = entries_.find(a.at(0).as_value());
+      return it == entries_.end() ? RtValue::null() : it->second;
+    }
+    if (m == "put") {
+      entries_[a.at(0).as_value()] = a.at(1);
+      return RtValue::null();
+    }
+    if (m == "remove") {
+      entries_.erase(a.at(0).as_value());
+      return RtValue::null();
+    }
+    if (m == "containsKey") {
+      return RtValue::of_int(entries_.count(a.at(0).as_value()) ? 1 : 0);
+    }
+    if (m == "size") {
+      return RtValue::of_int(static_cast<Value>(entries_.size()));
+    }
+    if (m == "clear") {
+      entries_.clear();
+      return RtValue::null();
+    }
+    throw std::invalid_argument("Map has no method " + m);
+  }
+  std::map<Value, RtValue> snapshot() const {
+    std::scoped_lock guard(lock_);
+    return entries_;
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  std::map<Value, RtValue> entries_;
+};
+
+class DynQueue final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    std::scoped_lock guard(lock_);
+    if (m == "enqueue") {
+      elems_.push_back(a.at(0));
+      return RtValue::null();
+    }
+    if (m == "dequeue") {
+      if (elems_.empty()) return RtValue::null();
+      RtValue v = elems_.front();
+      elems_.pop_front();
+      return v;
+    }
+    if (m == "isEmpty") return RtValue::of_int(elems_.empty() ? 1 : 0);
+    if (m == "qsize") return RtValue::of_int(static_cast<Value>(elems_.size()));
+    throw std::invalid_argument("Queue has no method " + m);
+  }
+  std::deque<RtValue> snapshot() const {
+    std::scoped_lock guard(lock_);
+    return elems_;
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  std::deque<RtValue> elems_;
+};
+
+class DynMultimap final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    std::scoped_lock guard(lock_);
+    if (m == "put") {
+      entries_[a.at(0).as_value()].insert(a.at(1).as_value());
+      return RtValue::null();
+    }
+    if (m == "removeEntry") {
+      auto it = entries_.find(a.at(0).as_value());
+      if (it != entries_.end()) {
+        it->second.erase(a.at(1).as_value());
+        if (it->second.empty()) entries_.erase(it);
+      }
+      return RtValue::null();
+    }
+    if (m == "getAll") {
+      // The interpreter models getAll's observable effect as the number of
+      // values (RtValue cannot carry collections).
+      auto it = entries_.find(a.at(0).as_value());
+      return RtValue::of_int(
+          it == entries_.end() ? 0 : static_cast<Value>(it->second.size()));
+    }
+    if (m == "removeAll") {
+      entries_.erase(a.at(0).as_value());
+      return RtValue::null();
+    }
+    if (m == "mmsize") {
+      Value total = 0;
+      for (const auto& [k, vs] : entries_) total += static_cast<Value>(vs.size());
+      return RtValue::of_int(total);
+    }
+    throw std::invalid_argument("Multimap has no method " + m);
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  std::map<Value, std::set<Value>> entries_;
+};
+
+class DynCounter final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>&) override {
+    if (m == "inc") {
+      count_.fetch_add(1, std::memory_order_relaxed);
+      return RtValue::null();
+    }
+    if (m == "dec") {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return RtValue::null();
+    }
+    if (m == "read") {
+      return RtValue::of_int(count_.load(std::memory_order_relaxed));
+    }
+    throw std::invalid_argument("Counter has no method " + m);
+  }
+
+ private:
+  std::atomic<Value> count_{0};
+};
+
+class DynRegister final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    std::scoped_lock guard(lock_);
+    if (m == "write") {
+      value_ = a.at(0);
+      return RtValue::null();
+    }
+    if (m == "readCell") return value_;
+    throw std::invalid_argument("Register has no method " + m);
+  }
+
+ private:
+  mutable util::Spinlock lock_;
+  RtValue value_;
+};
+
+class DynAccount final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>& a) override {
+    if (m == "deposit") {
+      balance_.fetch_add(a.at(0).as_value(), std::memory_order_relaxed);
+      return RtValue::null();
+    }
+    if (m == "withdraw") {
+      balance_.fetch_sub(a.at(0).as_value(), std::memory_order_relaxed);
+      return RtValue::null();
+    }
+    if (m == "balance") {
+      return RtValue::of_int(balance_.load(std::memory_order_relaxed));
+    }
+    throw std::invalid_argument("Account has no method " + m);
+  }
+
+ private:
+  std::atomic<Value> balance_{0};
+};
+
+// Lock-only instance for global wrappers (Section 3.4).
+class WrapperInstance final : public AdtInstance {
+ public:
+  using AdtInstance::AdtInstance;
+  RtValue invoke(const std::string& m, const std::vector<RtValue>&) override {
+    throw std::logic_error("wrapper instance has no standard operations (" +
+                           m + ")");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AdtInstance> make_builtin_instance(const std::string& type,
+                                                   const std::string& cls) {
+  if (type == "Set") return std::make_unique<DynSet>(type, cls);
+  if (type == "Map" || type == "WeakMap") {
+    return std::make_unique<DynMap>(type, cls);
+  }
+  if (type == "Queue" || type == "Pool") {
+    return std::make_unique<DynQueue>(type, cls);
+  }
+  if (type == "Multimap") return std::make_unique<DynMultimap>(type, cls);
+  if (type == "Counter") return std::make_unique<DynCounter>(type, cls);
+  if (type == "Register") return std::make_unique<DynRegister>(type, cls);
+  if (type == "Account") return std::make_unique<DynAccount>(type, cls);
+  throw std::invalid_argument("no built-in ADT named " + type);
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+// ---------------------------------------------------------------------------
+
+AdtInstance* Heap::create(const std::string& type,
+                          const std::string& class_key) {
+  auto obj = make_builtin_instance(type, class_key);
+  // Non-wrapped classes carry their own semantic lock; wrapped classes are
+  // locked through the wrapper instance instead.
+  if (!plan_->wrapper_of.count(class_key)) {
+    auto it = plan_->plans.find(class_key);
+    if (it != plan_->plans.end() && it->second.table.has_value()) {
+      obj->attach_lock(*it->second.table);
+    }
+  }
+  std::scoped_lock guard(mutex_);
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+AdtInstance* Heap::wrapper_instance(const std::string& wrapper_key) {
+  std::scoped_lock guard(mutex_);
+  auto it = wrappers_.find(wrapper_key);
+  if (it != wrappers_.end()) return it->second;
+  auto obj = std::make_unique<WrapperInstance>("GlobalWrapper", wrapper_key);
+  auto pit = plan_->plans.find(wrapper_key);
+  if (pit != plan_->plans.end() && pit->second.table.has_value()) {
+    obj->attach_lock(*pit->second.table);
+  }
+  AdtInstance* raw = obj.get();
+  objects_.push_back(std::move(obj));
+  wrappers_[wrapper_key] = raw;
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+struct Interpreter::TxnState {
+  Transaction txn;
+  bool unlocked_any = false;
+  int last_order = -1;
+  std::uintptr_t last_uid = 0;
+  std::uint64_t history_txn = 0;
+};
+
+RtValue Interpreter::eval(const ExprPtr& e, const Env& env) const {
+  switch (e->kind) {
+    case Expr::Kind::Null:
+      return RtValue::null();
+    case Expr::Kind::Int:
+      return RtValue::of_int(e->literal);
+    case Expr::Kind::Var: {
+      auto it = env.find(e->var);
+      return it == env.end() ? RtValue::null() : it->second;
+    }
+    case Expr::Kind::Unary: {
+      const RtValue v = eval(e->lhs, env);
+      return RtValue::of_int(v.truthy() ? 0 : 1);
+    }
+    case Expr::Kind::Binary: {
+      const RtValue l = eval(e->lhs, env);
+      const RtValue r = eval(e->rhs, env);
+      switch (e->op) {
+        case Expr::Op::Eq:
+          return RtValue::of_int(l == r ? 1 : 0);
+        case Expr::Op::Ne:
+          return RtValue::of_int(l == r ? 0 : 1);
+        case Expr::Op::And:
+          return RtValue::of_int(l.truthy() && r.truthy() ? 1 : 0);
+        case Expr::Op::Or:
+          return RtValue::of_int(l.truthy() || r.truthy() ? 1 : 0);
+        case Expr::Op::Lt:
+          return RtValue::of_int(l.i < r.i ? 1 : 0);
+        case Expr::Op::Le:
+          return RtValue::of_int(l.i <= r.i ? 1 : 0);
+        case Expr::Op::Add:
+          return RtValue::of_int(l.i + r.i);
+        case Expr::Op::Sub:
+          return RtValue::of_int(l.i - r.i);
+        case Expr::Op::Mul:
+          return RtValue::of_int(l.i * r.i);
+        case Expr::Op::Mod:
+          return RtValue::of_int(r.i == 0 ? 0 : l.i % r.i);
+        case Expr::Op::Not:
+          break;
+      }
+      throw std::logic_error("bad binary operator");
+    }
+  }
+  throw std::logic_error("bad expression");
+}
+
+void Interpreter::do_lock(const AtomicSection& section, const Stmt& s,
+                          Env& env, TxnState& txn) {
+  const auto& plan = heap_->plan();
+  if (opts_.check_protocol && txn.unlocked_any) {
+    throw ProtocolViolation("S2PL: lock after unlock in section " +
+                            section.name);
+  }
+
+  // Effective class and its plan/order.
+  const std::string eff =
+      s.wrapper_key.empty()
+          ? plan.effective_class(section.name, s.lock_vars.front())
+          : s.wrapper_key;
+  const ClassPlan& cplan = plan.plans.at(eff);
+  const ModeTable& table = *cplan.table;
+
+  // Runtime values of the site's symbolic variables.
+  std::vector<Value> values;
+  for (const auto& v : table.site_variables(s.site_id)) {
+    auto it = env.find(v);
+    values.push_back(it == env.end() ? 0 : it->second.as_value());
+  }
+  const int mode = table.resolve(s.site_id, values);
+
+  // Resolve target instances.
+  std::vector<AdtInstance*> targets;
+  if (!s.wrapper_key.empty()) {
+    targets.push_back(heap_->wrapper_instance(s.wrapper_key));
+  } else {
+    for (const auto& v : s.lock_vars) {
+      auto it = env.find(v);
+      const RtValue rv = it == env.end() ? RtValue::null() : it->second;
+      if (rv.is_null()) {
+        if (s.guard_null || s.use_local_set) continue;  // LV / guarded: skip
+        throw std::runtime_error("NullPointerException: lock on null " + v);
+      }
+      if (rv.kind != RtValue::Kind::Ref) {
+        throw std::runtime_error("type error: lock on non-reference " + v);
+      }
+      targets.push_back(rv.ref);
+    }
+  }
+  // Dynamic same-class ordering (Fig. 12): ascending unique id.
+  std::sort(targets.begin(), targets.end(),
+            [](AdtInstance* a, AdtInstance* b) {
+              return a->sem_lock()->unique_id() < b->sem_lock()->unique_id();
+            });
+  for (AdtInstance* inst : targets) {
+    SemanticLock* lk = inst->sem_lock();
+    if (txn.txn.holds(lk)) continue;  // LV: already locked
+    if (opts_.check_protocol) {
+      const int order = cplan.order_index;
+      if (order < txn.last_order ||
+          (order == txn.last_order && lk->unique_id() < txn.last_uid)) {
+        throw ProtocolViolation("OS2PL: out-of-order lock of class " + eff +
+                                " in section " + section.name);
+      }
+      txn.last_order = order;
+      txn.last_uid = lk->unique_id();
+    }
+    txn.txn.lv_mode(lk, mode);
+  }
+}
+
+void Interpreter::check_covered(const AtomicSection& section,
+                                const Stmt& call, AdtInstance* recv,
+                                const std::vector<RtValue>& args,
+                                TxnState& txn) const {
+  const auto& plan = heap_->plan();
+  // Locate the lock guarding this instance: its own, or its wrapper's.
+  SemanticLock* lk = recv->sem_lock();
+  std::string lookup_method = call.method;
+  if (lk == nullptr) {
+    auto wit = plan.wrapper_of.find(recv->class_key());
+    if (wit == plan.wrapper_of.end()) {
+      throw ProtocolViolation("instance of class " + recv->class_key() +
+                              " has no lock and no wrapper");
+    }
+    AdtInstance* wrapper =
+        const_cast<Heap*>(heap_)->wrapper_instance(wit->second);
+    lk = wrapper->sem_lock();
+    // Multi-type wrappers namespace methods as "Type.m".
+    if (lk->table().spec().method_index(lookup_method) < 0) {
+      lookup_method = recv->type() + "." + call.method;
+    }
+  }
+
+  int held_mode = -1;
+  for (const auto& e : txn.txn.held()) {
+    if (e.lk == lk) {
+      held_mode = e.mode;
+      break;
+    }
+  }
+  if (held_mode < 0) {
+    throw ProtocolViolation("S2PL: " + section.name + " invokes " +
+                            call.recv + "." + call.method +
+                            " without holding a lock");
+  }
+
+  const ModeTable& table = lk->table();
+  const int mi = table.spec().method_index(lookup_method);
+  if (mi < 0) {
+    throw ProtocolViolation("spec for " + table.spec().name() +
+                            " has no method " + lookup_method);
+  }
+  const auto& phi = table.abstraction();
+  for (const auto& op : table.mode(held_mode).ops) {
+    if (op.method != mi) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < op.args.size() && match; ++i) {
+      const auto& aa = op.args[i];
+      const Value rv = args[i].as_value();
+      switch (aa.kind) {
+        case AbstractArg::Kind::Star:
+          break;
+        case AbstractArg::Kind::Const:
+          match = (aa.constant == rv);
+          break;
+        case AbstractArg::Kind::Alpha:
+          match = (phi.alpha_of(rv) == aa.alpha);
+          break;
+      }
+    }
+    if (match) return;  // covered
+  }
+  throw ProtocolViolation("S2PL: held mode does not cover " + call.recv +
+                          "." + call.method + " in " + section.name);
+}
+
+void Interpreter::exec_stmt(const AtomicSection& section, const Stmt& s,
+                            Env& env, TxnState& txn) {
+  switch (s.kind) {
+    case Stmt::Kind::Prologue:
+      return;  // the Transaction object IS the LOCAL_SET
+    case Stmt::Kind::Epilogue:
+      txn.txn.unlock_all();
+      txn.unlocked_any = true;
+      return;
+    case Stmt::Kind::Lock:
+      do_lock(section, s, env, txn);
+      return;
+    case Stmt::Kind::UnlockAll: {
+      AdtInstance* inst = nullptr;
+      if (!s.wrapper_key.empty()) {
+        inst = heap_->wrapper_instance(s.wrapper_key);
+      } else {
+        auto it = env.find(s.unlock_var);
+        const RtValue rv = it == env.end() ? RtValue::null() : it->second;
+        if (rv.is_null()) {
+          if (s.guard_null) return;
+          throw std::runtime_error("NullPointerException: unlock on null " +
+                                   s.unlock_var);
+        }
+        inst = rv.ref;
+      }
+      txn.txn.unlock_instance(inst->sem_lock());
+      txn.unlocked_any = true;
+      return;
+    }
+    case Stmt::Kind::New:
+      env[s.lhs] = RtValue::of_ref(heap_->create(
+          s.adt_type,
+          heap_->plan().classes.class_of(section.name, s.lhs)));
+      return;
+    case Stmt::Kind::Assign:
+      env[s.lhs] = eval(s.rhs, env);
+      return;
+    case Stmt::Kind::Call: {
+      auto it = env.find(s.recv);
+      const RtValue rv = it == env.end() ? RtValue::null() : it->second;
+      if (rv.is_null()) {
+        throw std::runtime_error("NullPointerException: call on null " +
+                                 s.recv);
+      }
+      if (rv.kind != RtValue::Kind::Ref) {
+        throw std::runtime_error("type error: call on non-reference " +
+                                 s.recv);
+      }
+      std::vector<RtValue> args;
+      args.reserve(s.args.size());
+      for (const auto& a : s.args) args.push_back(eval(a, env));
+      if (opts_.check_protocol) {
+        check_covered(section, s, rv.ref, args, txn);
+      }
+      const RtValue result = rv.ref->invoke(s.method, args);
+      // History recording happens while the transaction still holds its
+      // semantic locks, so conflicting operations of different transactions
+      // are recorded in their true serialization order.
+      if (opts_.recorder) {
+        auto sit = heap_->plan().program.adt_types.find(rv.ref->type());
+        if (sit != heap_->plan().program.adt_types.end()) {
+          const int mi = sit->second->method_index(s.method);
+          if (mi >= 0) {
+            std::vector<commute::Value> vals;
+            vals.reserve(args.size());
+            for (const auto& a : args) vals.push_back(a.as_value());
+            opts_.recorder->record(txn.history_txn, rv.ref, sit->second, mi,
+                                   std::move(vals));
+          }
+        }
+      }
+      if (!s.lhs.empty()) env[s.lhs] = result;
+      return;
+    }
+    case Stmt::Kind::If:
+      if (eval(s.cond, env).truthy()) {
+        exec_block(section, s.then_block, env, txn);
+      } else {
+        exec_block(section, s.else_block, env, txn);
+      }
+      return;
+    case Stmt::Kind::While: {
+      long iterations = 0;
+      while (eval(s.cond, env).truthy()) {
+        if (++iterations > opts_.max_loop_iterations) {
+          throw std::runtime_error("interpreter: loop iteration cap hit");
+        }
+        exec_block(section, s.body, env, txn);
+      }
+      return;
+    }
+  }
+}
+
+void Interpreter::exec_block(const AtomicSection& section, const Block& block,
+                             Env& env, TxnState& txn) {
+  for (const auto& s : block) exec_stmt(section, *s, env, txn);
+}
+
+Interpreter::Env Interpreter::run(const std::string& section_name, Env env) {
+  const AtomicSection* section = nullptr;
+  for (const auto& s : heap_->plan().program.sections) {
+    if (s.name == section_name) {
+      section = &s;
+      break;
+    }
+  }
+  if (!section) {
+    throw std::invalid_argument("no atomic section named " + section_name);
+  }
+  TxnState txn;
+  if (opts_.recorder) txn.history_txn = opts_.recorder->begin_txn();
+  exec_block(*section, section->body, env, txn);
+  txn.txn.unlock_all();  // safety net; normally released by the epilogue
+  return env;
+}
+
+}  // namespace semlock::synth

@@ -1,0 +1,163 @@
+// Tree interpreter for instrumented atomic sections.
+//
+// Executes the output of `synthesize` against real, internally-linearizable
+// ADT instances, acquiring semantic locks exactly where the inserted Lock
+// statements say to. Used by the correctness and property tests: it also
+// *checks* the protocol as it runs —
+//   - S2PL coverage: a standard operation is invoked only while the
+//     transaction holds a mode that represents that operation;
+//   - two-phase rule: no lock after any unlock;
+//   - OS2PL ordering: lock acquisitions follow the synthesized class order,
+//     and same-class instances are acquired in unique-id order.
+// Violations throw ProtocolViolation, turning subtle synchronization bugs
+// into deterministic test failures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "semlock/history.h"
+#include "semlock/semantic_lock.h"
+#include "semlock/transaction.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+
+class AdtInstance;
+
+struct RtValue {
+  enum class Kind { Null, Int, Ref };
+  Kind kind = Kind::Null;
+  commute::Value i = 0;
+  AdtInstance* ref = nullptr;
+
+  static RtValue null() { return RtValue{}; }
+  static RtValue of_int(commute::Value v) {
+    return RtValue{Kind::Int, v, nullptr};
+  }
+  static RtValue of_ref(AdtInstance* p) {
+    return p ? RtValue{Kind::Ref, 0, p} : RtValue{};
+  }
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool truthy() const {
+    switch (kind) {
+      case Kind::Null: return false;
+      case Kind::Int: return i != 0;
+      case Kind::Ref: return true;
+    }
+    return false;
+  }
+  // The Value used for symbolic-argument resolution: references are
+  // identified by address (their "unique identifier").
+  commute::Value as_value() const;
+
+  bool operator==(const RtValue& o) const {
+    if (kind != o.kind) return false;
+    if (kind == Kind::Int) return i == o.i;
+    if (kind == Kind::Ref) return ref == o.ref;
+    return true;
+  }
+};
+
+class ProtocolViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Base for runtime ADT objects. Instances created for non-wrapped classes
+// carry a SemanticLock built from that class's ModeTable.
+class AdtInstance {
+ public:
+  AdtInstance(std::string type, std::string class_key)
+      : type_(std::move(type)), class_key_(std::move(class_key)) {}
+  virtual ~AdtInstance() = default;
+
+  virtual RtValue invoke(const std::string& method,
+                         const std::vector<RtValue>& args) = 0;
+
+  const std::string& type() const { return type_; }
+  const std::string& class_key() const { return class_key_; }
+
+  SemanticLock* sem_lock() { return sem_lock_.get(); }
+  void attach_lock(const ModeTable& table) {
+    sem_lock_ = std::make_unique<SemanticLock>(table);
+  }
+
+ private:
+  std::string type_;
+  std::string class_key_;
+  std::unique_ptr<SemanticLock> sem_lock_;
+};
+
+// Shared object arena. Thread-safe creation; owns every instance (including
+// the lock-only wrapper instances of Section 3.4) for the heap's lifetime.
+class Heap {
+ public:
+  explicit Heap(const SynthesisResult& plan) : plan_(&plan) {}
+
+  // Creates an instance of `type` belonging to pointer class `class_key`
+  // (defaults to the class named like the type). Attaches the class's
+  // semantic lock when the plan has one for it.
+  AdtInstance* create(const std::string& type, const std::string& class_key);
+  AdtInstance* create(const std::string& type) { return create(type, type); }
+
+  // The single lock-only instance of a wrapper class.
+  AdtInstance* wrapper_instance(const std::string& wrapper_key);
+
+  const SynthesisResult& plan() const { return *plan_; }
+
+ private:
+  const SynthesisResult* plan_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<AdtInstance>> objects_;
+  std::map<std::string, AdtInstance*> wrappers_;
+};
+
+struct InterpreterOptions {
+  bool check_protocol = true;   // S2PL coverage + ordering checks
+  long max_loop_iterations = 1'000'000;  // guard against runaway While
+  // When set, every standard operation is appended to this history (for
+  // offline conflict-serializability checking).
+  HistoryRecorder* recorder = nullptr;
+};
+
+class Interpreter {
+ public:
+  Interpreter(Heap& heap, InterpreterOptions opts = InterpreterOptions{})
+      : heap_(&heap), opts_(opts) {}
+
+  using Env = std::map<std::string, RtValue>;
+
+  // Executes one atomic section as a transaction; returns the final variable
+  // environment (params + locals).
+  Env run(const std::string& section_name, Env env);
+
+ private:
+  struct TxnState;
+  void exec_block(const AtomicSection& section, const Block& block, Env& env,
+                  TxnState& txn);
+  void exec_stmt(const AtomicSection& section, const Stmt& s, Env& env,
+                 TxnState& txn);
+  RtValue eval(const ExprPtr& e, const Env& env) const;
+  void do_lock(const AtomicSection& section, const Stmt& s, Env& env,
+               TxnState& txn);
+  void check_covered(const AtomicSection& section, const Stmt& call,
+                     AdtInstance* recv, const std::vector<RtValue>& args,
+                     TxnState& txn) const;
+
+  Heap* heap_;
+  InterpreterOptions opts_;
+};
+
+// --- Built-in dynamic ADT instances (all internally linearizable) ---------
+// Factory used by Heap::create; recognizes the types "Set", "Map", "Queue",
+// "Pool", "Multimap", "Counter", "Register", "Account".
+std::unique_ptr<AdtInstance> make_builtin_instance(const std::string& type,
+                                                   const std::string& cls);
+
+}  // namespace semlock::synth

@@ -1,0 +1,514 @@
+// Appendix A: semantics-preserving transformations over the instrumented
+// AST — redundant-LV removal, LOCAL_SET elision, early lock release, and
+// null-check removal (Fig. 14 -> Fig. 26 -> Fig. 27 -> Fig. 28 -> Fig. 17).
+#include <algorithm>
+#include <climits>
+#include <functional>
+#include <set>
+
+#include "synth/cfg.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+
+namespace {
+
+// Removes statements in `dead` from the block tree.
+void remove_stmts(Block& block, const std::set<const Stmt*>& dead) {
+  std::erase_if(block,
+                [&](const StmtPtr& s) { return dead.count(s.get()) != 0; });
+  for (auto& s : block) {
+    remove_stmts(s->then_block, dead);
+    remove_stmts(s->else_block, dead);
+    remove_stmts(s->body, dead);
+  }
+}
+
+// Inserts `stmt` immediately after `anchor` in the block tree; returns true
+// when the anchor was found.
+bool insert_after(Block& block, const Stmt* anchor, const StmtPtr& stmt) {
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (block[i].get() == anchor) {
+      block.insert(block.begin() + static_cast<std::ptrdiff_t>(i) + 1, stmt);
+      return true;
+    }
+    if (insert_after(block[i]->then_block, anchor, stmt) ||
+        insert_after(block[i]->else_block, anchor, stmt) ||
+        insert_after(block[i]->body, anchor, stmt)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Fn>
+void walk(Block& block, Fn&& fn) {
+  for (auto& s : block) {
+    fn(s);
+    walk(s->then_block, fn);
+    walk(s->else_block, fn);
+    walk(s->body, fn);
+  }
+}
+
+// FC[n]: variables with a call at n or after (per-variable future-call
+// analysis shared by two passes).
+std::vector<std::set<std::string>> future_call_vars(const Cfg& cfg) {
+  std::vector<std::set<std::string>> fc(
+      static_cast<std::size_t>(cfg.num_nodes()));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int n = cfg.num_nodes() - 1; n >= 0; --n) {
+      std::set<std::string> cur;
+      const Stmt* s = cfg.node(n).stmt;
+      if (s && s->kind == Stmt::Kind::Call) cur.insert(s->recv);
+      for (const auto& e : cfg.node(n).out) {
+        const auto& succ = fc[static_cast<std::size_t>(e.to)];
+        cur.insert(succ.begin(), succ.end());
+      }
+      if (cur != fc[static_cast<std::size_t>(n)]) {
+        fc[static_cast<std::size_t>(n)] = std::move(cur);
+        changed = true;
+      }
+    }
+  }
+  return fc;
+}
+
+// Does the wrapper lock `stmt` still protect a future call? True when some
+// variable wrapped by the same key has a call at or after node `n`.
+bool wrapper_has_future_call(const AtomicSection& section,
+                             const SectionContext& ctx, const Stmt& stmt,
+                             const std::set<std::string>& fc_at_n) {
+  for (const auto& v : fc_at_n) {
+    if (ctx.wrapper_key_of(section, v) == stmt.wrapper_key) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 1: removing redundant LV(x)
+// ---------------------------------------------------------------------------
+void remove_redundant_locks(AtomicSection& section, const SectionContext& ctx) {
+  const Cfg cfg = Cfg::build(section);
+  const int n_nodes = cfg.num_nodes();
+
+  // Universe of lockable names (variables + wrapper pointers).
+  std::set<std::string> universe;
+  walk(section.body, [&](const StmtPtr& s) {
+    if (s->kind == Stmt::Kind::Lock) {
+      universe.insert(s->lock_vars.begin(), s->lock_vars.end());
+    }
+  });
+
+  // Forward must-locked analysis: IN[n] = ∩ pred OUT; Lock adds its vars,
+  // an assignment to v kills v. TOP = universe (for unvisited meets).
+  std::vector<std::set<std::string>> in(static_cast<std::size_t>(n_nodes),
+                                        universe);
+  in[static_cast<std::size_t>(cfg.entry())].clear();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int n = 0; n < n_nodes; ++n) {
+      if (n == cfg.entry()) continue;
+      std::set<std::string> cur = universe;
+      bool first = true;
+      for (const int p : cfg.node(n).in) {
+        // OUT[p] = transfer(p, IN[p]).
+        std::set<std::string> outp = in[static_cast<std::size_t>(p)];
+        const Stmt* ps = cfg.node(p).stmt;
+        if (ps) {
+          if (ps->kind == Stmt::Kind::Lock) {
+            outp.insert(ps->lock_vars.begin(), ps->lock_vars.end());
+          }
+          const std::string killed = Cfg::assigned_var(ps);
+          if (!killed.empty()) outp.erase(killed);
+        }
+        if (first) {
+          cur = std::move(outp);
+          first = false;
+        } else {
+          std::set<std::string> meet;
+          std::set_intersection(cur.begin(), cur.end(), outp.begin(),
+                                outp.end(),
+                                std::inserter(meet, meet.begin()));
+          cur = std::move(meet);
+        }
+      }
+      if (cur != in[static_cast<std::size_t>(n)]) {
+        in[static_cast<std::size_t>(n)] = std::move(cur);
+        changed = true;
+      }
+    }
+  }
+
+  const auto fc = future_call_vars(cfg);
+
+  std::set<const Stmt*> dead;
+  walk(section.body, [&](const StmtPtr& sp) {
+    Stmt& s = *sp;
+    if (s.kind != Stmt::Kind::Lock) return;
+    const int n = cfg.node_of(&s);
+    if (n < 0) return;
+    const auto& locked = in[static_cast<std::size_t>(n)];
+    const auto& future = fc[static_cast<std::size_t>(n)];
+    std::erase_if(s.lock_vars, [&](const std::string& v) {
+      // Rule (a): already locked on all paths.
+      if (locked.count(v)) return true;
+      // Rule (b): never used again.
+      if (!s.wrapper_key.empty()) {
+        return !wrapper_has_future_call(section, ctx, s, future);
+      }
+      return future.count(v) == 0;
+    });
+    if (s.lock_vars.empty()) dead.insert(&s);
+  });
+  remove_stmts(section.body, dead);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: removing redundant LOCAL_SET usage
+// ---------------------------------------------------------------------------
+bool remove_local_set(AtomicSection& section, const SectionContext& ctx) {
+  const Cfg cfg = Cfg::build(section);
+
+  // Collect Lock statements per lockable name, and effective classes for the
+  // may-alias test.
+  struct LockInfo {
+    Stmt* stmt;
+    int node;
+    std::string var;
+    std::string cls;  // effective class ("" for scalars — impossible here)
+  };
+  std::vector<LockInfo> locks;
+  std::vector<std::string> order_seen;  // first-lock order, for unlock order
+  walk(section.body, [&](const StmtPtr& sp) {
+    if (sp->kind != Stmt::Kind::Lock) return;
+    for (const auto& v : sp->lock_vars) {
+      const std::string cls = sp->wrapper_key.empty()
+                                  ? ctx.effective_class_of(section, v)
+                                  : sp->wrapper_key;
+      locks.push_back(LockInfo{sp.get(), cfg.node_of(sp.get()), v, cls});
+      if (std::find(order_seen.begin(), order_seen.end(), v) ==
+          order_seen.end()) {
+        order_seen.push_back(v);
+      }
+    }
+  });
+  if (locks.empty()) return false;
+
+  // Determine which variables are eligible.
+  std::set<std::string> blocked;
+  for (const auto& a : locks) {
+    // Dynamic-order LVn statements need LOCAL_SET to dedup aliases.
+    if (a.stmt->lock_vars.size() > 1) blocked.insert(a.var);
+    for (const auto& b : locks) {
+      if (a.cls != b.cls) continue;  // cannot alias
+      const bool same_stmt = (a.stmt == b.stmt);
+      if (same_stmt && a.var == b.var) {
+        // Re-execution of the same lock (loop) re-locks the same object.
+        if (cfg.reaches(a.node, a.node, /*strict=*/true)) {
+          blocked.insert(a.var);
+        }
+        continue;
+      }
+      // Two distinct lock occurrences of possibly-aliasing variables on one
+      // path (condition (1) of Appendix A).
+      if (same_stmt || cfg.reaches(a.node, b.node, /*strict=*/true) ||
+          cfg.reaches(b.node, a.node, /*strict=*/true)) {
+        blocked.insert(a.var);
+        blocked.insert(b.var);
+      }
+    }
+    // Condition (2): `var` must not be reassigned after a lock of it.
+    const auto after = cfg.reachable_from(a.node, /*strict=*/true);
+    for (int n = 0; n < cfg.num_nodes(); ++n) {
+      if (!after[static_cast<std::size_t>(n)]) continue;
+      const Stmt* s = cfg.node(n).stmt;
+      if (s && Cfg::assigned_var(s) == a.var) blocked.insert(a.var);
+    }
+  }
+
+  // Transform eligible variables: direct null-guarded lock + per-variable
+  // unlock at the end of the section.
+  std::set<std::string> transformed;
+  std::map<std::string, std::string> wrapper_key_of_var;
+  for (auto& info : locks) {
+    if (blocked.count(info.var)) continue;
+    info.stmt->use_local_set = false;
+    info.stmt->guard_null = info.stmt->wrapper_key.empty();
+    transformed.insert(info.var);
+    wrapper_key_of_var[info.var] = info.stmt->wrapper_key;
+  }
+  if (transformed.empty()) return false;
+
+  // Insert unlocks just before the trailing Epilogue (or at the very end if
+  // the epilogue was already dropped), in first-lock order.
+  auto insert_pos = section.body.end();
+  if (!section.body.empty() &&
+      section.body.back()->kind == Stmt::Kind::Epilogue) {
+    insert_pos = section.body.end() - 1;
+  }
+  std::vector<StmtPtr> unlocks;
+  for (const auto& v : order_seen) {
+    if (!transformed.count(v)) continue;
+    auto u = std::make_shared<Stmt>();
+    u->kind = Stmt::Kind::UnlockAll;
+    u->unlock_var = v;
+    u->wrapper_key = wrapper_key_of_var[v];
+    u->guard_null = u->wrapper_key.empty();
+    unlocks.push_back(std::move(u));
+  }
+  section.body.insert(insert_pos, unlocks.begin(), unlocks.end());
+
+  // If no lock still uses LOCAL_SET, drop the prologue/epilogue.
+  bool any_local_set = false;
+  walk(section.body, [&](const StmtPtr& sp) {
+    if (sp->kind == Stmt::Kind::Lock && sp->use_local_set) {
+      any_local_set = true;
+    }
+  });
+  if (!any_local_set) {
+    std::set<const Stmt*> dead;
+    walk(section.body, [&](const StmtPtr& sp) {
+      if (sp->kind == Stmt::Kind::Prologue ||
+          sp->kind == Stmt::Kind::Epilogue) {
+        dead.insert(sp.get());
+      }
+    });
+    remove_stmts(section.body, dead);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: early lock release
+// ---------------------------------------------------------------------------
+void early_release(AtomicSection& section, const SectionContext& ctx) {
+  // Candidates: per-variable UnlockAll statements sitting in the top-level
+  // tail of the section (the position remove_local_set gave them).
+  std::vector<Stmt*> unlocks;
+  for (const auto& sp : section.body) {
+    if (sp->kind == Stmt::Kind::UnlockAll && !sp->unlock_var.empty()) {
+      unlocks.push_back(sp.get());
+    }
+  }
+
+  for (Stmt* u : unlocks) {
+    const Cfg cfg = Cfg::build(section);
+    const std::string& x = u->unlock_var;
+    const int u_node = cfg.node_of(u);
+    if (u_node < 0) continue;
+
+    // Lock nodes of x.
+    std::vector<int> lock_nodes;
+    walk(section.body, [&](const StmtPtr& sp) {
+      if (sp->kind == Stmt::Kind::Lock &&
+          std::find(sp->lock_vars.begin(), sp->lock_vars.end(), x) !=
+              sp->lock_vars.end()) {
+        const int n = cfg.node_of(sp.get());
+        if (n >= 0) lock_nodes.push_back(n);
+      }
+    });
+    if (lock_nodes.empty()) continue;
+
+    const auto dist = cfg.distance_from_entry();
+    int best_node = -1;
+    int best_dist = dist[static_cast<std::size_t>(u_node)];
+
+    for (int s = 0; s < cfg.num_nodes(); ++s) {
+      const Stmt* st = cfg.node(s).stmt;
+      if (!st || st == u) continue;
+      if (st->kind == Stmt::Kind::UnlockAll ||
+          st->kind == Stmt::Kind::Epilogue) {
+        continue;  // moving among unlocks gains nothing
+      }
+      if (dist[static_cast<std::size_t>(s)] >= best_dist) continue;
+
+      const auto after = cfg.reachable_from(s, /*strict=*/true);
+      bool ok = true;
+      int interesting_after = 0;
+      for (int m = 0; m < cfg.num_nodes() && ok; ++m) {
+        if (!after[static_cast<std::size_t>(m)]) continue;
+        const Stmt* ms = cfg.node(m).stmt;
+        if (!ms) continue;
+        // (2) no lock operations after the release point.
+        if (ms->kind == Stmt::Kind::Lock) ok = false;
+        // (1) the object is not used after the release point.
+        if (ms->kind == Stmt::Kind::Call) {
+          if (u->wrapper_key.empty()) {
+            if (ms->recv == x) ok = false;
+          } else if (ctx.wrapper_key_of(section, ms->recv) ==
+                     u->wrapper_key) {
+            ok = false;
+          }
+        }
+        if (ms->kind != Stmt::Kind::UnlockAll &&
+            ms->kind != Stmt::Kind::Epilogue) {
+          ++interesting_after;
+        }
+      }
+      if (!ok) continue;
+      if (interesting_after == 0) continue;  // equivalent to staying at end
+      // (3) every path from every lock of x passes through s.
+      for (const int ln : lock_nodes) {
+        if (!cfg.all_paths_pass_through(ln, s)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (dist[static_cast<std::size_t>(s)] < best_dist) {
+        best_dist = dist[static_cast<std::size_t>(s)];
+        best_node = s;
+      }
+    }
+
+    if (best_node >= 0) {
+      const Stmt* anchor = cfg.node(best_node).stmt;
+      // Re-home the unlock: remove it, then re-insert after the anchor.
+      StmtPtr keep;
+      walk(section.body, [&](const StmtPtr& sp) {
+        if (sp.get() == u) keep = sp;
+      });
+      remove_stmts(section.body, {u});
+      insert_after(section.body, anchor, keep);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: removing redundant null checks
+// ---------------------------------------------------------------------------
+void remove_null_checks(AtomicSection& section) {
+  const Cfg cfg = Cfg::build(section);
+  const int n_nodes = cfg.num_nodes();
+
+  std::set<std::string> universe;
+  for (const auto& [v, t] : section.var_types) {
+    (void)t;
+    universe.insert(v);
+  }
+
+  // Forward must-non-null: IN[n] = ∩ over incoming edges of
+  // refine(OUT[pred], edge).
+  std::vector<std::set<std::string>> fwd(static_cast<std::size_t>(n_nodes),
+                                         universe);
+  fwd[static_cast<std::size_t>(cfg.entry())].clear();
+  auto transfer_fwd = [&](int n) {
+    std::set<std::string> out = fwd[static_cast<std::size_t>(n)];
+    const Stmt* s = cfg.node(n).stmt;
+    if (!s) return out;
+    switch (s->kind) {
+      case Stmt::Kind::New:
+        out.insert(s->lhs);
+        break;
+      case Stmt::Kind::Call:
+        out.insert(s->recv);  // an executed call implies a non-null receiver
+        if (!s->lhs.empty()) out.erase(s->lhs);
+        break;
+      case Stmt::Kind::Assign:
+        if (s->rhs && s->rhs->kind == Expr::Kind::Var && out.count(s->rhs->var)) {
+          out.insert(s->lhs);
+        } else {
+          out.erase(s->lhs);
+        }
+        break;
+      default:
+        break;
+    }
+    return out;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int n = 0; n < n_nodes; ++n) {
+      if (n == cfg.entry()) continue;
+      std::set<std::string> cur = universe;
+      bool first = true;
+      // Find incoming edges (iterate all nodes' out-edges into n to read the
+      // refinement labels).
+      for (const int p : cfg.node(n).in) {
+        for (const auto& e : cfg.node(p).out) {
+          if (e.to != n) continue;
+          std::set<std::string> via = transfer_fwd(p);
+          if (e.refine == CfgEdge::Refine::NonNull) via.insert(e.var);
+          if (e.refine == CfgEdge::Refine::IsNull) via.erase(e.var);
+          if (first) {
+            cur = std::move(via);
+            first = false;
+          } else {
+            std::set<std::string> meet;
+            std::set_intersection(cur.begin(), cur.end(), via.begin(),
+                                  via.end(),
+                                  std::inserter(meet, meet.begin()));
+            cur = std::move(meet);
+          }
+        }
+      }
+      if (cur != fwd[static_cast<std::size_t>(n)]) {
+        fwd[static_cast<std::size_t>(n)] = std::move(cur);
+        changed = true;
+      }
+    }
+  }
+
+  // Backward anticipated receiver use: x ∈ ANT[n] iff every path from n
+  // reaches a call with receiver x before any assignment to x. Assuming the
+  // original program is NPE-free, x cannot be null where its use is
+  // inevitable.
+  std::vector<std::set<std::string>> ant(static_cast<std::size_t>(n_nodes),
+                                         universe);
+  ant[static_cast<std::size_t>(cfg.exit())].clear();
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (int n = n_nodes - 1; n >= 0; --n) {
+      if (n == cfg.exit()) continue;
+      std::set<std::string> out;
+      bool first = true;
+      for (const auto& e : cfg.node(n).out) {
+        const auto& succ = ant[static_cast<std::size_t>(e.to)];
+        if (first) {
+          out = succ;
+          first = false;
+        } else {
+          std::set<std::string> meet;
+          std::set_intersection(out.begin(), out.end(), succ.begin(),
+                                succ.end(), std::inserter(meet, meet.begin()));
+          out = std::move(meet);
+        }
+      }
+      if (first) out.clear();  // no successors
+      const Stmt* s = cfg.node(n).stmt;
+      if (s) {
+        const std::string killed = Cfg::assigned_var(s);
+        if (!killed.empty()) out.erase(killed);
+        if (s->kind == Stmt::Kind::Call) out.insert(s->recv);
+      }
+      if (out != ant[static_cast<std::size_t>(n)]) {
+        ant[static_cast<std::size_t>(n)] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  walk(section.body, [&](const StmtPtr& sp) {
+    Stmt& s = *sp;
+    if (!s.guard_null) return;
+    const int n = cfg.node_of(&s);
+    if (n < 0) return;
+    const std::string& x =
+        s.kind == Stmt::Kind::Lock ? s.lock_vars.front() : s.unlock_var;
+    if (fwd[static_cast<std::size_t>(n)].count(x) ||
+        ant[static_cast<std::size_t>(n)].count(x)) {
+      s.guard_null = false;
+    }
+  });
+}
+
+}  // namespace semlock::synth

@@ -1,0 +1,392 @@
+#include "synth/parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+
+namespace semlock::synth {
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Int, Punct, End };
+  Kind kind = Kind::End;
+  std::string text;
+  commute::Value value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Token::Kind::End;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ident += src_[pos_++];
+      }
+      current_.kind = Token::Kind::Ident;
+      current_.text = std::move(ident);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      commute::Value v = 0;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        v = v * 10 + (src_[pos_++] - '0');
+      }
+      current_.kind = Token::Kind::Int;
+      current_.value = v;
+      return;
+    }
+    // Multi-character punctuation first.
+    static const char* kTwoChar[] = {"==", "!=", "<=", "&&", "||"};
+    for (const char* op : kTwoChar) {
+      if (src_.compare(pos_, 2, op) == 0) {
+        current_.kind = Token::Kind::Punct;
+        current_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = Token::Kind::Punct;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+const commute::AdtSpec* builtin_spec(const std::string& name, int line) {
+  static const std::map<std::string, const commute::AdtSpec* (*)()> kSpecs = {
+      {"map", [] { return &commute::map_spec(); }},
+      {"set", [] { return &commute::set_spec(); }},
+      {"queue", [] { return &commute::fifo_queue_spec(); }},
+      {"fifo", [] { return &commute::fifo_queue_spec(); }},
+      {"pool", [] { return &commute::pool_spec(); }},
+      {"multimap", [] { return &commute::multimap_spec(); }},
+      {"weakmap", [] { return &commute::weakmap_spec(); }},
+      {"counter", [] { return &commute::counter_spec(); }},
+      {"register", [] { return &commute::register_spec(); }},
+      {"account", [] { return &commute::account_spec(); }},
+  };
+  std::string lower;
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  auto it = kSpecs.find(lower);
+  if (it == kSpecs.end()) {
+    throw ParseError("unknown built-in spec '" + name + "'", line);
+  }
+  return it->second();
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Program parse() {
+    Program p;
+    while (lex_.peek().kind != Token::Kind::End) {
+      const Token t = lex_.peek();
+      if (t.kind == Token::Kind::Ident && t.text == "adt") {
+        parse_adt_decl(p);
+      } else if (t.kind == Token::Kind::Ident && t.text == "atomic") {
+        p.sections.push_back(parse_section(p));
+      } else {
+        throw ParseError("expected 'adt' or 'atomic', got '" + t.text + "'",
+                         t.line);
+      }
+    }
+    return p;
+  }
+
+ private:
+  Token expect_ident() {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::Ident) {
+      throw ParseError("expected identifier, got '" + t.text + "'", t.line);
+    }
+    return t;
+  }
+
+  void expect_punct(const std::string& p) {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::Punct || t.text != p) {
+      throw ParseError("expected '" + p + "', got '" + t.text + "'", t.line);
+    }
+  }
+
+  bool accept_punct(const std::string& p) {
+    if (lex_.peek().kind == Token::Kind::Punct && lex_.peek().text == p) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_ident(const std::string& word) {
+    if (lex_.peek().kind == Token::Kind::Ident && lex_.peek().text == word) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void parse_adt_decl(Program& p) {
+    lex_.take();  // 'adt'
+    const Token name = expect_ident();
+    const commute::AdtSpec* spec;
+    if (accept_punct("(")) {
+      const Token binding = expect_ident();
+      expect_punct(")");
+      spec = builtin_spec(binding.text, binding.line);
+    } else {
+      spec = builtin_spec(name.text, name.line);
+    }
+    p.adt_types[name.text] = spec;
+    expect_punct(";");
+  }
+
+  AtomicSection parse_section(const Program& p) {
+    lex_.take();  // 'atomic'
+    AtomicSection s;
+    s.name = expect_ident().text;
+    expect_punct("(");
+    if (!accept_punct(")")) {
+      for (;;) {
+        const Token type = expect_ident();
+        const Token name = expect_ident();
+        if (type.text != "int") {
+          require_type(p, type);
+          s.var_types[name.text] = type.text;
+        }
+        s.params.push_back(name.text);
+        if (accept_punct(")")) break;
+        expect_punct(",");
+      }
+    }
+    s.body = parse_block(p, s);
+    return s;
+  }
+
+  void require_type(const Program& p, const Token& type) {
+    if (!p.adt_types.count(type.text)) {
+      throw ParseError("undeclared ADT type '" + type.text +
+                           "' (add an 'adt " + type.text + ";' declaration)",
+                       type.line);
+    }
+  }
+
+  Block parse_block(const Program& p, AtomicSection& s) {
+    expect_punct("{");
+    Block b;
+    while (!accept_punct("}")) b.push_back(parse_stmt(p, s));
+    return b;
+  }
+
+  StmtPtr parse_stmt(const Program& p, AtomicSection& s) {
+    const Token t = lex_.peek();
+    if (t.kind != Token::Kind::Ident) {
+      throw ParseError("expected statement, got '" + t.text + "'", t.line);
+    }
+    if (t.text == "var") {
+      lex_.take();
+      const Token name = expect_ident();
+      expect_punct(":");
+      const Token type = expect_ident();
+      require_type(p, type);
+      s.var_types[name.text] = type.text;
+      expect_punct(";");
+      // Declarations carry no runtime behavior; emit a no-op assignment of
+      // null so downstream passes see a defined variable.
+      return assign(name.text, enull());
+    }
+    if (t.text == "if") {
+      lex_.take();
+      expect_punct("(");
+      ExprPtr cond = parse_expr();
+      expect_punct(")");
+      Block then_block = parse_block(p, s);
+      Block else_block;
+      if (accept_ident("else")) else_block = parse_block(p, s);
+      return make_if(std::move(cond), std::move(then_block),
+                     std::move(else_block));
+    }
+    if (t.text == "while") {
+      lex_.take();
+      expect_punct("(");
+      ExprPtr cond = parse_expr();
+      expect_punct(")");
+      Block body = parse_block(p, s);
+      return make_while(std::move(cond), std::move(body));
+    }
+
+    // assignment / call / call-with-result
+    const Token first = lex_.take();
+    if (accept_punct(".")) {
+      // receiver.method(args);
+      const Token method = expect_ident();
+      auto args = parse_args();
+      expect_punct(";");
+      return callv(first.text, method.text, std::move(args));
+    }
+    expect_punct("=");
+    if (accept_ident("new")) {
+      const Token type = expect_ident();
+      require_type(p, type);
+      expect_punct("(");
+      expect_punct(")");
+      expect_punct(";");
+      s.var_types.try_emplace(first.text, type.text);
+      return make_new(first.text, type.text);
+    }
+    // Either `x = recv.method(args);` or `x = expr;`
+    if (lex_.peek().kind == Token::Kind::Ident) {
+      // Look ahead for '.': a call-with-result.
+      const Token maybe_recv = lex_.take();
+      if (accept_punct(".")) {
+        const Token method = expect_ident();
+        auto args = parse_args();
+        expect_punct(";");
+        return call(first.text, maybe_recv.text, method.text,
+                    std::move(args));
+      }
+      // It was the start of an expression: parse the rest with the
+      // identifier as the leading primary.
+      ExprPtr lhs = evar(maybe_recv.text);
+      ExprPtr e = parse_expr_continued(std::move(lhs), 0);
+      expect_punct(";");
+      return assign(first.text, std::move(e));
+    }
+    ExprPtr e = parse_expr();
+    expect_punct(";");
+    return assign(first.text, std::move(e));
+  }
+
+  std::vector<ExprPtr> parse_args() {
+    expect_punct("(");
+    std::vector<ExprPtr> args;
+    if (accept_punct(")")) return args;
+    for (;;) {
+      args.push_back(parse_expr());
+      if (accept_punct(")")) break;
+      expect_punct(",");
+    }
+    return args;
+  }
+
+  // Precedence climbing. Levels: 0 = || ; 1 = && ; 2 = comparisons ;
+  // 3 = + - ; 4 = * %.
+  static int prec_of(const std::string& op) {
+    if (op == "||") return 0;
+    if (op == "&&") return 1;
+    if (op == "==" || op == "!=" || op == "<" || op == "<=") return 2;
+    if (op == "+" || op == "-") return 3;
+    if (op == "*" || op == "%") return 4;
+    return -1;
+  }
+
+  static Expr::Op to_op(const std::string& op) {
+    if (op == "||") return Expr::Op::Or;
+    if (op == "&&") return Expr::Op::And;
+    if (op == "==") return Expr::Op::Eq;
+    if (op == "!=") return Expr::Op::Ne;
+    if (op == "<") return Expr::Op::Lt;
+    if (op == "<=") return Expr::Op::Le;
+    if (op == "+") return Expr::Op::Add;
+    if (op == "-") return Expr::Op::Sub;
+    if (op == "*") return Expr::Op::Mul;
+    return Expr::Op::Mod;
+  }
+
+  ExprPtr parse_expr() { return parse_expr_continued(parse_primary(), 0); }
+
+  ExprPtr parse_expr_continued(ExprPtr lhs, int min_prec) {
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != Token::Kind::Punct) return lhs;
+      const int prec = prec_of(t.text);
+      if (prec < min_prec) return lhs;
+      const std::string op = lex_.take().text;
+      ExprPtr rhs = parse_primary();
+      for (;;) {
+        const Token& t2 = lex_.peek();
+        if (t2.kind != Token::Kind::Punct) break;
+        const int prec2 = prec_of(t2.text);
+        if (prec2 <= prec) break;
+        rhs = parse_expr_continued(std::move(rhs), prec2);
+      }
+      lhs = ebin(to_op(op), std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const Token t = lex_.take();
+    if (t.kind == Token::Kind::Int) return eint(t.value);
+    if (t.kind == Token::Kind::Ident) {
+      if (t.text == "null") return enull();
+      return evar(t.text);
+    }
+    if (t.kind == Token::Kind::Punct) {
+      if (t.text == "(") {
+        ExprPtr e = parse_expr();
+        expect_punct(")");
+        return e;
+      }
+      if (t.text == "!") return eunary(Expr::Op::Not, parse_primary());
+    }
+    throw ParseError("expected expression, got '" + t.text + "'", t.line);
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace semlock::synth

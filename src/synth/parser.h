@@ -1,0 +1,50 @@
+// A small surface language for client programs, so the synthesis can be
+// driven from text (the `semlockc` tool) rather than only from the C++ IR
+// builders. The syntax mirrors the paper's figures:
+//
+//   adt Map;                 // bind type Map to the built-in Map spec
+//   adt Queue(pool);         // bind type Queue to the Pool spec
+//
+//   atomic fig1(Map map, Queue queue, int id, int x, int y, int flag) {
+//     var set: Set;
+//     set = map.get(id);
+//     if (set == null) {
+//       set = new Set();
+//       map.put(id, set);
+//     }
+//     set.add(x);
+//     set.add(y);
+//     if (flag) {
+//       queue.enqueue(set);
+//       map.remove(id);
+//     }
+//   }
+//
+// Expressions support null, integer literals, variables, unary !, and the
+// binary operators == != < <= + - * % && ||.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "synth/ast.h"
+
+namespace semlock::synth {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line)
+      : std::runtime_error("parse error at line " + std::to_string(line) +
+                           ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Parses a program; throws ParseError on malformed input and
+// std::invalid_argument for unknown spec bindings.
+Program parse_program(const std::string& source);
+
+}  // namespace semlock::synth

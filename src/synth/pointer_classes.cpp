@@ -1,0 +1,65 @@
+#include "synth/pointer_classes.h"
+
+#include <stdexcept>
+
+namespace semlock::synth {
+
+PointerClasses PointerClasses::by_type(const Program& program) {
+  PointerClasses pc;
+  for (const auto& section : program.sections) {
+    for (const auto& [var, type] : section.var_types) {
+      pc.class_of_[{section.name, var}] = type;
+      auto [it, inserted] = pc.class_type_.try_emplace(type, type);
+      (void)it;
+      (void)inserted;
+    }
+  }
+  return pc;
+}
+
+void PointerClasses::assign(const std::string& section, const std::string& var,
+                            const std::string& class_key) {
+  auto it = class_of_.find({section, var});
+  if (it == class_of_.end()) {
+    throw std::invalid_argument("assign: unknown pointer variable " + var +
+                                " in section " + section);
+  }
+  const std::string& type = class_type_.at(it->second);
+  auto [tit, inserted] = class_type_.try_emplace(class_key, type);
+  if (!inserted && tit->second != type) {
+    throw std::invalid_argument("assign: class " + class_key +
+                                " mixes ADT types " + tit->second + " and " +
+                                type);
+  }
+  it->second = class_key;
+}
+
+const std::string& PointerClasses::class_of(const std::string& section,
+                                            const std::string& var) const {
+  auto it = class_of_.find({section, var});
+  if (it == class_of_.end()) {
+    throw std::invalid_argument("class_of: unknown pointer variable " + var +
+                                " in section " + section);
+  }
+  return it->second;
+}
+
+std::vector<std::string> PointerClasses::all_classes() const {
+  std::vector<std::string> out;
+  for (const auto& [cls, type] : class_type_) {
+    (void)type;
+    out.push_back(cls);
+  }
+  return out;
+}
+
+const std::string& PointerClasses::type_of_class(
+    const std::string& class_key) const {
+  auto it = class_type_.find(class_key);
+  if (it == class_type_.end()) {
+    throw std::invalid_argument("type_of_class: unknown class " + class_key);
+  }
+  return it->second;
+}
+
+}  // namespace semlock::synth

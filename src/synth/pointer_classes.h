@@ -1,0 +1,47 @@
+// The static finite abstraction of ADT instances (Section 3.2): an
+// equivalence relation on the pointer variables of the atomic sections.
+//
+// Guarantees assumed (and provided by construction here): every runtime ADT
+// instance corresponds to exactly one equivalence class, and every pointer
+// variable is always null or points to an instance of its class.
+//
+// The default abstraction groups variables by their static ADT type — the
+// paper notes this needs no whole-program analysis (Example 3.1). A points-to
+// analysis can refine it via `assign`, as the paper's compiler does with
+// WALA; the synthesis algorithm consumes only the resulting relation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/ast.h"
+
+namespace semlock::synth {
+
+class PointerClasses {
+ public:
+  // One class per ADT type name; the class key is the type name itself.
+  static PointerClasses by_type(const Program& program);
+
+  // Refinement: place (section, var) into `class_key`. The variable's ADT
+  // type must match any existing members of that class.
+  void assign(const std::string& section, const std::string& var,
+              const std::string& class_key);
+
+  const std::string& class_of(const std::string& section,
+                              const std::string& var) const;
+
+  // All class keys, deterministic order.
+  std::vector<std::string> all_classes() const;
+
+  // The ADT type of a class's members.
+  const std::string& type_of_class(const std::string& class_key) const;
+
+ private:
+  // (section, var) -> class key
+  std::map<std::pair<std::string, std::string>, std::string> class_of_;
+  std::map<std::string, std::string> class_type_;  // class key -> ADT type
+};
+
+}  // namespace semlock::synth

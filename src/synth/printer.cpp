@@ -1,0 +1,107 @@
+#include "synth/printer.h"
+
+namespace semlock::synth {
+
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+std::string print_args(const std::vector<ExprPtr>& args) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ",";
+    out += args[i]->to_string();
+  }
+  out += ")";
+  return out;
+}
+
+std::string lock_set_text(const Stmt& s) {
+  return s.lock_all ? "+" : s.lock_set.to_string();
+}
+
+}  // namespace
+
+std::string print_stmt(const Stmt& s, int indent) {
+  const std::string p = pad(indent);
+  switch (s.kind) {
+    case Stmt::Kind::Call: {
+      std::string line = p;
+      if (!s.lhs.empty()) line += s.lhs + " = ";
+      line += s.recv + "." + s.method + print_args(s.args) + ";\n";
+      return line;
+    }
+    case Stmt::Kind::Assign:
+      return p + s.lhs + " = " + s.rhs->to_string() + ";\n";
+    case Stmt::Kind::New:
+      return p + s.lhs + " = new " + s.adt_type + "();\n";
+    case Stmt::Kind::If: {
+      std::string out = p + "if (" + s.cond->to_string() + ") {\n";
+      out += print_block(s.then_block, indent + 1);
+      if (!s.else_block.empty()) {
+        out += p + "} else {\n";
+        out += print_block(s.else_block, indent + 1);
+      }
+      out += p + "}\n";
+      return out;
+    }
+    case Stmt::Kind::While: {
+      std::string out = p + "while (" + s.cond->to_string() + ") {\n";
+      out += print_block(s.body, indent + 1);
+      out += p + "}\n";
+      return out;
+    }
+    case Stmt::Kind::Prologue:
+      return p + "LOCAL_SET.init(); // prologue\n";
+    case Stmt::Kind::Epilogue:
+      return p + "foreach(t : LOCAL_SET) t.unlockAll(); // epilogue\n";
+    case Stmt::Kind::Lock: {
+      if (s.use_local_set) {
+        std::string name =
+            s.lock_vars.size() == 1
+                ? "LV"
+                : "LV" + std::to_string(s.lock_vars.size());
+        std::string out = p + name + "(";
+        for (std::size_t i = 0; i < s.lock_vars.size(); ++i) {
+          if (i) out += ",";
+          out += s.lock_vars[i];
+        }
+        out += "," + lock_set_text(s) + ");\n";
+        return out;
+      }
+      const std::string& x = s.lock_vars.front();
+      std::string out = p;
+      if (s.guard_null) out += "if (" + x + "!=null) ";
+      out += x + ".lock(" + lock_set_text(s) + ");\n";
+      return out;
+    }
+    case Stmt::Kind::UnlockAll: {
+      std::string out = p;
+      if (s.guard_null) out += "if (" + s.unlock_var + "!=null) ";
+      out += s.unlock_var + ".unlockAll();\n";
+      return out;
+    }
+  }
+  return p + "?;\n";
+}
+
+std::string print_block(const Block& block, int indent) {
+  std::string out;
+  for (const auto& s : block) out += print_stmt(*s, indent);
+  return out;
+}
+
+std::string print_section(const AtomicSection& section) {
+  std::string out = "atomic " + section.name + "(";
+  for (std::size_t i = 0; i < section.params.size(); ++i) {
+    if (i) out += ", ";
+    const auto& v = section.params[i];
+    out += (section.is_pointer(v) ? section.type_of(v) : "int") + " " + v;
+  }
+  out += ") {\n";
+  out += print_block(section.body, 1);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace semlock::synth

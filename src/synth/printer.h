@@ -1,0 +1,16 @@
+// Pretty-printer for (instrumented) atomic sections, in the Java-like
+// surface syntax of the paper's figures. Used by golden tests that reproduce
+// Figs. 2, 13–15, 17, 26–28 and by the compiler_tour example.
+#pragma once
+
+#include <string>
+
+#include "synth/ast.h"
+
+namespace semlock::synth {
+
+std::string print_section(const AtomicSection& section);
+std::string print_block(const Block& block, int indent = 0);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+
+}  // namespace semlock::synth

@@ -1,0 +1,215 @@
+#include "synth/restrictions_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "synth/cfg.h"
+
+namespace semlock::synth {
+
+RestrictionsGraph RestrictionsGraph::build(const Program& program,
+                                           const PointerClasses& classes) {
+  RestrictionsGraph g;
+  for (const auto& section : program.sections) {
+    // Every class used by a call is a node.
+    const Cfg cfg = Cfg::build(section);
+    for (int n = 0; n < cfg.num_nodes(); ++n) {
+      const Stmt* s = cfg.node(n).stmt;
+      if (s && s->kind == Stmt::Kind::Call) {
+        g.add_node(classes.class_of(section.name, s->recv));
+      }
+    }
+
+    // For every node `a` assigning a pointer variable y:
+    //   {calls l : l == a or l ->+ a}  x  {calls l' : a ->+ l', recv(l')==y}
+    // contributes edges [recv(l)] -> [y].
+    for (int a = 0; a < cfg.num_nodes(); ++a) {
+      const Stmt* s = cfg.node(a).stmt;
+      if (!s) continue;
+      const std::string y = Cfg::assigned_var(s);
+      if (y.empty() || !section.is_pointer(y)) continue;
+
+      // Calls via y strictly after a.
+      const auto after = cfg.reachable_from(a, /*strict=*/true);
+      bool call_after = false;
+      for (const int l2 : cfg.call_nodes_of(y)) {
+        if (after[static_cast<std::size_t>(l2)]) {
+          call_after = true;
+          break;
+        }
+      }
+      if (!call_after) continue;
+
+      // Calls l with l == a or l ->+ a: reverse BFS from a's predecessors.
+      std::vector<char> before(static_cast<std::size_t>(cfg.num_nodes()), 0);
+      std::deque<int> work;
+      for (const int p : cfg.node(a).in) {
+        if (!before[static_cast<std::size_t>(p)]) {
+          before[static_cast<std::size_t>(p)] = 1;
+          work.push_back(p);
+        }
+      }
+      while (!work.empty()) {
+        const int cur = work.front();
+        work.pop_front();
+        for (const int p : cfg.node(cur).in) {
+          if (!before[static_cast<std::size_t>(p)]) {
+            before[static_cast<std::size_t>(p)] = 1;
+            work.push_back(p);
+          }
+        }
+      }
+      before[static_cast<std::size_t>(a)] = 1;  // l == a allowed
+
+      const std::string cy = classes.class_of(section.name, y);
+      for (int l = 0; l < cfg.num_nodes(); ++l) {
+        if (!before[static_cast<std::size_t>(l)]) continue;
+        const Stmt* ls = cfg.node(l).stmt;
+        if (!ls || ls->kind != Stmt::Kind::Call) continue;
+        g.add_edge(classes.class_of(section.name, ls->recv), cy);
+      }
+    }
+  }
+  return g;
+}
+
+bool RestrictionsGraph::has_edge(const std::string& u,
+                                 const std::string& v) const {
+  auto it = edges_.find(u);
+  return it != edges_.end() && it->second.count(v) != 0;
+}
+
+void RestrictionsGraph::add_edge(const std::string& u, const std::string& v) {
+  nodes_.insert(u);
+  nodes_.insert(v);
+  edges_[u].insert(v);
+}
+
+std::vector<std::vector<std::string>> RestrictionsGraph::cyclic_components()
+    const {
+  // Tarjan's SCC over the string-keyed graph.
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        auto eit = edges_.find(v);
+        if (eit != edges_.end()) {
+          for (const auto& w : eit->second) {
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack[w]) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> comp;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(comp));
+        }
+      };
+
+  for (const auto& n : nodes_) {
+    if (!index.count(n)) strongconnect(n);
+  }
+
+  std::vector<std::vector<std::string>> cyclic;
+  for (auto& comp : sccs) {
+    const bool is_cyclic =
+        comp.size() > 1 || has_edge(comp.front(), comp.front());
+    if (is_cyclic) {
+      std::sort(comp.begin(), comp.end());
+      cyclic.push_back(std::move(comp));
+    }
+  }
+  // Deterministic order for wrapper naming.
+  std::sort(cyclic.begin(), cyclic.end());
+  return cyclic;
+}
+
+std::vector<std::string> RestrictionsGraph::topological_order() const {
+  std::map<std::string, int> indegree;
+  for (const auto& n : nodes_) indegree[n] = 0;
+  for (const auto& [u, vs] : edges_) {
+    for (const auto& v : vs) {
+      if (u != v) ++indegree[v];
+      else throw std::logic_error("topological_order: self-edge on " + u);
+    }
+  }
+  // Kahn's algorithm; ties broken lexicographically for determinism.
+  std::vector<std::string> order;
+  std::set<std::string> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.insert(n);
+  }
+  while (!ready.empty()) {
+    const std::string n = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(n);
+    auto eit = edges_.find(n);
+    if (eit != edges_.end()) {
+      for (const auto& v : eit->second) {
+        if (--indegree[v] == 0) ready.insert(v);
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+void RestrictionsGraph::collapse(
+    const std::vector<std::vector<std::string>>& components,
+    const std::vector<std::string>& replacements) {
+  std::map<std::string, std::string> rename;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    for (const auto& member : components[i]) rename[member] = replacements[i];
+  }
+  auto renamed = [&](const std::string& n) {
+    auto it = rename.find(n);
+    return it == rename.end() ? n : it->second;
+  };
+
+  std::set<std::string> new_nodes;
+  for (const auto& n : nodes_) new_nodes.insert(renamed(n));
+  std::map<std::string, std::set<std::string>> new_edges;
+  for (const auto& [u, vs] : edges_) {
+    for (const auto& v : vs) {
+      const std::string nu = renamed(u);
+      const std::string nv = renamed(v);
+      if (nu == nv) continue;  // wrapper absorbs internal ordering
+      new_edges[nu].insert(nv);
+    }
+  }
+  nodes_ = std::move(new_nodes);
+  edges_ = std::move(new_edges);
+}
+
+std::string RestrictionsGraph::to_string() const {
+  std::string out = "nodes:";
+  for (const auto& n : nodes_) out += " " + n;
+  out += "\nedges:\n";
+  for (const auto& [u, vs] : edges_) {
+    for (const auto& v : vs) out += "  " + u + " -> " + v + "\n";
+  }
+  return out;
+}
+
+}  // namespace semlock::synth

@@ -1,0 +1,54 @@
+// The restrictions-graph (Section 3.2): nodes are pointer equivalence
+// classes; an edge u -> v records that some execution may have to lock an
+// instance of u before an instance of v (because v's pointer is reassigned
+// between the two uses), so the topological order must place u before v.
+//
+// The graph is computed over ALL atomic sections of the program (Fig. 11).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "synth/ast.h"
+#include "synth/pointer_classes.h"
+
+namespace semlock::synth {
+
+class RestrictionsGraph {
+ public:
+  static RestrictionsGraph build(const Program& program,
+                                 const PointerClasses& classes);
+
+  const std::set<std::string>& nodes() const { return nodes_; }
+  const std::map<std::string, std::set<std::string>>& edges() const {
+    return edges_;
+  }
+  bool has_edge(const std::string& u, const std::string& v) const;
+
+  void add_node(const std::string& u) { nodes_.insert(u); }
+  void add_edge(const std::string& u, const std::string& v);
+
+  // Strongly connected components that contain a cycle (size > 1, or a
+  // single node with a self-edge) — the "cyclic components" of Section 3.4.
+  std::vector<std::vector<std::string>> cyclic_components() const;
+
+  // A topological order of the nodes; throws std::logic_error if the graph
+  // still has a cycle (callers must collapse cyclic components first).
+  std::vector<std::string> topological_order() const;
+
+  // Collapses each listed component into the single node `replacement[i]`,
+  // dropping self-edges created by the collapse (the wrapper is a single
+  // always-reachable instance, so no ordering constraint remains within it).
+  void collapse(const std::vector<std::vector<std::string>>& components,
+                const std::vector<std::string>& replacements);
+
+  std::string to_string() const;
+
+ private:
+  std::set<std::string> nodes_;
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+}  // namespace semlock::synth

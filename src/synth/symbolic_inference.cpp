@@ -1,0 +1,78 @@
+#include "synth/symbolic_inference.h"
+
+#include <set>
+
+namespace semlock::synth {
+
+using commute::SymArg;
+using commute::SymbolicSet;
+using commute::SymOp;
+
+commute::SymOp SymbolicInference::symbolic_op_of(const Stmt& call_stmt) {
+  SymOp op;
+  op.method = call_stmt.method;
+  op.args.reserve(call_stmt.args.size());
+  for (const auto& a : call_stmt.args) {
+    if (a->kind == Expr::Kind::Var) {
+      op.args.push_back(SymArg::of_var(a->var));
+    } else if (a->kind == Expr::Kind::Int) {
+      op.args.push_back(SymArg::of_const(a->literal));
+    } else {
+      op.args.push_back(SymArg::star());
+    }
+  }
+  return op;
+}
+
+SymbolicInference SymbolicInference::run(const AtomicSection& section,
+                                         const Cfg& cfg,
+                                         const PointerClasses& classes) {
+  SymbolicInference result;
+
+  // Classes with at least one call in this section.
+  std::set<std::string> used;
+  for (int n = 0; n < cfg.num_nodes(); ++n) {
+    const Stmt* s = cfg.node(n).stmt;
+    if (s && s->kind == Stmt::Kind::Call) {
+      used.insert(classes.class_of(section.name, s->recv));
+    }
+  }
+
+  for (const auto& cls : used) {
+    auto& in = result.in_[cls];
+    in.assign(static_cast<std::size_t>(cfg.num_nodes()), SymbolicSet{});
+
+    // Backward fixpoint: IN[n] = gen(n) ∪ widen_assigned(n)(∪_succ IN[s]).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int n = cfg.num_nodes() - 1; n >= 0; --n) {
+        const Stmt* s = cfg.node(n).stmt;
+        SymbolicSet out;
+        for (const auto& e : cfg.node(n).out) {
+          out.merge(in[static_cast<std::size_t>(e.to)]);
+        }
+        const std::string assigned = Cfg::assigned_var(s);
+        if (!assigned.empty()) out.widen_variable(assigned);
+        if (s && s->kind == Stmt::Kind::Call &&
+            classes.class_of(section.name, s->recv) == cls) {
+          out.insert(symbolic_op_of(*s));
+        }
+        if (!(out == in[static_cast<std::size_t>(n)])) {
+          in[static_cast<std::size_t>(n)] = std::move(out);
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+const commute::SymbolicSet& SymbolicInference::at(const std::string& cls,
+                                                  int node) const {
+  auto it = in_.find(cls);
+  if (it == in_.end()) return empty_;
+  return it->second[static_cast<std::size_t>(node)];
+}
+
+}  // namespace semlock::synth

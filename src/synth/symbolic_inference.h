@@ -1,0 +1,43 @@
+// Backward inference of refined symbolic sets (Section 4).
+//
+// For every pointer equivalence class c and every CFG node n of a section,
+// computes the symbolic set SY(c, n) that conservatively describes the ADT
+// operations that may still be invoked on instances of c at or after n (as
+// seen from the program point just BEFORE n). Crossing an assignment to a
+// variable v widens v to `*` in argument positions, because the ops after
+// the assignment observe a different value of v (this is what turns
+// put(id,set) into put(id,*) in Fig. 2/Fig. 18).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "commute/symbolic.h"
+#include "synth/ast.h"
+#include "synth/cfg.h"
+#include "synth/pointer_classes.h"
+
+namespace semlock::synth {
+
+class SymbolicInference {
+ public:
+  static SymbolicInference run(const AtomicSection& section, const Cfg& cfg,
+                               const PointerClasses& classes);
+
+  // SY(class, node): the set just before executing `node` (includes the
+  // operation of `node` itself when it is a call on `cls`). Empty set for
+  // classes with no calls in the section.
+  const commute::SymbolicSet& at(const std::string& cls, int node) const;
+
+  // Converts a call's argument expressions to symbolic arguments: simple
+  // variables stay symbolic, integer literals become constants, anything
+  // else widens to `*`.
+  static commute::SymOp symbolic_op_of(const Stmt& call_stmt);
+
+ private:
+  std::map<std::string, std::vector<commute::SymbolicSet>> in_;
+  commute::SymbolicSet empty_;
+};
+
+}  // namespace semlock::synth

@@ -1,0 +1,388 @@
+#include "synth/synthesis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "synth/cfg.h"
+#include "synth/symbolic_inference.h"
+
+namespace semlock::synth {
+
+namespace {
+
+using commute::AdtSpec;
+using commute::SymArg;
+using commute::SymbolicSet;
+using commute::SymOp;
+
+// The generic symbolic set "+" of Section 3: every method, all-star args.
+SymbolicSet generic_set(const AdtSpec& spec) {
+  SymbolicSet out;
+  for (const auto& m : spec.methods()) {
+    SymOp op;
+    op.method = m.name;
+    op.args.assign(static_cast<std::size_t>(m.arity), SymArg::star());
+    out.insert(std::move(op));
+  }
+  return out;
+}
+
+// FC[n]: variables with a call at node n or reachable after it.
+std::vector<std::set<std::string>> future_calls(const Cfg& cfg) {
+  std::vector<std::set<std::string>> fc(
+      static_cast<std::size_t>(cfg.num_nodes()));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int n = cfg.num_nodes() - 1; n >= 0; --n) {
+      std::set<std::string> cur;
+      const Stmt* s = cfg.node(n).stmt;
+      if (s && s->kind == Stmt::Kind::Call) cur.insert(s->recv);
+      for (const auto& e : cfg.node(n).out) {
+        const auto& succ = fc[static_cast<std::size_t>(e.to)];
+        cur.insert(succ.begin(), succ.end());
+      }
+      if (cur != fc[static_cast<std::size_t>(n)]) {
+        fc[static_cast<std::size_t>(n)] = std::move(cur);
+        changed = true;
+      }
+    }
+  }
+  return fc;
+}
+
+// Rebuilds blocks with `before[s]` inserted ahead of each statement s.
+void apply_insertions(
+    Block& block,
+    const std::map<const Stmt*, std::vector<StmtPtr>>& before) {
+  Block out;
+  out.reserve(block.size());
+  for (auto& s : block) {
+    auto it = before.find(s.get());
+    if (it != before.end()) {
+      for (const auto& ins : it->second) out.push_back(ins);
+    }
+    apply_insertions(s->then_block, before);
+    apply_insertions(s->else_block, before);
+    apply_insertions(s->body, before);
+    out.push_back(s);
+  }
+  block = std::move(out);
+}
+
+// Kahn's algorithm with a preference list for tie-breaking.
+std::vector<std::string> topo_with_pref(
+    const RestrictionsGraph& g, const std::vector<std::string>& pref) {
+  auto pref_rank = [&](const std::string& n) {
+    for (std::size_t i = 0; i < pref.size(); ++i) {
+      if (pref[i] == n) return static_cast<int>(i);
+    }
+    return static_cast<int>(pref.size());
+  };
+  std::map<std::string, int> indegree;
+  for (const auto& n : g.nodes()) indegree[n] = 0;
+  for (const auto& [u, vs] : g.edges()) {
+    (void)u;
+    for (const auto& v : vs) ++indegree[v];
+  }
+  auto better = [&](const std::string& a, const std::string& b) {
+    const int ra = pref_rank(a), rb = pref_rank(b);
+    if (ra != rb) return ra < rb;
+    return a < b;
+  };
+  std::vector<std::string> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.push_back(n);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end(), better);
+    const std::string n = *it;
+    ready.erase(it);
+    order.push_back(n);
+    auto eit = g.edges().find(n);
+    if (eit != g.edges().end()) {
+      for (const auto& v : eit->second) {
+        if (--indegree[v] == 0) ready.push_back(v);
+      }
+    }
+  }
+  if (order.size() != g.nodes().size()) {
+    throw std::logic_error("synthesize: restrictions-graph still cyclic");
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string SynthesisResult::effective_class(const std::string& section,
+                                             const std::string& var) const {
+  const std::string& cls = classes.class_of(section, var);
+  auto it = wrapper_of.find(cls);
+  return it == wrapper_of.end() ? cls : it->second;
+}
+
+std::string SectionContext::wrapper_key_of(const AtomicSection& section,
+                                           const std::string& v) const {
+  if (!section.is_pointer(v)) return "";
+  const std::string& cls = classes->class_of(section_name, v);
+  auto it = wrapper_of->find(cls);
+  return it == wrapper_of->end() ? "" : it->second;
+}
+
+std::string SectionContext::effective_class_of(const AtomicSection& section,
+                                               const std::string& v) const {
+  if (!section.is_pointer(v)) return "";
+  const std::string& cls = classes->class_of(section_name, v);
+  auto it = wrapper_of->find(cls);
+  return it == wrapper_of->end() ? cls : it->second;
+}
+
+void insert_locking(SynthesisResult& res, const SynthesisOptions& opts) {
+  std::map<std::string, int> order_idx;
+  for (std::size_t i = 0; i < res.class_order.size(); ++i) {
+    order_idx[res.class_order[i]] = static_cast<int>(i);
+  }
+
+  for (auto& section : res.program.sections) {
+    const Cfg cfg = Cfg::build(section);
+    const auto fc = future_calls(cfg);
+    std::optional<SymbolicInference> inf;
+    if (opts.refine_symbolic_sets) {
+      inf = SymbolicInference::run(section, cfg, res.classes);
+    }
+
+    // Member (original) classes of each wrapper, and whether the wrapper
+    // spans multiple ADT types (which namespaces method names).
+    auto members_of = [&](const std::string& wrapper) {
+      std::vector<std::string> out;
+      for (const auto& [member, w] : res.wrapper_of) {
+        if (w == wrapper) out.push_back(member);
+      }
+      return out;
+    };
+
+    std::map<const Stmt*, std::vector<StmtPtr>> before;
+    for (int n = 0; n < cfg.num_nodes(); ++n) {
+      const Stmt* s = cfg.node(n).stmt;
+      if (!s || s->kind != Stmt::Kind::Call) continue;
+      const std::string eff_x = res.effective_class(section.name, s->recv);
+
+      // LS(l): pointer vars y with a future call and [y] <= [recv].
+      std::map<std::string, std::vector<std::string>> groups;
+      for (const auto& [v, type] : section.var_types) {
+        (void)type;
+        if (!fc[static_cast<std::size_t>(n)].count(v)) continue;
+        const std::string eff = res.effective_class(section.name, v);
+        if (order_idx.at(eff) > order_idx.at(eff_x)) continue;
+        groups[eff].push_back(v);
+      }
+
+      std::vector<std::pair<int, StmtPtr>> locks;
+      for (auto& [cls, vars] : groups) {
+        auto lk = std::make_shared<Stmt>();
+        lk->kind = Stmt::Kind::Lock;
+        const bool is_wrapper = res.wrapper_pointer.count(cls) != 0;
+        if (is_wrapper) {
+          lk->wrapper_key = cls;
+          lk->lock_vars = {res.wrapper_pointer.at(cls)};
+        } else {
+          std::sort(vars.begin(), vars.end());
+          lk->lock_vars = vars;
+        }
+        if (opts.refine_symbolic_sets) {
+          lk->lock_all = false;
+          if (is_wrapper) {
+            const auto members = members_of(cls);
+            std::set<std::string> types;
+            for (const auto& m : members) {
+              types.insert(res.classes.type_of_class(m));
+            }
+            SymbolicSet merged;
+            for (const auto& m : members) {
+              SymbolicSet sy = inf->at(m, n);
+              if (types.size() > 1) {
+                SymbolicSet renamed;
+                for (auto op : sy.ops()) {
+                  op.method = res.classes.type_of_class(m) + "." + op.method;
+                  renamed.insert(std::move(op));
+                }
+                sy = std::move(renamed);
+              }
+              merged.merge(sy);
+            }
+            lk->lock_set = std::move(merged);
+          } else {
+            lk->lock_set = inf->at(cls, n);
+          }
+        }
+        locks.emplace_back(order_idx.at(cls), std::move(lk));
+      }
+      std::sort(locks.begin(), locks.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      auto& ins = before[s];
+      for (auto& [rank, lk] : locks) {
+        (void)rank;
+        ins.push_back(std::move(lk));
+      }
+    }
+    apply_insertions(section.body, before);
+
+    auto prologue = std::make_shared<Stmt>();
+    prologue->kind = Stmt::Kind::Prologue;
+    auto epilogue = std::make_shared<Stmt>();
+    epilogue->kind = Stmt::Kind::Epilogue;
+    section.body.insert(section.body.begin(), prologue);
+    section.body.push_back(epilogue);
+  }
+}
+
+namespace {
+
+// Recursive walk over every statement in a block tree.
+template <typename Fn>
+void walk_stmts(Block& block, Fn&& fn) {
+  for (auto& s : block) {
+    fn(*s);
+    walk_stmts(s->then_block, fn);
+    walk_stmts(s->else_block, fn);
+    walk_stmts(s->body, fn);
+  }
+}
+
+// Builds the commutativity spec for a multi-type wrapper ADT: methods are
+// namespaced "Type.m"; same-type pairs inherit the underlying condition,
+// cross-type pairs always commute (distinct types can never be the same
+// instance).
+std::unique_ptr<AdtSpec> make_wrapper_spec(
+    const std::string& name, const std::vector<const AdtSpec*>& member_specs) {
+  AdtSpec::Builder b(name);
+  for (const AdtSpec* ms : member_specs) {
+    for (const auto& m : ms->methods()) {
+      b.method(ms->name() + "." + m.name, m.arity, m.has_result);
+    }
+  }
+  for (const AdtSpec* ms : member_specs) {
+    for (const AdtSpec* ms2 : member_specs) {
+      for (int i = 0; i < ms->num_methods(); ++i) {
+        for (int j = 0; j < ms2->num_methods(); ++j) {
+          const std::string n1 = ms->name() + "." + ms->method(i).name;
+          const std::string n2 = ms2->name() + "." + ms2->method(j).name;
+          if (ms == ms2) {
+            b.commute(n1, n2, ms->condition(i, j));
+          } else {
+            b.commute(n1, n2, commute::CommCondition::always());
+          }
+        }
+      }
+    }
+  }
+  return std::make_unique<AdtSpec>(b.build());
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const Program& input, const PointerClasses& classes,
+                           const SynthesisOptions& opts) {
+  SynthesisResult res;
+  res.classes = classes;
+
+  // Deep-copy the client program (passes mutate statements in place).
+  res.program.adt_types = input.adt_types;
+  for (const auto& section : input.sections) {
+    AtomicSection copy = section;
+    copy.body = clone_block(section.body);
+    res.program.sections.push_back(std::move(copy));
+  }
+
+  // Stage 1: restrictions-graph.
+  res.raw_graph = RestrictionsGraph::build(res.program, classes);
+
+  // Stage 2: collapse cyclic components into global wrapper ADTs.
+  res.graph = res.raw_graph;
+  const auto cyclic = res.raw_graph.cyclic_components();
+  std::vector<std::string> replacements;
+  std::map<std::string, const AdtSpec*> class_spec;  // effective class -> spec
+  for (std::size_t i = 0; i < cyclic.size(); ++i) {
+    const std::string key = "GW" + std::to_string(i + 1);
+    const std::string pointer = "p" + std::to_string(i + 1);
+    replacements.push_back(key);
+    res.wrapper_pointer[key] = pointer;
+    std::vector<const AdtSpec*> member_specs;
+    std::set<const AdtSpec*> seen;
+    for (const auto& member : cyclic[i]) {
+      res.wrapper_of[member] = key;
+      const AdtSpec* spec =
+          res.program.adt_types.at(classes.type_of_class(member));
+      if (seen.insert(spec).second) member_specs.push_back(spec);
+    }
+    if (member_specs.size() == 1) {
+      class_spec[key] = member_specs.front();
+    } else {
+      res.wrapper_specs.push_back(make_wrapper_spec(key, member_specs));
+      class_spec[key] = res.wrapper_specs.back().get();
+    }
+  }
+  res.graph.collapse(cyclic, replacements);
+
+  // Stage 3: topological order + lock insertion.
+  res.class_order = topo_with_pref(res.graph, opts.preferred_order);
+  insert_locking(res, opts);
+
+  // Stage 5 (Appendix A): optimizations.
+  if (opts.optimize) {
+    for (auto& section : res.program.sections) {
+      SectionContext ctx{&res.classes, &res.wrapper_of, section.name};
+      remove_redundant_locks(section, ctx);
+      remove_local_set(section, ctx);
+      early_release(section, ctx);
+      remove_null_checks(section);
+    }
+  }
+
+  // Stage 6: site assignment + mode compilation per effective class.
+  for (auto& section : res.program.sections) {
+    walk_stmts(section.body, [&](Stmt& s) {
+      if (s.kind != Stmt::Kind::Lock) return;
+      const std::string eff =
+          s.wrapper_key.empty()
+              ? res.effective_class(section.name, s.lock_vars.front())
+              : s.wrapper_key;
+      auto [it, inserted] = res.plans.try_emplace(eff);
+      ClassPlan& plan = it->second;
+      if (inserted) {
+        plan.class_key = eff;
+        auto cit = class_spec.find(eff);
+        plan.spec = (cit != class_spec.end())
+                        ? cit->second
+                        : res.program.adt_types.at(
+                              res.classes.type_of_class(eff));
+        for (std::size_t i = 0; i < res.class_order.size(); ++i) {
+          if (res.class_order[i] == eff) {
+            plan.order_index = static_cast<int>(i);
+          }
+        }
+      }
+      const SymbolicSet set =
+          s.lock_all ? generic_set(*plan.spec) : s.lock_set;
+      auto sit = std::find(plan.sites.begin(), plan.sites.end(), set);
+      if (sit == plan.sites.end()) {
+        s.site_id = static_cast<int>(plan.sites.size());
+        plan.sites.push_back(set);
+      } else {
+        s.site_id = static_cast<int>(sit - plan.sites.begin());
+      }
+    });
+  }
+  for (auto& [cls, plan] : res.plans) {
+    (void)cls;
+    plan.table.emplace(
+        ModeTable::compile(*plan.spec, plan.sites, opts.mode_config));
+  }
+
+  return res;
+}
+
+}  // namespace semlock::synth

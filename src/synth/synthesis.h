@@ -1,0 +1,106 @@
+// The synthesis pipeline (Sections 3–5): from a client program with atomic
+// sections to an instrumented program that follows Ordered S2PL, plus the
+// compiled locking-mode tables that implement the semantic locks.
+//
+// Pipeline stages:
+//   1. pointer classes (given) -> restrictions-graph (Section 3.2)
+//   2. cyclic components -> global wrapper ADTs (Section 3.4)
+//   3. topological order -> lock insertion LS(l) (Section 3.3)
+//   4. refined symbolic sets (Section 4) [optional]
+//   5. Appendix-A optimizations [optional]
+//   6. locking-mode compilation per equivalence class (Section 5)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "semlock/mode_table.h"
+#include "synth/ast.h"
+#include "synth/pointer_classes.h"
+#include "synth/restrictions_graph.h"
+
+namespace semlock::synth {
+
+struct SynthesisOptions {
+  // Section 4: refine lock() symbolic sets to the operations actually used;
+  // when false, every lock is lock(+) as in Section 3.
+  bool refine_symbolic_sets = true;
+  // Appendix A: redundant-LV removal, LOCAL_SET elision, early release,
+  // null-check removal.
+  bool optimize = true;
+  // Section 5 mode compilation parameters.
+  ModeTableConfig mode_config{};
+  // Tie-break hint for the topological sort: classes earlier in this list
+  // are preferred when the restrictions-graph leaves the order free (used to
+  // reproduce the paper's figures, e.g. map < set < queue).
+  std::vector<std::string> preferred_order;
+};
+
+// Per-equivalence-class locking plan: the lock sites (symbolic sets) of the
+// final instrumented program and the compiled mode table.
+struct ClassPlan {
+  std::string class_key;  // effective class (may be a wrapper key)
+  const commute::AdtSpec* spec = nullptr;
+  std::vector<commute::SymbolicSet> sites;
+  std::optional<ModeTable> table;
+  int order_index = 0;  // position in the topological order
+};
+
+struct SynthesisResult {
+  Program program;  // deep copy of the input, instrumented
+  PointerClasses classes;
+  RestrictionsGraph raw_graph;  // before cyclic-component collapse
+  RestrictionsGraph graph;      // after collapse (acyclic)
+  std::vector<std::string> class_order;  // topological order of class keys
+
+  // member class -> wrapper class key, for classes absorbed by Section 3.4.
+  std::map<std::string, std::string> wrapper_of;
+  // wrapper class key -> global pointer name ("p1", "p2", ...).
+  std::map<std::string, std::string> wrapper_pointer;
+  // Owned synthesized specs for wrapper ADTs.
+  std::vector<std::unique_ptr<commute::AdtSpec>> wrapper_specs;
+
+  std::map<std::string, ClassPlan> plans;  // keyed by effective class
+
+  // The effective class of (section, var): its pointer class, redirected to
+  // the wrapper when the class was absorbed.
+  std::string effective_class(const std::string& section,
+                              const std::string& var) const;
+};
+
+SynthesisResult synthesize(const Program& input, const PointerClasses& classes,
+                           const SynthesisOptions& opts = SynthesisOptions{});
+
+// --- individual passes, exposed for tests --------------------------------
+
+// Stage 3: inserts Prologue/Epilogue and LV locks so every transaction
+// follows OS2PL, given the (acyclic) class order. `wrapper_of` redirects
+// member classes to wrapper locks. Mutates `result.program` in place.
+void insert_locking(SynthesisResult& result, const SynthesisOptions& opts);
+
+// Shared context for the Appendix-A passes: resolves variables to effective
+// classes and identifies variables absorbed by a wrapper.
+struct SectionContext {
+  const PointerClasses* classes = nullptr;
+  const std::map<std::string, std::string>* wrapper_of = nullptr;
+  std::string section_name;
+
+  // Wrapper key covering pointer variable `v`, or "" if none.
+  std::string wrapper_key_of(const AtomicSection& section,
+                             const std::string& v) const;
+  // Effective class of `v` (wrapper key when wrapped).
+  std::string effective_class_of(const AtomicSection& section,
+                                 const std::string& v) const;
+};
+
+// Appendix A passes (mutate the section in place; each rebuilds its CFG).
+void remove_redundant_locks(AtomicSection& section, const SectionContext& ctx);
+// Returns true if LOCAL_SET was fully elided for this section.
+bool remove_local_set(AtomicSection& section, const SectionContext& ctx);
+void early_release(AtomicSection& section, const SectionContext& ctx);
+void remove_null_checks(AtomicSection& section);
+
+}  // namespace semlock::synth

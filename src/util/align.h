@@ -1,0 +1,27 @@
+// Cache-line alignment helpers shared across the concurrency runtime.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace semlock::util {
+
+// std::hardware_destructive_interference_size is not reliably available on
+// every standard library we target; 64 bytes is correct for all x86-64 and
+// most AArch64 parts this reproduction runs on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wrapper that pads T to a full cache line so that per-thread or per-lock
+// state never false-shares. Intended for arrays of counters/locks indexed by
+// thread id.
+template <typename T>
+struct alignas(kCacheLineSize) CacheLinePadded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace semlock::util

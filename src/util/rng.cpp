@@ -1,0 +1,13 @@
+#include "util/rng.h"
+
+namespace semlock::util {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  SplitMix64 sm(master ^ (0xd1b54a32d192ed03ULL * (stream + 1)));
+  // Burn a few outputs so adjacent streams decorrelate even for tiny masters.
+  sm.next();
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace semlock::util

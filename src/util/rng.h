@@ -1,0 +1,78 @@
+// Deterministic, cheap pseudo-random number generation for workloads.
+//
+// Benchmarks need per-thread RNG streams that are (a) fast enough not to
+// dominate measurement and (b) reproducible across runs given a seed, so the
+// paper's workload mixes (e.g. 35/35/20/10 for Graph) are stable.
+#pragma once
+
+#include <cstdint>
+
+namespace semlock::util {
+
+// SplitMix64 — used for seeding and as a standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna). Public-domain algorithm, implemented
+// from the published reference.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). Uses the widening-multiply trick to avoid
+  // modulo bias for the bounds used by the benchmarks.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial: true with probability pct/100.
+  bool chance_percent(std::uint32_t pct) noexcept {
+    return next_below(100) < pct;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+// Derives statistically independent per-thread seeds from one master seed.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
+
+}  // namespace semlock::util

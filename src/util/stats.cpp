@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace semlock::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+SeriesTable::SeriesTable(std::string row_label, std::string unit)
+    : row_label_(std::move(row_label)), unit_(std::move(unit)) {}
+
+void SeriesTable::set_series(std::vector<std::string> names) {
+  series_ = std::move(names);
+}
+
+void SeriesTable::add_row(double x, std::vector<double> cells) {
+  if (cells.size() != series_.size()) {
+    throw std::invalid_argument("SeriesTable row width mismatch");
+  }
+  rows_.push_back(Row{x, std::move(cells)});
+}
+
+namespace {
+std::string format_cell(double v) {
+  char buf[64];
+  if (v >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string SeriesTable::to_table() const {
+  constexpr int kWidth = 12;
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-*s", kWidth, row_label_.c_str());
+  out += buf;
+  for (const auto& s : series_) {
+    std::snprintf(buf, sizeof(buf), "%*s", kWidth, s.c_str());
+    out += buf;
+  }
+  out += "   [" + unit_ + "]\n";
+  for (const auto& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%-*g", kWidth, row.x);
+    out += buf;
+    for (double c : row.cells) {
+      std::snprintf(buf, sizeof(buf), "%*s", kWidth, format_cell(c).c_str());
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SeriesTable::to_csv() const {
+  std::string out = row_label_;
+  for (const auto& s : series_) {
+    out += ',';
+    out += s;
+  }
+  out += '\n';
+  char buf[64];
+  for (const auto& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%g", row.x);
+    out += buf;
+    for (double c : row.cells) {
+      std::snprintf(buf, sizeof(buf), ",%.4f", c);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace semlock::util

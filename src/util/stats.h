@@ -1,0 +1,45 @@
+// Aggregation and table formatting for benchmark results.
+//
+// Each paper figure is a family of series (one per synchronization strategy)
+// over a sweep of thread counts. SeriesTable collects the measurements and
+// prints them both as an aligned console table and as CSV, so the figures can
+// be regenerated from the bench binaries' output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace semlock::util {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+class SeriesTable {
+ public:
+  // `row_label` names the x-axis (e.g. "threads"); `unit` names the cell
+  // values (e.g. "ops/ms" or "speedup").
+  SeriesTable(std::string row_label, std::string unit);
+
+  void set_series(std::vector<std::string> names);
+  void add_row(double x, std::vector<double> cells);
+
+  // Aligned human-readable table.
+  std::string to_table() const;
+  // Machine-readable CSV (header: row_label,series...).
+  std::string to_csv() const;
+
+  const std::string& unit() const { return unit_; }
+
+ private:
+  std::string row_label_;
+  std::string unit_;
+  std::vector<std::string> series_;
+  struct Row {
+    double x;
+    std::vector<double> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace semlock::util

@@ -1,0 +1,38 @@
+#include "util/thread_team.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+
+namespace semlock::util {
+
+TeamResult run_team(std::size_t num_threads,
+                    const std::function<void(std::size_t)>& body) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(num_threads);
+  // Each worker records its own start/end: on an oversubscribed (or
+  // single-core) machine the coordinating thread can be descheduled across
+  // the whole run, so timing from the outside under-measures wildly.
+  std::vector<Clock::time_point> begins(num_threads), ends(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      start.arrive_and_wait();
+      begins[t] = Clock::now();
+      body(t);
+      ends[t] = Clock::now();
+    });
+  }
+  for (auto& w : workers) w.join();
+  Clock::time_point first = begins[0], last = ends[0];
+  for (std::size_t t = 1; t < num_threads; ++t) {
+    if (begins[t] < first) first = begins[t];
+    if (ends[t] > last) last = ends[t];
+  }
+  return TeamResult{std::chrono::duration<double>(last - first).count()};
+}
+
+}  // namespace semlock::util

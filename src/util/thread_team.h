@@ -1,0 +1,22 @@
+// Fork-join worker team used by every benchmark: spawns N threads, lines them
+// up on a barrier, runs the per-thread body, and reports the wall time of the
+// slowest worker (throughput = total ops / wall time, as in the paper's
+// methodology of timed passes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace semlock::util {
+
+struct TeamResult {
+  double wall_seconds = 0.0;  // time from release to last worker finishing
+};
+
+// Runs `body(thread_id)` on `num_threads` threads after a common start
+// barrier; joins all threads before returning.
+TeamResult run_team(std::size_t num_threads,
+                    const std::function<void(std::size_t)>& body);
+
+}  // namespace semlock::util

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adt/striped_hash_map.h"
+#include "commute/value.h"
+#include "util/rng.h"
+
+namespace semlock::adt {
+namespace {
+
+using commute::Value;
+
+TEST(StripedHashMapTest, PutGetRemove) {
+  StripedHashMap<Value, Value> map;
+  EXPECT_FALSE(map.get(1));
+  EXPECT_TRUE(map.put(1, 10));
+  EXPECT_FALSE(map.put(1, 11));  // overwrite
+  ASSERT_TRUE(map.get(1));
+  EXPECT_EQ(*map.get(1), 11);
+  EXPECT_TRUE(map.contains_key(1));
+  EXPECT_TRUE(map.remove(1));
+  EXPECT_FALSE(map.remove(1));
+  EXPECT_FALSE(map.contains_key(1));
+}
+
+TEST(StripedHashMapTest, PutIfAbsent) {
+  StripedHashMap<Value, Value> map;
+  EXPECT_TRUE(map.put_if_absent(5, 50));
+  EXPECT_FALSE(map.put_if_absent(5, 51));
+  EXPECT_EQ(*map.get(5), 50);
+}
+
+TEST(StripedHashMapTest, SizeAndClear) {
+  StripedHashMap<Value, Value> map;
+  for (Value k = 0; k < 100; ++k) map.put(k, k * 2);
+  EXPECT_EQ(map.size(), 100u);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.get(42));
+}
+
+TEST(StripedHashMapTest, GrowsBeyondInitialBuckets) {
+  StripedHashMap<Value, Value> map(/*num_stripes=*/2,
+                                   /*initial_buckets_per_stripe=*/2);
+  for (Value k = 0; k < 10000; ++k) map.put(k, k);
+  EXPECT_EQ(map.size(), 10000u);
+  for (Value k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(map.get(k)) << k;
+    EXPECT_EQ(*map.get(k), k);
+  }
+}
+
+TEST(StripedHashMapTest, ForEachVisitsAll) {
+  StripedHashMap<Value, Value> map;
+  for (Value k = 0; k < 50; ++k) map.put(k, k + 100);
+  std::set<Value> keys;
+  Value sum = 0;
+  map.for_each([&](const Value& k, const Value& v) {
+    keys.insert(k);
+    sum += v;
+  });
+  EXPECT_EQ(keys.size(), 50u);
+  EXPECT_EQ(sum, 50 * 100 + 49 * 50 / 2);
+}
+
+TEST(StripedHashMapTest, NegativeAndLargeKeys) {
+  StripedHashMap<Value, Value> map;
+  map.put(-7, 1);
+  map.put((1LL << 62) + 3, 2);
+  EXPECT_EQ(*map.get(-7), 1);
+  EXPECT_EQ(*map.get((1LL << 62) + 3), 2);
+}
+
+TEST(StripedHashMapTest, ConcurrentDisjointKeyStress) {
+  StripedHashMap<Value, Value> map(/*num_stripes=*/8);
+  constexpr int kThreads = 4;
+  constexpr Value kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Value base = static_cast<Value>(t) * kPerThread;
+      for (Value k = 0; k < kPerThread; ++k) map.put(base + k, base + k);
+      for (Value k = 0; k < kPerThread; ++k) {
+        ASSERT_TRUE(map.get(base + k));
+      }
+      for (Value k = 0; k < kPerThread; k += 2) map.remove(base + k);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(map.size(), kThreads * kPerThread / 2);
+}
+
+TEST(StripedHashMapTest, ConcurrentSameKeyPutIfAbsentIsAtomic) {
+  StripedHashMap<Value, Value> map;
+  constexpr int kThreads = 4;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (Value k = 0; k < 2000; ++k) {
+        if (map.put_if_absent(k, t)) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 2000);  // exactly one winner per key
+  EXPECT_EQ(map.size(), 2000u);
+}
+
+TEST(StripedHashMapTest, RandomizedAgainstStdMap) {
+  StripedHashMap<Value, Value> map(4, 2);
+  std::map<Value, Value> reference;
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const Value k = static_cast<Value>(rng.next_below(500));
+    switch (rng.next_below(4)) {
+      case 0: {
+        const Value v = static_cast<Value>(rng.next());
+        map.put(k, v);
+        reference[k] = v;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(map.remove(k), reference.erase(k) > 0);
+        break;
+      case 2: {
+        auto got = map.get(k);
+        auto it = reference.find(k);
+        EXPECT_EQ(got.has_value(), it != reference.end());
+        if (got && it != reference.end()) {
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 3:
+        EXPECT_EQ(map.contains_key(k), reference.count(k) != 0);
+        break;
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace semlock::adt

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "paper_programs.h"
+#include "synth/cfg.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::fig1_section;
+using testing::fig9_section;
+
+TEST(CfgTest, StraightLine) {
+  AtomicSection s;
+  s.name = "straight";
+  s.var_types = {{"a", "Set"}};
+  s.body = {callv("a", "add", {eint(1)}), callv("a", "add", {eint(2)})};
+  const Cfg cfg = Cfg::build(s);
+  EXPECT_EQ(cfg.num_nodes(), 4);  // entry + 2 calls + exit
+  const int first = cfg.node_of(s.body[0].get());
+  const int second = cfg.node_of(s.body[1].get());
+  EXPECT_TRUE(cfg.reaches(cfg.entry(), first, true));
+  EXPECT_TRUE(cfg.reaches(first, second, true));
+  EXPECT_FALSE(cfg.reaches(second, first, true));
+  EXPECT_TRUE(cfg.reaches(second, cfg.exit(), true));
+  EXPECT_FALSE(cfg.reaches(first, first, true));  // no loop
+}
+
+TEST(CfgTest, IfBranchesJoin) {
+  AtomicSection s;
+  s.name = "branchy";
+  s.var_types = {{"a", "Set"}};
+  auto then_call = callv("a", "add", {eint(1)});
+  auto else_call = callv("a", "remove", {eint(1)});
+  auto after = callv("a", "clear", {});
+  s.body = {make_if(evar("c"), {then_call}, {else_call}), after};
+  const Cfg cfg = Cfg::build(s);
+  const int nt = cfg.node_of(then_call.get());
+  const int ne = cfg.node_of(else_call.get());
+  const int na = cfg.node_of(after.get());
+  EXPECT_FALSE(cfg.reaches(nt, ne, true));
+  EXPECT_FALSE(cfg.reaches(ne, nt, true));
+  EXPECT_TRUE(cfg.reaches(nt, na, true));
+  EXPECT_TRUE(cfg.reaches(ne, na, true));
+  // `after` postdominates both branches.
+  EXPECT_TRUE(cfg.all_paths_pass_through(nt, na));
+  // A branch does not postdominate the if head.
+  const int head = cfg.node_of(s.body[0].get());
+  EXPECT_FALSE(cfg.all_paths_pass_through(head, nt));
+}
+
+TEST(CfgTest, WhileLoopCreatesCycle) {
+  const AtomicSection s = fig9_section();
+  const Cfg cfg = Cfg::build(s);
+  // The map.get call inside the loop reaches itself through the back edge.
+  const Stmt* get_call = s.body[2]->body[0].get();
+  const int n = cfg.node_of(get_call);
+  ASSERT_GE(n, 0);
+  EXPECT_TRUE(cfg.reaches(n, n, true));
+}
+
+TEST(CfgTest, NullTestRefinements) {
+  const AtomicSection s = fig1_section();
+  const Cfg cfg = Cfg::build(s);
+  const Stmt* if_stmt = s.body[1].get();
+  const int head = cfg.node_of(if_stmt);
+  ASSERT_GE(head, 0);
+  bool saw_isnull = false, saw_nonnull = false;
+  for (const auto& e : cfg.node(head).out) {
+    if (e.refine == CfgEdge::Refine::IsNull && e.var == "set") {
+      saw_isnull = true;
+    }
+    if (e.refine == CfgEdge::Refine::NonNull && e.var == "set") {
+      saw_nonnull = true;
+    }
+  }
+  EXPECT_TRUE(saw_isnull);   // then-branch of set == null
+  EXPECT_TRUE(saw_nonnull);  // fall-through
+}
+
+TEST(CfgTest, DistanceFromEntry) {
+  const AtomicSection s = fig1_section();
+  const Cfg cfg = Cfg::build(s);
+  const auto dist = cfg.distance_from_entry();
+  EXPECT_EQ(dist[static_cast<std::size_t>(cfg.entry())], 0);
+  const int first = cfg.node_of(s.body[0].get());
+  EXPECT_EQ(dist[static_cast<std::size_t>(first)], 1);
+  EXPECT_GT(dist[static_cast<std::size_t>(cfg.exit())], 1);
+}
+
+TEST(CfgTest, CallNodesOf) {
+  const AtomicSection s = fig1_section();
+  const Cfg cfg = Cfg::build(s);
+  EXPECT_EQ(cfg.call_nodes_of("map").size(), 3u);   // get, put, remove
+  EXPECT_EQ(cfg.call_nodes_of("set").size(), 2u);   // add, add
+  EXPECT_EQ(cfg.call_nodes_of("queue").size(), 1u); // enqueue
+  EXPECT_TRUE(cfg.call_nodes_of("nothing").empty());
+}
+
+TEST(CfgTest, AssignedVar) {
+  EXPECT_EQ(Cfg::assigned_var(assign("x", eint(1)).get()), "x");
+  EXPECT_EQ(Cfg::assigned_var(make_new("s", "Set").get()), "s");
+  EXPECT_EQ(Cfg::assigned_var(call("r", "m", "get", {eint(1)}).get()), "r");
+  EXPECT_EQ(Cfg::assigned_var(callv("m", "put", {}).get()), "");
+  EXPECT_EQ(Cfg::assigned_var(nullptr), "");
+}
+
+TEST(CfgTest, EmptySection) {
+  AtomicSection s;
+  s.name = "empty";
+  const Cfg cfg = Cfg::build(s);
+  EXPECT_EQ(cfg.num_nodes(), 2);
+  EXPECT_TRUE(cfg.reaches(cfg.entry(), cfg.exit(), true));
+}
+
+TEST(CfgTest, WhileBodyLoopsBackToTest) {
+  AtomicSection s;
+  s.name = "w";
+  s.var_types = {{"a", "Set"}};
+  auto body_call = callv("a", "add", {evar("i")});
+  s.body = {make_while(elt(evar("i"), evar("n")), {body_call})};
+  const Cfg cfg = Cfg::build(s);
+  const int head = cfg.node_of(s.body[0].get());
+  const int body = cfg.node_of(body_call.get());
+  EXPECT_TRUE(cfg.reaches(head, body, true));
+  EXPECT_TRUE(cfg.reaches(body, head, true));
+  EXPECT_TRUE(cfg.reaches(head, cfg.exit(), true));  // zero-iteration path
+}
+
+}  // namespace
+}  // namespace semlock::synth

@@ -1,0 +1,291 @@
+// Concurrency property tests: atomicity, deadlock-freedom and protocol
+// compliance of synthesized sections executed from many threads through the
+// interpreter, and of the hand-written "generated form" used in benchmarks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "paper_programs.h"
+#include "semlock/semantic_lock.h"
+#include "synth/interpreter.h"
+#include "synth/synthesis.h"
+#include "util/rng.h"
+
+namespace semlock::synth {
+namespace {
+
+SynthesisOptions options() {
+  SynthesisOptions opts;
+  opts.preferred_order = {"Map", "Set", "Queue"};
+  opts.mode_config.abstract_values = 8;
+  return opts;
+}
+
+// ComputeIfAbsent atomicity: the classic bug this paper (and [22]) targets.
+// Under broken synchronization two threads both observe "absent" and both
+// insert; here every key must be inserted exactly once.
+TEST(ConcurrencyProperty, ComputeIfAbsentInsertsOnce) {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Counter", &commute::counter_spec()}};
+  AtomicSection s;
+  s.name = "cia";
+  s.var_types = {{"m", "Map"}, {"c", "Counter"}};
+  s.params = {"m", "c", "k"};
+  s.body = {
+      call("present", "m", "containsKey", {evar("k")}),
+      make_if(eeq(evar("present"), eint(0)),
+              {
+                  callv("m", "put", {evar("k"), eint(1)}),
+                  callv("c", "inc", {}),  // counts real insertions
+              }),
+  };
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* counter = heap.create("Counter");
+
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 64;
+  constexpr int kOpsPerThread = 3000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(99, t));
+      Interpreter interp(heap);
+      for (int i = 0; i < kOpsPerThread && !failed.load(); ++i) {
+        Interpreter::Env env;
+        env["m"] = RtValue::of_ref(map);
+        env["c"] = RtValue::of_ref(counter);
+        env["k"] = RtValue::of_int(static_cast<commute::Value>(
+            rng.next_below(kKeys)));
+        try {
+          interp.run("cia", env);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+  // Exactly one insertion per key: counter == map size == kKeys.
+  EXPECT_EQ(map->invoke("size", {}).i, kKeys);
+  EXPECT_EQ(counter->invoke("read", {}).i, kKeys);
+}
+
+// The Fig. 1 section under concurrency: every transaction adds two elements
+// atomically, so any set ever observed in the queue has an even size... more
+// strongly, the total number of elements moved through the system balances.
+TEST(ConcurrencyProperty, Fig1ConcurrentFlows) {
+  const Program p = testing::fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1500;
+  constexpr int kIds = 16;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(7, t));
+      Interpreter interp(heap);
+      for (int i = 0; i < kOpsPerThread && !failed.load(); ++i) {
+        Interpreter::Env env;
+        env["map"] = RtValue::of_ref(map);
+        env["queue"] = RtValue::of_ref(queue);
+        env["id"] = RtValue::of_int(static_cast<commute::Value>(
+            rng.next_below(kIds)));
+        env["x"] = RtValue::of_int(static_cast<commute::Value>(
+            rng.next_below(1000)));
+        env["y"] = RtValue::of_int(static_cast<commute::Value>(
+            rng.next_below(1000)));
+        env["flag"] = RtValue::of_int(rng.chance_percent(20) ? 1 : 0);
+        try {
+          interp.run("fig1", env);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+  // Drain: every id is either absent or maps to a live set; queue holds the
+  // flushed sets. No exceptions => no protocol violations under load.
+  EXPECT_LE(map->invoke("size", {}).i, kIds);
+}
+
+// Deadlock-freedom: two section shapes locking the same two classes — OS2PL
+// forces a single global order, so no interleaving can deadlock. Watchdog
+// fails the test if the workers stall.
+TEST(ConcurrencyProperty, NoDeadlockAcrossSections) {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  AtomicSection s1;
+  s1.name = "ab";
+  s1.var_types = {{"m", "Map"}, {"s", "Set"}};
+  s1.params = {"m", "s", "k"};
+  s1.body = {callv("m", "put", {evar("k"), eint(1)}),
+             callv("s", "add", {evar("k")})};
+  AtomicSection s2;
+  s2.name = "ba";  // textually reversed: uses the Set first
+  s2.var_types = {{"m", "Map"}, {"s", "Set"}};
+  s2.params = {"m", "s", "k"};
+  s2.body = {callv("s", "remove", {evar("k")}),
+             callv("m", "remove", {evar("k")})};
+  p.sections = {s1, s2};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+
+  // The synthesized order is shared by both sections, so "ba" must lock the
+  // Map before invoking the Set (hoisted lock).
+  Heap heap(res);
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* set = heap.create("Set");
+
+  std::atomic<long> done{0};
+  constexpr int kThreads = 4;
+  constexpr long kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(13, t));
+      Interpreter interp(heap);
+      for (long i = 0; i < kOps; ++i) {
+        Interpreter::Env env;
+        env["m"] = RtValue::of_ref(map);
+        env["s"] = RtValue::of_ref(set);
+        env["k"] = RtValue::of_int(static_cast<commute::Value>(
+            rng.next_below(4)));  // high conflict rate
+        interp.run(rng.chance_percent(50) ? "ab" : "ba", env);
+        done.fetch_add(1);
+      }
+    });
+  }
+  // Watchdog: if the threads deadlock, `done` stops advancing.
+  long last = -1;
+  for (int checks = 0; checks < 600; ++checks) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const long now = done.load();
+    if (now == kThreads * kOps) break;
+    ASSERT_NE(now, last) << "no progress: probable deadlock";
+    last = now;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(done.load(), kThreads * kOps);
+}
+
+// Bank-transfer atomicity through the account spec: deposits and
+// withdrawals commute, so transfers run in parallel, yet the global sum is
+// preserved (no torn transfers).
+TEST(ConcurrencyProperty, TransfersPreserveTotal) {
+  Program p;
+  p.adt_types = {{"Account", &commute::account_spec()}};
+  AtomicSection s;
+  s.name = "transfer";
+  s.var_types = {{"from", "Account"}, {"to", "Account"}};
+  s.params = {"from", "to", "amt"};
+  s.body = {callv("from", "withdraw", {evar("amt")}),
+            callv("to", "deposit", {evar("amt")})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+
+  constexpr int kAccounts = 8;
+  std::vector<AdtInstance*> accounts;
+  for (int i = 0; i < kAccounts; ++i) {
+    AdtInstance* a = heap.create("Account");
+    a->invoke("deposit", {RtValue::of_int(1000)});
+    accounts.push_back(a);
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(31, t));
+      Interpreter interp(heap);
+      for (int i = 0; i < 3000 && !failed.load(); ++i) {
+        const auto a = rng.next_below(kAccounts);
+        auto b = rng.next_below(kAccounts);
+        if (b == a) b = (b + 1) % kAccounts;
+        Interpreter::Env env;
+        env["from"] = RtValue::of_ref(accounts[a]);
+        env["to"] = RtValue::of_ref(accounts[b]);
+        env["amt"] = RtValue::of_int(
+            static_cast<commute::Value>(rng.next_below(10)));
+        try {
+          interp.run("transfer", env);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+  commute::Value total = 0;
+  for (AdtInstance* a : accounts) total += a->invoke("balance", {}).i;
+  EXPECT_EQ(total, kAccounts * 1000);
+}
+
+// The wrapper path under concurrency (Fig. 9): summing through the global
+// wrapper must be deadlock-free and protocol-clean.
+TEST(ConcurrencyProperty, WrapperSectionsConcurrent) {
+  const Program p = testing::fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  AdtInstance* map = heap.create("Map");
+  for (int i = 0; i < 8; ++i) {
+    AdtInstance* set = heap.create("Set");
+    set->invoke("add", {RtValue::of_int(i)});
+    map->invoke("put", {RtValue::of_int(i), RtValue::of_ref(set)});
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Interpreter interp(heap);
+      for (int i = 0; i < 300 && !failed.load(); ++i) {
+        Interpreter::Env env;
+        env["map"] = RtValue::of_ref(map);
+        env["n"] = RtValue::of_int(8);
+        try {
+          const auto out = interp.run("loop", env);
+          if (out.at("sum").i != 8) {
+            ADD_FAILURE() << "non-atomic sum " << out.at("sum").i;
+            failed.store(true);
+          }
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace semlock::synth

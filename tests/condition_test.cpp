@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "commute/condition.h"
+
+namespace semlock::commute {
+namespace {
+
+TEST(Condition, AlwaysNever) {
+  EXPECT_TRUE(CommCondition::always().evaluate({}, {}));
+  EXPECT_FALSE(CommCondition::never().evaluate({}, {}));
+  EXPECT_EQ(CommCondition::always().to_string(), "true");
+  EXPECT_EQ(CommCondition::never().to_string(), "false");
+}
+
+TEST(Condition, SingleDiffer) {
+  const auto c = CommCondition::differ(0, 0);
+  EXPECT_TRUE(c.evaluate({1}, {2}));
+  EXPECT_FALSE(c.evaluate({7}, {7}));
+}
+
+TEST(Condition, DifferCrossIndices) {
+  // op1.args[1] != op2.args[0]
+  const auto c = CommCondition::differ(1, 0);
+  EXPECT_TRUE(c.evaluate({0, 5}, {6}));
+  EXPECT_FALSE(c.evaluate({0, 5}, {5}));
+}
+
+TEST(Condition, AllDifferIsConjunction) {
+  const auto c = CommCondition::all_differ({{0, 0}, {1, 1}});
+  EXPECT_TRUE(c.evaluate({1, 2}, {3, 4}));
+  EXPECT_FALSE(c.evaluate({1, 2}, {1, 4}));
+  EXPECT_FALSE(c.evaluate({1, 2}, {3, 2}));
+}
+
+TEST(Condition, AnyDifferIsDisjunction) {
+  // Multimap put/removeEntry: commute unless BOTH key and value match.
+  const auto c = CommCondition::any_differ({{0, 0}, {1, 1}});
+  EXPECT_TRUE(c.evaluate({1, 2}, {1, 3}));
+  EXPECT_TRUE(c.evaluate({1, 2}, {4, 2}));
+  EXPECT_FALSE(c.evaluate({1, 2}, {1, 2}));
+}
+
+TEST(Condition, MirroredSwapsRoles) {
+  const auto c = CommCondition::differ(1, 0);  // op1.arg1 != op2.arg0
+  const auto m = c.mirrored();                 // op1.arg0 != op2.arg1
+  EXPECT_TRUE(c.evaluate({0, 5}, {9}));
+  EXPECT_TRUE(m.evaluate({9}, {0, 5}));
+  EXPECT_FALSE(m.evaluate({5}, {0, 5}));
+}
+
+TEST(Condition, MirroredPreservesAlwaysNever) {
+  EXPECT_EQ(CommCondition::always().mirrored().kind(),
+            CommCondition::Kind::Always);
+  EXPECT_EQ(CommCondition::never().mirrored().kind(),
+            CommCondition::Kind::Never);
+}
+
+TEST(Condition, EmptyDnfIsNever) {
+  EXPECT_EQ(CommCondition::dnf({}).kind(), CommCondition::Kind::Never);
+}
+
+TEST(Condition, OutOfRangeArgThrows) {
+  const auto c = CommCondition::differ(2, 0);
+  EXPECT_THROW(c.evaluate({1}, {2}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace semlock::commute

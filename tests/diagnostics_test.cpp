@@ -1,0 +1,91 @@
+// Compiler robustness: malformed clients are rejected with diagnostics
+// rather than producing unsound synchronization.
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+SynthesisOptions options() {
+  SynthesisOptions opts;
+  opts.mode_config.abstract_values = 4;
+  return opts;
+}
+
+TEST(Diagnostics, UnknownMethodRejectedAtModeCompilation) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "bad";
+  s.var_types = {{"a", "Set"}};
+  s.params = {"a"};
+  s.body = {callv("a", "frobnicate", {eint(1)})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  EXPECT_THROW(synthesize(p, classes, options()), std::invalid_argument);
+}
+
+TEST(Diagnostics, ArityMismatchRejected) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "bad";
+  s.var_types = {{"a", "Set"}};
+  s.params = {"a"};
+  s.body = {callv("a", "add", {eint(1), eint(2)})};  // add is unary
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  EXPECT_THROW(synthesize(p, classes, options()), std::invalid_argument);
+}
+
+TEST(Diagnostics, UnknownAdtTypeRejected) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "bad";
+  s.var_types = {{"a", "Hyperloglog"}};  // type never registered
+  s.params = {"a"};
+  s.body = {callv("a", "add", {eint(1)})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  EXPECT_THROW(synthesize(p, classes, options()), std::out_of_range);
+}
+
+TEST(Diagnostics, UndeclaredReceiverRejected) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "bad";
+  s.var_types = {{"a", "Set"}};
+  s.params = {"a"};
+  s.body = {callv("ghost", "add", {eint(1)})};  // `ghost` never declared
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  EXPECT_THROW(synthesize(p, classes, options()), std::invalid_argument);
+}
+
+TEST(Diagnostics, EmptyProgramIsFine) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  EXPECT_TRUE(res.program.sections.empty());
+  EXPECT_TRUE(res.plans.empty());
+}
+
+TEST(Diagnostics, SectionWithNoAdtCallsIsFine) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "pure";
+  s.body = {assign("x", eint(1)), assign("y", eadd(evar("x"), eint(2)))};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  EXPECT_TRUE(res.plans.empty());
+}
+
+}  // namespace
+}  // namespace semlock::synth

@@ -1,0 +1,140 @@
+// Differential testing across synchronization strategies: under a fixed
+// single-threaded operation sequence every strategy must produce identical
+// observable results — the synchronization choice may change timing, never
+// semantics. Catches divergence between the semantic-locking path and the
+// baselines (e.g. a mode that admits too much concurrency would usually
+// also corrupt single-threaded state through a wrong code path).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/cache_module.h"
+#include "apps/compute_if_absent.h"
+#include "apps/gossip_router.h"
+#include "apps/graph_module.h"
+#include "apps/intruder.h"
+#include "util/rng.h"
+
+namespace semlock::apps {
+namespace {
+
+using commute::Value;
+
+TEST(Differential, ComputeIfAbsentMapSizes) {
+  CiaParams params;
+  params.key_range = 512;
+  std::vector<std::size_t> sizes;
+  for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
+                           Strategy::Manual, Strategy::V8}) {
+    auto m = make_cia_module(s, params);
+    util::Xoshiro256 rng(99);
+    for (int i = 0; i < 5000; ++i) {
+      m->compute_if_absent(static_cast<Value>(rng.next_below(512)));
+    }
+    sizes.push_back(m->map_size());
+  }
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[0]);
+  }
+}
+
+TEST(Differential, GraphDegreeSequences) {
+  GraphParams params;
+  params.node_range = 128;
+  std::vector<std::vector<std::size_t>> degrees;
+  for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
+                           Strategy::Manual}) {
+    auto g = make_graph_module(s, params);
+    util::Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+      const Value a = static_cast<Value>(rng.next_below(128));
+      const Value b = static_cast<Value>(rng.next_below(128));
+      if (rng.chance_percent(70)) {
+        g->insert_edge(a, b);
+      } else {
+        g->remove_edge(a, b);
+      }
+    }
+    std::vector<std::size_t> deg;
+    for (Value n = 0; n < 128; ++n) {
+      deg.push_back(g->find_successors(n));
+      deg.push_back(g->find_predecessors(n));
+    }
+    degrees.push_back(std::move(deg));
+  }
+  for (std::size_t i = 1; i < degrees.size(); ++i) {
+    EXPECT_EQ(degrees[i], degrees[0]);
+  }
+}
+
+TEST(Differential, CacheObservableValues) {
+  CacheParams params;
+  params.size = 64;  // frequent demotions
+  std::vector<std::vector<Value>> observations;
+  for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
+                           Strategy::Manual}) {
+    auto c = make_cache_module(s, params);
+    util::Xoshiro256 rng(13);
+    std::vector<Value> obs;
+    for (int i = 0; i < 5000; ++i) {
+      const Value k = static_cast<Value>(rng.next_below(256));
+      if (rng.chance_percent(30)) {
+        c->put(k, k * 3);
+      } else {
+        const auto v = c->get(k);
+        obs.push_back(v ? *v : -1);
+      }
+    }
+    observations.push_back(std::move(obs));
+  }
+  for (std::size_t i = 1; i < observations.size(); ++i) {
+    EXPECT_EQ(observations[i], observations[0]);
+  }
+}
+
+TEST(Differential, IntruderCounts) {
+  IntruderParams params;
+  params.num_flows = 600;
+  const auto trace = PacketTrace::generate(params);
+  std::vector<std::pair<std::size_t, std::size_t>> counts;
+  for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
+                           Strategy::Manual}) {
+    auto system = make_intruder_system(s, params);
+    for (const auto& p : trace.packets) system->process(p);
+    counts.emplace_back(system->flows_detected(), system->attacks_found());
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[0]);
+  }
+  EXPECT_EQ(counts[0].second, trace.num_attacks);
+}
+
+TEST(Differential, GossipSendCounts) {
+  GossipParams params;
+  params.num_groups = 3;
+  std::vector<std::uint64_t> totals;
+  for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
+                           Strategy::Manual}) {
+    auto r = make_gossip_router(s, params);
+    util::Xoshiro256 rng(5);
+    for (Value g = 0; g < 3; ++g) {
+      for (Value a = 0; a < 8; ++a) r->register_member(g, g * 10 + a);
+    }
+    for (int i = 0; i < 3000; ++i) {
+      const Value g = static_cast<Value>(rng.next_below(3));
+      if (rng.chance_percent(5)) {
+        const Value a = g * 10 + static_cast<Value>(rng.next_below(8));
+        r->unregister_member(g, a);
+        r->register_member(g, a);
+      }
+      r->route(g, i);
+    }
+    totals.push_back(r->total_sends());
+  }
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], totals[0]);
+  }
+}
+
+}  // namespace
+}  // namespace semlock::apps

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/harness.h"
+
+namespace semlock::apps {
+namespace {
+
+struct CountingState {
+  std::atomic<long> ops{0};
+  std::atomic<int> constructions;
+  explicit CountingState(std::atomic<int>& ctor_counter)
+      : constructions(0) {
+    ctor_counter.fetch_add(1);
+  }
+};
+
+TEST(Harness, RunsWarmupPlusTimedPassesWithFreshState) {
+  std::atomic<int> constructions{0};
+  SweepConfig cfg;
+  cfg.ops_per_thread = 100;
+  cfg.warmup_passes = 1;
+  cfg.timed_passes = 2;
+  std::atomic<long> total_ops{0};
+  const double tput = measure<CountingState>(
+      cfg, 2, [&] { return std::make_unique<CountingState>(constructions); },
+      [&](CountingState& s, std::size_t, util::Xoshiro256&,
+          std::size_t ops) {
+        s.ops.fetch_add(static_cast<long>(ops));
+        total_ops.fetch_add(static_cast<long>(ops));
+      });
+  EXPECT_EQ(constructions.load(), 3);       // 1 warmup + 2 timed
+  EXPECT_EQ(total_ops.load(), 3 * 2 * 100); // passes * threads * ops
+  EXPECT_GT(tput, 0.0);
+}
+
+TEST(Harness, SeedsAreStableAcrossRuns) {
+  SweepConfig cfg;
+  cfg.ops_per_thread = 50;
+  cfg.warmup_passes = 0;
+  cfg.timed_passes = 1;
+  std::atomic<std::uint64_t> digest1{0}, digest2{0};
+  auto body = [](std::atomic<std::uint64_t>& digest) {
+    return [&digest](CountingState&, std::size_t, util::Xoshiro256& rng,
+                     std::size_t ops) {
+      std::uint64_t local = 0;
+      for (std::size_t i = 0; i < ops; ++i) local ^= rng.next();
+      digest.fetch_xor(local);
+    };
+  };
+  std::atomic<int> ctor{0};
+  measure<CountingState>(
+      cfg, 3, [&] { return std::make_unique<CountingState>(ctor); },
+      body(digest1));
+  measure<CountingState>(
+      cfg, 3, [&] { return std::make_unique<CountingState>(ctor); },
+      body(digest2));
+  EXPECT_EQ(digest1.load(), digest2.load());
+}
+
+}  // namespace
+}  // namespace semlock::apps

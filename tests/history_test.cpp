@@ -1,0 +1,217 @@
+// The conflict-serializability checker, and the empirical validation of the
+// paper's Section 2.3 claim: every S2PL execution produced by the
+// synthesized locking is conflict-serializable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "paper_programs.h"
+#include "semlock/history.h"
+#include "synth/interpreter.h"
+#include "synth/synthesis.h"
+#include "util/rng.h"
+
+namespace semlock {
+namespace {
+
+using commute::Value;
+
+HistoryEvent ev(std::uint64_t seq, std::uint64_t txn, const void* inst,
+                const commute::AdtSpec& spec, const std::string& method,
+                std::vector<Value> args) {
+  HistoryEvent e;
+  e.seq = seq;
+  e.txn = txn;
+  e.instance = inst;
+  e.spec = &spec;
+  e.method = spec.method_index(method);
+  e.args = std::move(args);
+  return e;
+}
+
+TEST(SerializabilityChecker, EmptyAndSingleTxn) {
+  EXPECT_TRUE(check_conflict_serializability({}).serializable);
+  const auto& spec = commute::map_spec();
+  int x;
+  std::vector<HistoryEvent> h = {
+      ev(0, 1, &x, spec, "put", {1, 10}),
+      ev(1, 1, &x, spec, "get", {1}),
+  };
+  const auto r = check_conflict_serializability(h);
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.precedence_edges, 0u);  // same txn: no edges
+}
+
+TEST(SerializabilityChecker, CommutingOpsAddNoEdges) {
+  const auto& spec = commute::map_spec();
+  int x;
+  std::vector<HistoryEvent> h = {
+      ev(0, 1, &x, spec, "put", {1, 10}),
+      ev(1, 2, &x, spec, "put", {2, 20}),  // different key: commutes
+      ev(2, 1, &x, spec, "get", {1}),
+      ev(3, 2, &x, spec, "get", {2}),
+  };
+  const auto r = check_conflict_serializability(h);
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.precedence_edges, 0u);
+}
+
+TEST(SerializabilityChecker, DifferentInstancesNeverConflict) {
+  const auto& spec = commute::map_spec();
+  int x, y;
+  std::vector<HistoryEvent> h = {
+      ev(0, 1, &x, spec, "put", {1, 10}),
+      ev(1, 2, &y, spec, "put", {1, 20}),  // same key, other instance
+  };
+  EXPECT_EQ(check_conflict_serializability(h).precedence_edges, 0u);
+}
+
+TEST(SerializabilityChecker, DetectsClassicCycle) {
+  // T1 reads X[k] before T2 writes it; T2 reads X[j] before T1 writes it:
+  // T1 -> T2 and T2 -> T1.
+  const auto& spec = commute::map_spec();
+  int x;
+  std::vector<HistoryEvent> h = {
+      ev(0, 1, &x, spec, "get", {1}),
+      ev(1, 2, &x, spec, "put", {1, 99}),
+      ev(2, 2, &x, spec, "get", {2}),
+      ev(3, 1, &x, spec, "put", {2, 77}),
+  };
+  const auto r = check_conflict_serializability(h);
+  EXPECT_FALSE(r.serializable);
+  EXPECT_GE(r.cycle.size(), 2u);
+  EXPECT_NE(r.to_string().find("NOT serializable"), std::string::npos);
+}
+
+TEST(SerializabilityChecker, LinearChainIsSerializable) {
+  const auto& spec = commute::set_spec();
+  int x;
+  std::vector<HistoryEvent> h = {
+      ev(0, 1, &x, spec, "add", {5}),
+      ev(1, 2, &x, spec, "remove", {5}),   // T1 -> T2
+      ev(2, 3, &x, spec, "contains", {5}), // T2 -> T3
+  };
+  const auto r = check_conflict_serializability(h);
+  EXPECT_TRUE(r.serializable);
+  EXPECT_EQ(r.precedence_edges, 3u);  // 1->2, 1->3, 2->3
+}
+
+// --- Empirical validation: synthesized locking yields serializable runs ----
+
+synth::SynthesisOptions options() {
+  synth::SynthesisOptions opts;
+  opts.preferred_order = {"Map", "Set", "Queue"};
+  opts.mode_config.abstract_values = 8;
+  return opts;
+}
+
+TEST(SerializabilityEmpirical, Fig1ConcurrentHistoryIsSerializable) {
+  const synth::Program p = synth::testing::fig1_program();
+  const auto classes = synth::PointerClasses::by_type(p);
+  const auto res = synth::synthesize(p, classes, options());
+  synth::Heap heap(res);
+  HistoryRecorder recorder;
+
+  synth::AdtInstance* map = heap.create("Map");
+  synth::AdtInstance* queue = heap.create("Queue");
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(61, t));
+      synth::InterpreterOptions iopts;
+      iopts.recorder = &recorder;
+      synth::Interpreter interp(heap, iopts);
+      for (int i = 0; i < 800 && !failed.load(); ++i) {
+        synth::Interpreter::Env env;
+        env["map"] = synth::RtValue::of_ref(map);
+        env["queue"] = synth::RtValue::of_ref(queue);
+        env["id"] = synth::RtValue::of_int(
+            static_cast<Value>(rng.next_below(8)));
+        env["x"] = synth::RtValue::of_int(rng.next_in(0, 99));
+        env["y"] = synth::RtValue::of_int(rng.next_in(0, 99));
+        env["flag"] = synth::RtValue::of_int(rng.chance_percent(25) ? 1 : 0);
+        try {
+          interp.run("fig1", env);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+
+  const auto events = recorder.snapshot();
+  EXPECT_GT(events.size(), 5000u);
+  const auto report = check_conflict_serializability(events);
+  EXPECT_TRUE(report.serializable) << report.to_string();
+  EXPECT_GT(report.precedence_edges, 0u);  // the runs really did conflict
+}
+
+TEST(SerializabilityEmpirical, MixedSectionsHistoryIsSerializable) {
+  // Both Fig. 1 and Fig. 7 sections interleaved over shared instances.
+  const synth::Program p = synth::testing::combined_program();
+  const auto classes = synth::PointerClasses::by_type(p);
+  const auto res = synth::synthesize(p, classes, options());
+  synth::Heap heap(res);
+  HistoryRecorder recorder;
+
+  synth::AdtInstance* map = heap.create("Map");
+  synth::AdtInstance* queue = heap.create("Queue");
+  synth::AdtInstance* sa = heap.create("Set");
+  synth::AdtInstance* sb = heap.create("Set");
+  map->invoke("put", {synth::RtValue::of_int(100),
+                      synth::RtValue::of_ref(sa)});
+  map->invoke("put", {synth::RtValue::of_int(101),
+                      synth::RtValue::of_ref(sb)});
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(71, t));
+      synth::InterpreterOptions iopts;
+      iopts.recorder = &recorder;
+      synth::Interpreter interp(heap, iopts);
+      for (int i = 0; i < 500 && !failed.load(); ++i) {
+        synth::Interpreter::Env env;
+        try {
+          if (rng.chance_percent(50)) {
+            env["map"] = synth::RtValue::of_ref(map);
+            env["queue"] = synth::RtValue::of_ref(queue);
+            env["id"] = synth::RtValue::of_int(
+                static_cast<Value>(rng.next_below(6)));
+            env["x"] = synth::RtValue::of_int(rng.next_in(0, 30));
+            env["y"] = synth::RtValue::of_int(rng.next_in(0, 30));
+            env["flag"] =
+                synth::RtValue::of_int(rng.chance_percent(20) ? 1 : 0);
+            interp.run("fig1", env);
+          } else {
+            env["m"] = synth::RtValue::of_ref(map);
+            env["q"] = synth::RtValue::of_ref(queue);
+            env["key1"] = synth::RtValue::of_int(100);
+            env["key2"] = synth::RtValue::of_int(101);
+            interp.run("g", env);
+          }
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+
+  const auto report = check_conflict_serializability(recorder.snapshot());
+  EXPECT_TRUE(report.serializable) << report.to_string();
+}
+
+}  // namespace
+}  // namespace semlock

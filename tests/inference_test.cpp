@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "paper_programs.h"
+#include "synth/cfg.h"
+#include "synth/symbolic_inference.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::fig1_section;
+using testing::fig9_section;
+
+std::vector<std::string> canon(const commute::SymbolicSet& s) {
+  std::vector<std::string> out;
+  for (const auto& o : s.ops()) out.push_back(o.to_string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class Fig18Test : public ::testing::Test {
+ protected:
+  Fig18Test()
+      : section(fig1_section()),
+        cfg(Cfg::build(section)),
+        classes([this] {
+          Program p;
+          p.adt_types = {{"Map", &commute::map_spec()},
+                         {"Set", &commute::set_spec()},
+                         {"Queue", &commute::pool_spec()}};
+          p.sections = {section};
+          return PointerClasses::by_type(p);
+        }()),
+        inference(SymbolicInference::run(section, cfg, classes)) {}
+
+  const commute::SymbolicSet& map_at(const Stmt* s) {
+    return inference.at("Map", cfg.node_of(s));
+  }
+
+  AtomicSection section;
+  Cfg cfg;
+  PointerClasses classes;
+  SymbolicInference inference;
+};
+
+// Fig. 18, line by line: the inferred symbolic sets for the Map class.
+TEST_F(Fig18Test, AtSectionStart) {
+  // Line 1: {get(id), put(id,*), remove(id)} — `set` is widened because it
+  // is reassigned before the put executes.
+  EXPECT_EQ(canon(map_at(section.body[0].get())),
+            (std::vector<std::string>{"get(id)", "put(id,*)", "remove(id)"}));
+}
+
+TEST_F(Fig18Test, BeforeTheIf) {
+  // Line 3 (before `set = new Set()`): {put(id,*), remove(id)}.
+  EXPECT_EQ(canon(map_at(section.body[1].get())),
+            (std::vector<std::string>{"put(id,*)", "remove(id)"}));
+}
+
+TEST_F(Fig18Test, AtThePutItself) {
+  // Just before map.put(id, set) executes, `set` is not reassigned again:
+  // the op keeps its symbolic argument.
+  const Stmt* put_stmt = section.body[1]->then_block[1].get();
+  EXPECT_EQ(canon(map_at(put_stmt)),
+            (std::vector<std::string>{"put(id,set)", "remove(id)"}));
+}
+
+TEST_F(Fig18Test, AfterThePut) {
+  // Lines 6-9: only {remove(id)} remains.
+  EXPECT_EQ(canon(map_at(section.body[2].get())),
+            std::vector<std::string>{"remove(id)"});
+  EXPECT_EQ(canon(map_at(section.body[4].get())),  // if(flag)
+            std::vector<std::string>{"remove(id)"});
+  const Stmt* enqueue = section.body[4]->then_block[0].get();
+  EXPECT_EQ(canon(map_at(enqueue)), std::vector<std::string>{"remove(id)"});
+}
+
+TEST_F(Fig18Test, AtTheRemove) {
+  const Stmt* remove_stmt = section.body[4]->then_block[1].get();
+  EXPECT_EQ(canon(map_at(remove_stmt)),
+            std::vector<std::string>{"remove(id)"});
+}
+
+TEST_F(Fig18Test, SetClassSeesAdds) {
+  // The Set class at the first add: {add(x), add(y)} — plus nothing else.
+  const Stmt* add_x = section.body[2].get();
+  EXPECT_EQ(canon(inference.at("Set", cfg.node_of(add_x))),
+            (std::vector<std::string>{"add(x)", "add(y)"}));
+}
+
+TEST_F(Fig18Test, QueueClassSeesEnqueueOfWidenedSet) {
+  // At section start, `set` is reassigned before enqueue -> enqueue(*).
+  EXPECT_EQ(canon(inference.at("Queue", cfg.node_of(section.body[0].get()))),
+            std::vector<std::string>{"enqueue(*)"});
+  // At the enqueue itself, `set` is stable -> enqueue(set).
+  const Stmt* enqueue = section.body[4]->then_block[0].get();
+  EXPECT_EQ(canon(inference.at("Queue", cfg.node_of(enqueue))),
+            std::vector<std::string>{"enqueue(set)"});
+}
+
+TEST_F(Fig18Test, UnknownClassIsEmpty) {
+  EXPECT_TRUE(inference.at("Nope", cfg.entry()).empty());
+}
+
+TEST(InferenceLoop, Fig9WidensLoopVariable) {
+  const AtomicSection section = fig9_section();
+  const Cfg cfg = Cfg::build(section);
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  p.sections = {section};
+  const auto classes = PointerClasses::by_type(p);
+  const auto inf = SymbolicInference::run(section, cfg, classes);
+  // Before the loop, `i` is reassigned every iteration: get(*) at entry.
+  const Stmt* init = section.body[0].get();
+  EXPECT_EQ(canon(inf.at("Map", cfg.node_of(init))),
+            std::vector<std::string>{"get(*)"});
+  // At the get call itself, the current iteration's get(i) is visible but
+  // the future iterations force widening: get(i) and get(*) merge to get(*).
+  const Stmt* get_call = section.body[2]->body[0].get();
+  EXPECT_EQ(canon(inf.at("Map", cfg.node_of(get_call))),
+            std::vector<std::string>{"get(*)"});
+  // Set class: size() has no arguments, no widening involved.
+  EXPECT_EQ(canon(inf.at("Set", cfg.node_of(get_call))),
+            std::vector<std::string>{"size()"});
+}
+
+TEST(InferenceConstants, LiteralArgumentsStayConstant) {
+  // A section calling s.add(5) infers the constant set {add(5)}; constant
+  // sets survive assignments (nothing to widen) and compile to a single
+  // mode interacting with phi (Fig. 19's {add(5)} column).
+  AtomicSection section;
+  section.name = "consts";
+  section.var_types = {{"s", "Set"}};
+  section.params = {"s"};
+  section.body = {assign("x", eint(0)),
+                  callv("s", "add", {eint(5)}),
+                  callv("s", "remove", {eint(7)})};
+  const Cfg cfg = Cfg::build(section);
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  p.sections = {section};
+  const auto classes = PointerClasses::by_type(p);
+  const auto inf = SymbolicInference::run(section, cfg, classes);
+  EXPECT_EQ(canon(inf.at("Set", cfg.node_of(section.body[0].get()))),
+            (std::vector<std::string>{"add(5)", "remove(7)"}));
+}
+
+TEST(InferenceOps, SymbolicOpOfConvertsArgs) {
+  auto c = call("r", "m", "put",
+                {evar("k"), eint(7)});
+  auto op1 = SymbolicInference::symbolic_op_of(*c);
+  EXPECT_EQ(op1.to_string(), "put(k,7)");
+  auto c2 = callv("m", "put", {eadd(evar("a"), eint(1)), enull()});
+  auto op2 = SymbolicInference::symbolic_op_of(*c2);
+  EXPECT_EQ(op2.to_string(), "put(*,*)");
+}
+
+}  // namespace
+}  // namespace semlock::synth

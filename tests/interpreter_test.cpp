@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "paper_programs.h"
+#include "synth/interpreter.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::fig1_program;
+using testing::fig9_program;
+
+SynthesisOptions options(bool refine = true, bool optimize = true) {
+  SynthesisOptions opts;
+  opts.refine_symbolic_sets = refine;
+  opts.optimize = optimize;
+  opts.preferred_order = {"Map", "Set", "Queue"};
+  opts.mode_config.abstract_values = 4;
+  return opts;
+}
+
+TEST(InterpreterTest, Fig1EndToEnd) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["queue"] = RtValue::of_ref(queue);
+  env["id"] = RtValue::of_int(7);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(2);
+  env["flag"] = RtValue::of_int(0);
+
+  const auto out = interp.run("fig1", env);
+  // flag==0: the set stays in the map, holding {1,2}.
+  const RtValue stored = map->invoke("get", {RtValue::of_int(7)});
+  ASSERT_EQ(stored.kind, RtValue::Kind::Ref);
+  EXPECT_EQ(stored.ref->invoke("contains", {RtValue::of_int(1)}).i, 1);
+  EXPECT_EQ(stored.ref->invoke("contains", {RtValue::of_int(2)}).i, 1);
+  EXPECT_EQ(stored.ref->invoke("contains", {RtValue::of_int(3)}).i, 0);
+  EXPECT_EQ(out.at("set").ref, stored.ref);
+}
+
+TEST(InterpreterTest, Fig1FlagMovesSetToQueue) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["queue"] = RtValue::of_ref(queue);
+  env["id"] = RtValue::of_int(7);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(2);
+  env["flag"] = RtValue::of_int(1);
+
+  interp.run("fig1", env);
+  // flag==1: the map entry was removed, the set was enqueued.
+  EXPECT_TRUE(map->invoke("get", {RtValue::of_int(7)}).is_null());
+  const RtValue dequeued = queue->invoke("dequeue", {});
+  ASSERT_EQ(dequeued.kind, RtValue::Kind::Ref);
+  EXPECT_EQ(dequeued.ref->invoke("size", {}).i, 2);
+}
+
+TEST(InterpreterTest, ReusesExistingSetAcrossTransactions) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["queue"] = RtValue::of_ref(queue);
+  env["id"] = RtValue::of_int(7);
+  env["flag"] = RtValue::of_int(0);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(2);
+  interp.run("fig1", env);
+  env["x"] = RtValue::of_int(3);
+  env["y"] = RtValue::of_int(4);
+  interp.run("fig1", env);
+
+  const RtValue stored = map->invoke("get", {RtValue::of_int(7)});
+  ASSERT_EQ(stored.kind, RtValue::Kind::Ref);
+  EXPECT_EQ(stored.ref->invoke("size", {}).i, 4);
+}
+
+TEST(InterpreterTest, AllLocksReleasedAfterRun) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["queue"] = RtValue::of_ref(queue);
+  env["id"] = RtValue::of_int(3);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(2);
+  env["flag"] = RtValue::of_int(1);
+  interp.run("fig1", env);
+  for (int m = 0; m < map->sem_lock()->table().num_modes(); ++m) {
+    EXPECT_EQ(map->sem_lock()->holders(m), 0u);
+  }
+  for (int m = 0; m < queue->sem_lock()->table().num_modes(); ++m) {
+    EXPECT_EQ(queue->sem_lock()->holders(m), 0u);
+  }
+}
+
+TEST(InterpreterTest, Fig9WrapperExecution) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+
+  AdtInstance* map = heap.create("Map");
+  // Seed: map[i] -> Set of size i+1, for i in 0..2.
+  for (int i = 0; i < 3; ++i) {
+    AdtInstance* set = heap.create("Set");
+    for (int v = 0; v <= i; ++v) set->invoke("add", {RtValue::of_int(v)});
+    map->invoke("put", {RtValue::of_int(i), RtValue::of_ref(set)});
+  }
+
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["n"] = RtValue::of_int(5);  // indices 3,4 are missing: null branch
+  const auto out = interp.run("loop", env);
+  EXPECT_EQ(out.at("sum").i, 1 + 2 + 3);
+}
+
+TEST(InterpreterTest, DetectsS2PLViolation) {
+  // Hand-build an instrumented section that calls without locking.
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "bad";
+  s.var_types = {{"a", "Set"}};
+  s.params = {"a"};
+  s.body = {callv("a", "add", {eint(1)})};  // no Lock statement at all
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  // Synthesize properly, then strip the locks to simulate a broken compiler.
+  auto res = synthesize(p, classes, options());
+  auto& body = res.program.sections[0].body;
+  std::erase_if(body, [](const StmtPtr& st) {
+    return st->kind == Stmt::Kind::Lock;
+  });
+  Heap heap(res);
+  Interpreter interp(heap);
+  AdtInstance* a = heap.create("Set");
+  Interpreter::Env env;
+  env["a"] = RtValue::of_ref(a);
+  EXPECT_THROW(interp.run("bad", env), ProtocolViolation);
+}
+
+TEST(InterpreterTest, DetectsModeCoverageViolation) {
+  // Lock a mode for key 1 but operate on a key of a different alpha.
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()}};
+  AtomicSection s;
+  s.name = "bad2";
+  s.var_types = {{"m", "Map"}};
+  s.params = {"m", "k"};
+  // get+put makes the site self-conflicting, so its alpha modes stay
+  // distinct (a read-only site would merge into one all-covering mode).
+  s.body = {call("r", "m", "get", {evar("k")}),
+            callv("m", "put", {evar("k"), eint(1)})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  auto res = synthesize(p, classes, options());
+  // Corrupt the lock site: force the symbolic variable list to resolve with
+  // a constant key (alpha of 0) regardless of the runtime k.
+  Heap heap(res);
+  Interpreter interp(heap);
+  AdtInstance* m = heap.create("Map");
+  Interpreter::Env env;
+  env["m"] = RtValue::of_ref(m);
+  env["k"] = RtValue::of_int(1);
+  // Sanity: a correct run passes.
+  EXPECT_NO_THROW(interp.run("bad2", env));
+  // Now rebind `k` between lock and call by injecting an Assign after the
+  // Lock statement: the held mode no longer covers get(k').
+  auto& body = res.program.sections[0].body;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i]->kind == Stmt::Kind::Lock) {
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  assign("k", eint(2)));  // different alpha under n=4
+      break;
+    }
+  }
+  Heap heap2(res);
+  Interpreter interp2(heap2);
+  AdtInstance* m2 = heap2.create("Map");
+  Interpreter::Env env2;
+  env2["m"] = RtValue::of_ref(m2);
+  env2["k"] = RtValue::of_int(1);
+  EXPECT_THROW(interp2.run("bad2", env2), ProtocolViolation);
+}
+
+TEST(InterpreterTest, NullReceiverThrowsNpe) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+  Interpreter::Env env;  // map is null
+  env["queue"] = RtValue::of_ref(heap.create("Queue"));
+  env["id"] = RtValue::of_int(1);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(1);
+  env["flag"] = RtValue::of_int(0);
+  EXPECT_THROW(interp.run("fig1", env), std::runtime_error);
+}
+
+TEST(InterpreterTest, LoopCapTriggers) {
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "inf";
+  s.var_types = {};
+  s.body = {assign("i", eint(0)),
+            make_while(elt(evar("i"), eint(10)), {assign("j", eint(1))})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  InterpreterOptions iopts;
+  iopts.max_loop_iterations = 100;
+  Interpreter interp(heap, iopts);
+  EXPECT_THROW(interp.run("inf", {}), std::runtime_error);
+}
+
+TEST(InterpreterTest, HeapBuiltins) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  for (const char* type :
+       {"Set", "Map", "Queue", "Pool", "Multimap", "Counter", "Register",
+        "Account"}) {
+    EXPECT_NE(heap.create(type, "Map"), nullptr) << type;
+  }
+  EXPECT_THROW(heap.create("Bogus", "Map"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semlock::synth

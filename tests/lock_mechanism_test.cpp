@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "semlock/lock_mechanism.h"
+#include "semlock/semantic_lock.h"
+
+namespace semlock {
+namespace {
+
+using commute::op;
+using commute::star;
+using commute::SymbolicSet;
+using commute::Value;
+using commute::var;
+
+ModeTable make_set_table(int n = 4) {
+  ModeTableConfig c;
+  c.abstract_values = n;
+  return ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {var("v")}), op("remove", {var("v")})}),
+       SymbolicSet({op("size"), op("clear")})},
+      c);
+}
+
+TEST(LockMechanism, HoldersCounting) {
+  const auto t = make_set_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int mode = t.resolve(0, v0);
+  EXPECT_EQ(m.holders(mode), 0u);
+  m.lock(mode);
+  EXPECT_EQ(m.holders(mode), 1u);
+  m.unlock(mode);
+  EXPECT_EQ(m.holders(mode), 0u);
+}
+
+TEST(LockMechanism, CommutingModesHeldSimultaneously) {
+  ModeTableConfig c;
+  c.abstract_values = 4;
+  const auto t = ModeTable::compile(
+      commute::set_spec(), {SymbolicSet({op("add", {star()})})}, c);
+  LockMechanism m(t);
+  const int mode = t.resolve_constant(0);
+  // {add(*)} commutes with itself: many simultaneous holders.
+  for (int i = 0; i < 10; ++i) m.lock(mode);
+  EXPECT_EQ(m.holders(mode), 10u);
+  for (int i = 0; i < 10; ++i) m.unlock(mode);
+}
+
+TEST(LockMechanism, TryLockRefusesConflicts) {
+  const auto t = make_set_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int addrem = t.resolve(0, v0);
+  const int sizeclear = t.resolve_constant(1);
+  ASSERT_FALSE(t.commutes(addrem, sizeclear));
+  EXPECT_TRUE(m.try_lock(addrem));
+  EXPECT_FALSE(m.try_lock(sizeclear));
+  EXPECT_FALSE(m.try_lock(addrem));  // self-conflicting
+  m.unlock(addrem);
+  EXPECT_TRUE(m.try_lock(sizeclear));
+  m.unlock(sizeclear);
+}
+
+TEST(LockMechanism, DifferentAlphasDontBlock) {
+  const auto t = make_set_table(4);
+  LockMechanism m(t);
+  const Value a[1] = {0};
+  const Value b[1] = {1};
+  const int ma = t.resolve(0, a);
+  const int mb = t.resolve(0, b);
+  ASSERT_NE(ma, mb);
+  EXPECT_TRUE(m.try_lock(ma));
+  EXPECT_TRUE(m.try_lock(mb));  // different stripe: no blocking
+  m.unlock(ma);
+  m.unlock(mb);
+}
+
+TEST(LockMechanism, BlockingLockWaitsForRelease) {
+  const auto t = make_set_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int addrem = t.resolve(0, v0);
+  const int sizeclear = t.resolve_constant(1);
+  m.lock(addrem);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    m.lock(sizeclear);
+    acquired.store(true);
+    m.unlock(sizeclear);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  m.unlock(addrem);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+// Mutual exclusion stress: a self-conflicting mode must behave as a mutex.
+TEST(LockMechanism, SelfConflictingModeIsExclusive) {
+  const auto t = make_set_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int mode = t.resolve(0, v0);
+  ASSERT_FALSE(t.commutes(mode, mode));
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 5000; ++k) {
+        m.lock(mode);
+        ++counter;  // protected by the semantic lock
+        m.unlock(mode);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4 * 5000);
+}
+
+// Readers/writer pattern via modes: {contains(*)} vs {add(*)}.
+TEST(LockMechanism, ReadModeParallelWriteModeExclusive) {
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("contains", {star()})}),
+       SymbolicSet({op("add", {star()})})},
+      c);
+  LockMechanism m(t);
+  const int read_mode = t.resolve_constant(0);
+  const int write_mode = t.resolve_constant(1);
+  ASSERT_TRUE(t.commutes(read_mode, read_mode));
+  ASSERT_FALSE(t.commutes(read_mode, write_mode));
+  ASSERT_TRUE(t.commutes(write_mode, write_mode));  // adds commute!
+
+  // Invariant check: no reader may observe a writer mid-flight.
+  std::atomic<int> writers{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 4000; ++k) {
+        m.lock(read_mode);
+        if (writers.load() != 0) violation.store(true);
+        m.unlock(read_mode);
+      }
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 4000; ++k) {
+        m.lock(write_mode);
+        writers.fetch_add(1);
+        writers.fetch_sub(1);
+        m.unlock(write_mode);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(LockMechanism, FastPathDisabledStillCorrect) {
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  c.fast_path_precheck = false;
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("size"), op("clear")})}, c);
+  LockMechanism m(t);
+  const int mode = t.resolve_constant(0);
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 3000; ++k) {
+        m.lock(mode);
+        ++counter;
+        m.unlock(mode);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4 * 3000);
+}
+
+TEST(SemanticLockTest, LockSiteResolvesAndLocks) {
+  const auto t = make_set_table();
+  SemanticLock lk(t);
+  const Value v[1] = {3};
+  const int mode = lk.lock_site(0, v);
+  EXPECT_EQ(lk.holders(mode), 1u);
+  lk.unlock(mode);
+  EXPECT_EQ(lk.holders(mode), 0u);
+}
+
+TEST(SemanticLockTest, UniqueIdsDiffer) {
+  const auto t = make_set_table();
+  SemanticLock a(t), b(t);
+  EXPECT_NE(a.unique_id(), b.unique_id());
+}
+
+TEST(AcquireStatsTest, CountsAcquisitions) {
+  const auto t = make_set_table();
+  LockMechanism m(t);
+  auto& stats = local_acquire_stats();
+  stats.reset();
+  const Value v[1] = {1};
+  const int mode = t.resolve(0, v);
+  m.lock(mode);
+  m.unlock(mode);
+  EXPECT_EQ(stats.acquisitions, 1u);
+  EXPECT_EQ(stats.contended, 0u);
+}
+
+}  // namespace
+}  // namespace semlock

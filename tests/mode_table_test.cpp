@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "semlock/mode_table.h"
+
+namespace semlock {
+namespace {
+
+using commute::cst;
+using commute::op;
+using commute::star;
+using commute::SymbolicSet;
+using commute::Value;
+using commute::var;
+
+ModeTableConfig cfg(int n, int max_modes = 1 << 20) {
+  ModeTableConfig c;
+  c.abstract_values = n;
+  c.max_modes = max_modes;
+  return c;
+}
+
+TEST(ModeTable, ComputeIfAbsentStripesIntoPartitions) {
+  // The Fig. 21 "Ours" structure: the refined set {containsKey(k),put(k,*)}
+  // with 64 abstract values yields 64 modes, pairwise commuting across
+  // different alphas, each self-conflicting; lock partitioning splits them
+  // into 64 independent mechanisms — lock striping synthesized from
+  // commutativity.
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("containsKey", {var("k")}), op("put", {var("k"), star()})})},
+      cfg(64));
+  EXPECT_EQ(t.num_modes(), 64);
+  EXPECT_EQ(t.num_partitions(), 64);
+  for (int m = 0; m < t.num_modes(); ++m) {
+    ASSERT_EQ(t.conflicts_of(m).size(), 1u);
+    EXPECT_EQ(t.conflicts_of(m)[0], m);  // self-conflict only
+    EXPECT_FALSE(t.commutes(m, m));
+    for (int m2 = 0; m2 < t.num_modes(); ++m2) {
+      if (m2 != m) {
+        EXPECT_TRUE(t.commutes(m, m2));
+      }
+    }
+  }
+}
+
+TEST(ModeTable, ReadOnlySiteCollapsesToOneMode) {
+  // {get(k)} commutes with everything, so every alpha-instance has the same
+  // F_c row and the indistinguishable-mode merge collapses them all: a
+  // read-only site needs no striping at all.
+  const auto t = ModeTable::compile(
+      commute::map_spec(), {SymbolicSet({op("get", {var("k")})})}, cfg(8));
+  EXPECT_EQ(t.num_raw_modes(), 8);
+  EXPECT_EQ(t.num_modes(), 1);
+  EXPECT_TRUE(t.conflicts_of(0).empty());
+}
+
+TEST(ModeTable, ResolveIsPhiConsistent) {
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})})},
+      cfg(8));
+  const auto& phi = t.abstraction();
+  for (Value k = 0; k < 100; ++k) {
+    const Value vals1[1] = {k};
+    const Value vals2[1] = {k + 8};  // same alpha under modulus 8
+    EXPECT_EQ(t.resolve(0, vals1), t.resolve(0, vals2));
+    const Value vals3[1] = {k + 3};
+    if (phi.alpha_of(k) != phi.alpha_of(k + 3)) {
+      EXPECT_NE(t.resolve(0, vals1), t.resolve(0, vals3));
+    }
+  }
+}
+
+TEST(ModeTable, SharedModesAcrossIdenticalSites) {
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})}),
+       SymbolicSet({op("get", {var("j")}),
+                    op("put", {var("j"), star()})})},  // same structure
+      cfg(8));
+  EXPECT_EQ(t.num_modes(), 8);  // not 16: structurally equal modes dedup
+  const Value v[1] = {3};
+  EXPECT_EQ(t.resolve(0, v), t.resolve(1, v));
+}
+
+TEST(ModeTable, CacheEdenMergeCollapsesWriterModes) {
+  // The Fig. 23 eden structure: the Put site {size(),clear(),put(k,*)}
+  // conflicts with everything, so all its alpha-instances share one F_c row
+  // and merge into a single writer mode (Section 5.3, optimization 1).
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})}),
+       SymbolicSet({op("size"), op("clear"), op("put", {var("k"), star()})})},
+      cfg(8));
+  EXPECT_EQ(t.num_raw_modes(), 16);
+  EXPECT_EQ(t.num_modes(), 9);  // 8 striped get/put modes + 1 merged writer
+  // All tuples of site 1 resolve to the same canonical mode.
+  const Value a[1] = {0};
+  const int writer = t.resolve(1, a);
+  for (Value k = 1; k < 8; ++k) {
+    const Value v[1] = {k};
+    EXPECT_EQ(t.resolve(1, v), writer);
+  }
+  // The writer conflicts with every mode (including itself).
+  EXPECT_EQ(t.conflicts_of(writer).size(), 9u);
+  EXPECT_EQ(t.num_partitions(), 1);  // writer connects everything
+}
+
+TEST(ModeTable, MaxModesWidensTrailingVariables) {
+  // Graph-style two-variable sets blow up to n^2 modes; the bound N forces
+  // widening of the trailing argument (Section 5.3, optimization 3).
+  const auto t = ModeTable::compile(
+      commute::multimap_spec(),
+      {SymbolicSet({op("getAll", {var("k")})}),
+       SymbolicSet({op("put", {var("k"), var("v")})}),
+       SymbolicSet({op("removeEntry", {var("k"), var("v")})})},
+      cfg(64, /*max_modes=*/256));
+  EXPECT_LE(t.num_modes(), 256);
+  EXPECT_EQ(t.num_modes(), 192);  // 64 getAll + 64 put(k,*) + 64 rem(k,*)
+  EXPECT_EQ(t.site_variables(1).size(), 1u);  // v widened away
+  EXPECT_EQ(t.site_set(1).to_string(), "{put(k,*)}");
+  EXPECT_EQ(t.num_partitions(), 64);  // striping by source node survives
+}
+
+TEST(ModeTable, UnboundedKeepsPairStriping) {
+  const auto t = ModeTable::compile(
+      commute::multimap_spec(),
+      {SymbolicSet({op("put", {var("k"), var("v")})}),
+       SymbolicSet({op("removeEntry", {var("k"), var("v")})})},
+      cfg(4));
+  EXPECT_EQ(t.num_modes(), 32);  // 16 put + 16 removeEntry
+  // put(a,b) conflicts only with removeEntry(a,b).
+  const Value v[2] = {1, 2};
+  const int put_mode = t.resolve(0, v);
+  const int rem_mode = t.resolve(1, v);
+  ASSERT_EQ(t.conflicts_of(put_mode).size(), 1u);
+  EXPECT_EQ(t.conflicts_of(put_mode)[0], rem_mode);
+  EXPECT_EQ(t.partition_of(put_mode), t.partition_of(rem_mode));
+}
+
+TEST(ModeTable, ConstantSites) {
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {star()})}), SymbolicSet({op("size")})},
+      cfg(16));
+  EXPECT_EQ(t.num_modes(), 2);
+  const int add_mode = t.resolve_constant(0);
+  const int size_mode = t.resolve_constant(1);
+  EXPECT_NE(add_mode, size_mode);
+  EXPECT_TRUE(t.commutes(add_mode, add_mode));    // adds commute
+  EXPECT_TRUE(t.commutes(size_mode, size_mode));  // sizes commute
+  EXPECT_FALSE(t.commutes(add_mode, size_mode));
+}
+
+TEST(ModeTable, ConstantArgsInteractWithPhi) {
+  // {add(5)} with 2 abstract values: conflicts only with the alpha of 5.
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {cst(5)})}),
+       SymbolicSet({op("remove", {var("j")})})},
+      cfg(2));
+  const int add5 = t.resolve_constant(0);
+  const Value v5[1] = {5};
+  const Value v6[1] = {6};
+  const int rem_same = t.resolve(1, v5);
+  const int rem_other = t.resolve(1, v6);
+  EXPECT_FALSE(t.commutes(add5, rem_same));
+  EXPECT_TRUE(t.commutes(add5, rem_other));
+}
+
+TEST(ModeTable, PartitioningDisabledIsSingleMechanism) {
+  ModeTableConfig c = cfg(16);
+  c.partition = false;
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})})},
+      c);
+  EXPECT_EQ(t.num_partitions(), 1);
+  EXPECT_EQ(t.num_modes(), 16);
+}
+
+TEST(ModeTable, MergeDisabledKeepsRawModes) {
+  ModeTableConfig c = cfg(8);
+  c.merge_indistinguishable = false;
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("size"), op("clear"), op("put", {var("k"), star()})})},
+      c);
+  EXPECT_EQ(t.num_modes(), 8);  // no collapse
+}
+
+TEST(ModeTable, TupleCapPreWidens) {
+  ModeTableConfig c = cfg(64);
+  c.max_tuple_entries = 64;  // 64^2 would exceed: widen second var up front
+  const auto t = ModeTable::compile(
+      commute::multimap_spec(),
+      {SymbolicSet({op("put", {var("k"), var("v")})})}, c);
+  EXPECT_EQ(t.site_variables(0).size(), 1u);  // v widened pre-enumeration
+  EXPECT_EQ(t.num_raw_modes(), 64);
+  // puts commute with everything here, so all alpha modes merge into one.
+  EXPECT_EQ(t.num_modes(), 1);
+}
+
+TEST(ModeTable, RejectsEmptyAndUnknown) {
+  EXPECT_THROW(
+      ModeTable::compile(commute::set_spec(), {SymbolicSet{}}, cfg(2)),
+      std::invalid_argument);
+  EXPECT_THROW(ModeTable::compile(commute::set_spec(),
+                                  {SymbolicSet({op("frobnicate", {})})},
+                                  cfg(2)),
+               std::invalid_argument);
+  EXPECT_THROW(ModeTable::compile(commute::set_spec(),
+                                  {SymbolicSet({op("add", {})})}, cfg(2)),
+               std::invalid_argument);  // arity mismatch
+}
+
+TEST(ModeTable, ConflictsShareAPartition) {
+  const auto t = ModeTable::compile(
+      commute::multimap_spec(),
+      {SymbolicSet({op("getAll", {var("k")})}),
+       SymbolicSet({op("put", {var("k"), var("v")})})},
+      cfg(8));
+  for (int m = 0; m < t.num_modes(); ++m) {
+    for (const auto other : t.conflicts_of(m)) {
+      EXPECT_EQ(t.partition_of(m), t.partition_of(other));
+    }
+  }
+}
+
+TEST(ModeTable, DescribeMentionsModesAndSites) {
+  const auto t = ModeTable::compile(
+      commute::set_spec(), {SymbolicSet({op("add", {star()})})}, cfg(2));
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("ModeTable for ADT Set"), std::string::npos);
+  EXPECT_NE(d.find("{add(*)}"), std::string::npos);
+  EXPECT_NE(d.find("F_c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semlock

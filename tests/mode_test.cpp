@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "semlock/mode.h"
+
+namespace semlock {
+namespace {
+
+using commute::ValueAbstraction;
+
+TEST(ValueAbstractionTest, PartitionsDomain) {
+  ValueAbstraction phi(4);
+  EXPECT_EQ(phi.size(), 4);
+  for (commute::Value v = -100; v <= 100; ++v) {
+    EXPECT_GE(phi.alpha_of(v), 0);
+    EXPECT_LT(phi.alpha_of(v), 4);
+  }
+  EXPECT_EQ(phi.alpha_of(5), phi.alpha_of(9));   // 5 % 4 == 9 % 4
+  EXPECT_NE(phi.alpha_of(5), phi.alpha_of(6));
+  EXPECT_EQ(phi.alpha_of(-1), 3);  // non-negative remainder
+}
+
+TEST(DefinitelyDiffer, ConstConst) {
+  ValueAbstraction phi(2);
+  EXPECT_TRUE(definitely_differ(AbstractArg::of_const(1),
+                                AbstractArg::of_const(2), phi));
+  EXPECT_FALSE(definitely_differ(AbstractArg::of_const(1),
+                                 AbstractArg::of_const(1), phi));
+}
+
+TEST(DefinitelyDiffer, StarNeverDiffers) {
+  ValueAbstraction phi(2);
+  EXPECT_FALSE(
+      definitely_differ(AbstractArg::star(), AbstractArg::of_const(1), phi));
+  EXPECT_FALSE(
+      definitely_differ(AbstractArg::star(), AbstractArg::of_alpha(0), phi));
+  EXPECT_FALSE(
+      definitely_differ(AbstractArg::star(), AbstractArg::star(), phi));
+}
+
+TEST(DefinitelyDiffer, AlphaAlpha) {
+  ValueAbstraction phi(2);
+  EXPECT_TRUE(definitely_differ(AbstractArg::of_alpha(0),
+                                AbstractArg::of_alpha(1), phi));
+  EXPECT_FALSE(definitely_differ(AbstractArg::of_alpha(1),
+                                 AbstractArg::of_alpha(1), phi));
+}
+
+TEST(DefinitelyDiffer, ConstVsAlphaUsesPhi) {
+  ValueAbstraction phi(2);  // phi(5) == 1
+  EXPECT_EQ(phi.alpha_of(5), 1);
+  EXPECT_TRUE(definitely_differ(AbstractArg::of_const(5),
+                                AbstractArg::of_alpha(0), phi));
+  EXPECT_FALSE(definitely_differ(AbstractArg::of_const(5),
+                                 AbstractArg::of_alpha(1), phi));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 19: the commutativity function for the Set ADT over the symbolic sets
+// {add(*)}, {add(5)}, {add(i),remove(j)} with two abstract values and
+// phi(5) = alpha_1. We build the paper's six modes explicitly; with our
+// modulus phi, paper alpha_1 is index 1 and alpha_2 is index 0.
+// ---------------------------------------------------------------------------
+class Fig19 : public ::testing::Test {
+ protected:
+  Fig19() : phi(2) {
+    const auto& spec = commute::set_spec();
+    add_m = spec.method_index("add");
+    rem_m = spec.method_index("remove");
+    const int a1 = 1, a2 = 0;  // paper label -> our phi index
+    modes[0] = Mode{{AbstractOp{add_m, {AbstractArg::star()}}}};
+    modes[1] = Mode{{AbstractOp{add_m, {AbstractArg::of_const(5)}}}};
+    auto pair = [&](int add_a, int rem_a) {
+      return Mode{{AbstractOp{add_m, {AbstractArg::of_alpha(add_a)}},
+                   AbstractOp{rem_m, {AbstractArg::of_alpha(rem_a)}}}};
+    };
+    modes[2] = pair(a1, a1);
+    modes[3] = pair(a1, a2);
+    modes[4] = pair(a2, a1);
+    modes[5] = pair(a2, a2);
+  }
+
+  bool fc(int i, int j) {
+    return modes_commute(commute::set_spec(), phi, modes[i], modes[j]);
+  }
+
+  ValueAbstraction phi;
+  int add_m = -1, rem_m = -1;
+  Mode modes[6];
+};
+
+TEST_F(Fig19, FullMatrix) {
+  // Row by row as printed in Fig. 19 (upper triangle incl. diagonal).
+  const bool expected[6][6] = {
+      // l0: {add(*)}
+      {true, true, false, false, false, false},
+      // l1: {add(5)}
+      {true, true, false, true, false, true},
+      // l2: {add(a1),remove(a1)}
+      {false, false, false, false, false, true},
+      // l3: {add(a1),remove(a2)}
+      {false, true, false, true, false, false},
+      // l4: {add(a2),remove(a1)}
+      {false, false, false, false, true, false},
+      // l5: {add(a2),remove(a2)}
+      {false, true, true, false, false, false},
+  };
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_EQ(fc(i, j), expected[i][j]) << "F_c(l" << i << ",l" << j << ")";
+      EXPECT_EQ(fc(i, j), fc(j, i)) << "symmetry at " << i << "," << j;
+    }
+  }
+}
+
+TEST_F(Fig19, AddStarSelfCommutes) {
+  EXPECT_TRUE(fc(0, 0));  // adds always commute, even over all values
+}
+
+TEST(AbstractOps, SizeConflictsWithAdd) {
+  ValueAbstraction phi(2);
+  const auto& spec = commute::set_spec();
+  AbstractOp size{spec.method_index("size"), {}};
+  AbstractOp add{spec.method_index("add"), {AbstractArg::star()}};
+  EXPECT_FALSE(abstract_ops_commute(spec, phi, size, add));
+  EXPECT_TRUE(abstract_ops_commute(spec, phi, size, size));
+}
+
+TEST(AbstractOps, MultimapAnyDifferNeedsOneDefiniteDisequality) {
+  ValueAbstraction phi(4);
+  const auto& spec = commute::multimap_spec();
+  const int put = spec.method_index("put");
+  const int rem = spec.method_index("removeEntry");
+  // put(a1, a2) vs removeEntry(a1, a3): values definitely differ -> commute.
+  AbstractOp p{put, {AbstractArg::of_alpha(1), AbstractArg::of_alpha(2)}};
+  AbstractOp r{rem, {AbstractArg::of_alpha(1), AbstractArg::of_alpha(3)}};
+  EXPECT_TRUE(abstract_ops_commute(spec, phi, p, r));
+  // put(a1, *) vs removeEntry(a1, a3): neither disequality definite.
+  AbstractOp pw{put, {AbstractArg::of_alpha(1), AbstractArg::star()}};
+  EXPECT_FALSE(abstract_ops_commute(spec, phi, pw, r));
+  // put(a1, *) vs removeEntry(a2, a3): keys definitely differ.
+  AbstractOp r2{rem, {AbstractArg::of_alpha(2), AbstractArg::of_alpha(3)}};
+  EXPECT_TRUE(abstract_ops_commute(spec, phi, pw, r2));
+}
+
+TEST(ModePrinting, UsesPaperStyle) {
+  const auto& spec = commute::set_spec();
+  Mode m{{AbstractOp{spec.method_index("add"), {AbstractArg::of_alpha(0)}},
+          AbstractOp{spec.method_index("remove"), {AbstractArg::star()}}}};
+  EXPECT_EQ(m.to_string(spec), "{add(a1),remove(*)}");
+}
+
+}  // namespace
+}  // namespace semlock

@@ -1,0 +1,207 @@
+// End-to-end soundness of the Section-5 compilation chain, as randomized
+// property tests:
+//
+//  (1) COVERAGE: the mode `resolve(site, vals)` returns represents every
+//      concrete operation the symbolic set can denote under `vals` — the
+//      runtime guarantee that a transaction only invokes operations it
+//      holds a lock on.
+//
+//  (2) COMMUTATIVITY: whenever F_c says two resolved modes commute, every
+//      pair of concrete operations drawn from them satisfies the ADT's
+//      commutativity condition (and the spec-soundness suite separately
+//      validates conditions against the sequential models — composing the
+//      two gives: commuting modes really commute).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "semlock/mode_table.h"
+#include "util/rng.h"
+
+namespace semlock {
+namespace {
+
+using commute::AdtSpec;
+using commute::SymArg;
+using commute::SymbolicSet;
+using commute::Value;
+
+struct ConcreteOp {
+  int method;
+  std::vector<Value> args;
+};
+
+// Instantiates a symbolic set under a variable binding; Star arguments take
+// `star_fill` (the property is checked for several fills). Widened-away
+// variables no longer appear in `vars`.
+std::vector<ConcreteOp> instantiate(const AdtSpec& spec,
+                                    const SymbolicSet& set,
+                                    const std::vector<std::string>& vars,
+                                    const std::vector<Value>& vals,
+                                    Value star_fill) {
+  std::vector<ConcreteOp> out;
+  for (const auto& o : set.ops()) {
+    ConcreteOp c;
+    c.method = spec.method_index(o.method);
+    for (const auto& a : o.args) {
+      switch (a.kind) {
+        case SymArg::Kind::Star:
+          c.args.push_back(star_fill);
+          break;
+        case SymArg::Kind::Const:
+          c.args.push_back(a.constant);
+          break;
+        case SymArg::Kind::Var: {
+          const auto it = std::find(vars.begin(), vars.end(), a.var);
+          c.args.push_back(
+              it == vars.end()
+                  ? star_fill
+                  : vals[static_cast<std::size_t>(it - vars.begin())]);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// Does the abstract op represent the concrete op?
+bool covers(const commute::ValueAbstraction& phi, const AbstractOp& a,
+            const ConcreteOp& c) {
+  if (a.method != c.method || a.args.size() != c.args.size()) return false;
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    switch (a.args[i].kind) {
+      case AbstractArg::Kind::Star:
+        break;
+      case AbstractArg::Kind::Const:
+        if (a.args[i].constant != c.args[i]) return false;
+        break;
+      case AbstractArg::Kind::Alpha:
+        if (phi.alpha_of(c.args[i]) != a.args[i].alpha) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+struct Scenario {
+  const AdtSpec* spec;
+  std::vector<SymbolicSet> sites;
+  std::string name;
+};
+
+std::vector<Scenario> scenarios() {
+  using commute::cst;
+  using commute::op;
+  using commute::star;
+  using commute::var;
+  std::vector<Scenario> out;
+  out.push_back({&commute::set_spec(),
+                 {SymbolicSet({op("add", {var("i")}), op("remove", {var("j")})}),
+                  SymbolicSet({op("contains", {var("k")})}),
+                  SymbolicSet({op("size"), op("clear")}),
+                  SymbolicSet({op("add", {cst(5)})}),
+                  SymbolicSet({op("add", {star()})})},
+                 "Set"});
+  out.push_back(
+      {&commute::map_spec(),
+       {SymbolicSet({op("containsKey", {var("k")}),
+                     op("put", {var("k"), star()})}),
+        SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()}),
+                     op("remove", {var("k")})}),
+        SymbolicSet({op("size"), op("clear"), op("put", {var("k"), star()})})},
+       "Map"});
+  out.push_back(
+      {&commute::multimap_spec(),
+       {SymbolicSet({op("getAll", {var("k")})}),
+        SymbolicSet({op("put", {var("k"), var("v")})}),
+        SymbolicSet({op("removeEntry", {var("k"), var("v")})})},
+       "Multimap"});
+  return out;
+}
+
+class ModeSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeSoundness, CoverageAndCommutativity) {
+  const Scenario scenario =
+      scenarios()[static_cast<std::size_t>(GetParam())];
+  for (const int n : {1, 2, 7, 64}) {
+    ModeTableConfig cfg;
+    cfg.abstract_values = n;
+    const auto table =
+        ModeTable::compile(*scenario.spec, scenario.sites, cfg);
+    const auto& phi = table.abstraction();
+
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam() * 100 + n));
+    const Value star_fills[3] = {-3, 0, 41};
+
+    for (int trial = 0; trial < 400; ++trial) {
+      const int s1 = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(table.num_sites())));
+      const int s2 = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(table.num_sites())));
+      auto draw_vals = [&](int site) {
+        std::vector<Value> vals;
+        for (std::size_t i = 0; i < table.site_variables(site).size(); ++i) {
+          vals.push_back(rng.next_in(-100, 100));
+        }
+        return vals;
+      };
+      const auto v1 = draw_vals(s1);
+      const auto v2 = draw_vals(s2);
+      const int m1 = table.resolve(s1, v1);
+      const int m2 = table.resolve(s2, v2);
+
+      for (const Value fill : star_fills) {
+        const auto ops1 =
+            instantiate(*scenario.spec, table.site_set(s1),
+                        table.site_variables(s1), v1, fill);
+        const auto ops2 =
+            instantiate(*scenario.spec, table.site_set(s2),
+                        table.site_variables(s2), v2, fill);
+
+        // (1) Coverage.
+        for (const auto& c : ops1) {
+          bool covered = false;
+          for (const auto& a : table.mode(m1).ops) {
+            if (covers(phi, a, c)) {
+              covered = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(covered)
+              << scenario.name << " n=" << n << ": mode " << m1
+              << " does not cover an op of site " << s1;
+        }
+
+        // (2) Commutativity implication.
+        if (table.commutes(m1, m2)) {
+          for (const auto& c1 : ops1) {
+            for (const auto& c2 : ops2) {
+              const auto& cond =
+                  scenario.spec->condition(c1.method, c2.method);
+              EXPECT_TRUE(cond.evaluate(c1.args, c2.args))
+                  << scenario.name << " n=" << n << ": F_c claims modes "
+                  << m1 << "," << m2
+                  << " commute but a concrete pair conflicts";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ModeSoundness,
+                         ::testing::Values(0, 1, 2),
+                         [](const auto& pinfo) {
+                           return scenarios()[static_cast<std::size_t>(
+                                                  pinfo.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace semlock

@@ -1,0 +1,186 @@
+// Unit tests for the Appendix-A passes, exercised one at a time on the
+// paper's Fig. 14 -> Fig. 26 -> Fig. 27 -> Fig. 28 -> Fig. 17 chain.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "paper_programs.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::fig1_program;
+
+struct Pipeline {
+  Pipeline() : program(fig1_program()),
+               classes(PointerClasses::by_type(program)) {
+    SynthesisOptions opts;
+    opts.refine_symbolic_sets = false;
+    opts.optimize = false;  // start from the Fig. 14 shape
+    opts.preferred_order = {"Map", "Set", "Queue"};
+    opts.mode_config.abstract_values = 4;
+    result = synthesize(program, classes, opts);
+    ctx = SectionContext{&result.classes, &result.wrapper_of,
+                         result.program.sections[0].name};
+  }
+
+  AtomicSection& section() { return result.program.sections[0]; }
+
+  int count(Stmt::Kind kind) const {
+    int n = 0;
+    const std::function<void(const Block&)> walk = [&](const Block& b) {
+      for (const auto& s : b) {
+        if (s->kind == kind) ++n;
+        walk(s->then_block);
+        walk(s->else_block);
+        walk(s->body);
+      }
+    };
+    walk(result.program.sections[0].body);
+    return n;
+  }
+
+  Program program;
+  PointerClasses classes;
+  SynthesisResult result;
+  SectionContext ctx;
+};
+
+TEST(OptimizerPass1, RemovesRedundantLV) {
+  Pipeline p;
+  ASSERT_EQ(p.count(Stmt::Kind::Lock), 9);  // the Fig. 14 shape
+  remove_redundant_locks(p.section(), p.ctx);
+  // Fig. 26: LV(map), LV(set), LV(queue) remain.
+  EXPECT_EQ(p.count(Stmt::Kind::Lock), 3);
+  const std::string txt = print_block(p.section().body);
+  EXPECT_NE(txt.find("LV(map"), std::string::npos);
+  EXPECT_NE(txt.find("LV(set"), std::string::npos);
+  EXPECT_NE(txt.find("LV(queue"), std::string::npos);
+}
+
+TEST(OptimizerPass2, ElidesLocalSet) {
+  Pipeline p;
+  remove_redundant_locks(p.section(), p.ctx);
+  const bool removed = remove_local_set(p.section(), p.ctx);
+  EXPECT_TRUE(removed);
+  // Fig. 27: no prologue/epilogue; direct guarded locks; per-var unlocks.
+  EXPECT_EQ(p.count(Stmt::Kind::Prologue), 0);
+  EXPECT_EQ(p.count(Stmt::Kind::Epilogue), 0);
+  EXPECT_EQ(p.count(Stmt::Kind::UnlockAll), 3);
+  const std::string txt = print_block(p.section().body);
+  EXPECT_NE(txt.find("if (map!=null) map.lock(+);"), std::string::npos);
+  EXPECT_NE(txt.find("if (set!=null) set.lock(+);"), std::string::npos);
+  EXPECT_NE(txt.find("if (queue!=null) queue.unlockAll();"),
+            std::string::npos);
+}
+
+TEST(OptimizerPass2, KeepsLocalSetWhenReLockPossible) {
+  // A loop re-executing LV(x) must keep LOCAL_SET (re-lock protection).
+  const Program p = testing::fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.refine_symbolic_sets = false;
+  opts.optimize = false;
+  const auto res = synthesize(p, classes, opts);
+  AtomicSection section = res.program.sections[0];
+  SectionContext ctx{&res.classes, &res.wrapper_of, section.name};
+  remove_redundant_locks(section, ctx);
+  const bool removed = remove_local_set(section, ctx);
+  EXPECT_FALSE(removed);
+  // The in-loop locks keep LOCAL_SET semantics.
+  const std::string txt = print_block(section.body);
+  EXPECT_NE(txt.find("LOCAL_SET"), std::string::npos);
+}
+
+TEST(OptimizerPass3, MovesQueueUnlockEarly) {
+  Pipeline p;
+  remove_redundant_locks(p.section(), p.ctx);
+  remove_local_set(p.section(), p.ctx);
+  early_release(p.section(), p.ctx);
+  // Fig. 28: the queue unlock moved inside if(flag), right after enqueue.
+  const Stmt* flag_if = nullptr;
+  for (const auto& s : p.section().body) {
+    if (s->kind == Stmt::Kind::If && !s->then_block.empty() &&
+        s->then_block.front()->kind != Stmt::Kind::New) {
+      flag_if = s.get();
+    }
+  }
+  ASSERT_NE(flag_if, nullptr);
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < flag_if->then_block.size(); ++i) {
+    if (flag_if->then_block[i]->kind == Stmt::Kind::Call &&
+        flag_if->then_block[i]->method == "enqueue" &&
+        flag_if->then_block[i + 1]->kind == Stmt::Kind::UnlockAll &&
+        flag_if->then_block[i + 1]->unlock_var == "queue") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // map and set unlocks stay at the end.
+  const auto& body = p.section().body;
+  ASSERT_GE(body.size(), 2u);
+  EXPECT_EQ(body[body.size() - 2]->kind, Stmt::Kind::UnlockAll);
+  EXPECT_EQ(body[body.size() - 1]->kind, Stmt::Kind::UnlockAll);
+}
+
+TEST(OptimizerPass4, RemovesProvableNullChecks) {
+  Pipeline p;
+  remove_redundant_locks(p.section(), p.ctx);
+  remove_local_set(p.section(), p.ctx);
+  early_release(p.section(), p.ctx);
+  remove_null_checks(p.section());
+  // Fig. 17: no if(x!=null) guards remain anywhere.
+  const std::string txt = print_block(p.section().body);
+  EXPECT_EQ(txt.find("!=null"), std::string::npos) << txt;
+}
+
+TEST(OptimizerPass4, KeepsGuardWhenVarMayBeNull) {
+  // get may return null. The guard on the LOCK disappears (the add that
+  // follows is inevitable, and the paper assumes the original program is
+  // NPE-free, so s cannot be null there); but the guard on the per-variable
+  // UNLOCK at the end must stay: when cond is false, s may well be null.
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "maybe";
+  s.var_types = {{"m", "Map"}, {"s", "Set"}};
+  s.params = {"m", "k"};
+  s.body = {
+      call("s", "m", "get", {evar("k")}),
+      make_if(evar("cond"), {callv("s", "add", {eint(1)})}),
+  };
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.optimize = true;
+  const auto res = synthesize(p, classes, opts);
+  const std::string txt = print_block(res.program.sections[0].body);
+  EXPECT_NE(txt.find("s.lock({add(1)});"), std::string::npos) << txt;
+  EXPECT_NE(txt.find("if (s!=null) s.unlockAll();"), std::string::npos)
+      << txt;
+  // The map's unlock needs no guard: m was provably used.
+  EXPECT_NE(txt.find("m.unlockAll();"), std::string::npos) << txt;
+}
+
+TEST(OptimizerFullChain, MatchesFig17Shape) {
+  Pipeline p;
+  remove_redundant_locks(p.section(), p.ctx);
+  remove_local_set(p.section(), p.ctx);
+  early_release(p.section(), p.ctx);
+  remove_null_checks(p.section());
+  const std::string txt = print_block(p.section().body);
+  // Fig. 17 line by line (with lock(+) since refinement is off here).
+  EXPECT_NE(txt.find("map.lock(+);"), std::string::npos);
+  EXPECT_NE(txt.find("set.lock(+);"), std::string::npos);
+  EXPECT_NE(txt.find("queue.lock(+);"), std::string::npos);
+  EXPECT_NE(txt.find("queue.unlockAll();"), std::string::npos);
+  EXPECT_NE(txt.find("map.unlockAll();"), std::string::npos);
+  EXPECT_NE(txt.find("set.unlockAll();"), std::string::npos);
+  EXPECT_EQ(txt.find("LOCAL_SET"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semlock::synth

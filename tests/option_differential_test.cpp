@@ -1,0 +1,158 @@
+// Compiler-option differential testing: the four synthesis configurations
+// (refinement x optimization) must produce instrumented programs with
+// IDENTICAL observable behavior — locking strategy may change, semantics
+// may not. Each paper section runs under every configuration on the same
+// inputs; final ADT states are digested and compared.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "paper_programs.h"
+#include "synth/interpreter.h"
+#include "synth/synthesis.h"
+#include "util/rng.h"
+
+namespace semlock::synth {
+namespace {
+
+using commute::Value;
+
+std::vector<SynthesisOptions> all_option_combos() {
+  std::vector<SynthesisOptions> out;
+  for (const bool refine : {true, false}) {
+    for (const bool optimize : {true, false}) {
+      SynthesisOptions opts;
+      opts.refine_symbolic_sets = refine;
+      opts.optimize = optimize;
+      opts.preferred_order = {"Map", "Set", "Queue"};
+      opts.mode_config.abstract_values = 4;
+      out.push_back(opts);
+    }
+  }
+  return out;
+}
+
+// Digest of a Map instance whose values may be Sets: per key, the set size
+// and membership over a small probe domain.
+std::string digest_map(AdtInstance* map, Value key_range) {
+  std::string out;
+  for (Value k = 0; k < key_range; ++k) {
+    const RtValue v = map->invoke("get", {RtValue::of_int(k)});
+    if (v.is_null()) {
+      out += "_";
+      continue;
+    }
+    if (v.kind == RtValue::Kind::Int) {
+      out += "i" + std::to_string(v.i);
+      continue;
+    }
+    out += "{";
+    for (Value e = 0; e < 16; ++e) {
+      if (v.ref->invoke("contains", {RtValue::of_int(e)}).i) {
+        out += std::to_string(e) + ",";
+      }
+    }
+    out += "}";
+  }
+  return out;
+}
+
+TEST(OptionDifferential, Fig1SameResultsUnderEveryConfig) {
+  const Program p = testing::fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+
+  std::vector<std::string> digests;
+  for (const auto& opts : all_option_combos()) {
+    const auto res = synthesize(p, classes, opts);
+    Heap heap(res);
+    Interpreter interp(heap);
+    AdtInstance* map = heap.create("Map");
+    AdtInstance* queue = heap.create("Queue");
+    util::Xoshiro256 rng(42);
+    for (int i = 0; i < 200; ++i) {
+      Interpreter::Env env;
+      env["map"] = RtValue::of_ref(map);
+      env["queue"] = RtValue::of_ref(queue);
+      env["id"] = RtValue::of_int(static_cast<Value>(rng.next_below(6)));
+      env["x"] = RtValue::of_int(static_cast<Value>(rng.next_below(16)));
+      env["y"] = RtValue::of_int(static_cast<Value>(rng.next_below(16)));
+      env["flag"] = RtValue::of_int(rng.chance_percent(30) ? 1 : 0);
+      interp.run("fig1", env);
+    }
+    std::string digest = digest_map(map, 6);
+    // Queue length contributes too (enqueued sets).
+    int qlen = 0;
+    while (!queue->invoke("dequeue", {}).is_null()) ++qlen;
+    digest += "|q" + std::to_string(qlen);
+    digests.push_back(std::move(digest));
+  }
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "config " << i << " diverged";
+  }
+}
+
+TEST(OptionDifferential, Fig9SameSumsUnderEveryConfig) {
+  const Program p = testing::fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+
+  std::vector<Value> sums;
+  for (const auto& opts : all_option_combos()) {
+    const auto res = synthesize(p, classes, opts);
+    Heap heap(res);
+    Interpreter interp(heap);
+    AdtInstance* map = heap.create("Map");
+    for (int i = 0; i < 5; ++i) {
+      AdtInstance* set = heap.create("Set");
+      for (int v = 0; v <= i; ++v) set->invoke("add", {RtValue::of_int(v)});
+      map->invoke("put", {RtValue::of_int(i), RtValue::of_ref(set)});
+    }
+    Interpreter::Env env;
+    env["map"] = RtValue::of_ref(map);
+    env["n"] = RtValue::of_int(8);  // indices 5..7 missing
+    const auto out = interp.run("loop", env);
+    sums.push_back(out.at("sum").i);
+  }
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], sums[0]);
+  }
+  EXPECT_EQ(sums[0], 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(OptionDifferential, Fig7SameResultsUnderEveryConfig) {
+  const Program p = testing::fig7_program();
+  const auto classes = PointerClasses::by_type(p);
+
+  std::vector<std::string> digests;
+  for (const auto& opts : all_option_combos()) {
+    const auto res = synthesize(p, classes, opts);
+    Heap heap(res);
+    Interpreter interp(heap);
+    AdtInstance* map = heap.create("Map");
+    AdtInstance* queue = heap.create("Queue");
+    AdtInstance* sa = heap.create("Set");
+    AdtInstance* sb = heap.create("Set");
+    map->invoke("put", {RtValue::of_int(1), RtValue::of_ref(sa)});
+    map->invoke("put", {RtValue::of_int(2), RtValue::of_ref(sb)});
+    for (const auto& [k1, k2] : std::vector<std::pair<Value, Value>>{
+             {1, 2}, {1, 1}, {2, 9}, {9, 9}}) {
+      Interpreter::Env env;
+      env["m"] = RtValue::of_ref(map);
+      env["q"] = RtValue::of_ref(queue);
+      env["key1"] = RtValue::of_int(k1);
+      env["key2"] = RtValue::of_int(k2);
+      interp.run("g", env);
+    }
+    std::string digest = digest_map(map, 3);
+    int qlen = 0;
+    while (!queue->invoke("dequeue", {}).is_null()) ++qlen;
+    digest += "|q" + std::to_string(qlen);
+    digests.push_back(std::move(digest));
+  }
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]);
+  }
+}
+
+}  // namespace
+}  // namespace semlock::synth

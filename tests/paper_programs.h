@@ -1,0 +1,117 @@
+// IR encodings of the paper's running examples, shared by the analysis,
+// synthesis, optimizer and interpreter tests.
+#pragma once
+
+#include "commute/builtin_specs.h"
+#include "synth/ast.h"
+
+namespace semlock::synth::testing {
+
+// Fig. 1: the Intruder-inspired atomic section over a Map, a Set and a
+// Queue (the Queue carries the Pool specification, as in the Intruder
+// benchmark).
+inline AtomicSection fig1_section() {
+  AtomicSection s;
+  s.name = "fig1";
+  s.var_types = {{"map", "Map"}, {"set", "Set"}, {"queue", "Queue"}};
+  s.params = {"map", "queue", "id", "x", "y", "flag"};
+  s.body = {
+      call("set", "map", "get", {evar("id")}),
+      make_if(eeq(evar("set"), enull()),
+              {
+                  make_new("set", "Set"),
+                  callv("map", "put", {evar("id"), evar("set")}),
+              }),
+      callv("set", "add", {evar("x")}),
+      callv("set", "add", {evar("y")}),
+      make_if(evar("flag"),
+              {
+                  callv("queue", "enqueue", {evar("set")}),
+                  callv("map", "remove", {evar("id")}),
+              }),
+  };
+  return s;
+}
+
+// Fig. 7: two Sets fetched from a Map, then mutated, one enqueued.
+inline AtomicSection fig7_section() {
+  AtomicSection s;
+  s.name = "g";
+  s.var_types = {
+      {"m", "Map"}, {"q", "Queue"}, {"s1", "Set"}, {"s2", "Set"}};
+  s.params = {"m", "key1", "key2", "q"};
+  s.body = {
+      call("s1", "m", "get", {evar("key1")}),
+      call("s2", "m", "get", {evar("key2")}),
+      make_if(ebin(Expr::Op::And, ene(evar("s1"), enull()),
+                   ene(evar("s2"), enull())),
+              {
+                  callv("s1", "add", {eint(1)}),
+                  callv("s2", "add", {eint(2)}),
+                  callv("q", "enqueue", {evar("s1")}),
+              }),
+  };
+  return s;
+}
+
+// Fig. 9: loop summing set sizes — the restrictions-graph gets a cycle on
+// the Set class, forcing a global wrapper (Section 3.4).
+inline AtomicSection fig9_section() {
+  AtomicSection s;
+  s.name = "loop";
+  s.var_types = {{"map", "Map"}, {"set", "Set"}};
+  s.params = {"map", "n"};
+  s.body = {
+      assign("sum", eint(0)),
+      assign("i", eint(0)),
+      make_while(elt(evar("i"), evar("n")),
+                 {
+                     call("set", "map", "get", {evar("i")}),
+                     make_if(ene(evar("set"), enull()),
+                             {
+                                 call("t", "set", "size", {}),
+                                 assign("sum", eadd(evar("sum"), evar("t"))),
+                             }),
+                     assign("i", eadd(evar("i"), eint(1))),
+                 }),
+  };
+  return s;
+}
+
+inline Program fig1_program() {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()},
+                 {"Queue", &commute::pool_spec()}};
+  p.sections = {fig1_section()};
+  return p;
+}
+
+inline Program fig7_program() {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()},
+                 {"Queue", &commute::pool_spec()}};
+  p.sections = {fig7_section()};
+  return p;
+}
+
+inline Program fig9_program() {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  p.sections = {fig9_section()};
+  return p;
+}
+
+// Fig. 11's combined program (Fig. 1 + Fig. 7 sections).
+inline Program combined_program() {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()},
+                 {"Queue", &commute::pool_spec()}};
+  p.sections = {fig1_section(), fig7_section()};
+  return p;
+}
+
+}  // namespace semlock::synth::testing

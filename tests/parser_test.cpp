@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "synth/interpreter.h"
+#include "synth/parser.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+constexpr const char* kFig1Source = R"(
+// The paper's Fig. 1 in the surface syntax.
+adt Map;
+adt Set;
+adt Queue(pool);
+
+atomic fig1(Map map, Queue queue, int id, int x, int y, int flag) {
+  var set: Set;
+  set = map.get(id);
+  if (set == null) {
+    set = new Set();
+    map.put(id, set);
+  }
+  set.add(x);
+  set.add(y);
+  if (flag) {
+    queue.enqueue(set);
+    map.remove(id);
+  }
+}
+)";
+
+TEST(Parser, Fig1RoundTrips) {
+  const Program p = parse_program(kFig1Source);
+  ASSERT_EQ(p.sections.size(), 1u);
+  const auto& s = p.sections[0];
+  EXPECT_EQ(s.name, "fig1");
+  EXPECT_EQ(s.params.size(), 6u);
+  EXPECT_TRUE(s.is_pointer("map"));
+  EXPECT_TRUE(s.is_pointer("set"));
+  EXPECT_TRUE(s.is_pointer("queue"));
+  EXPECT_FALSE(s.is_pointer("id"));
+  EXPECT_EQ(s.type_of("queue"), "Queue");
+  EXPECT_EQ(p.adt_types.at("Queue")->name(), "Pool");  // bound spec
+
+  const std::string printed = print_section(s);
+  EXPECT_NE(printed.find("set = map.get(id);"), std::string::npos);
+  EXPECT_NE(printed.find("if (set==null) {"), std::string::npos);
+  EXPECT_NE(printed.find("queue.enqueue(set);"), std::string::npos);
+}
+
+TEST(Parser, ParsedFig1SynthesizesLikeTheBuilderVersion) {
+  const Program p = parse_program(kFig1Source);
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.preferred_order = {"Map", "Set", "Queue"};
+  opts.mode_config.abstract_values = 4;
+  const auto res = synthesize(p, classes, opts);
+  const std::string out = print_section(res.program.sections[0]);
+  EXPECT_NE(out.find("map.lock({get(id),put(id,*),remove(id)});"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("queue.lock({enqueue(set)});"), std::string::npos);
+}
+
+TEST(Parser, ParsedProgramExecutes) {
+  const Program p = parse_program(kFig1Source);
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.mode_config.abstract_values = 4;
+  const auto res = synthesize(p, classes, opts);
+  Heap heap(res);
+  Interpreter interp(heap);
+  AdtInstance* map = heap.create("Map");
+  AdtInstance* queue = heap.create("Queue");
+  Interpreter::Env env;
+  env["map"] = RtValue::of_ref(map);
+  env["queue"] = RtValue::of_ref(queue);
+  env["id"] = RtValue::of_int(7);
+  env["x"] = RtValue::of_int(1);
+  env["y"] = RtValue::of_int(2);
+  env["flag"] = RtValue::of_int(0);
+  interp.run("fig1", env);
+  const RtValue stored = map->invoke("get", {RtValue::of_int(7)});
+  ASSERT_EQ(stored.kind, RtValue::Kind::Ref);
+  EXPECT_EQ(stored.ref->invoke("size", {}).i, 2);
+}
+
+TEST(Parser, ExpressionsAndPrecedence) {
+  const Program p = parse_program(R"(
+    adt Counter;
+    atomic f(Counter c, int a, int b) {
+      x = a + b * 2;
+      y = a < b && b != 3;
+      z = !(a == b) || a <= 1;
+      w = a - b % 2;
+      c.inc();
+    }
+  )");
+  const auto& body = p.sections[0].body;
+  EXPECT_EQ(body[0]->rhs->to_string(), "a+b*2");
+  EXPECT_EQ(body[1]->rhs->to_string(), "a<b&&b!=3");
+  EXPECT_EQ(body[2]->rhs->to_string(), "!a==b||a<=1");
+  EXPECT_EQ(body[3]->rhs->to_string(), "a-b%2");
+}
+
+TEST(Parser, WhileLoops) {
+  const Program p = parse_program(R"(
+    adt Set;
+    atomic loop(Set s, int n) {
+      i = 0;
+      while (i < n) {
+        s.add(i);
+        i = i + 1;
+      }
+    }
+  )");
+  const auto& s = p.sections[0];
+  ASSERT_EQ(s.body.size(), 2u);
+  EXPECT_EQ(s.body[1]->kind, Stmt::Kind::While);
+  EXPECT_EQ(s.body[1]->body.size(), 2u);
+}
+
+TEST(Parser, MultipleSections) {
+  const Program p = parse_program(R"(
+    adt Map;
+    atomic a(Map m, int k) { m.remove(k); }
+    atomic b(Map m, int k) { m.put(k, 1); }
+  )");
+  EXPECT_EQ(p.sections.size(), 2u);
+  EXPECT_EQ(p.sections[0].name, "a");
+  EXPECT_EQ(p.sections[1].name, "b");
+}
+
+TEST(Parser, Comments) {
+  const Program p = parse_program(R"(
+    // leading comment
+    adt Set;  // trailing comment
+    atomic f(Set s) {
+      // inside
+      s.clear();
+    }
+  )");
+  EXPECT_EQ(p.sections[0].body.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("adt Map;\natomic f(Map m) {\n  m.get(;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Parser, RejectsUnknownSpecBinding) {
+  EXPECT_THROW(parse_program("adt Foo;"), ParseError);
+  EXPECT_THROW(parse_program("adt Foo(bar);"), ParseError);
+  // Binding an arbitrary type name to a known spec works.
+  const Program p = parse_program("adt RoutingTable(map);");
+  EXPECT_EQ(p.adt_types.at("RoutingTable")->name(), "Map");
+}
+
+TEST(Parser, RejectsUndeclaredTypes) {
+  EXPECT_THROW(parse_program("atomic f(Widget w) { w.spin(); }"),
+               ParseError);
+  EXPECT_THROW(parse_program(R"(
+    adt Set;
+    atomic f(Set s) { var t: Tree; }
+  )"),
+               ParseError);
+}
+
+TEST(Parser, BankSampleCompilesAndRuns) {
+  // The shipped examples/dsl/bank.sl, inline: two sections over the
+  // Account spec, including same-class dynamic ordering.
+  const Program p = parse_program(R"(
+    adt Account;
+    atomic transfer(Account from, Account to, int amt) {
+      from.withdraw(amt);
+      to.deposit(amt);
+    }
+    atomic audit(Account a, Account b) {
+      x = a.balance();
+      y = b.balance();
+      total = x + y;
+    }
+  )");
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts;
+  opts.mode_config.abstract_values = 4;
+  const auto res = synthesize(p, classes, opts);
+
+  Heap heap(res);
+  Interpreter interp(heap);
+  AdtInstance* acc1 = heap.create("Account");
+  AdtInstance* acc2 = heap.create("Account");
+  acc1->invoke("deposit", {RtValue::of_int(100)});
+  acc2->invoke("deposit", {RtValue::of_int(50)});
+
+  Interpreter::Env env;
+  env["from"] = RtValue::of_ref(acc1);
+  env["to"] = RtValue::of_ref(acc2);
+  env["amt"] = RtValue::of_int(30);
+  interp.run("transfer", env);
+
+  Interpreter::Env audit_env;
+  audit_env["a"] = RtValue::of_ref(acc1);
+  audit_env["b"] = RtValue::of_ref(acc2);
+  const auto out = interp.run("audit", audit_env);
+  EXPECT_EQ(out.at("x").i, 70);
+  EXPECT_EQ(out.at("y").i, 80);
+  EXPECT_EQ(out.at("total").i, 150);
+}
+
+TEST(Parser, RejectsMalformedStatements) {
+  EXPECT_THROW(parse_program("adt Set; atomic f(Set s) { 42; }"), ParseError);
+  EXPECT_THROW(parse_program("adt Set; atomic f(Set s) { s.add(1) }"),
+               ParseError);
+  EXPECT_THROW(parse_program("adt Set; atomic f(Set s) { if s { } }"),
+               ParseError);
+  EXPECT_THROW(parse_program("adt Set; atomic"), ParseError);
+}
+
+}  // namespace
+}  // namespace semlock::synth

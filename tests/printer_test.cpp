@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "synth/printer.h"
+
+namespace semlock::synth {
+namespace {
+
+TEST(Printer, Expressions) {
+  EXPECT_EQ(enull()->to_string(), "null");
+  EXPECT_EQ(eint(42)->to_string(), "42");
+  EXPECT_EQ(evar("x")->to_string(), "x");
+  EXPECT_EQ(eunary(Expr::Op::Not, evar("f"))->to_string(), "!f");
+  EXPECT_EQ(eeq(evar("s"), enull())->to_string(), "s==null");
+  EXPECT_EQ(eadd(evar("a"), eint(1))->to_string(), "a+1");
+  EXPECT_EQ(ebin(Expr::Op::And, ene(evar("a"), enull()),
+                 ene(evar("b"), enull()))
+                ->to_string(),
+            "a!=null&&b!=null");
+}
+
+TEST(Printer, Statements) {
+  EXPECT_EQ(print_stmt(*call("r", "m", "get", {evar("k")})),
+            "r = m.get(k);\n");
+  EXPECT_EQ(print_stmt(*callv("m", "clear", {})), "m.clear();\n");
+  EXPECT_EQ(print_stmt(*assign("x", eint(0))), "x = 0;\n");
+  EXPECT_EQ(print_stmt(*make_new("s", "Set")), "s = new Set();\n");
+}
+
+TEST(Printer, NestedControlFlowIndents) {
+  auto s = make_if(evar("c"),
+                   {make_while(elt(evar("i"), eint(3)),
+                               {assign("i", eadd(evar("i"), eint(1)))})},
+                   {assign("i", eint(0))});
+  EXPECT_EQ(print_stmt(*s),
+            "if (c) {\n"
+            "  while (i<3) {\n"
+            "    i = i+1;\n"
+            "  }\n"
+            "} else {\n"
+            "  i = 0;\n"
+            "}\n");
+}
+
+TEST(Printer, LockForms) {
+  Stmt lv;
+  lv.kind = Stmt::Kind::Lock;
+  lv.lock_vars = {"m"};
+  lv.lock_all = true;
+  EXPECT_EQ(print_stmt(lv), "LV(m,+);\n");
+
+  lv.lock_vars = {"a", "b"};
+  EXPECT_EQ(print_stmt(lv), "LV2(a,b,+);\n");
+
+  Stmt direct;
+  direct.kind = Stmt::Kind::Lock;
+  direct.lock_vars = {"m"};
+  direct.lock_all = false;
+  direct.lock_set =
+      commute::SymbolicSet({commute::op("get", {commute::var("k")})});
+  direct.use_local_set = false;
+  EXPECT_EQ(print_stmt(direct), "m.lock({get(k)});\n");
+  direct.guard_null = true;
+  EXPECT_EQ(print_stmt(direct), "if (m!=null) m.lock({get(k)});\n");
+}
+
+TEST(Printer, UnlockForms) {
+  Stmt u;
+  u.kind = Stmt::Kind::UnlockAll;
+  u.unlock_var = "m";
+  EXPECT_EQ(print_stmt(u), "m.unlockAll();\n");
+  u.guard_null = true;
+  EXPECT_EQ(print_stmt(u), "if (m!=null) m.unlockAll();\n");
+}
+
+TEST(Printer, SectionSignature) {
+  AtomicSection s;
+  s.name = "f";
+  s.var_types = {{"m", "Map"}};
+  s.params = {"m", "k"};
+  s.body = {callv("m", "clear", {})};
+  EXPECT_EQ(print_section(s),
+            "atomic f(Map m, int k) {\n"
+            "  m.clear();\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace semlock::synth

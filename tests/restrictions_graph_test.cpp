@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_programs.h"
+#include "synth/restrictions_graph.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::combined_program;
+using testing::fig1_program;
+using testing::fig7_program;
+using testing::fig9_program;
+
+TEST(RestrictionsGraph, Fig8FromFig7) {
+  const Program p = fig7_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  // Fig. 8: nodes {m}, {q}, {s1,s2}; the only edge is Map -> Set.
+  EXPECT_EQ(g.nodes().size(), 3u);
+  EXPECT_TRUE(g.has_edge("Map", "Set"));
+  EXPECT_FALSE(g.has_edge("Set", "Map"));
+  EXPECT_FALSE(g.has_edge("Map", "Queue"));
+  EXPECT_FALSE(g.has_edge("Queue", "Map"));
+  EXPECT_FALSE(g.has_edge("Set", "Set"));
+  EXPECT_FALSE(g.has_edge("Set", "Queue"));
+  EXPECT_FALSE(g.has_edge("Queue", "Set"));
+}
+
+TEST(RestrictionsGraph, Fig1EdgesOnly) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  EXPECT_TRUE(g.has_edge("Map", "Set"));
+  EXPECT_FALSE(g.has_edge("Set", "Map"));
+  EXPECT_FALSE(g.has_edge("Set", "Set"));
+  EXPECT_FALSE(g.has_edge("Queue", "Set"));
+  EXPECT_TRUE(g.cyclic_components().empty());
+}
+
+TEST(RestrictionsGraph, Fig10FromFig9HasSelfLoop) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  // Fig. 10: Map -> Set and a self-loop on Set.
+  EXPECT_TRUE(g.has_edge("Map", "Set"));
+  EXPECT_TRUE(g.has_edge("Set", "Set"));
+  EXPECT_FALSE(g.has_edge("Set", "Map"));
+  const auto cyclic = g.cyclic_components();
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], std::vector<std::string>{"Set"});
+}
+
+TEST(RestrictionsGraph, Fig11Combined) {
+  const Program p = combined_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  EXPECT_EQ(g.nodes().size(), 3u);
+  EXPECT_TRUE(g.has_edge("Map", "Set"));
+  EXPECT_FALSE(g.has_edge("Map", "Queue"));
+  EXPECT_TRUE(g.cyclic_components().empty());
+  const auto order = g.topological_order();
+  // Map before Set in every topological order.
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("Map"), pos("Set"));
+}
+
+TEST(RestrictionsGraph, TopologicalOrderThrowsOnCycle) {
+  RestrictionsGraph g;
+  g.add_edge("A", "B");
+  g.add_edge("B", "A");
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(RestrictionsGraph, SelfEdgeIsCyclic) {
+  RestrictionsGraph g;
+  g.add_edge("A", "A");
+  g.add_node("B");
+  const auto cyclic = g.cyclic_components();
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], std::vector<std::string>{"A"});
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(RestrictionsGraph, MultiNodeScc) {
+  // Fig. 16 shape: b <-> c cycle, e self-loop, a/d acyclic.
+  RestrictionsGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "b");
+  g.add_edge("c", "d");
+  g.add_edge("d", "e");
+  g.add_edge("e", "e");
+  const auto cyclic = g.cyclic_components();
+  ASSERT_EQ(cyclic.size(), 2u);
+  EXPECT_EQ(cyclic[0], (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(cyclic[1], std::vector<std::string>{"e"});
+}
+
+TEST(RestrictionsGraph, CollapseMakesAcyclic) {
+  RestrictionsGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "b");
+  g.add_edge("c", "d");
+  g.add_edge("d", "e");
+  g.add_edge("e", "e");
+  const auto cyclic = g.cyclic_components();
+  g.collapse(cyclic, {"GW1", "GW2"});
+  EXPECT_TRUE(g.cyclic_components().empty());
+  const auto order = g.topological_order();
+  EXPECT_EQ(order.size(), 4u);  // a, GW1, d, GW2
+  EXPECT_TRUE(g.has_edge("a", "GW1"));
+  EXPECT_TRUE(g.has_edge("GW1", "d"));
+  EXPECT_TRUE(g.has_edge("d", "GW2"));
+}
+
+TEST(RestrictionsGraph, ParameterOnlyReceiversUnconstrained) {
+  // Calls on never-assigned variables produce no edges.
+  Program p;
+  p.adt_types = {{"Set", &commute::set_spec()},
+                 {"Map", &commute::map_spec()}};
+  AtomicSection s;
+  s.name = "free";
+  s.var_types = {{"a", "Set"}, {"m", "Map"}};
+  s.params = {"a", "m"};
+  s.body = {callv("m", "clear", {}), callv("a", "clear", {})};
+  p.sections = {s};
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.nodes().size(), 2u);
+}
+
+TEST(RestrictionsGraph, ToStringSmoke) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto g = RestrictionsGraph::build(p, classes);
+  const std::string txt = g.to_string();
+  EXPECT_NE(txt.find("Map -> Set"), std::string::npos);
+  EXPECT_NE(txt.find("Set -> Set"), std::string::npos);
+}
+
+TEST(PointerClassesTest, ByTypeAndRefinement) {
+  Program p = fig7_program();
+  auto classes = PointerClasses::by_type(p);
+  EXPECT_EQ(classes.class_of("g", "s1"), "Set");
+  EXPECT_EQ(classes.class_of("g", "s2"), "Set");
+  // Refine: separate s1 and s2 (as a points-to analysis might).
+  classes.assign("g", "s1", "Set#1");
+  EXPECT_EQ(classes.class_of("g", "s1"), "Set#1");
+  EXPECT_EQ(classes.type_of_class("Set#1"), "Set");
+  EXPECT_THROW(classes.class_of("g", "zzz"), std::invalid_argument);
+  EXPECT_THROW(classes.assign("g", "m", "Set#1"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semlock::synth

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "semlock/sem_adt.h"
+#include "util/rng.h"
+
+namespace semlock {
+namespace {
+
+using commute::Value;
+
+TEST(SemMapTest, BasicOpsUnderGuards) {
+  SemMap<Value, Value> map(8);
+  {
+    auto g = map.acquire(MapIntent::UpdateKey, 5);
+    EXPECT_FALSE(map.get(5));
+    map.put(5, 50);
+    EXPECT_EQ(*map.get(5), 50);
+  }
+  {
+    auto g = map.acquire(MapIntent::ReadKey, 5);
+    EXPECT_TRUE(map.contains_key(5));
+  }
+  {
+    auto g = map.acquire(MapIntent::Exclusive);
+    EXPECT_EQ(map.size(), 1u);
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+  }
+}
+
+TEST(SemMapTest, IntentConflictMatrix) {
+  SemMap<Value, Value> map(8);
+  const auto& t = map.mode_table();
+  auto mode = [&](MapIntent i, Value k) {
+    const Value vals[1] = {k};
+    return t.resolve(static_cast<int>(i),
+                     i == MapIntent::Exclusive
+                         ? std::span<const Value>()
+                         : std::span<const Value>(vals));
+  };
+  // Readers of the same key commute; reader/writer of the same key conflict;
+  // different alphas always commute; Exclusive conflicts with everything.
+  EXPECT_TRUE(t.commutes(mode(MapIntent::ReadKey, 1),
+                         mode(MapIntent::ReadKey, 1)));
+  EXPECT_FALSE(t.commutes(mode(MapIntent::ReadKey, 1),
+                          mode(MapIntent::WriteKey, 1)));
+  EXPECT_FALSE(t.commutes(mode(MapIntent::UpdateKey, 1),
+                          mode(MapIntent::UpdateKey, 1)));
+  EXPECT_TRUE(t.commutes(mode(MapIntent::UpdateKey, 1),
+                         mode(MapIntent::UpdateKey, 2)));
+  EXPECT_FALSE(t.commutes(mode(MapIntent::Exclusive, 0),
+                          mode(MapIntent::ReadKey, 3)));
+  EXPECT_FALSE(t.commutes(mode(MapIntent::Exclusive, 0),
+                          mode(MapIntent::Exclusive, 0)));
+}
+
+TEST(SemMapTest, GuardMoveSemantics) {
+  SemMap<Value, Value> map(4);
+  ModeGuard outer;
+  EXPECT_FALSE(outer.held());
+  {
+    auto g = map.acquire(MapIntent::WriteKey, 3);
+    EXPECT_TRUE(g.held());
+    outer = std::move(g);
+    EXPECT_FALSE(g.held());  // NOLINT(bugprone-use-after-move)
+  }
+  EXPECT_TRUE(outer.held());
+  outer.release();
+  EXPECT_FALSE(outer.held());
+  // Releasable again without double-unlock.
+  outer.release();
+}
+
+TEST(SemMapTest, ConcurrentComputeIfAbsentAtomicity) {
+  SemMap<Value, Value> map(16);
+  std::vector<std::thread> threads;
+  std::atomic<int> insertions{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(3, t));
+      for (int i = 0; i < 10000; ++i) {
+        const Value k = static_cast<Value>(rng.next_below(128));
+        auto g = map.acquire(MapIntent::UpdateKey, k);
+        if (!map.contains_key(k)) {
+          map.put(k, k * 2);
+          insertions.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(insertions.load(), 128);
+  auto g = map.acquire(MapIntent::Exclusive);
+  EXPECT_EQ(map.size(), 128u);
+}
+
+TEST(SemSetTest, IntentsAndOps) {
+  SemSet<Value> set(8);
+  {
+    auto g = set.acquire(SetIntent::WriteElem, 1);
+    set.add(1);
+  }
+  {
+    auto g = set.acquire(SetIntent::ReadElem, 1);
+    EXPECT_TRUE(set.contains(1));
+  }
+  {
+    auto g = set.acquire(SetIntent::AddAny);
+    for (Value v = 2; v < 10; ++v) set.add(v);
+  }
+  auto g = set.acquire(SetIntent::Exclusive);
+  EXPECT_EQ(set.size(), 9u);
+
+  const auto& t = set.mode_table();
+  // AddAny commutes with itself (the paper's Example 2.4).
+  const int add_any = t.resolve(static_cast<int>(SetIntent::AddAny), {});
+  EXPECT_TRUE(t.commutes(add_any, add_any));
+  const int excl = t.resolve(static_cast<int>(SetIntent::Exclusive), {});
+  EXPECT_FALSE(t.commutes(add_any, excl));
+}
+
+TEST(SemPoolTest, ProducersCommute) {
+  SemPool<Value> pool;
+  const auto& t = pool.mode_table();
+  const int produce = t.resolve(static_cast<int>(PoolIntent::Produce), {});
+  const int consume = t.resolve(static_cast<int>(PoolIntent::Consume), {});
+  EXPECT_TRUE(t.commutes(produce, produce));
+  EXPECT_FALSE(t.commutes(produce, consume));
+  EXPECT_FALSE(t.commutes(consume, consume));
+
+  {
+    auto g = pool.acquire(PoolIntent::Produce);
+    pool.enqueue(1);
+    pool.enqueue(2);
+  }
+  auto g = pool.acquire(PoolIntent::Consume);
+  EXPECT_TRUE(pool.dequeue());
+  EXPECT_TRUE(pool.dequeue());
+  EXPECT_FALSE(pool.dequeue());
+}
+
+TEST(SemPoolTest, ConcurrentProducersConsumers) {
+  SemPool<Value> pool;
+  constexpr int kItems = 5000;
+  std::atomic<long> consumed{0};
+  std::atomic<Value> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (Value v = 0; v < kItems; ++v) {
+        auto g = pool.acquire(PoolIntent::Produce);
+        pool.enqueue(static_cast<Value>(t) * kItems + v);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (consumed.load() < 2 * kItems) {
+        auto g = pool.acquire(PoolIntent::Consume);
+        auto v = pool.dequeue();
+        if (v) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Value expected = 0;
+  for (Value v = 0; v < 2 * kItems; ++v) expected += v;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace semlock

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "commute/spec.h"
+
+namespace semlock::commute {
+namespace {
+
+TEST(SpecBuilder, BasicLookup) {
+  const AdtSpec& set = set_spec();
+  EXPECT_EQ(set.name(), "Set");
+  EXPECT_EQ(set.num_methods(), 5);
+  EXPECT_GE(set.method_index("add"), 0);
+  EXPECT_GE(set.method_index("clear"), 0);
+  EXPECT_EQ(set.method_index("nope"), -1);
+  EXPECT_EQ(set.method(set.method_index("add")).arity, 1);
+  EXPECT_TRUE(set.method(set.method_index("contains")).has_result);
+}
+
+TEST(SpecBuilder, MethodsAfterCommuteThrows) {
+  AdtSpec::Builder b("X");
+  b.method("a", 0);
+  b.commute("a", "a", CommCondition::always());
+  EXPECT_THROW(b.method("b", 0), std::logic_error);
+}
+
+TEST(SpecBuilder, DuplicateMethodThrows) {
+  AdtSpec::Builder b("X");
+  b.method("a", 0);
+  EXPECT_THROW(b.method("a", 1), std::invalid_argument);
+}
+
+TEST(SpecBuilder, UndeclaredCommuteThrows) {
+  AdtSpec::Builder b("X");
+  b.method("a", 0);
+  EXPECT_THROW(b.commute("a", "zzz", CommCondition::always()),
+               std::invalid_argument);
+}
+
+TEST(SpecBuilder, DefaultsToNever) {
+  AdtSpec::Builder b("X");
+  b.method("a", 0).method("b", 0);
+  const AdtSpec spec = b.build();
+  EXPECT_EQ(spec.condition(0, 1).kind(), CommCondition::Kind::Never);
+  EXPECT_EQ(spec.condition(0, 0).kind(), CommCondition::Kind::Never);
+}
+
+TEST(SpecBuilder, MirrorsAutomatically) {
+  AdtSpec::Builder b("X");
+  b.method("f", 2).method("g", 1);
+  // f's arg 1 must differ from g's arg 0.
+  b.commute("f", "g", CommCondition::differ(1, 0));
+  const AdtSpec spec = b.build();
+  const int f = spec.method_index("f"), g = spec.method_index("g");
+  EXPECT_TRUE(spec.condition(f, g).evaluate({0, 5}, {6}));
+  EXPECT_FALSE(spec.condition(f, g).evaluate({0, 5}, {5}));
+  // Mirrored: g's arg 0 must differ from f's arg 1.
+  EXPECT_TRUE(spec.condition(g, f).evaluate({6}, {0, 5}));
+  EXPECT_FALSE(spec.condition(g, f).evaluate({5}, {0, 5}));
+}
+
+TEST(SpecFig3b, SetConditions) {
+  // Fig. 3(b), entry by entry (v / v' conditions).
+  const AdtSpec& s = set_spec();
+  const int add = s.method_index("add");
+  const int rem = s.method_index("remove");
+  const int con = s.method_index("contains");
+  const int siz = s.method_index("size");
+  const int clr = s.method_index("clear");
+
+  EXPECT_EQ(s.condition(add, add).kind(), CommCondition::Kind::Always);
+  EXPECT_TRUE(s.condition(add, rem).evaluate({1}, {2}));
+  EXPECT_FALSE(s.condition(add, rem).evaluate({1}, {1}));
+  EXPECT_TRUE(s.condition(add, con).evaluate({1}, {2}));
+  EXPECT_FALSE(s.condition(add, con).evaluate({1}, {1}));
+  EXPECT_EQ(s.condition(add, siz).kind(), CommCondition::Kind::Never);
+  EXPECT_EQ(s.condition(add, clr).kind(), CommCondition::Kind::Never);
+  EXPECT_EQ(s.condition(rem, rem).kind(), CommCondition::Kind::Always);
+  EXPECT_FALSE(s.condition(rem, con).evaluate({3}, {3}));
+  EXPECT_EQ(s.condition(rem, siz).kind(), CommCondition::Kind::Never);
+  EXPECT_EQ(s.condition(con, con).kind(), CommCondition::Kind::Always);
+  EXPECT_EQ(s.condition(siz, siz).kind(), CommCondition::Kind::Always);
+  EXPECT_EQ(s.condition(siz, clr).kind(), CommCondition::Kind::Never);
+  EXPECT_EQ(s.condition(clr, clr).kind(), CommCondition::Kind::Always);
+}
+
+TEST(BuiltinSpecs, AllConstructible) {
+  EXPECT_EQ(map_spec().name(), "Map");
+  EXPECT_EQ(fifo_queue_spec().name(), "Queue");
+  EXPECT_EQ(pool_spec().name(), "Pool");
+  EXPECT_EQ(multimap_spec().name(), "Multimap");
+  EXPECT_EQ(weakmap_spec().name(), "WeakMap");
+  EXPECT_EQ(counter_spec().name(), "Counter");
+  EXPECT_EQ(register_spec().name(), "Register");
+  EXPECT_EQ(account_spec().name(), "Account");
+}
+
+TEST(BuiltinSpecs, FifoQueueAdmitsNoEnqueueParallelism) {
+  const AdtSpec& q = fifo_queue_spec();
+  const int enq = q.method_index("enqueue");
+  EXPECT_EQ(q.condition(enq, enq).kind(), CommCondition::Kind::Never);
+}
+
+TEST(BuiltinSpecs, PoolEnqueuesCommute) {
+  const AdtSpec& p = pool_spec();
+  const int enq = p.method_index("enqueue");
+  const int deq = p.method_index("dequeue");
+  EXPECT_EQ(p.condition(enq, enq).kind(), CommCondition::Kind::Always);
+  EXPECT_EQ(p.condition(enq, deq).kind(), CommCondition::Kind::Never);
+}
+
+TEST(BuiltinSpecs, WeakMapPutAllConflictsWithEverything) {
+  const AdtSpec& w = weakmap_spec();
+  const int pa = w.method_index("putAll");
+  ASSERT_GE(pa, 0);
+  for (int m = 0; m < w.num_methods(); ++m) {
+    EXPECT_EQ(w.condition(pa, m).kind(), CommCondition::Kind::Never)
+        << "putAll vs " << w.method(m).name;
+  }
+}
+
+}  // namespace
+}  // namespace semlock::commute

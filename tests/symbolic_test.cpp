@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "commute/symbolic.h"
+
+namespace semlock::commute {
+namespace {
+
+TEST(SymArg, Printing) {
+  EXPECT_EQ(star().to_string(), "*");
+  EXPECT_EQ(cst(7).to_string(), "7");
+  EXPECT_EQ(var("id").to_string(), "id");
+}
+
+TEST(SymOp, Printing) {
+  EXPECT_EQ(op("get", {var("id")}).to_string(), "get(id)");
+  EXPECT_EQ(op("put", {var("id"), star()}).to_string(), "put(id,*)");
+  EXPECT_EQ(op("size").to_string(), "size()");
+  EXPECT_EQ(op("add", {cst(5)}).to_string(), "add(5)");
+}
+
+TEST(SymOp, Subsumption) {
+  EXPECT_TRUE(op("add", {star()}).subsumes(op("add", {cst(5)})));
+  EXPECT_TRUE(op("add", {star()}).subsumes(op("add", {var("x")})));
+  EXPECT_FALSE(op("add", {cst(5)}).subsumes(op("add", {star()})));
+  EXPECT_FALSE(op("add", {cst(5)}).subsumes(op("remove", {cst(5)})));
+  EXPECT_TRUE(op("add", {cst(5)}).subsumes(op("add", {cst(5)})));
+  EXPECT_FALSE(op("put", {var("k"), star()})
+                   .subsumes(op("put", {var("j"), star()})));
+}
+
+TEST(SymbolicSet, DedupsAndSubsumes) {
+  SymbolicSet s;
+  s.insert(op("add", {cst(5)}));
+  s.insert(op("add", {cst(5)}));
+  EXPECT_EQ(s.ops().size(), 1u);
+  s.insert(op("add", {star()}));  // subsumes add(5)
+  EXPECT_EQ(s.ops().size(), 1u);
+  EXPECT_EQ(s.to_string(), "{add(*)}");
+  s.insert(op("add", {cst(7)}));  // already subsumed by add(*)
+  EXPECT_EQ(s.ops().size(), 1u);
+}
+
+TEST(SymbolicSet, MergeIsUnion) {
+  SymbolicSet a({op("get", {var("k")})});
+  SymbolicSet b({op("put", {var("k"), star()})});
+  a.merge(b);
+  EXPECT_EQ(a.ops().size(), 2u);
+  EXPECT_EQ(a.to_string(), "{get(k),put(k,*)}");
+}
+
+TEST(SymbolicSet, ConstantDetection) {
+  EXPECT_TRUE(SymbolicSet({op("add", {cst(5)})}).is_constant());
+  EXPECT_TRUE(SymbolicSet({op("add", {star()})}).is_constant());
+  EXPECT_FALSE(SymbolicSet({op("add", {var("i")})}).is_constant());
+}
+
+TEST(SymbolicSet, Variables) {
+  SymbolicSet s({op("add", {var("i")}), op("remove", {var("j")}),
+                 op("contains", {var("i")})});
+  const auto vars = s.variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "i");
+  EXPECT_EQ(vars[1], "j");
+}
+
+TEST(SymbolicSet, WidenVariable) {
+  SymbolicSet s({op("put", {var("k"), var("v")})});
+  s.widen_variable("v");
+  EXPECT_EQ(s.to_string(), "{put(k,*)}");
+  EXPECT_EQ(s.variables().size(), 1u);
+  s.widen_variable("k");
+  EXPECT_EQ(s.to_string(), "{put(*,*)}");
+  EXPECT_TRUE(s.is_constant());
+}
+
+TEST(SymbolicSet, WidenCollapsesSubsumed) {
+  // After widening, put(k,*) and put(j,*) both become put(*,*): one op.
+  SymbolicSet s({op("put", {var("k"), star()}), op("put", {var("j"), star()})});
+  s.widen_variable("k");
+  s.widen_variable("j");
+  EXPECT_EQ(s.ops().size(), 1u);
+}
+
+TEST(SymbolicSet, PaperFig2MapSet) {
+  // The inferred set of Fig. 2 line 1.
+  SymbolicSet s({op("get", {var("id")}), op("put", {var("id"), star()}),
+                 op("remove", {var("id")})});
+  EXPECT_EQ(s.to_string(), "{get(id),put(id,*),remove(id)}");
+  EXPECT_FALSE(s.is_constant());
+  EXPECT_EQ(s.variables(), std::vector<std::string>{"id"});
+}
+
+TEST(SymbolicSet, EqualityIsStructural) {
+  SymbolicSet a({op("get", {var("id")})});
+  SymbolicSet b({op("get", {var("id")})});
+  SymbolicSet c({op("get", {var("x")})});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace semlock::commute

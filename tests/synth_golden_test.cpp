@@ -1,0 +1,161 @@
+// Golden-text reproduction of the paper's code figures: the synthesized
+// output for Fig. 1 must match Fig. 14 (Section 3), Fig. 17 (Appendix A)
+// and Fig. 2 (Section 4) line for line, and the Fig. 9 output must match
+// the Fig. 15 wrapper shape.
+#include <gtest/gtest.h>
+
+#include "paper_programs.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::fig1_program;
+using testing::fig9_program;
+
+SynthesisOptions opts(bool refine, bool optimize) {
+  SynthesisOptions o;
+  o.refine_symbolic_sets = refine;
+  o.optimize = optimize;
+  o.preferred_order = {"Map", "Set", "Queue"};
+  o.mode_config.abstract_values = 4;
+  return o;
+}
+
+std::string synthesized_fig1(bool refine, bool optimize) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, opts(refine, optimize));
+  return print_section(res.program.sections[0]);
+}
+
+TEST(GoldenFig14, Section3NonOptimized) {
+  EXPECT_EQ(synthesized_fig1(false, false),
+            "atomic fig1(Map map, Queue queue, int id, int x, int y, "
+            "int flag) {\n"
+            "  LOCAL_SET.init(); // prologue\n"
+            "  LV(map,+);\n"
+            "  set = map.get(id);\n"
+            "  if (set==null) {\n"
+            "    set = new Set();\n"
+            "    LV(map,+);\n"
+            "    map.put(id,set);\n"
+            "  }\n"
+            "  LV(map,+);\n"
+            "  LV(set,+);\n"
+            "  set.add(x);\n"
+            "  LV(map,+);\n"
+            "  LV(set,+);\n"
+            "  set.add(y);\n"
+            "  if (flag) {\n"
+            "    LV(map,+);\n"
+            "    LV(queue,+);\n"
+            "    queue.enqueue(set);\n"
+            "    LV(map,+);\n"
+            "    map.remove(id);\n"
+            "  }\n"
+            "  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue\n"
+            "}\n");
+}
+
+TEST(GoldenFig17, AppendixAOptimized) {
+  EXPECT_EQ(synthesized_fig1(false, true),
+            "atomic fig1(Map map, Queue queue, int id, int x, int y, "
+            "int flag) {\n"
+            "  map.lock(+);\n"
+            "  set = map.get(id);\n"
+            "  if (set==null) {\n"
+            "    set = new Set();\n"
+            "    map.put(id,set);\n"
+            "  }\n"
+            "  set.lock(+);\n"
+            "  set.add(x);\n"
+            "  set.add(y);\n"
+            "  if (flag) {\n"
+            "    queue.lock(+);\n"
+            "    queue.enqueue(set);\n"
+            "    queue.unlockAll();\n"
+            "    map.remove(id);\n"
+            "  }\n"
+            "  map.unlockAll();\n"
+            "  set.unlockAll();\n"
+            "}\n");
+}
+
+TEST(GoldenFig2, Section4Refined) {
+  // The paper's Fig. 2 locks the Set with {add(*)}; our inference keeps the
+  // strictly finer {add(x),add(y)} — both compile to all-commuting modes.
+  EXPECT_EQ(synthesized_fig1(true, true),
+            "atomic fig1(Map map, Queue queue, int id, int x, int y, "
+            "int flag) {\n"
+            "  map.lock({get(id),put(id,*),remove(id)});\n"
+            "  set = map.get(id);\n"
+            "  if (set==null) {\n"
+            "    set = new Set();\n"
+            "    map.put(id,set);\n"
+            "  }\n"
+            "  set.lock({add(x),add(y)});\n"
+            "  set.add(x);\n"
+            "  set.add(y);\n"
+            "  if (flag) {\n"
+            "    queue.lock({enqueue(set)});\n"
+            "    queue.enqueue(set);\n"
+            "    queue.unlockAll();\n"
+            "    map.remove(id);\n"
+            "  }\n"
+            "  map.unlockAll();\n"
+            "  set.unlockAll();\n"
+            "}\n");
+}
+
+TEST(GoldenFig15, WrapperInstrumentation) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, opts(true, true));
+  EXPECT_EQ(print_section(res.program.sections[0]),
+            "atomic loop(Map map, int n) {\n"
+            "  LOCAL_SET.init(); // prologue\n"
+            "  sum = 0;\n"
+            "  i = 0;\n"
+            "  while (i<n) {\n"
+            "    LV(map,{get(*)});\n"
+            "    set = map.get(i);\n"
+            "    if (set!=null) {\n"
+            "      LV(p1,{size()});\n"
+            "      t = set.size();\n"
+            "      sum = sum+t;\n"
+            "    }\n"
+            "    i = i+1;\n"
+            "  }\n"
+            "  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue\n"
+            "}\n");
+}
+
+// Fig. 13: the Fig. 7 section with non-optimized locking and the order
+// m < s1,s2 < q, including LV2 for the same-class pair.
+TEST(GoldenFig13, DynamicOrdering) {
+  const Program p = testing::fig7_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, opts(false, false));
+  EXPECT_EQ(print_section(res.program.sections[0]),
+            "atomic g(Map m, int key1, int key2, Queue q) {\n"
+            "  LOCAL_SET.init(); // prologue\n"
+            "  LV(m,+);\n"
+            "  s1 = m.get(key1);\n"
+            "  LV(m,+);\n"
+            "  s2 = m.get(key2);\n"
+            "  if (s1!=null&&s2!=null) {\n"
+            "    LV2(s1,s2,+);\n"
+            "    s1.add(1);\n"
+            "    LV(s2,+);\n"
+            "    s2.add(2);\n"
+            "    LV(q,+);\n"
+            "    q.enqueue(s1);\n"
+            "  }\n"
+            "  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace semlock::synth

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_programs.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+using testing::combined_program;
+using testing::fig1_program;
+using testing::fig7_program;
+using testing::fig9_program;
+
+SynthesisOptions paper_options(bool refine, bool optimize) {
+  SynthesisOptions opts;
+  opts.refine_symbolic_sets = refine;
+  opts.optimize = optimize;
+  opts.preferred_order = {"Map", "Set", "Queue"};  // the paper's tie-break
+  opts.mode_config.abstract_values = 8;
+  return opts;
+}
+
+// Collect all statements of a kind in a block tree.
+void collect(const Block& b, Stmt::Kind kind, std::vector<const Stmt*>& out) {
+  for (const auto& s : b) {
+    if (s->kind == kind) out.push_back(s.get());
+    collect(s->then_block, kind, out);
+    collect(s->else_block, kind, out);
+    collect(s->body, kind, out);
+  }
+}
+
+std::vector<const Stmt*> locks_of(const AtomicSection& s) {
+  std::vector<const Stmt*> out;
+  collect(s.body, Stmt::Kind::Lock, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3 output (no refinement, no optimization): Fig. 14 structure.
+// ---------------------------------------------------------------------------
+TEST(SynthesisFig14, NonOptimizedLockPlacement) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res =
+      synthesize(p, classes, paper_options(false, false));
+  const auto& section = res.program.sections[0];
+
+  // Prologue first, epilogue last.
+  EXPECT_EQ(section.body.front()->kind, Stmt::Kind::Prologue);
+  EXPECT_EQ(section.body.back()->kind, Stmt::Kind::Epilogue);
+
+  // Fig. 14 inserts: LV(map) at get; LV(map) at put; LV(map),LV(set) before
+  // each add; LV(map),LV(queue) before enqueue; LV(map) before remove.
+  const auto locks = locks_of(section);
+  EXPECT_EQ(locks.size(), 9u);
+  int map_locks = 0, set_locks = 0, queue_locks = 0;
+  for (const auto* l : locks) {
+    EXPECT_TRUE(l->lock_all);  // Section 3 uses lock(+)
+    EXPECT_TRUE(l->use_local_set);
+    ASSERT_EQ(l->lock_vars.size(), 1u);
+    if (l->lock_vars[0] == "map") ++map_locks;
+    if (l->lock_vars[0] == "set") ++set_locks;
+    if (l->lock_vars[0] == "queue") ++queue_locks;
+  }
+  EXPECT_EQ(map_locks, 6);
+  EXPECT_EQ(set_locks, 2);
+  EXPECT_EQ(queue_locks, 1);
+
+  // Order: map class before set class before queue class.
+  const auto pos = [&](const std::string& n) {
+    return std::find(res.class_order.begin(), res.class_order.end(), n) -
+           res.class_order.begin();
+  };
+  EXPECT_LT(pos("Map"), pos("Set"));
+  EXPECT_LT(pos("Set"), pos("Queue"));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13: the Fig. 7 section with dynamic same-class ordering (LV2).
+// ---------------------------------------------------------------------------
+TEST(SynthesisFig13, DynamicOrderForSameClass) {
+  const Program p = fig7_program();
+  const auto classes = PointerClasses::by_type(p);
+  SynthesisOptions opts = paper_options(false, false);
+  opts.preferred_order = {"Map", "Set", "Queue"};  // m < s1,s2 < q
+  const auto res = synthesize(p, classes, opts);
+  const auto& section = res.program.sections[0];
+  const auto locks = locks_of(section);
+
+  // Find the LV2(s1,s2) lock inserted before s1.add(1).
+  const Stmt* lv2 = nullptr;
+  for (const auto* l : locks) {
+    if (l->lock_vars.size() == 2) lv2 = l;
+  }
+  ASSERT_NE(lv2, nullptr);
+  EXPECT_EQ(lv2->lock_vars, (std::vector<std::string>{"s1", "s2"}));
+
+  // Before m.get(key1): only LV(m) (Set is not <= Map in the order).
+  const Stmt* first_lock = locks.front();
+  EXPECT_EQ(first_lock->lock_vars, std::vector<std::string>{"m"});
+}
+
+// ---------------------------------------------------------------------------
+// Section 4 refinement: Fig. 2 symbolic sets.
+// ---------------------------------------------------------------------------
+TEST(SynthesisFig2, RefinedSymbolicSets) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(true, true));
+  const auto& section = res.program.sections[0];
+  const auto locks = locks_of(section);
+
+  // After optimization exactly three locks remain: map, set, queue.
+  ASSERT_EQ(locks.size(), 3u);
+  EXPECT_EQ(locks[0]->lock_vars, std::vector<std::string>{"map"});
+  EXPECT_FALSE(locks[0]->lock_all);
+  EXPECT_EQ(locks[0]->lock_set.to_string(), "{get(id),put(id,*),remove(id)}");
+  EXPECT_EQ(locks[1]->lock_vars, std::vector<std::string>{"set"});
+  EXPECT_EQ(locks[1]->lock_set.to_string(), "{add(x),add(y)}");
+  EXPECT_EQ(locks[2]->lock_vars, std::vector<std::string>{"queue"});
+  EXPECT_EQ(locks[2]->lock_set.to_string(), "{enqueue(set)}");
+
+  // LOCAL_SET was elided (Fig. 17/Fig. 2 shape): direct locks, per-variable
+  // unlocks, no prologue/epilogue.
+  for (const auto* l : locks) EXPECT_FALSE(l->use_local_set);
+  std::vector<const Stmt*> prologues, epilogues, unlocks;
+  collect(section.body, Stmt::Kind::Prologue, prologues);
+  collect(section.body, Stmt::Kind::Epilogue, epilogues);
+  collect(section.body, Stmt::Kind::UnlockAll, unlocks);
+  EXPECT_TRUE(prologues.empty());
+  EXPECT_TRUE(epilogues.empty());
+  EXPECT_EQ(unlocks.size(), 3u);
+
+  // Null checks removed (map/set/queue provably non-null at their locks).
+  for (const auto* l : locks) EXPECT_FALSE(l->guard_null) << l->lock_vars[0];
+
+  // Early release: the queue unlock sits inside the if(flag) branch, before
+  // map.remove (Fig. 28 / Fig. 2 line 8).
+  const Stmt* flag_if = nullptr;
+  for (const auto& s : section.body) {
+    if (s->kind == Stmt::Kind::If && !s->then_block.empty()) flag_if = s.get();
+  }
+  ASSERT_NE(flag_if, nullptr);
+  bool queue_unlock_in_branch = false;
+  for (const auto& s : flag_if->then_block) {
+    if (s->kind == Stmt::Kind::UnlockAll && s->unlock_var == "queue") {
+      queue_unlock_in_branch = true;
+    }
+  }
+  EXPECT_TRUE(queue_unlock_in_branch);
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.4: Fig. 9 forces a global wrapper for the Set class (Fig. 15).
+// ---------------------------------------------------------------------------
+TEST(SynthesisFig15, CyclicClassGetsWrapper) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(false, false));
+
+  ASSERT_EQ(res.wrapper_of.size(), 1u);
+  EXPECT_EQ(res.wrapper_of.at("Set"), "GW1");
+  EXPECT_EQ(res.wrapper_pointer.at("GW1"), "p1");
+  EXPECT_EQ(res.effective_class("loop", "set"), "GW1");
+  EXPECT_EQ(res.effective_class("loop", "map"), "Map");
+
+  // The post-collapse graph is acyclic with Map before GW1.
+  const auto& order = res.class_order;
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("Map"), pos("GW1"));
+
+  // Locks on `set` were replaced by locks on the wrapper pointer p1.
+  const auto& section = res.program.sections[0];
+  const auto locks = locks_of(section);
+  bool wrapper_lock = false;
+  for (const auto* l : locks) {
+    if (!l->wrapper_key.empty()) {
+      wrapper_lock = true;
+      EXPECT_EQ(l->wrapper_key, "GW1");
+      EXPECT_EQ(l->lock_vars, std::vector<std::string>{"p1"});
+    } else {
+      EXPECT_NE(l->lock_vars[0], "set");  // never lock the raw variable
+    }
+  }
+  EXPECT_TRUE(wrapper_lock);
+
+  // Single-type wrapper reuses the underlying Set spec.
+  const auto& plan = res.plans.at("GW1");
+  EXPECT_EQ(plan.spec->name(), "Set");
+}
+
+TEST(SynthesisFig15, WrapperRefinedSetsUseUnderlyingMethods) {
+  const Program p = fig9_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(true, true));
+  const auto& plan = res.plans.at("GW1");
+  ASSERT_FALSE(plan.sites.empty());
+  EXPECT_EQ(plan.sites[0].to_string(), "{size()}");
+}
+
+// ---------------------------------------------------------------------------
+// Mode-table plans.
+// ---------------------------------------------------------------------------
+TEST(SynthesisPlans, SitesAndTablesCompiled) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(true, true));
+
+  ASSERT_TRUE(res.plans.count("Map"));
+  ASSERT_TRUE(res.plans.count("Set"));
+  ASSERT_TRUE(res.plans.count("Queue"));
+  const auto& map_plan = res.plans.at("Map");
+  ASSERT_EQ(map_plan.sites.size(), 1u);
+  EXPECT_EQ(map_plan.sites[0].to_string(), "{get(id),put(id,*),remove(id)}");
+  ASSERT_TRUE(map_plan.table.has_value());
+  EXPECT_EQ(map_plan.table->num_modes(), 8);       // one per alpha
+  EXPECT_EQ(map_plan.table->num_partitions(), 8);  // striping falls out
+
+  // Site ids were stamped into the lock statements.
+  const auto& section = res.program.sections[0];
+  for (const auto* l : locks_of(section)) {
+    EXPECT_GE(l->site_id, 0);
+  }
+}
+
+TEST(SynthesisPlans, GenericSetsWhenRefinementOff) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(false, true));
+  const auto& map_plan = res.plans.at("Map");
+  ASSERT_EQ(map_plan.sites.size(), 1u);
+  // lock(+): every Map method, all-star arguments (canonical order).
+  EXPECT_EQ(map_plan.sites[0].to_string(),
+            "{clear(),containsKey(*),get(*),put(*,*),remove(*),size()}");
+  // A lock(+) mode conflicts with itself: instance-exclusive locking.
+  const int m = map_plan.table->resolve_constant(0);
+  EXPECT_FALSE(map_plan.table->commutes(m, m));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and cross-section behavior.
+// ---------------------------------------------------------------------------
+TEST(Synthesis, CombinedProgramSharesOrder) {
+  const Program p = combined_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, paper_options(true, true));
+  EXPECT_EQ(res.program.sections.size(), 2u);
+  // Both sections' Map lock sites land in the same plan.
+  const auto& map_plan = res.plans.at("Map");
+  EXPECT_GE(map_plan.sites.size(), 2u);
+}
+
+TEST(Synthesis, DoesNotMutateInput) {
+  const Program p = fig1_program();
+  const auto classes = PointerClasses::by_type(p);
+  const std::string before = print_section(p.sections[0]);
+  (void)synthesize(p, classes, paper_options(true, true));
+  EXPECT_EQ(print_section(p.sections[0]), before);
+}
+
+TEST(Synthesis, DeterministicAcrossRuns) {
+  const Program p = combined_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto r1 = synthesize(p, classes, paper_options(true, true));
+  const auto r2 = synthesize(p, classes, paper_options(true, true));
+  EXPECT_EQ(print_section(r1.program.sections[0]),
+            print_section(r2.program.sections[0]));
+  EXPECT_EQ(r1.class_order, r2.class_order);
+}
+
+}  // namespace
+}  // namespace semlock::synth

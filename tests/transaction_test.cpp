@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "semlock/transaction.h"
+
+namespace semlock {
+namespace {
+
+using commute::op;
+using commute::star;
+using commute::SymbolicSet;
+
+ModeTable make_table() {
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  return ModeTable::compile(commute::set_spec(),
+                            {SymbolicSet({op("add", {star()})}),
+                             SymbolicSet({op("size"), op("clear")})},
+                            c);
+}
+
+TEST(TransactionTest, LvSkipsHeldInstances) {
+  const auto t = make_table();
+  SemanticLock lk(t);
+  Transaction txn;
+  txn.lv(&lk, 0);
+  EXPECT_EQ(txn.num_held(), 1u);
+  txn.lv(&lk, 0);  // LOCAL_SET semantics: no re-lock
+  EXPECT_EQ(txn.num_held(), 1u);
+  EXPECT_EQ(lk.holders(t.resolve_constant(0)), 1u);
+  txn.unlock_all();
+  EXPECT_EQ(lk.holders(t.resolve_constant(0)), 0u);
+}
+
+TEST(TransactionTest, NullIsNoOp) {
+  Transaction txn;
+  txn.lv(nullptr, 0);
+  txn.lv_mode(nullptr, 0);
+  EXPECT_EQ(txn.num_held(), 0u);
+}
+
+TEST(TransactionTest, UnlockAllReleasesEverything) {
+  const auto t = make_table();
+  SemanticLock a(t), b(t);
+  Transaction txn;
+  txn.lv(&a, 0);
+  txn.lv(&b, 0);
+  EXPECT_EQ(txn.num_held(), 2u);
+  txn.unlock_all();
+  EXPECT_EQ(txn.num_held(), 0u);
+  EXPECT_EQ(a.holders(t.resolve_constant(0)), 0u);
+  EXPECT_EQ(b.holders(t.resolve_constant(0)), 0u);
+}
+
+TEST(TransactionTest, DestructorReleases) {
+  const auto t = make_table();
+  SemanticLock lk(t);
+  {
+    Transaction txn;
+    txn.lv(&lk, 0);
+    EXPECT_EQ(lk.holders(t.resolve_constant(0)), 1u);
+  }
+  EXPECT_EQ(lk.holders(t.resolve_constant(0)), 0u);
+}
+
+TEST(TransactionTest, UnlockInstanceIsEarlyRelease) {
+  const auto t = make_table();
+  SemanticLock a(t), b(t);
+  Transaction txn;
+  txn.lv(&a, 0);
+  txn.lv(&b, 0);
+  txn.unlock_instance(&a);
+  EXPECT_EQ(txn.num_held(), 1u);
+  EXPECT_EQ(a.holders(t.resolve_constant(0)), 0u);
+  EXPECT_EQ(b.holders(t.resolve_constant(0)), 1u);
+  txn.unlock_all();
+}
+
+TEST(TransactionTest, LvOrderedSortsByUniqueId) {
+  const auto t = make_table();
+  SemanticLock a(t), b(t), c(t);
+  const int mode = t.resolve_constant(0);
+  Transaction txn;
+  Transaction::DynTarget targets[3] = {{&c, mode}, {&a, mode}, {&b, mode}};
+  txn.lv_ordered(targets);
+  EXPECT_EQ(txn.num_held(), 3u);
+  // Targets were reordered ascending by unique id.
+  EXPECT_LE(targets[0].lk->unique_id(), targets[1].lk->unique_id());
+  EXPECT_LE(targets[1].lk->unique_id(), targets[2].lk->unique_id());
+  txn.unlock_all();
+}
+
+TEST(TransactionTest, LvOrderedCollapsesAliases) {
+  const auto t = make_table();
+  SemanticLock a(t);
+  const int mode = t.resolve_constant(0);
+  Transaction txn;
+  Transaction::DynTarget targets[2] = {{&a, mode}, {&a, mode}};
+  txn.lv_ordered(targets);
+  EXPECT_EQ(txn.num_held(), 1u);
+  EXPECT_EQ(a.holders(mode), 1u);
+  txn.unlock_all();
+}
+
+TEST(TransactionTest, LvWithKeyedSiteResolvesByValue) {
+  ModeTableConfig c;
+  c.abstract_values = 4;
+  const auto t = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {commute::var("k")}),
+                    op("put", {commute::var("k"), star()})})},
+      c);
+  SemanticLock a(t), b(t);
+  Transaction txn;
+  const commute::Value k3[1] = {3};
+  const commute::Value k5[1] = {5};
+  txn.lv(&a, 0, k3);
+  txn.lv(&b, 0, k5);
+  const auto held = txn.held();
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].mode, t.resolve(0, k3));
+  EXPECT_EQ(held[1].mode, t.resolve(0, k5));
+  EXPECT_NE(held[0].mode, held[1].mode);  // 3 and 5 differ mod 4
+  txn.unlock_all();
+}
+
+TEST(TransactionTest, HeldExposesEntries) {
+  const auto t = make_table();
+  SemanticLock a(t);
+  Transaction txn;
+  txn.lv(&a, 1);
+  const auto held = txn.held();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].lk, &a);
+  EXPECT_EQ(held[0].mode, t.resolve_constant(1));
+  txn.unlock_all();
+}
+
+}  // namespace
+}  // namespace semlock

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/stats.h"
+#include "util/thread_team.h"
+
+namespace semlock::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChancePercentExtremes) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance_percent(0));
+    EXPECT_TRUE(rng.chance_percent(100));
+  }
+}
+
+TEST(Rng, DeriveSeedDecorrelates) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 100; ++s) seeds.insert(derive_seed(1, s));
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(Spinlock, MutualExclusion) {
+  Spinlock lock;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4 * 20000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Barrier, ReleasesAllParties) {
+  constexpr int kParties = 4;
+  SpinBarrier barrier(kParties);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(before.load(), kParties);
+  EXPECT_EQ(after.load(), kParties);
+}
+
+TEST(Barrier, Reusable) {
+  constexpr int kParties = 3;
+  SpinBarrier barrier(kParties);
+  std::atomic<int> phase_sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        barrier.arrive_and_wait();
+        phase_sum.fetch_add(1);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(phase_sum.load(), kParties * 10);
+}
+
+TEST(ThreadTeam, RunsEveryThreadOnce) {
+  std::atomic<int> runs{0};
+  std::vector<std::atomic<int>> per_thread(8);
+  const auto result = run_team(8, [&](std::size_t tid) {
+    runs.fetch_add(1);
+    per_thread[tid].fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 8);
+  for (auto& c : per_thread) EXPECT_EQ(c.load(), 1);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Stats, SeriesTableFormats) {
+  SeriesTable table("threads", "ops/ms");
+  table.set_series({"Ours", "Global"});
+  table.add_row(1, {100.5, 50.25});
+  table.add_row(2, {200.0, 49.0});
+  const std::string txt = table.to_table();
+  EXPECT_NE(txt.find("Ours"), std::string::npos);
+  EXPECT_NE(txt.find("ops/ms"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("threads,Ours,Global"), std::string::npos);
+  EXPECT_NE(csv.find("1,100.5"), std::string::npos);
+}
+
+TEST(Stats, SeriesTableRejectsWidthMismatch) {
+  SeriesTable table("threads", "x");
+  table.set_series({"a", "b"});
+  EXPECT_THROW(table.add_row(1, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semlock::util

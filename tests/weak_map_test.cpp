@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "adt/bounded_weak_map.h"
+#include "commute/value.h"
+#include "util/rng.h"
+
+namespace semlock::adt {
+namespace {
+
+using commute::Value;
+
+TEST(BoundedWeakMap, BasicOps) {
+  BoundedWeakMap<Value, Value> map(64, 1);
+  EXPECT_FALSE(map.get(1));
+  map.put(1, 10);
+  ASSERT_TRUE(map.get(1));
+  EXPECT_EQ(*map.get(1), 10);
+  EXPECT_TRUE(map.contains_key(1));
+  map.put(1, 11);  // overwrite
+  EXPECT_EQ(*map.get(1), 11);
+  EXPECT_TRUE(map.remove(1));
+  EXPECT_FALSE(map.remove(1));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(BoundedWeakMap, EvictsWhenFull) {
+  BoundedWeakMap<Value, Value> map(/*capacity=*/8, /*num_stripes=*/1);
+  for (Value k = 0; k < 100; ++k) map.put(k, k);
+  EXPECT_LE(map.size(), 8u);
+  // The most recent insert survives.
+  EXPECT_TRUE(map.get(99));
+}
+
+TEST(BoundedWeakMap, SecondChanceKeepsHotEntries) {
+  BoundedWeakMap<Value, Value> map(/*capacity=*/4, /*num_stripes=*/1);
+  map.put(0, 0);
+  for (Value k = 1; k < 40; ++k) {
+    (void)map.get(0);  // keep entry 0 hot
+    map.put(k, k);
+  }
+  EXPECT_TRUE(map.get(0)) << "hot entry evicted despite constant use";
+}
+
+TEST(BoundedWeakMap, WeakSemanticsAllowMisses) {
+  // Unlike StripedHashMap, a once-present key may be gone — the contract
+  // cache code must handle.
+  BoundedWeakMap<Value, Value> map(/*capacity=*/4, /*num_stripes=*/1);
+  map.put(1, 10);
+  for (Value k = 100; k < 120; ++k) map.put(k, k);
+  // No assertion that key 1 is still present; only that lookups never
+  // return a wrong value.
+  const auto v = map.get(1);
+  if (v) {
+    EXPECT_EQ(*v, 10);
+  }
+}
+
+TEST(BoundedWeakMap, ClearAndCapacity) {
+  BoundedWeakMap<Value, Value> map(64, 4);
+  EXPECT_GE(map.capacity(), 64u);
+  for (Value k = 0; k < 32; ++k) map.put(k, k);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (Value k = 0; k < 32; ++k) EXPECT_FALSE(map.get(k));
+}
+
+TEST(BoundedWeakMap, ConcurrentMixedUse) {
+  BoundedWeakMap<Value, Value> map(1024, 16);
+  std::vector<std::thread> threads;
+  std::atomic<bool> corrupt{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(21, t));
+      for (int i = 0; i < 20000; ++i) {
+        const Value k = static_cast<Value>(rng.next_below(512));
+        if (rng.chance_percent(40)) {
+          map.put(k, k * 7);
+        } else {
+          const auto v = map.get(k);
+          if (v && *v != k * 7) corrupt.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_LE(map.size(), map.capacity());
+}
+
+}  // namespace
+}  // namespace semlock::adt

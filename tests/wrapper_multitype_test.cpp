@@ -1,0 +1,244 @@
+// Section 3.4 with a cyclic component spanning TWO ADT types: the global
+// wrapper must carry a synthesized spec with namespaced methods
+// ("Map.get", "Set.size", ...), same-type pairs inheriting the underlying
+// commutativity condition and cross-type pairs always commuting. The
+// interpreter must route lock coverage checks through the namespaced spec.
+#include <gtest/gtest.h>
+
+#include "commute/builtin_specs.h"
+#include "synth/interpreter.h"
+#include "synth/printer.h"
+#include "synth/synthesis.h"
+
+namespace semlock::synth {
+namespace {
+
+// A section where Map and Set constrain each other's lock order:
+//   s = m.get(k);      // Map call, assigns s
+//   t = s.size();      // Set call            => Map -> Set
+//   m = m2;            // assigns m
+//   m.put(k, t);       // Map call            => Set -> Map  (cycle!)
+Program cyclic_two_type_program() {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  AtomicSection s;
+  s.name = "tangle";
+  s.var_types = {{"m", "Map"}, {"m2", "Map"}, {"s", "Set"}};
+  s.params = {"m", "m2", "k"};
+  s.body = {
+      call("s", "m", "get", {evar("k")}),
+      call("t", "s", "size", {}),
+      assign("m", evar("m2")),
+      callv("m", "put", {evar("k"), evar("t")}),
+  };
+  p.sections = {s};
+  return p;
+}
+
+SynthesisOptions options() {
+  SynthesisOptions opts;
+  opts.mode_config.abstract_values = 4;
+  return opts;
+}
+
+TEST(WrapperMultiType, BothClassesCollapse) {
+  const Program p = cyclic_two_type_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+
+  ASSERT_EQ(res.wrapper_of.size(), 2u);
+  EXPECT_EQ(res.wrapper_of.at("Map"), "GW1");
+  EXPECT_EQ(res.wrapper_of.at("Set"), "GW1");
+  EXPECT_EQ(res.class_order, std::vector<std::string>{"GW1"});
+
+  // The wrapper spec is synthesized with namespaced methods.
+  const auto& plan = res.plans.at("GW1");
+  EXPECT_EQ(plan.spec->name(), "GW1");
+  EXPECT_GE(plan.spec->method_index("Map.get"), 0);
+  EXPECT_GE(plan.spec->method_index("Map.put"), 0);
+  EXPECT_GE(plan.spec->method_index("Set.size"), 0);
+  EXPECT_EQ(plan.spec->method_index("get"), -1);
+}
+
+TEST(WrapperMultiType, SpecConditionsComposeCorrectly) {
+  const Program p = cyclic_two_type_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  const auto& spec = *res.plans.at("GW1").spec;
+
+  // Cross-type pairs always commute (distinct types, distinct instances).
+  EXPECT_EQ(spec.condition(spec.method_index("Map.put"),
+                           spec.method_index("Set.size"))
+                .kind(),
+            commute::CommCondition::Kind::Always);
+  // Same-type pairs inherit the underlying condition.
+  EXPECT_EQ(spec.condition(spec.method_index("Map.get"),
+                           spec.method_index("Map.get"))
+                .kind(),
+            commute::CommCondition::Kind::Always);
+  const auto& get_put = spec.condition(spec.method_index("Map.get"),
+                                       spec.method_index("Map.put"));
+  EXPECT_TRUE(get_put.evaluate({1}, {2, 9}));
+  EXPECT_FALSE(get_put.evaluate({1}, {1, 9}));
+}
+
+TEST(WrapperMultiType, RefinedSitesUseNamespacedMethods) {
+  const Program p = cyclic_two_type_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  const auto& plan = res.plans.at("GW1");
+  ASSERT_FALSE(plan.sites.empty());
+  const std::string site = plan.sites[0].to_string();
+  EXPECT_NE(site.find("Map.get("), std::string::npos) << site;
+  EXPECT_NE(site.find("Set.size()"), std::string::npos) << site;
+}
+
+TEST(WrapperMultiType, InterpreterRunsEndToEnd) {
+  const Program p = cyclic_two_type_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+  Interpreter interp(heap);
+
+  AdtInstance* m = heap.create("Map");
+  AdtInstance* m2 = heap.create("Map");
+  AdtInstance* set = heap.create("Set");
+  set->invoke("add", {RtValue::of_int(1)});
+  set->invoke("add", {RtValue::of_int(2)});
+  m->invoke("put", {RtValue::of_int(7), RtValue::of_ref(set)});
+
+  Interpreter::Env env;
+  env["m"] = RtValue::of_ref(m);
+  env["m2"] = RtValue::of_ref(m2);
+  env["k"] = RtValue::of_int(7);
+  const auto out = interp.run("tangle", env);
+
+  EXPECT_EQ(out.at("t").i, 2);  // size of the set
+  // The put landed on m2 (m was reassigned).
+  EXPECT_EQ(m2->invoke("get", {RtValue::of_int(7)}).i, 2);
+}
+
+TEST(WrapperMultiType, ConcurrentWrapperRuns) {
+  const Program p = cyclic_two_type_program();
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  Heap heap(res);
+
+  AdtInstance* m = heap.create("Map");
+  AdtInstance* m2 = heap.create("Map");
+  std::vector<AdtInstance*> sets;
+  for (int i = 0; i < 8; ++i) {
+    AdtInstance* s = heap.create("Set");
+    s->invoke("add", {RtValue::of_int(i)});
+    m->invoke("put", {RtValue::of_int(i), RtValue::of_ref(s)});
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Interpreter interp(heap);
+      for (int i = 0; i < 500 && !failed.load(); ++i) {
+        Interpreter::Env env;
+        env["m"] = RtValue::of_ref(m);
+        env["m2"] = RtValue::of_ref(m2);
+        env["k"] = RtValue::of_int((t + i) % 8);
+        try {
+          interp.run("tangle", env);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// A wrapper created by ONE section's cycle must govern EVERY section that
+// touches the wrapped class — the restrictions-graph and the collapse are
+// program-wide (Fig. 11's point).
+TEST(WrapperCrossSection, OtherSectionsLockThroughTheWrapper) {
+  Program p;
+  p.adt_types = {{"Map", &commute::map_spec()},
+                 {"Set", &commute::set_spec()}};
+  // Section 1: the Fig. 9 loop (creates the Set self-cycle).
+  AtomicSection loop;
+  loop.name = "loop";
+  loop.var_types = {{"map", "Map"}, {"set", "Set"}};
+  loop.params = {"map", "n"};
+  loop.body = {
+      assign("i", eint(0)),
+      make_while(elt(evar("i"), evar("n")),
+                 {call("set", "map", "get", {evar("i")}),
+                  make_if(ene(evar("set"), enull()),
+                          {callv("set", "add", {evar("i")})}),
+                  assign("i", eadd(evar("i"), eint(1)))}),
+  };
+  // Section 2: a plain Set mutation, no cycle of its own.
+  AtomicSection touch;
+  touch.name = "touch";
+  touch.var_types = {{"s", "Set"}};
+  touch.params = {"s", "v"};
+  touch.body = {callv("s", "add", {evar("v")})};
+  p.sections = {loop, touch};
+
+  const auto classes = PointerClasses::by_type(p);
+  const auto res = synthesize(p, classes, options());
+  ASSERT_TRUE(res.wrapper_of.count("Set"));
+  EXPECT_EQ(res.effective_class("touch", "s"), res.wrapper_of.at("Set"));
+
+  // The `touch` section's only lock targets the wrapper pointer.
+  bool found_wrapper_lock = false;
+  for (const auto& section : res.program.sections) {
+    if (section.name != "touch") continue;
+    for (const auto& st : section.body) {
+      if (st->kind == Stmt::Kind::Lock) {
+        EXPECT_FALSE(st->wrapper_key.empty());
+        found_wrapper_lock = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_wrapper_lock);
+
+  // Both sections execute concurrently through the shared wrapper lock.
+  Heap heap(res);
+  AdtInstance* map = heap.create("Map");
+  std::vector<AdtInstance*> sets;
+  for (int i = 0; i < 4; ++i) {
+    AdtInstance* s = heap.create("Set");
+    map->invoke("put", {RtValue::of_int(i), RtValue::of_ref(s)});
+    sets.push_back(s);
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Interpreter interp(heap);
+      for (int i = 0; i < 400 && !failed.load(); ++i) {
+        Interpreter::Env env;
+        try {
+          if (t % 2 == 0) {
+            env["map"] = RtValue::of_ref(map);
+            env["n"] = RtValue::of_int(4);
+            interp.run("loop", env);
+          } else {
+            env["s"] = RtValue::of_ref(sets[static_cast<std::size_t>(i % 4)]);
+            env["v"] = RtValue::of_int(100 + i);
+            interp.run("touch", env);
+          }
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace semlock::synth
