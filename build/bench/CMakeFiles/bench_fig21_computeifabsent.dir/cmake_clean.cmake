@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_computeifabsent.dir/bench_fig21_computeifabsent.cpp.o"
+  "CMakeFiles/bench_fig21_computeifabsent.dir/bench_fig21_computeifabsent.cpp.o.d"
+  "bench_fig21_computeifabsent"
+  "bench_fig21_computeifabsent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_computeifabsent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

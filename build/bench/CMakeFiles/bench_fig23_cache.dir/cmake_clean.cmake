@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_cache.dir/bench_fig23_cache.cpp.o"
+  "CMakeFiles/bench_fig23_cache.dir/bench_fig23_cache.cpp.o.d"
+  "bench_fig23_cache"
+  "bench_fig23_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_intruder.dir/bench_fig24_intruder.cpp.o"
+  "CMakeFiles/bench_fig24_intruder.dir/bench_fig24_intruder.cpp.o.d"
+  "bench_fig24_intruder"
+  "bench_fig24_intruder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_intruder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

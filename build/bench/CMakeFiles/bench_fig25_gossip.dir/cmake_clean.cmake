@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_gossip.dir/bench_fig25_gossip.cpp.o"
+  "CMakeFiles/bench_fig25_gossip.dir/bench_fig25_gossip.cpp.o.d"
+  "bench_fig25_gossip"
+  "bench_fig25_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

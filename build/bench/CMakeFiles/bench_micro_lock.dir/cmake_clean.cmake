@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lock.dir/bench_micro_lock.cpp.o"
+  "CMakeFiles/bench_micro_lock.dir/bench_micro_lock.cpp.o.d"
+  "bench_micro_lock"
+  "bench_micro_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_tour.dir/compiler_tour.cpp.o"
+  "CMakeFiles/compiler_tour.dir/compiler_tour.cpp.o.d"
+  "compiler_tour"
+  "compiler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

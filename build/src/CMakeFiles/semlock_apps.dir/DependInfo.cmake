@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cache_module.cpp" "src/CMakeFiles/semlock_apps.dir/apps/cache_module.cpp.o" "gcc" "src/CMakeFiles/semlock_apps.dir/apps/cache_module.cpp.o.d"
+  "/root/repo/src/apps/compute_if_absent.cpp" "src/CMakeFiles/semlock_apps.dir/apps/compute_if_absent.cpp.o" "gcc" "src/CMakeFiles/semlock_apps.dir/apps/compute_if_absent.cpp.o.d"
+  "/root/repo/src/apps/gossip_router.cpp" "src/CMakeFiles/semlock_apps.dir/apps/gossip_router.cpp.o" "gcc" "src/CMakeFiles/semlock_apps.dir/apps/gossip_router.cpp.o.d"
+  "/root/repo/src/apps/graph_module.cpp" "src/CMakeFiles/semlock_apps.dir/apps/graph_module.cpp.o" "gcc" "src/CMakeFiles/semlock_apps.dir/apps/graph_module.cpp.o.d"
+  "/root/repo/src/apps/intruder.cpp" "src/CMakeFiles/semlock_apps.dir/apps/intruder.cpp.o" "gcc" "src/CMakeFiles/semlock_apps.dir/apps/intruder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semlock_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

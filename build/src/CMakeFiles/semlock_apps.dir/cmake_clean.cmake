@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semlock_apps.dir/apps/cache_module.cpp.o"
+  "CMakeFiles/semlock_apps.dir/apps/cache_module.cpp.o.d"
+  "CMakeFiles/semlock_apps.dir/apps/compute_if_absent.cpp.o"
+  "CMakeFiles/semlock_apps.dir/apps/compute_if_absent.cpp.o.d"
+  "CMakeFiles/semlock_apps.dir/apps/gossip_router.cpp.o"
+  "CMakeFiles/semlock_apps.dir/apps/gossip_router.cpp.o.d"
+  "CMakeFiles/semlock_apps.dir/apps/graph_module.cpp.o"
+  "CMakeFiles/semlock_apps.dir/apps/graph_module.cpp.o.d"
+  "CMakeFiles/semlock_apps.dir/apps/intruder.cpp.o"
+  "CMakeFiles/semlock_apps.dir/apps/intruder.cpp.o.d"
+  "libsemlock_apps.a"
+  "libsemlock_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semlock_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

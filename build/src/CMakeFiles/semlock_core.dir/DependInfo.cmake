@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/commute/builtin_specs.cpp" "src/CMakeFiles/semlock_core.dir/commute/builtin_specs.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/commute/builtin_specs.cpp.o.d"
+  "/root/repo/src/commute/condition.cpp" "src/CMakeFiles/semlock_core.dir/commute/condition.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/commute/condition.cpp.o.d"
+  "/root/repo/src/commute/spec.cpp" "src/CMakeFiles/semlock_core.dir/commute/spec.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/commute/spec.cpp.o.d"
+  "/root/repo/src/commute/symbolic.cpp" "src/CMakeFiles/semlock_core.dir/commute/symbolic.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/commute/symbolic.cpp.o.d"
+  "/root/repo/src/semlock/history.cpp" "src/CMakeFiles/semlock_core.dir/semlock/history.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/semlock/history.cpp.o.d"
+  "/root/repo/src/semlock/lock_mechanism.cpp" "src/CMakeFiles/semlock_core.dir/semlock/lock_mechanism.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/semlock/lock_mechanism.cpp.o.d"
+  "/root/repo/src/semlock/mode.cpp" "src/CMakeFiles/semlock_core.dir/semlock/mode.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/semlock/mode.cpp.o.d"
+  "/root/repo/src/semlock/mode_table.cpp" "src/CMakeFiles/semlock_core.dir/semlock/mode_table.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/semlock/mode_table.cpp.o.d"
+  "/root/repo/src/semlock/transaction.cpp" "src/CMakeFiles/semlock_core.dir/semlock/transaction.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/semlock/transaction.cpp.o.d"
+  "/root/repo/src/synth/ast.cpp" "src/CMakeFiles/semlock_core.dir/synth/ast.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/ast.cpp.o.d"
+  "/root/repo/src/synth/cfg.cpp" "src/CMakeFiles/semlock_core.dir/synth/cfg.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/cfg.cpp.o.d"
+  "/root/repo/src/synth/interpreter.cpp" "src/CMakeFiles/semlock_core.dir/synth/interpreter.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/interpreter.cpp.o.d"
+  "/root/repo/src/synth/optimizer.cpp" "src/CMakeFiles/semlock_core.dir/synth/optimizer.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/optimizer.cpp.o.d"
+  "/root/repo/src/synth/parser.cpp" "src/CMakeFiles/semlock_core.dir/synth/parser.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/parser.cpp.o.d"
+  "/root/repo/src/synth/pointer_classes.cpp" "src/CMakeFiles/semlock_core.dir/synth/pointer_classes.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/pointer_classes.cpp.o.d"
+  "/root/repo/src/synth/printer.cpp" "src/CMakeFiles/semlock_core.dir/synth/printer.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/printer.cpp.o.d"
+  "/root/repo/src/synth/restrictions_graph.cpp" "src/CMakeFiles/semlock_core.dir/synth/restrictions_graph.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/restrictions_graph.cpp.o.d"
+  "/root/repo/src/synth/symbolic_inference.cpp" "src/CMakeFiles/semlock_core.dir/synth/symbolic_inference.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/symbolic_inference.cpp.o.d"
+  "/root/repo/src/synth/synthesis.cpp" "src/CMakeFiles/semlock_core.dir/synth/synthesis.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/synth/synthesis.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/semlock_core.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/semlock_core.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_team.cpp" "src/CMakeFiles/semlock_core.dir/util/thread_team.cpp.o" "gcc" "src/CMakeFiles/semlock_core.dir/util/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemlock_core.a"
+)

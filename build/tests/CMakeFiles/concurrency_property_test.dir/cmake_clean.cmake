@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_property_test.dir/concurrency_property_test.cpp.o"
+  "CMakeFiles/concurrency_property_test.dir/concurrency_property_test.cpp.o.d"
+  "concurrency_property_test"
+  "concurrency_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_execution_test.dir/fig7_execution_test.cpp.o"
+  "CMakeFiles/fig7_execution_test.dir/fig7_execution_test.cpp.o.d"
+  "fig7_execution_test"
+  "fig7_execution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

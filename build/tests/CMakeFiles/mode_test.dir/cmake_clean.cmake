@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_test.dir/mode_test.cpp.o"
+  "CMakeFiles/mode_test.dir/mode_test.cpp.o.d"
+  "mode_test"
+  "mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

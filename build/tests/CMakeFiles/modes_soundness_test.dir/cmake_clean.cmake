@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modes_soundness_test.dir/modes_soundness_test.cpp.o"
+  "CMakeFiles/modes_soundness_test.dir/modes_soundness_test.cpp.o.d"
+  "modes_soundness_test"
+  "modes_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modes_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

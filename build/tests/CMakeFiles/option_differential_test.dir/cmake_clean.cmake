@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_differential_test.dir/option_differential_test.cpp.o"
+  "CMakeFiles/option_differential_test.dir/option_differential_test.cpp.o.d"
+  "option_differential_test"
+  "option_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrictions_graph_test.dir/restrictions_graph_test.cpp.o"
+  "CMakeFiles/restrictions_graph_test.dir/restrictions_graph_test.cpp.o.d"
+  "restrictions_graph_test"
+  "restrictions_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrictions_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

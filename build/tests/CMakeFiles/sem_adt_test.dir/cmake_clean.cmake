@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_adt_test.dir/sem_adt_test.cpp.o"
+  "CMakeFiles/sem_adt_test.dir/sem_adt_test.cpp.o.d"
+  "sem_adt_test"
+  "sem_adt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_adt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

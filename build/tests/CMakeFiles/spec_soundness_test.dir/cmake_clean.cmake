@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_soundness_test.dir/spec_soundness_test.cpp.o"
+  "CMakeFiles/spec_soundness_test.dir/spec_soundness_test.cpp.o.d"
+  "spec_soundness_test"
+  "spec_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

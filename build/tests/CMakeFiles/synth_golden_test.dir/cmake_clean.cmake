@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_golden_test.dir/synth_golden_test.cpp.o"
+  "CMakeFiles/synth_golden_test.dir/synth_golden_test.cpp.o.d"
+  "synth_golden_test"
+  "synth_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

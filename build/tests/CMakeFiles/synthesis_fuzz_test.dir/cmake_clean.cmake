@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_fuzz_test.dir/synthesis_fuzz_test.cpp.o"
+  "CMakeFiles/synthesis_fuzz_test.dir/synthesis_fuzz_test.cpp.o.d"
+  "synthesis_fuzz_test"
+  "synthesis_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

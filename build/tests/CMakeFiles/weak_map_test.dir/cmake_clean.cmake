@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_map_test.dir/weak_map_test.cpp.o"
+  "CMakeFiles/weak_map_test.dir/weak_map_test.cpp.o.d"
+  "weak_map_test"
+  "weak_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

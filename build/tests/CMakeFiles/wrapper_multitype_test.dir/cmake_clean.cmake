@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_multitype_test.dir/wrapper_multitype_test.cpp.o"
+  "CMakeFiles/wrapper_multitype_test.dir/wrapper_multitype_test.cpp.o.d"
+  "wrapper_multitype_test"
+  "wrapper_multitype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_multitype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semlockc.dir/semlockc.cpp.o"
+  "CMakeFiles/semlockc.dir/semlockc.cpp.o.d"
+  "semlockc"
+  "semlockc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semlockc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

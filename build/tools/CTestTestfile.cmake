@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(semlockc_fig1 "/root/repo/build/tools/semlockc" "--show-graph" "--show-modes" "/root/repo/examples/dsl/fig1.sl")
+set_tests_properties(semlockc_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(semlockc_fig7 "/root/repo/build/tools/semlockc" "--show-graph" "--show-modes" "/root/repo/examples/dsl/fig7.sl")
+set_tests_properties(semlockc_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(semlockc_fig9 "/root/repo/build/tools/semlockc" "--show-graph" "--show-modes" "/root/repo/examples/dsl/fig9.sl")
+set_tests_properties(semlockc_fig9 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(semlockc_bank "/root/repo/build/tools/semlockc" "--show-graph" "--show-modes" "/root/repo/examples/dsl/bank.sl")
+set_tests_properties(semlockc_bank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
