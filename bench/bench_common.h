@@ -9,10 +9,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "apps/compute_if_absent.h"
+#include "runtime/wait_policy.h"
 #include "util/stats.h"
 
 namespace semlock::bench {
@@ -42,6 +45,60 @@ inline void print_figure_header(const std::string& figure,
 inline void print_results(const util::SeriesTable& table) {
   std::printf("%s\ncsv:\n%s\n", table.to_table().c_str(),
               table.to_csv().c_str());
+}
+
+// The wait-policy knob shared by every bench binary: `--wait-policy=NAME`
+// on the command line wins, then SEMLOCK_WAIT_POLICY, then `fallback`.
+// Unknown names abort with the list of valid ones (a silently ignored typo
+// would quietly benchmark the wrong policy).
+inline runtime::WaitPolicyKind wait_policy_from_args(
+    int argc, char** argv,
+    runtime::WaitPolicyKind fallback = runtime::default_wait_policy()) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--wait-policy=";
+    if (arg.substr(0, kPrefix.size()) != kPrefix) continue;
+    const auto parsed = runtime::parse_wait_policy(arg.substr(kPrefix.size()));
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "unknown wait policy '%s' (valid: spin-yield, "
+                   "spin-then-park, always-park)\n",
+                   std::string(arg.substr(kPrefix.size())).c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+  return fallback;
+}
+
+// Writes one BENCH_*.json artifact: run metadata plus a named SeriesTable
+// per metric. The format is shared by every bench that records a perf
+// trajectory file at the repo root. Returns false if the file cannot be
+// written so callers can exit non-zero instead of silently dropping the
+// artifact.
+inline bool write_bench_json(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<std::pair<std::string, const util::SeriesTable*>>&
+        metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"hardware_threads\": %u,\n"
+               "  \"scale_factor\": %.2f,\n  \"metrics\": {",
+               bench_name.c_str(), std::thread::hardware_concurrency(),
+               scale_factor());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %s", i > 0 ? "," : "",
+                 metrics[i].first.c_str(),
+                 metrics[i].second->to_json().c_str());
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace semlock::bench

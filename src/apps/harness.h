@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/wait_policy.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_team.h"
@@ -22,6 +23,10 @@ struct SweepConfig {
   int timed_passes = 2;
   int warmup_passes = 1;
   std::uint64_t seed = 1;
+  // Waiting strategy installed (as the ambient ModeTableConfig default)
+  // while measure() builds module state, so every strategy in a sweep waits
+  // the same way. Defaults to SEMLOCK_WAIT_POLICY / spin-yield.
+  runtime::WaitPolicyKind wait_policy = runtime::default_wait_policy();
 };
 
 // One strategy's run at one thread count: the factory builds a fresh module
@@ -33,6 +38,7 @@ double measure(const SweepConfig& cfg, std::size_t threads,
                const std::function<void(State&, std::size_t, util::Xoshiro256&,
                                         std::size_t)>& worker) {
   std::vector<double> samples;
+  const runtime::ScopedWaitPolicy wait_policy_scope(cfg.wait_policy);
   for (int pass = 0; pass < cfg.warmup_passes + cfg.timed_passes; ++pass) {
     auto state = make_state();
     const auto result = util::run_team(threads, [&](std::size_t tid) {

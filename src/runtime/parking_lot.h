@@ -1,0 +1,120 @@
+// Futex-style parking, one slot per conflict partition.
+//
+// Lock partitioning (Section 5.2) already splits an ADT's locking modes into
+// the connected components of the conflict graph; a mode release can only
+// unblock waiters inside its own component. The ParkingLot exploits that: it
+// keeps one cache-line-padded {generation, parked} pair per partition, and
+// waiters block on std::atomic<uint32_t>::wait (a futex on Linux) against the
+// generation they observed. `unpark_all` bumps the generation and notifies —
+// but only when the parked count says someone is actually asleep, so the
+// uncontended unlock path pays one fence and one relaxed load.
+//
+// No-lost-wakeup protocol (a Dekker-style store/fence/load handshake with the
+// mode counters of the lock mechanism):
+//
+//   waiter                               unlocker
+//   ------                               --------
+//   gen = prepare(p)                     counter(mode)-- (release)
+//   announce(p): parked++, SC fence      unpark_all(p): SC fence,
+//   re-validate conflicts_clear:           if parked != 0:
+//     clear  -> retract(p), retry            generation++ (release)
+//     held   -> park(p, gen)                 generation.notify_all()
+//
+// Either the waiter's re-validation observes the decremented counter (it does
+// not park), or the unlocker's parked-count load observes the announcement
+// (it bumps and notifies, and the waiter's wait on the stale generation
+// returns immediately). Both sides order their store before their load with a
+// seq_cst fence, so the classic both-sides-miss interleaving is impossible.
+// Wakeups are permission to re-validate, not permission to acquire: the lock
+// mechanism re-checks conflicts_clear after every wake.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/align.h"
+
+namespace semlock::runtime {
+
+class ParkingLot {
+ public:
+  explicit ParkingLot(int num_partitions)
+      : slots_(new Slot[static_cast<std::size_t>(
+            num_partitions > 0 ? num_partitions : 1)]) {}
+
+  ParkingLot(const ParkingLot&) = delete;
+  ParkingLot& operator=(const ParkingLot&) = delete;
+
+  // The generation a prospective waiter must observe BEFORE re-validating
+  // its wait predicate. Parking against this value cannot miss a wakeup
+  // published after the re-validation.
+  std::uint32_t prepare(int partition) const noexcept {
+    return slot(partition).generation.load(std::memory_order_acquire);
+  }
+
+  // Announces intent to park. Must precede the caller's predicate
+  // re-validation; the fence orders the parked-count increment before the
+  // predicate loads (the waiter half of the Dekker handshake).
+  void announce(int partition) noexcept {
+    slot(partition).parked.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // Withdraws an announcement without sleeping (re-validation found the
+  // predicate already satisfied).
+  void retract(int partition) noexcept {
+    slot(partition).parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Blocks until the partition's generation moves past `observed` (or a
+  // spurious futex return). Pairs with a prior announce(); the announcement
+  // is consumed on return. Callers must re-validate their predicate after
+  // waking.
+  void park(int partition, std::uint32_t observed) noexcept {
+    slot(partition).generation.wait(observed, std::memory_order_acquire);
+    slot(partition).parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Wakes every waiter parked on `partition`. The caller must have already
+  // published the state change that waiters re-validate (e.g. the mode
+  // counter decrement) with at least release ordering; the fence here is the
+  // unlocker half of the Dekker handshake.
+  void unpark_all(int partition) noexcept {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Slot& s = slot(partition);
+    if (s.parked.load(std::memory_order_relaxed) == 0) return;
+    s.generation.fetch_add(1, std::memory_order_release);
+    s.generation.notify_all();
+  }
+
+  // Observability for tests and the stall watchdog (approximate under
+  // concurrency; exact when quiescent).
+  std::uint32_t parked(int partition) const noexcept {
+    return slot(partition).parked.load(std::memory_order_acquire);
+  }
+  std::uint32_t generation(int partition) const noexcept {
+    return slot(partition).generation.load(std::memory_order_acquire);
+  }
+
+ private:
+  // One cache line per partition: commuting mode families already avoid
+  // sharing mechanism metadata; their wakeup state must not false-share
+  // either.
+  struct alignas(util::kCacheLineSize) Slot {
+    std::atomic<std::uint32_t> generation{0};
+    std::atomic<std::uint32_t> parked{0};
+  };
+  static_assert(sizeof(Slot) == util::kCacheLineSize);
+
+  Slot& slot(int partition) noexcept {
+    return slots_[static_cast<std::size_t>(partition)];
+  }
+  const Slot& slot(int partition) const noexcept {
+    return slots_[static_cast<std::size_t>(partition)];
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace semlock::runtime

@@ -1,0 +1,151 @@
+#include "runtime/stall_watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/wait_registry.h"
+#include "semlock/lock_mechanism.h"
+
+namespace semlock::runtime {
+
+std::string StallReport::to_string() const {
+  std::string out = "[semlock-watchdog] mode " + std::to_string(mode) +
+                    " (partition " + std::to_string(partition) +
+                    ") waiting " +
+                    std::to_string(wait_ns / 1'000'000) + " ms";
+  if (mechanism == nullptr) {
+    out += " (mechanism not watched; no holder detail)";
+    return out;
+  }
+  out += "; conflicting holders:";
+  if (conflicting_holders.empty()) out += " none";
+  for (const auto& [m, holders] : conflicting_holders) {
+    out += " l" + std::to_string(m) + "=" + std::to_string(holders);
+  }
+  return out;
+}
+
+StallWatchdog::StallWatchdog(Options options, Callback callback)
+    : options_(options),
+      callback_(std::move(callback)),
+      last_reports_(WaitRegistry::kSlots) {
+  if (!callback_) {
+    callback_ = [](const StallReport& report) {
+      std::fprintf(stderr, "%s\n", report.to_string().c_str());
+    };
+  }
+}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::watch(const LockMechanism& mechanism) {
+  watched_mutex_.lock();
+  if (std::find(watched_.begin(), watched_.end(), &mechanism) ==
+      watched_.end()) {
+    watched_.push_back(&mechanism);
+  }
+  watched_mutex_.unlock();
+}
+
+void StallWatchdog::unwatch(const LockMechanism& mechanism) {
+  watched_mutex_.lock();
+  watched_.erase(std::remove(watched_.begin(), watched_.end(), &mechanism),
+                 watched_.end());
+  watched_mutex_.unlock();
+}
+
+void StallWatchdog::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void StallWatchdog::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void StallWatchdog::run() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    sample();
+    // Sleep in small steps so stop() stays responsive under long polls.
+    auto remaining = options_.poll;
+    constexpr auto kStep = std::chrono::milliseconds(10);
+    while (remaining.count() > 0 &&
+           !stop_requested_.load(std::memory_order_acquire)) {
+      const auto nap = remaining < kStep ? remaining : kStep;
+      std::this_thread::sleep_for(nap);
+      remaining -= nap;
+    }
+  }
+}
+
+void StallWatchdog::sample() {
+  const std::uint64_t now = steady_now_ns();
+  const std::uint64_t threshold_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              options_.threshold)
+              .count());
+  const std::uint64_t repeat_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              options_.repeat_interval)
+              .count());
+
+  WaitRegistry::instance().for_each_active(
+      [&](const WaitRegistry::ActiveWait& wait) {
+        if (wait.start_ns + threshold_ns > now) return;
+        LastReport& last = last_reports_[static_cast<std::size_t>(
+            wait.slot_index)];
+        if (last.seq == wait.seq && repeat_ns > 0 &&
+            last.reported_at_ns + repeat_ns > now) {
+          return;  // same wait episode, reported recently
+        }
+
+        StallReport report;
+        report.mode = wait.mode;
+        report.partition = wait.partition;
+        report.wait_ns = now - wait.start_ns;
+
+        watched_mutex_.lock();
+        for (const LockMechanism* m : watched_) {
+          if (reinterpret_cast<std::uintptr_t>(m) == wait.mechanism) {
+            report.mechanism = m;
+            break;
+          }
+        }
+        if (report.mechanism != nullptr) {
+          for (const std::int32_t other :
+               report.mechanism->table().conflicts_of(wait.mode)) {
+            report.conflicting_holders.emplace_back(
+                other, report.mechanism->holders(other));
+          }
+        }
+        watched_mutex_.unlock();
+
+        last.seq = wait.seq;
+        last.reported_at_ns = now;
+        stalls_reported_.fetch_add(1, std::memory_order_acq_rel);
+        callback_(report);
+      });
+}
+
+std::unique_ptr<StallWatchdog> StallWatchdog::from_env(Callback callback) {
+  const char* env = std::getenv("SEMLOCK_WATCHDOG_MS");
+  if (!env) return nullptr;
+  const long ms = std::atol(env);
+  if (ms <= 0) return nullptr;
+  Options options;
+  options.threshold = std::chrono::milliseconds(ms);
+  options.poll = std::chrono::milliseconds(std::max(1L, ms / 4));
+  auto watchdog =
+      std::make_unique<StallWatchdog>(options, std::move(callback));
+  watchdog->start();
+  return watchdog;
+}
+
+}  // namespace semlock::runtime

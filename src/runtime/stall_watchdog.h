@@ -1,0 +1,112 @@
+// Background sampler that surfaces starved semantic-lock waiters.
+//
+// OS2PL never rolls back (Section 4): a transaction that waits on a mode
+// waits until the conflicting holders release it, so a stuck holder turns
+// into silent starvation rather than a timeout abort. The watchdog makes
+// that visible: a background thread samples the WaitRegistry every
+// `poll` interval and reports each wait that has exceeded `threshold` —
+// (mode, partition, wait duration, and the per-conflicting-mode holder
+// counts) — through a user callback, stderr by default.
+//
+// Holder counts require dereferencing the LockMechanism the waiter is
+// blocked on, so the watchdog only inspects mechanisms explicitly registered
+// via watch(); everything else is reported without holder detail. Watched
+// mechanisms must outlive the watchdog (or be unwatch()ed first).
+//
+// Reports are diagnostics only — the watchdog never unparks, aborts, or
+// otherwise perturbs the waiters it observes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace semlock {
+class LockMechanism;
+}  // namespace semlock
+
+namespace semlock::runtime {
+
+struct StallReport {
+  const LockMechanism* mechanism = nullptr;  // null if not watch()ed
+  int mode = -1;
+  int partition = -1;
+  std::uint64_t wait_ns = 0;
+  // (conflicting mode id, current holder count); empty when mechanism is
+  // null. A stall with every holder count zero points at the mechanism's
+  // internal lock or a wakeup bug rather than a long-held mode.
+  std::vector<std::pair<int, std::uint32_t>> conflicting_holders;
+
+  std::string to_string() const;
+};
+
+class StallWatchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll{50};
+    std::chrono::milliseconds threshold{250};
+    // Minimum gap between two reports for the same ongoing wait, so a
+    // permanently starved mode logs once per interval instead of once per
+    // poll. Zero = report on every poll.
+    std::chrono::milliseconds repeat_interval{1000};
+  };
+
+  using Callback = std::function<void(const StallReport&)>;
+
+  // Default callback prints report.to_string() to stderr.
+  explicit StallWatchdog(Options options, Callback callback = Callback{});
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+  ~StallWatchdog();  // stops and joins
+
+  // Registers a mechanism for holder-count introspection. Thread-safe.
+  void watch(const LockMechanism& mechanism);
+  void unwatch(const LockMechanism& mechanism);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // Total stall reports emitted since construction.
+  std::uint64_t stalls_reported() const {
+    return stalls_reported_.load(std::memory_order_acquire);
+  }
+
+  // Starts a watchdog iff SEMLOCK_WATCHDOG_MS is set (value = threshold in
+  // milliseconds; poll = threshold / 4, clamped to >= 1ms). Returns nullptr
+  // otherwise. Benchmarks call this so starvation diagnosis is one
+  // environment variable away.
+  static std::unique_ptr<StallWatchdog> from_env(Callback callback = {});
+
+ private:
+  void run();
+  void sample();
+
+  Options options_;
+  Callback callback_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> stalls_reported_{0};
+  std::thread thread_;
+
+  mutable util::Spinlock watched_mutex_;
+  std::vector<const LockMechanism*> watched_;
+
+  // (slot index, publication seq) -> last report time, so one wait episode
+  // is rate-limited independently of the next wait reusing the slot.
+  struct LastReport {
+    std::uint64_t seq = 0;
+    std::uint64_t reported_at_ns = 0;
+  };
+  std::vector<LastReport> last_reports_;
+};
+
+}  // namespace semlock::runtime

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "runtime/wait_registry.h"
 #include "util/align.h"
 
 namespace semlock {
@@ -20,7 +21,14 @@ LockMechanism::LockMechanism(const ModeTable& table)
                               stride_]),
       partition_locks_(
           new util::Spinlock[static_cast<std::size_t>(
-              table.num_partitions())]) {
+              table.num_partitions())]),
+      parking_(table.num_partitions()),
+      policy_(table.config().wait_policy),
+      spin_limit_(table.config().park_spin_limit > 0
+                      ? static_cast<std::uint32_t>(
+                            table.config().park_spin_limit)
+                      : 0),
+      can_park_(policy_ != runtime::WaitPolicyKind::SpinYield) {
   for (int m = 0; m < table.num_modes(); ++m) {
     new (counters_.get() + static_cast<std::size_t>(m) * stride_)
         std::atomic<std::uint32_t>(0);
@@ -39,28 +47,58 @@ bool LockMechanism::conflicts_clear(int mode) const {
 void LockMechanism::lock(int mode) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
+  const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
-      partition_locks_[static_cast<std::size_t>(table_->partition_of(mode))];
-  util::Backoff backoff;
-  bool waited = false;
-  const bool precheck = table_->config().fast_path_precheck;
-  for (;;) {
-    // Fast-path pre-check (Fig. 20 lines 3–4): avoid taking the internal
-    // lock while a conflicting mode is visibly held.
-    while (precheck && !conflicts_clear(mode)) {
-      waited = true;
-      backoff.pause();
-    }
+      partition_locks_[static_cast<std::size_t>(partition)];
+  // Uncontended path: one attempt, no wait bookkeeping. The pre-check
+  // (Fig. 20 lines 3–4) avoids taking the internal lock while a conflicting
+  // mode is visibly held.
+  if (!table_->config().fast_path_precheck || conflicts_clear(mode)) {
     internal.lock();
     if (conflicts_clear(mode)) {
       counter(mode).fetch_add(1, std::memory_order_relaxed);
       internal.unlock();
-      if (waited) ++stats.contended;
       return;
     }
     internal.unlock();
-    waited = true;
-    backoff.pause();
+  }
+  lock_contended(mode, partition, internal, stats);
+}
+
+void LockMechanism::lock_contended(int mode, int partition,
+                                   util::Spinlock& internal,
+                                   AcquireStats& stats) {
+  ++stats.contended;
+  const std::uint64_t wait_start = runtime::steady_now_ns();
+  const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
+  runtime::WaitScope watchdog_scope(this, mode, partition);
+  runtime::WaitState wait(policy_, spin_limit_);
+  const bool precheck = table_->config().fast_path_precheck;
+  for (;;) {
+    if (!precheck || conflicts_clear(mode)) {
+      internal.lock();
+      if (conflicts_clear(mode)) {
+        counter(mode).fetch_add(1, std::memory_order_relaxed);
+        internal.unlock();
+        stats.wait_ns += runtime::steady_now_ns() - wait_start;
+        stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
+        return;
+      }
+      internal.unlock();
+    }
+    // One unit of waiting: the policy spins/yields itself (step() == false)
+    // or asks us to park. Parking re-validates after announcing so a release
+    // racing with the announcement is never missed (see parking_lot.h).
+    if (wait.step()) {
+      const std::uint32_t gen = parking_.prepare(partition);
+      parking_.announce(partition);
+      if (conflicts_clear(mode)) {
+        parking_.retract(partition);
+      } else {
+        parking_.park(partition, gen);
+        ++stats.parks;
+      }
+    }
   }
 }
 
@@ -85,6 +123,12 @@ bool LockMechanism::try_lock(int mode) {
 
 void LockMechanism::unlock(int mode) {
   counter(mode).fetch_sub(1, std::memory_order_release);
+  if (can_park_) {
+    // Wake only the released mode's conflict partition; unrelated mode
+    // families keep sleeping. unpark_all is a no-op (fence + relaxed load)
+    // when nobody is parked.
+    parking_.unpark_all(table_->partition_of(mode));
+  }
 }
 
 }  // namespace semlock

@@ -1,15 +1,20 @@
 // The runtime locking mechanism of Fig. 20.
 //
 // Per ADT instance, one atomic counter per (canonical) locking mode holds the
-// number of transactions currently holding that mode. `lock(l)` first spins
-// outside the internal lock until no conflicting mode is held (the fast-path
+// number of transactions currently holding that mode. `lock(l)` first checks
+// outside the internal lock that no conflicting mode is held (the fast-path
 // pre-check of Fig. 20 lines 3–4), then revalidates under the internal lock
-// and increments C_l. `unlock(l)` just decrements C_l.
+// and increments C_l. `unlock(l)` decrements C_l and, when the table's wait
+// policy can park, wakes the waiters of the released mode's partition.
 //
 // Lock partitioning (Section 5.2) gives each connected component of the
 // conflict graph its own internal lock, so commuting mode families never
 // contend on mechanism metadata — this is what turns the synthesized
-// synchronization into, e.g., key striping for ComputeIfAbsent.
+// synchronization into, e.g., key striping for ComputeIfAbsent. The same
+// partitioning scopes wakeups: a release bumps only its own partition's
+// ParkingLot generation, so waiters in unrelated conflict components never
+// stampede (src/runtime/parking_lot.h documents the no-lost-wakeup
+// handshake; ModeTableConfig::wait_policy selects how waiters wait).
 #pragma once
 
 #include <atomic>
@@ -17,6 +22,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "runtime/parking_lot.h"
+#include "runtime/wait_policy.h"
 #include "semlock/mode_table.h"
 #include "util/spinlock.h"
 
@@ -27,6 +34,12 @@ namespace semlock {
 struct AcquireStats {
   std::uint64_t acquisitions = 0;
   std::uint64_t contended = 0;  // acquisitions that waited at least once
+  std::uint64_t parks = 0;      // times a waiter blocked in the ParkingLot
+  std::uint64_t wait_ns = 0;    // total wall time spent in contended waits
+  // Thread CPU time charged to this thread while it waited. The policy
+  // discriminator: spinners burn CPU for the whole wait, parked waiters
+  // only around the futex calls.
+  std::uint64_t wait_cpu_ns = 0;
   void reset() { *this = AcquireStats{}; }
 };
 AcquireStats& local_acquire_stats();
@@ -98,8 +111,17 @@ class LockMechanism {
 
   const ModeTable& table() const { return *table_; }
 
+  // Waiting-subsystem observability (tests, watchdog, benches).
+  const runtime::ParkingLot& parking_lot() const { return parking_; }
+  runtime::WaitPolicyKind wait_policy() const { return policy_; }
+
  private:
   bool conflicts_clear(int mode) const;
+
+  // The wait loop: spins, yields or parks per the table's wait policy until
+  // the mode is acquired. Split out so the uncontended path stays small.
+  void lock_contended(int mode, int partition, util::Spinlock& internal,
+                      AcquireStats& stats);
 
   std::atomic<std::uint32_t>& counter(int mode) {
     return *reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -116,6 +138,12 @@ class LockMechanism {
   std::size_t stride_;
   std::unique_ptr<std::byte[]> counters_;
   std::unique_ptr<util::Spinlock[]> partition_locks_;
+  runtime::ParkingLot parking_;
+  runtime::WaitPolicyKind policy_;
+  std::uint32_t spin_limit_;
+  // False under SpinYield: unlock skips the wakeup fence entirely, keeping
+  // the historical release path (one relaxed RMW) intact.
+  bool can_park_;
 };
 
 }  // namespace semlock

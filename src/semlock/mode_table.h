@@ -15,6 +15,7 @@
 #include "commute/spec.h"
 #include "commute/symbolic.h"
 #include "commute/value.h"
+#include "runtime/wait_policy.h"
 #include "semlock/mode.h"
 
 namespace semlock {
@@ -44,6 +45,14 @@ struct ModeTableConfig {
   bool pad_counters = false;
   // Safety cap on a single site's alpha-tuple resolution table.
   int max_tuple_entries = 1 << 16;
+  // How a blocked acquisition waits for its conflicting holders (the
+  // src/runtime/ waiting subsystem). Defaults to the ambient process policy:
+  // a ScopedWaitPolicy override if installed, else SEMLOCK_WAIT_POLICY, else
+  // the historical spin-then-yield behavior.
+  runtime::WaitPolicyKind wait_policy = runtime::default_wait_policy();
+  // SpinThenPark only: backoff rounds spent spinning before the waiter
+  // parks on the partition's futex. Higher values favor latency over CPU.
+  int park_spin_limit = 64;
 };
 
 class ModeTable {

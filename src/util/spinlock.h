@@ -17,11 +17,13 @@
 
 namespace semlock::util {
 
-// One iteration of busy-wait politeness: a pause on x86, a plain compiler
-// barrier elsewhere.
+// One iteration of busy-wait politeness: a pause on x86, a yield hint on
+// AArch64, a plain compiler barrier elsewhere.
 inline void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
   _mm_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
 #else
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif

@@ -90,4 +90,28 @@ std::string SeriesTable::to_csv() const {
   return out;
 }
 
+std::string SeriesTable::to_json() const {
+  std::string out = "{\"row_label\": \"" + row_label_ + "\", \"unit\": \"" +
+                    unit_ + "\", \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"' + series_[i] + '"';
+  }
+  out += "], \"rows\": [";
+  char buf[64];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "{\"x\": %g, \"cells\": [", rows_[r].x);
+    out += buf;
+    for (std::size_t c = 0; c < rows_[r].cells.size(); ++c) {
+      if (c > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%.4f", rows_[r].cells[c]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace semlock::util

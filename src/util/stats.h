@@ -28,6 +28,11 @@ class SeriesTable {
   std::string to_table() const;
   // Machine-readable CSV (header: row_label,series...).
   std::string to_csv() const;
+  // Machine-readable JSON object:
+  //   {"row_label": ..., "unit": ..., "series": [...],
+  //    "rows": [{"x": ..., "cells": [...]}, ...]}
+  // Used by the BENCH_*.json artifacts that track the perf trajectory.
+  std::string to_json() const;
 
   const std::string& unit() const { return unit_; }
 

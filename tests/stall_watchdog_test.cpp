@@ -1,0 +1,177 @@
+// StallWatchdog: a deliberately held-forever conflicting mode must surface
+// as a stall report carrying (mode, partition, wait duration, holder
+// counts) — diagnostics in place of the timeout aborts OS2PL forbids.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "commute/builtin_specs.h"
+#include "runtime/stall_watchdog.h"
+#include "semlock/lock_mechanism.h"
+
+namespace semlock {
+namespace {
+
+using commute::op;
+using commute::SymbolicSet;
+using commute::Value;
+using commute::var;
+using runtime::StallReport;
+using runtime::StallWatchdog;
+using runtime::WaitPolicyKind;
+
+ModeTable make_table(WaitPolicyKind policy) {
+  ModeTableConfig c;
+  c.abstract_values = 4;
+  c.wait_policy = policy;
+  return ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {var("v")}), op("remove", {var("v")})}),
+       SymbolicSet({op("size"), op("clear")})},
+      c);
+}
+
+struct ReportCollector {
+  std::mutex mu;
+  std::vector<StallReport> reports;
+
+  StallWatchdog::Callback callback() {
+    return [this](const StallReport& r) {
+      const std::lock_guard<std::mutex> guard(mu);
+      reports.push_back(r);
+    };
+  }
+};
+
+TEST(StallWatchdog, ReportsHeldForeverConflictingMode) {
+  const auto t = make_table(WaitPolicyKind::AlwaysPark);
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int held_mode = t.resolve(0, v0);       // held "forever"
+  const int starved_mode = t.resolve_constant(1);
+  ASSERT_FALSE(t.commutes(held_mode, starved_mode));
+
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(40);
+  options.repeat_interval = std::chrono::milliseconds(100);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.watch(m);
+  watchdog.start();
+  EXPECT_TRUE(watchdog.running());
+
+  m.lock(held_mode);  // never released while the waiter starves
+  std::thread starved([&] {
+    m.lock(starved_mode);
+    m.unlock(starved_mode);
+  });
+
+  // The starved waiter must be reported within a few threshold periods.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (watchdog.stalls_reported() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(watchdog.stalls_reported(), 1u);
+
+  m.unlock(held_mode);
+  starved.join();
+  watchdog.stop();
+  EXPECT_FALSE(watchdog.running());
+
+  const std::lock_guard<std::mutex> guard(collector.mu);
+  ASSERT_FALSE(collector.reports.empty());
+  const StallReport& r = collector.reports.front();
+  EXPECT_EQ(r.mode, starved_mode);
+  EXPECT_EQ(r.partition, t.partition_of(starved_mode));
+  EXPECT_GE(r.wait_ns,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    options.threshold)
+                    .count()));
+  EXPECT_EQ(r.mechanism, &m);  // watched: holder detail present
+  bool saw_holder = false;
+  for (const auto& [mode, holders] : r.conflicting_holders) {
+    if (mode == held_mode) {
+      saw_holder = true;
+      EXPECT_EQ(holders, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_holder);
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+// An unwatched mechanism is still reported (mode/partition/duration) but
+// without dereferencing it for holder counts.
+TEST(StallWatchdog, UnwatchedMechanismReportedWithoutHolderDetail) {
+  const auto t = make_table(WaitPolicyKind::SpinThenPark);
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int held_mode = t.resolve(0, v0);
+  const int starved_mode = t.resolve_constant(1);
+
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(40);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.start();
+
+  m.lock(held_mode);
+  std::thread starved([&] {
+    m.lock(starved_mode);
+    m.unlock(starved_mode);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (watchdog.stalls_reported() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  m.unlock(held_mode);
+  starved.join();
+  watchdog.stop();
+
+  const std::lock_guard<std::mutex> guard(collector.mu);
+  ASSERT_FALSE(collector.reports.empty());
+  const StallReport& r = collector.reports.front();
+  EXPECT_EQ(r.mechanism, nullptr);
+  EXPECT_TRUE(r.conflicting_holders.empty());
+  EXPECT_EQ(r.mode, starved_mode);
+}
+
+TEST(StallWatchdog, NoFalseReportsWhenUncontended) {
+  const auto t = make_table(WaitPolicyKind::AlwaysPark);
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int mode = t.resolve(0, v0);
+
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(5);
+  options.threshold = std::chrono::milliseconds(20);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.watch(m);
+  watchdog.start();
+  for (int i = 0; i < 100; ++i) {
+    m.lock(mode);
+    m.unlock(mode);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_reported(), 0u);
+}
+
+TEST(StallWatchdog, FromEnvDisabledWithoutVariable) {
+  ASSERT_EQ(std::getenv("SEMLOCK_WATCHDOG_MS"), nullptr);
+  EXPECT_EQ(StallWatchdog::from_env(), nullptr);
+}
+
+}  // namespace
+}  // namespace semlock
