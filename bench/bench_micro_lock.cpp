@@ -3,7 +3,9 @@
 // mode-table compilation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "commute/builtin_specs.h"
 #include "semlock/semantic_lock.h"
@@ -85,6 +87,33 @@ void BM_TransactionLvUnlockAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransactionLvUnlockAll);
+
+// LVn-heavy transaction shapes: lock N distinct instances, each lv paying
+// one holds() membership test against everything locked so far. Exercises
+// the inline-scan -> hash-index crossover in Transaction::holds (quadratic
+// in N without the index).
+void BM_TransactionLvManyInstances(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  static const ModeTable table = [] {
+    ModeTableConfig cfg;
+    cfg.abstract_values = 1;
+    return ModeTable::compile(commute::set_spec(),
+                              {SymbolicSet({op("add", {star()})})}, cfg);
+  }();
+  const int mode = table.resolve_constant(0);
+  std::vector<std::unique_ptr<SemanticLock>> locks;
+  locks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    locks.push_back(std::make_unique<SemanticLock>(table));
+  }
+  for (auto _ : state) {
+    Transaction txn;
+    for (auto& lk : locks) txn.lv_mode(lk.get(), mode);
+    txn.unlock_all();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TransactionLvManyInstances)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_ModeTableCompile(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

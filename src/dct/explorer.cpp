@@ -1,0 +1,88 @@
+#include "dct/explorer.h"
+
+#if defined(SEMLOCK_DCT)
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace semlock::dct {
+
+namespace {
+
+// One schedule under one exact seed, oracle included.
+ExploreResult run_one(const SchedulerOptions& sched_opts, std::uint64_t seed,
+                      const WorkloadFactory& factory) {
+  ExploreResult result;
+  SchedulerOptions opts = sched_opts;
+  opts.seed = seed;
+
+  Workload workload = factory();
+  Scheduler scheduler(opts);
+  ScheduleResult schedule = scheduler.run(std::move(workload.threads));
+  result.schedules_run = 1;
+
+  std::string oracle_failure;
+  if (!schedule.hung() && workload.check) oracle_failure = workload.check();
+  if (schedule.hung() || !oracle_failure.empty()) {
+    result.ok = false;
+    result.failing_seed = seed;
+    result.oracle_failure = std::move(oracle_failure);
+    result.schedule = std::move(schedule);
+    result.failure = "strategy " +
+                     std::string(strategy_name(opts.strategy)) + ", seed " +
+                     std::to_string(seed) + ": " +
+                     (result.oracle_failure.empty()
+                          ? result.schedule.to_string()
+                          : "oracle: " + result.oracle_failure + "\n" +
+                                result.schedule.to_string()) +
+                     "\nreplay: dct::replay(opts.sched, " +
+                     std::to_string(seed) + "ULL, factory)";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string ExploreResult::to_string() const {
+  if (ok) {
+    return "explored " + std::to_string(schedules_run) +
+           " schedules, all clean";
+  }
+  return "failure on schedule " + std::to_string(schedules_run) + ": " +
+         failure;
+}
+
+ExploreResult explore(const ExploreOptions& opts,
+                      const WorkloadFactory& factory) {
+  ExploreResult total;
+  for (int i = 0; i < opts.schedules; ++i) {
+    const std::uint64_t seed =
+        util::derive_seed(opts.base_seed, static_cast<std::uint64_t>(i));
+    ExploreResult one = run_one(opts.sched, seed, factory);
+    ++total.schedules_run;
+    if (!one.ok) {
+      one.schedules_run = total.schedules_run;
+      return one;
+    }
+  }
+  return total;
+}
+
+ExploreResult replay(const SchedulerOptions& sched, std::uint64_t seed,
+                     const WorkloadFactory& factory) {
+  return run_one(sched, seed, factory);
+}
+
+std::function<std::string()> serializability_oracle(
+    std::shared_ptr<HistoryRecorder> recorder) {
+  return [recorder] {
+    const SerializabilityReport report =
+        check_conflict_serializability(recorder->snapshot());
+    return report.serializable ? std::string() : report.to_string();
+  };
+}
+
+}  // namespace semlock::dct
+
+#endif  // SEMLOCK_DCT

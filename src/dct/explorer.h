@@ -1,0 +1,76 @@
+// Schedule exploration on top of the DCT scheduler: run a workload under
+// many seeds, check every completed schedule against an oracle, and hand
+// back a deterministically replayable seed on the first failure.
+//
+// A Workload is rebuilt from scratch for every schedule (fresh mechanism,
+// fresh history), so schedules are independent; `check` runs after a
+// schedule completes and returns "" for acceptable outcomes. Hangs
+// (deadlock/livelock) are failures regardless of the oracle. The canonical
+// oracle is the conflict-serializability checker of src/semlock/history.h,
+// wired via serializability_oracle(): the harness then proves schedules for
+// *atomicity*, not just termination.
+//
+// Replay workflow: a failing explore() prints the derived per-schedule seed;
+//   dct::replay(opts.sched, failing_seed, factory)
+// re-runs exactly that schedule (same strategy, same seed, one run).
+#pragma once
+
+#if defined(SEMLOCK_DCT)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dct/scheduler.h"
+#include "semlock/history.h"
+
+namespace semlock::dct {
+
+struct Workload {
+  std::vector<std::function<void()>> threads;
+  // Post-run oracle over the workload's final state; "" = acceptable. Only
+  // invoked for schedules that complete.
+  std::function<std::string()> check;
+};
+// Invoked once per schedule; must build fresh state each time.
+using WorkloadFactory = std::function<Workload()>;
+
+struct ExploreOptions {
+  // Strategy/bounds for every schedule. `sched.seed` is ignored: each
+  // schedule i runs under derive_seed(base_seed, i).
+  SchedulerOptions sched;
+  std::uint64_t base_seed = 1;
+  int schedules = 1'000;
+};
+
+struct ExploreResult {
+  bool ok = true;
+  int schedules_run = 0;
+  // Populated on failure:
+  std::uint64_t failing_seed = 0;  // pass to replay() verbatim
+  ScheduleResult schedule;         // the failing schedule
+  std::string oracle_failure;      // non-empty iff the oracle flagged it
+  std::string failure;             // full human-readable report
+
+  std::string to_string() const;
+};
+
+// Explores up to opts.schedules schedules; stops at the first failure.
+ExploreResult explore(const ExploreOptions& opts,
+                      const WorkloadFactory& factory);
+
+// Re-runs the single schedule identified by `seed` (as printed by a failing
+// explore) and re-applies the workload's oracle.
+ExploreResult replay(const SchedulerOptions& sched, std::uint64_t seed,
+                     const WorkloadFactory& factory);
+
+// Oracle adapter: snapshots `recorder` after the schedule and runs the
+// conflict-serializability checker; returns the report on violation.
+std::function<std::string()> serializability_oracle(
+    std::shared_ptr<HistoryRecorder> recorder);
+
+}  // namespace semlock::dct
+
+#endif  // SEMLOCK_DCT

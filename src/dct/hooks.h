@@ -1,0 +1,63 @@
+// Compile-time hook layer for the deterministic concurrency-testing (DCT)
+// harness (src/dct/scheduler.h).
+//
+// Built with the SEMLOCK_DCT CMake option, the synchronization primitives of
+// the runtime — util::Spinlock acquire/release, the prepare/announce/park/
+// unpark steps of runtime::ParkingLot, and the mode-counter loads/RMWs of
+// semlock::LockMechanism — report every interesting step to the active
+// dct::Scheduler, which serializes the program onto one running thread and
+// picks the next step per its exploration strategy. Blocking primitives
+// (spinlock spin, futex park) become cooperative blocks with an explicit wait
+// predicate, which is what makes deadlock detection exact: a schedule hangs
+// iff every live virtual thread is blocked on an unsatisfiable predicate.
+//
+// Without the option every hook compiles to nothing — production builds and
+// the tier-1 test suite are untouched. With the option but no Scheduler
+// running (or on a thread the Scheduler does not own), every hook is an
+// inline thread-local check that falls through to the real primitive.
+#pragma once
+
+#if defined(SEMLOCK_DCT)
+
+#include <atomic>
+#include <cstdint>
+
+namespace semlock::dct {
+
+// True when the calling thread is a virtual thread of a running Scheduler.
+bool scheduled() noexcept;
+
+// Hands control to the scheduler at a named step. `object` identifies the
+// synchronization object involved (for schedule dumps only).
+void sched_point(const char* point, const void* object);
+
+// Cooperative replacements for the blocking primitives. Callers check
+// scheduled() first; these must only run on a virtual thread.
+void spinlock_acquire(std::atomic<bool>& flag);
+bool spinlock_try_acquire(std::atomic<bool>& flag);
+void spinlock_release(std::atomic<bool>& flag);
+
+// Cooperative stand-in for std::atomic<uint32_t>::wait: blocks the virtual
+// thread until `word` differs from `observed`.
+void futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t observed);
+
+// --- test-only fault injection ---------------------------------------------
+// When set, LockMechanism::lock_contended parks WITHOUT re-validating its
+// conflicts after announcing — the textbook lost-wakeup bug the harness must
+// catch (tests/dct_mutation_test.cpp validates the detector against it).
+void set_mutation_drop_announce_revalidate(bool on) noexcept;
+bool mutation_drop_announce_revalidate() noexcept;
+
+}  // namespace semlock::dct
+
+#define SEMLOCK_DCT_POINT(point, object)                  \
+  do {                                                    \
+    if (::semlock::dct::scheduled())                      \
+      ::semlock::dct::sched_point((point), (object));     \
+  } while (0)
+
+#else  // !SEMLOCK_DCT
+
+#define SEMLOCK_DCT_POINT(point, object) ((void)0)
+
+#endif  // SEMLOCK_DCT

@@ -1,0 +1,104 @@
+// Deterministic concurrency testing: a cooperative virtual-thread scheduler.
+//
+// OS2PL has no rollback (Section 4), so a lost wakeup or a missed conflict
+// re-validation in the Fig. 20 mechanism is a permanent hang — a liveness
+// property TSan cannot see because no data race is involved. This scheduler
+// makes such interleavings *enumerable*: the bodies passed to run() execute
+// on real OS threads, but only one runs at a time, and control changes hands
+// exclusively at the hook points instrumented via src/dct/hooks.h (spinlock
+// acquire/release, parking-lot handshake steps, mode-counter accesses). The
+// scheduler picks who runs next per an exploration strategy:
+//
+//   RoundRobin — cycles through runnable threads; one canonical schedule.
+//   Random     — uniform choice at every step, seeded; the workhorse.
+//   Pct        — PCT-style priority schedules (Burckhardt et al.): random
+//                distinct priorities, the highest runnable priority runs,
+//                and at d random change points the running thread is demoted.
+//                Finds bugs of depth d with known probability bounds.
+//
+// Blocking primitives become predicates: a virtual thread that would spin or
+// park instead declares "runnable when pred() holds" and yields. The
+// scheduler re-evaluates predicates after every step, so
+//   - deadlock is exact: every live thread blocked on a false predicate;
+//   - livelock is bounded: a schedule exceeding max_steps is reported.
+// On either outcome the schedule so far is dumped and the stuck threads are
+// abandoned in place (they hold only harness state, shared via shared_ptr,
+// and are detached — the failing process is about to report and exit).
+//
+// Given the same seed and a workload free of its own nondeterminism (no
+// address-order dependence, no real clocks), a schedule replays exactly —
+// the basis of the one-line replay in src/dct/explorer.h.
+#pragma once
+
+#if defined(SEMLOCK_DCT)
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace semlock::dct {
+
+enum class StrategyKind { RoundRobin, Random, Pct };
+const char* strategy_name(StrategyKind kind);
+
+struct SchedulerOptions {
+  StrategyKind strategy = StrategyKind::Random;
+  std::uint64_t seed = 1;
+  // Livelock bound: scheduling decisions per run (not wall time).
+  std::uint64_t max_steps = 50'000;
+  // Pct: number of priority change points and the expected schedule length
+  // they are drawn from (the d and k of the PCT guarantee).
+  int pct_priority_changes = 3;
+  std::uint64_t pct_expected_steps = 2'000;
+  // Most recent scheduling decisions kept for failure dumps.
+  std::size_t trace_limit = 4'096;
+};
+
+struct ScheduleStep {
+  std::uint64_t index;  // scheduling decision number, from 1
+  int thread;           // virtual thread granted the step
+  const char* point;    // hook label the thread resumed from
+  const void* object;   // synchronization object at that hook
+};
+
+struct ScheduleResult {
+  enum class Outcome { Completed, Deadlock, Livelock };
+  Outcome outcome = Outcome::Completed;
+  std::uint64_t steps = 0;
+
+  struct StuckThread {
+    int thread;
+    const char* point;  // where it sat when the schedule was declared stuck
+    bool blocked;       // true: waiting on a predicate; false: never granted
+  };
+  std::vector<StuckThread> stuck;  // non-empty on Deadlock/Livelock
+
+  std::deque<ScheduleStep> trace;  // most recent decisions (trace_limit)
+
+  bool hung() const { return outcome != Outcome::Completed; }
+  // Human-readable outcome + stuck threads + tail of the schedule.
+  std::string to_string(std::size_t max_trace_lines = 64) const;
+};
+
+// One Scheduler explores exactly one schedule; construct a fresh one per run
+// (the explorer does). The constructing thread becomes the controller and
+// must not touch any instrumented primitive while run() is in flight.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options) : options_(options) {}
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Runs each body as one virtual thread until all complete or the schedule
+  // is declared stuck. May be called once per Scheduler.
+  ScheduleResult run(std::vector<std::function<void()>> bodies);
+
+ private:
+  SchedulerOptions options_;
+};
+
+}  // namespace semlock::dct
+
+#endif  // SEMLOCK_DCT

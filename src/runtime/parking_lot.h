@@ -15,16 +15,21 @@
 //   waiter                               unlocker
 //   ------                               --------
 //   gen = prepare(p)                     counter(mode)-- (release)
-//   announce(p): parked++, SC fence      unpark_all(p): SC fence,
-//   re-validate conflicts_clear:           if parked != 0:
-//     clear  -> retract(p), retry            generation++ (release)
-//     held   -> park(p, gen)                 generation.notify_all()
+//   announce(p): parked++, SC fence      if that hold was the last one:
+//   re-validate conflicts_clear:           unpark_all(p): SC fence,
+//     clear  -> retract(p), retry            if parked != 0:
+//     held   -> park(p, gen)                   generation++ (release)
+//                                              generation.notify_all()
 //
 // Either the waiter's re-validation observes the decremented counter (it does
 // not park), or the unlocker's parked-count load observes the announcement
 // (it bumps and notifies, and the waiter's wait on the stale generation
 // returns immediately). Both sides order their store before their load with a
 // seq_cst fence, so the classic both-sides-miss interleaving is impossible.
+// The unlocker may skip unpark_all entirely when its decrement left other
+// holders of the same mode behind: a counter that stays nonzero cannot turn
+// any waiter's conflicts_clear from false to true, and the decrement that
+// eventually releases the last hold performs the full handshake.
 // Wakeups are permission to re-validate, not permission to acquire: the lock
 // mechanism re-checks conflicts_clear after every wake.
 #pragma once
@@ -33,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "dct/hooks.h"
 #include "util/align.h"
 
 namespace semlock::runtime {
@@ -50,6 +56,7 @@ class ParkingLot {
   // its wait predicate. Parking against this value cannot miss a wakeup
   // published after the re-validation.
   std::uint32_t prepare(int partition) const noexcept {
+    SEMLOCK_DCT_POINT("park.prepare", &slot(partition));
     return slot(partition).generation.load(std::memory_order_acquire);
   }
 
@@ -57,6 +64,7 @@ class ParkingLot {
   // re-validation; the fence orders the parked-count increment before the
   // predicate loads (the waiter half of the Dekker handshake).
   void announce(int partition) noexcept {
+    SEMLOCK_DCT_POINT("park.announce", &slot(partition));
     slot(partition).parked.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
@@ -64,6 +72,7 @@ class ParkingLot {
   // Withdraws an announcement without sleeping (re-validation found the
   // predicate already satisfied).
   void retract(int partition) noexcept {
+    SEMLOCK_DCT_POINT("park.retract", &slot(partition));
     slot(partition).parked.fetch_sub(1, std::memory_order_relaxed);
   }
 
@@ -72,8 +81,19 @@ class ParkingLot {
   // is consumed on return. Callers must re-validate their predicate after
   // waking.
   void park(int partition, std::uint32_t observed) noexcept {
-    slot(partition).generation.wait(observed, std::memory_order_acquire);
-    slot(partition).parked.fetch_sub(1, std::memory_order_relaxed);
+    Slot& s = slot(partition);
+#if defined(SEMLOCK_DCT)
+    // Under the DCT scheduler the futex wait becomes a cooperative block on
+    // "generation moved past `observed`" — a schedule where no unlocker
+    // bumps it is an exact, detectable deadlock.
+    if (::semlock::dct::scheduled()) {
+      ::semlock::dct::futex_wait(s.generation, observed);
+      s.parked.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+#endif
+    s.generation.wait(observed, std::memory_order_acquire);
+    s.parked.fetch_sub(1, std::memory_order_relaxed);
   }
 
   // Wakes every waiter parked on `partition`. The caller must have already
@@ -81,8 +101,10 @@ class ParkingLot {
   // counter decrement) with at least release ordering; the fence here is the
   // unlocker half of the Dekker handshake.
   void unpark_all(int partition) noexcept {
+    SEMLOCK_DCT_POINT("park.unpark", &slot(partition));
     std::atomic_thread_fence(std::memory_order_seq_cst);
     Slot& s = slot(partition);
+    SEMLOCK_DCT_POINT("park.unpark.scan", &s);
     if (s.parked.load(std::memory_order_relaxed) == 0) return;
     s.generation.fetch_add(1, std::memory_order_release);
     s.generation.notify_all();

@@ -6,6 +6,7 @@
 
 #include "runtime/wait_registry.h"
 #include "semlock/lock_mechanism.h"
+#include "util/env.h"
 
 namespace semlock::runtime {
 
@@ -134,14 +135,25 @@ void StallWatchdog::sample() {
       });
 }
 
+std::optional<std::chrono::milliseconds> StallWatchdog::parse_env_text(
+    const char* text) {
+  if (text == nullptr) return std::nullopt;
+  // Cap at ~1 year: bigger values are always typos and would overflow the
+  // nanosecond math in sample().
+  constexpr long long kMaxMs = 1'000LL * 60 * 60 * 24 * 365;
+  const std::optional<long long> ms = util::env_int_in_range(
+      "SEMLOCK_WATCHDOG_MS", text, 0, kMaxMs, "watchdog disabled");
+  if (!ms || *ms == 0) return std::nullopt;  // 0 = explicit silent disable
+  return std::chrono::milliseconds(*ms);
+}
+
 std::unique_ptr<StallWatchdog> StallWatchdog::from_env(Callback callback) {
-  const char* env = std::getenv("SEMLOCK_WATCHDOG_MS");
-  if (!env) return nullptr;
-  const long ms = std::atol(env);
-  if (ms <= 0) return nullptr;
+  const std::optional<std::chrono::milliseconds> threshold =
+      parse_env_text(std::getenv("SEMLOCK_WATCHDOG_MS"));
+  if (!threshold) return nullptr;
   Options options;
-  options.threshold = std::chrono::milliseconds(ms);
-  options.poll = std::chrono::milliseconds(std::max(1L, ms / 4));
+  options.threshold = *threshold;
+  options.poll = std::max(std::chrono::milliseconds(1), *threshold / 4);
   auto watchdog =
       std::make_unique<StallWatchdog>(options, std::move(callback));
   watchdog->start();

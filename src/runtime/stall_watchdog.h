@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -85,6 +86,12 @@ class StallWatchdog {
   // otherwise. Benchmarks call this so starvation diagnosis is one
   // environment variable away.
   static std::unique_ptr<StallWatchdog> from_env(Callback callback = {});
+
+  // Parsing half of from_env, split out for testability: "0" is an explicit
+  // silent disable; malformed, negative, or overflowing text warns once on
+  // stderr and disables (nullopt), never starts a misconfigured watchdog.
+  static std::optional<std::chrono::milliseconds> parse_env_text(
+      const char* text);
 
  private:
   void run();

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace semlock::runtime {
 
 namespace {
@@ -11,16 +13,19 @@ namespace {
 std::atomic<int> g_ambient_policy{-1};
 
 WaitPolicyKind env_wait_policy() {
-  static const WaitPolicyKind cached = [] {
-    if (const char* env = std::getenv("SEMLOCK_WAIT_POLICY")) {
-      if (const auto parsed = parse_wait_policy(env)) return *parsed;
-    }
-    return WaitPolicyKind::SpinYield;
-  }();
+  static const WaitPolicyKind cached =
+      wait_policy_from_env_text(std::getenv("SEMLOCK_WAIT_POLICY"));
   return cached;
 }
 
 }  // namespace
+
+WaitPolicyKind wait_policy_from_env_text(const char* text) {
+  if (text == nullptr) return WaitPolicyKind::SpinYield;
+  if (const auto parsed = parse_wait_policy(text)) return *parsed;
+  util::warn_invalid_env("SEMLOCK_WAIT_POLICY", text, "spin-yield");
+  return WaitPolicyKind::SpinYield;
+}
 
 const char* wait_policy_name(WaitPolicyKind kind) {
   switch (kind) {

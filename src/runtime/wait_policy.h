@@ -45,6 +45,11 @@ const char* wait_policy_name(WaitPolicyKind kind);
 // "park". Returns nullopt for anything else.
 std::optional<WaitPolicyKind> parse_wait_policy(std::string_view text);
 
+// Resolves SEMLOCK_WAIT_POLICY text: recognized names parse as above;
+// anything else (typos, empty) warns once on stderr and falls back to
+// SpinYield. Split out from the cached env lookup for testability.
+WaitPolicyKind wait_policy_from_env_text(const char* text);
+
 // Process-wide default policy: the ambient override if one is installed,
 // else SEMLOCK_WAIT_POLICY (parsed once), else SpinYield.
 WaitPolicyKind default_wait_policy();

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "dct/hooks.h"
 #include "runtime/wait_registry.h"
 #include "util/align.h"
 
@@ -37,6 +38,7 @@ LockMechanism::LockMechanism(const ModeTable& table)
 
 bool LockMechanism::conflicts_clear(int mode) const {
   for (const std::int32_t other : table_->conflicts_of(mode)) {
+    SEMLOCK_DCT_POINT("mode.check", &counter(other));
     if (counter(other).load(std::memory_order_acquire) > 0) {
       return false;
     }
@@ -56,6 +58,7 @@ void LockMechanism::lock(int mode) {
   if (!table_->config().fast_path_precheck || conflicts_clear(mode)) {
     internal.lock();
     if (conflicts_clear(mode)) {
+      SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
       counter(mode).fetch_add(1, std::memory_order_relaxed);
       internal.unlock();
       return;
@@ -78,6 +81,7 @@ void LockMechanism::lock_contended(int mode, int partition,
     if (!precheck || conflicts_clear(mode)) {
       internal.lock();
       if (conflicts_clear(mode)) {
+        SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
         counter(mode).fetch_add(1, std::memory_order_relaxed);
         internal.unlock();
         stats.wait_ns += runtime::steady_now_ns() - wait_start;
@@ -92,7 +96,15 @@ void LockMechanism::lock_contended(int mode, int partition,
     if (wait.step()) {
       const std::uint32_t gen = parking_.prepare(partition);
       parking_.announce(partition);
-      if (conflicts_clear(mode)) {
+#if defined(SEMLOCK_DCT)
+      // Test-only mutation: park blind, skipping the re-validation half of
+      // the handshake — the lost-wakeup bug the DCT harness must detect.
+      const bool revalidated =
+          !dct::mutation_drop_announce_revalidate() && conflicts_clear(mode);
+#else
+      const bool revalidated = conflicts_clear(mode);
+#endif
+      if (revalidated) {
         parking_.retract(partition);
       } else {
         parking_.park(partition, gen);
@@ -107,26 +119,40 @@ bool LockMechanism::try_lock(int mode) {
   ++stats.acquisitions;
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(table_->partition_of(mode))];
-  if (!conflicts_clear(mode)) {
+  // Mirrors lock(): the pre-check is the Fig. 20 fast path and obeys the
+  // same ablation knob, and a refused attempt charges its duration to the
+  // wait counters just like a contended lock() does.
+  const std::uint64_t wait_start = runtime::steady_now_ns();
+  const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
+  bool ok = false;
+  if (!table_->config().fast_path_precheck || conflicts_clear(mode)) {
+    internal.lock();
+    ok = conflicts_clear(mode);
+    if (ok) {
+      SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
+      counter(mode).fetch_add(1, std::memory_order_relaxed);
+    }
+    internal.unlock();
+  }
+  if (!ok) {
     ++stats.contended;
-    return false;
+    stats.wait_ns += runtime::steady_now_ns() - wait_start;
+    stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
   }
-  internal.lock();
-  const bool ok = conflicts_clear(mode);
-  if (ok) {
-    counter(mode).fetch_add(1, std::memory_order_relaxed);
-  }
-  internal.unlock();
-  if (!ok) ++stats.contended;
   return ok;
 }
 
 void LockMechanism::unlock(int mode) {
-  counter(mode).fetch_sub(1, std::memory_order_release);
-  if (can_park_) {
-    // Wake only the released mode's conflict partition; unrelated mode
-    // families keep sleeping. unpark_all is a no-op (fence + relaxed load)
-    // when nobody is parked.
+  SEMLOCK_DCT_POINT("mode.release", &counter(mode));
+  const std::uint32_t prev =
+      counter(mode).fetch_sub(1, std::memory_order_release);
+  if (can_park_ && prev == 1) {
+    // Wake only when this was the mode's last hold: a counter that stays
+    // nonzero cannot turn any waiter's conflicts_clear from false to true,
+    // so waking earlier would only stampede waiters into re-parking. Scoped
+    // to the released mode's conflict partition; unrelated mode families
+    // keep sleeping. unpark_all is a no-op (fence + relaxed load) when
+    // nobody is parked.
     parking_.unpark_all(table_->partition_of(mode));
   }
 }

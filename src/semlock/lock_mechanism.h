@@ -97,10 +97,13 @@ class LockMechanism {
   // then registers the caller as a holder. (Fig. 20 `lock`.)
   void lock(int mode);
 
-  // Non-blocking variant: returns false instead of waiting.
+  // Non-blocking variant: returns false instead of waiting. Honors the same
+  // fast-path pre-check knob as lock() and charges refused attempts to the
+  // contended/wait counters.
   bool try_lock(int mode);
 
-  // Releases one hold on `mode`. (Fig. 20 `unlock`.)
+  // Releases one hold on `mode` and, when that was the mode's last hold,
+  // wakes the waiters parked on its conflict partition. (Fig. 20 `unlock`.)
   void unlock(int mode);
 
   // Number of transactions currently holding `mode` (approximate under

@@ -21,11 +21,14 @@ void Transaction::unlock_instance(SemanticLock* lk) {
     if (e.lk == lk) e.lk->unlock(e.mode);
   }
   std::erase_if(entries_, [&](const Entry& e) { return e.lk == lk; });
+  if (index_live_) index_.erase(lk);
 }
 
 void Transaction::unlock_all() {
   for (auto& e : entries_) e.lk->unlock(e.mode);
   entries_.clear();
+  index_.clear();
+  index_live_ = false;
 }
 
 }  // namespace semlock

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "semlock/semantic_lock.h"
@@ -31,6 +32,7 @@ class Transaction {
     if (lk == nullptr || holds(lk)) return;
     const int mode = lk->lock_site(site, values);
     entries_.push_back(Entry{lk, mode});
+    on_entry_added();
   }
 
   // Mode-level LV for callers that resolved the mode themselves.
@@ -38,6 +40,7 @@ class Transaction {
     if (lk == nullptr || holds(lk)) return;
     lk->lock(mode);
     entries_.push_back(Entry{lk, mode});
+    on_entry_added();
   }
 
   // LV2/LVn (Fig. 12): lock several same-equivalence-class instances in
@@ -49,7 +52,13 @@ class Transaction {
   };
   void lv_ordered(std::span<DynTarget> targets);
 
+  // Membership test behind every LV: a linear scan is fastest while the
+  // LOCAL_SET is small (the common case — generated prologues lock a
+  // handful of instances), but the LVn-heavy shapes of Fig. 12 can hold
+  // hundreds, turning each atomic section into an O(N^2) scan. Past
+  // kInlineHeldScan entries the set is mirrored into a hash index.
   bool holds(const SemanticLock* lk) const {
+    if (index_live_) return index_.count(lk) != 0;
     for (const auto& e : entries_) {
       if (e.lk == lk) return true;
     }
@@ -82,7 +91,26 @@ class Transaction {
     SemanticLock* lk;
     int mode;
   };
+
+  // Largest held-set size still served by the inline linear scan.
+  static constexpr std::size_t kInlineHeldScan = 64;
+
+  void on_entry_added() {
+    if (index_live_) {
+      index_.insert(entries_.back().lk);
+    } else if (entries_.size() > kInlineHeldScan) {
+      index_.reserve(entries_.size() * 2);
+      for (const auto& e : entries_) index_.insert(e.lk);
+      index_live_ = true;
+    }
+  }
+
   std::vector<Entry> entries_;
+  // Hash mirror of entries_' instances; live once the set outgrows the
+  // inline scan, reset by unlock_all (instances, not modes: an instance
+  // appears in entries_ at most once).
+  std::unordered_set<const SemanticLock*> index_;
+  bool index_live_ = false;
 };
 
 }  // namespace semlock

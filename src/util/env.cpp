@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace semlock::util {
+
+void warn_invalid_env(const char* name, const char* text,
+                      const char* fallback_desc) {
+  std::fprintf(stderr, "[semlock] ignoring invalid %s=\"%s\"; using %s\n",
+               name, text, fallback_desc);
+}
+
+std::optional<long long> env_int_in_range(const char* name, const char* text,
+                                          long long min, long long max,
+                                          const char* fallback_desc) {
+  if (text == nullptr) return std::nullopt;  // unset is not an error
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  const bool overflowed = errno == ERANGE;
+  const bool parsed = end != text && *end == '\0';
+  if (!parsed || overflowed || value < min || value > max) {
+    warn_invalid_env(name, text, fallback_desc);
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace semlock::util

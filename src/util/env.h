@@ -1,0 +1,28 @@
+// Strict parsing for the runtime's environment knobs.
+//
+// The runtime knobs (SEMLOCK_WATCHDOG_MS, SEMLOCK_WAIT_POLICY) are typed by
+// operators under time pressure; a typo must not silently become "0" (atol)
+// or silently pick a default nobody asked for. These helpers reject
+// malformed, out-of-range, and overflowing values outright and say so once
+// on stderr — the caller then falls back to its documented default.
+#pragma once
+
+#include <optional>
+
+namespace semlock::util {
+
+// Parses `text` (the value of environment variable `name`) as a decimal
+// integer in [min, max]. Returns nullopt — after printing a one-line
+// warning naming the variable, the offending value, and `fallback_desc` —
+// when `text` is empty, contains trailing junk ("50x"), is not a number,
+// or falls outside the range (including strtoll-level overflow).
+std::optional<long long> env_int_in_range(const char* name, const char* text,
+                                          long long min, long long max,
+                                          const char* fallback_desc);
+
+// Same contract for warning, but the caller does the domain-specific
+// parsing; this just emits the standard one-liner.
+void warn_invalid_env(const char* name, const char* text,
+                      const char* fallback_desc);
+
+}  // namespace semlock::util

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "dct/hooks.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -58,6 +60,14 @@ class Spinlock {
   Spinlock& operator=(const Spinlock&) = delete;
 
   void lock() noexcept {
+#if defined(SEMLOCK_DCT)
+    // Under the DCT scheduler the spin becomes a cooperative block so the
+    // harness sees "waiting on this flag" as an explicit predicate.
+    if (::semlock::dct::scheduled()) {
+      ::semlock::dct::spinlock_acquire(flag_);
+      return;
+    }
+#endif
     Backoff backoff;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -66,11 +76,24 @@ class Spinlock {
   }
 
   bool try_lock() noexcept {
+#if defined(SEMLOCK_DCT)
+    if (::semlock::dct::scheduled()) {
+      return ::semlock::dct::spinlock_try_acquire(flag_);
+    }
+#endif
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+#if defined(SEMLOCK_DCT)
+    if (::semlock::dct::scheduled()) {
+      ::semlock::dct::spinlock_release(flag_);
+      return;
+    }
+#endif
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};

@@ -118,6 +118,38 @@ TEST_P(ConfigMatrix, CommutingModesOverlap) {
   EXPECT_EQ(mech.holders(mode), 0u);
 }
 
+TEST_P(ConfigMatrix, TryLockMatchesLockSemantics) {
+  // try_lock must honor the same fast-path knob as lock() (the matrix runs
+  // this with fast_path_precheck both on and off) and account refusals the
+  // same way a contended lock() does: contended bumps and wait time.
+  const auto table = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})})},
+      make_config());
+  LockMechanism mech(table);
+  const Value vals[1] = {3};
+  const int mode = table.resolve(0, vals);
+  auto& stats = local_acquire_stats();
+
+  ASSERT_TRUE(mech.try_lock(mode));
+  stats.reset();
+  constexpr std::uint64_t kAttempts = 1000;
+  for (std::uint64_t i = 0; i < kAttempts; ++i) {
+    EXPECT_FALSE(mech.try_lock(mode));  // self-conflicting: all refused
+  }
+  EXPECT_EQ(stats.acquisitions, kAttempts);
+  EXPECT_EQ(stats.contended, kAttempts);
+  EXPECT_GT(stats.wait_ns, 0u);  // refused attempts charge their duration
+
+  mech.unlock(mode);
+  stats.reset();
+  EXPECT_TRUE(mech.try_lock(mode));
+  EXPECT_EQ(stats.acquisitions, 1u);
+  EXPECT_EQ(stats.contended, 0u);  // successes never count as contended
+  EXPECT_EQ(stats.wait_ns, 0u);
+  mech.unlock(mode);
+}
+
 TEST_P(ConfigMatrix, ConflictInvariantAcrossConfigs) {
   // F_c is semantic: configuration knobs (partitioning, merging, fast path)
   // must never change WHICH operations may overlap, only the mechanism's

@@ -1,0 +1,126 @@
+// Validates the DCT harness BY MUTATION: a build that skips the
+// announce/re-validate half of the parking handshake (the textbook lost
+// wakeup, injected via dct::set_mutation_drop_announce_revalidate) must be
+// caught — as a deadlock — within the acceptance budget of 10,000 explored
+// schedules, deterministically replayable from the printed seed; the stock
+// protocol must survive the same budget clean. Only built with
+// -DSEMLOCK_DCT=ON.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "commute/builtin_specs.h"
+#include "dct/explorer.h"
+#include "dct/hooks.h"
+#include "semlock/lock_mechanism.h"
+
+namespace semlock {
+namespace {
+
+using commute::op;
+using commute::SymbolicSet;
+
+constexpr int kScheduleBudget = 10'000;
+constexpr std::uint64_t kBaseSeed = 2026;
+
+// Reverts the fault injection even when an assertion bails out early.
+struct MutationGuard {
+  explicit MutationGuard(bool on) {
+    dct::set_mutation_drop_announce_revalidate(on);
+  }
+  ~MutationGuard() { dct::set_mutation_drop_announce_revalidate(false); }
+};
+
+// The smallest workload whose schedules contain the lost-wakeup bug: two
+// threads, two acquisitions each, one self-conflicting mode, AlwaysPark so
+// every contended acquisition goes through prepare/announce/park. The bug
+// fires when a waiter parks after the holder's LAST release already ran the
+// (empty) wakeup scan — with re-validation dropped, the waiter sleeps
+// forever and the scheduler reports an exact deadlock.
+dct::Workload make_contended_workload() {
+  struct State {
+    ModeTable table;
+    LockMechanism mech;
+    explicit State(ModeTableConfig c)
+        : table(ModeTable::compile(
+              commute::set_spec(),
+              {SymbolicSet({op("size"), op("clear")})}, c)),
+          mech(table) {}
+  };
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+  auto state = std::make_shared<State>(c);
+  const int mode = state->table.resolve_constant(0);
+
+  dct::Workload w;
+  for (int t = 0; t < 2; ++t) {
+    w.threads.push_back([state, mode] {
+      for (int i = 0; i < 2; ++i) {
+        state->mech.lock(mode);
+        state->mech.unlock(mode);
+      }
+    });
+  }
+  return w;
+}
+
+dct::ExploreOptions budget_options() {
+  dct::ExploreOptions opts;
+  opts.sched.strategy = dct::StrategyKind::Random;
+  opts.base_seed = kBaseSeed;
+  opts.schedules = kScheduleBudget;
+  return opts;
+}
+
+TEST(DctMutation, LostWakeupMutationCaughtWithinBudget) {
+  MutationGuard mutation(true);
+  const dct::ExploreOptions opts = budget_options();
+  const dct::ExploreResult result =
+      dct::explore(opts, make_contended_workload);
+
+  ASSERT_FALSE(result.ok)
+      << "lost-wakeup mutation survived " << kScheduleBudget
+      << " schedules undetected";
+  std::cout << "[ detector ] mutation caught after " << result.schedules_run
+            << " schedules (seed " << result.failing_seed << ")\n";
+  EXPECT_TRUE(result.schedule.hung());
+  EXPECT_EQ(result.schedule.outcome,
+            dct::ScheduleResult::Outcome::Deadlock);
+  EXPECT_LE(result.schedules_run, kScheduleBudget);
+  // The report carries everything needed to reproduce by hand.
+  EXPECT_NE(result.failure.find("DEADLOCK"), std::string::npos)
+      << result.failure;
+  EXPECT_NE(result.failure.find(std::to_string(result.failing_seed)),
+            std::string::npos)
+      << result.failure;
+  EXPECT_NE(result.failure.find("replay:"), std::string::npos);
+
+  // One-line replay of the printed seed: deterministically the same hang.
+  const dct::ExploreResult again =
+      dct::replay(opts.sched, result.failing_seed, make_contended_workload);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.schedule.outcome, result.schedule.outcome);
+  EXPECT_EQ(again.schedule.steps, result.schedule.steps);
+  ASSERT_EQ(again.schedule.trace.size(), result.schedule.trace.size());
+  for (std::size_t i = 0; i < again.schedule.trace.size(); ++i) {
+    EXPECT_EQ(again.schedule.trace[i].thread,
+              result.schedule.trace[i].thread)
+        << "step " << i;
+    EXPECT_STREQ(again.schedule.trace[i].point,
+                 result.schedule.trace[i].point)
+        << "step " << i;
+  }
+}
+
+TEST(DctMutation, StockProtocolSurvivesSameBudgetClean) {
+  const dct::ExploreResult result =
+      dct::explore(budget_options(), make_contended_workload);
+  EXPECT_TRUE(result.ok) << result.to_string();
+  EXPECT_EQ(result.schedules_run, kScheduleBudget);
+}
+
+}  // namespace
+}  // namespace semlock

@@ -1,0 +1,154 @@
+// Hardening of the runtime's environment knobs: malformed values must fall
+// back to the documented defaults with a one-line warning, never silently
+// misconfigure (std::atol turns "garbage" into 0 and "50x" into 50).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/stall_watchdog.h"
+#include "runtime/wait_policy.h"
+#include "util/env.h"
+
+namespace semlock {
+namespace {
+
+using runtime::StallWatchdog;
+using runtime::WaitPolicyKind;
+
+// Runs `fn` while capturing stderr; returns what it printed.
+template <typename Fn>
+std::string captured_stderr(Fn&& fn) {
+  ::testing::internal::CaptureStderr();
+  fn();
+  return ::testing::internal::GetCapturedStderr();
+}
+
+TEST(EnvIntInRange, AcceptsPlainDecimal) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(util::env_int_in_range("X", "250", 0, 1000, "default"), 250);
+    EXPECT_EQ(util::env_int_in_range("X", "0", 0, 1000, "default"), 0);
+    EXPECT_EQ(util::env_int_in_range("X", "-7", -10, 10, "default"), -7);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(EnvIntInRange, RejectsGarbage) {
+  const std::string err = captured_stderr([] {
+    EXPECT_FALSE(util::env_int_in_range("X", "garbage", 0, 100, "default"));
+  });
+  EXPECT_NE(err.find("invalid X=\"garbage\""), std::string::npos) << err;
+  EXPECT_NE(err.find("default"), std::string::npos) << err;
+}
+
+TEST(EnvIntInRange, RejectsTrailingJunk) {
+  const std::string err = captured_stderr([] {
+    EXPECT_FALSE(util::env_int_in_range("X", "50x", 0, 100, "default"));
+  });
+  EXPECT_NE(err.find("invalid X=\"50x\""), std::string::npos) << err;
+}
+
+TEST(EnvIntInRange, RejectsEmpty) {
+  const std::string err = captured_stderr([] {
+    EXPECT_FALSE(util::env_int_in_range("X", "", 0, 100, "default"));
+  });
+  EXPECT_NE(err.find("invalid X=\"\""), std::string::npos) << err;
+}
+
+TEST(EnvIntInRange, RejectsOutOfRangeAndOverflow) {
+  const std::string err = captured_stderr([] {
+    EXPECT_FALSE(util::env_int_in_range("X", "-5", 0, 100, "default"));
+    EXPECT_FALSE(util::env_int_in_range("X", "101", 0, 100, "default"));
+    // Past even long long: strtoll saturates with ERANGE.
+    EXPECT_FALSE(util::env_int_in_range("X", "99999999999999999999999999", 0,
+                                        100, "default"));
+  });
+  EXPECT_NE(err.find("invalid X=\"-5\""), std::string::npos) << err;
+  EXPECT_NE(err.find("invalid X=\"101\""), std::string::npos) << err;
+  EXPECT_NE(err.find("invalid X=\"99999999999999999999999999\""),
+            std::string::npos)
+      << err;
+}
+
+TEST(WaitPolicyEnv, ParsesEveryRecognizedName) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::wait_policy_from_env_text("spin-yield"),
+              WaitPolicyKind::SpinYield);
+    EXPECT_EQ(runtime::wait_policy_from_env_text("adaptive"),
+              WaitPolicyKind::SpinThenPark);
+    EXPECT_EQ(runtime::wait_policy_from_env_text("park"),
+              WaitPolicyKind::AlwaysPark);
+    // Unset is the default, silently.
+    EXPECT_EQ(runtime::wait_policy_from_env_text(nullptr),
+              WaitPolicyKind::SpinYield);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(WaitPolicyEnv, TypoWarnsAndFallsBackToSpinYield) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::wait_policy_from_env_text("spin-then-prak"),
+              WaitPolicyKind::SpinYield);
+  });
+  EXPECT_NE(err.find("SEMLOCK_WAIT_POLICY=\"spin-then-prak\""),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("spin-yield"), std::string::npos) << err;
+}
+
+TEST(WaitPolicyEnv, EmptyWarnsAndFallsBack) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::wait_policy_from_env_text(""),
+              WaitPolicyKind::SpinYield);
+  });
+  EXPECT_NE(err.find("SEMLOCK_WAIT_POLICY=\"\""), std::string::npos) << err;
+}
+
+TEST(WatchdogEnv, ParsesValidThreshold) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(StallWatchdog::parse_env_text("250"),
+              std::chrono::milliseconds(250));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(WatchdogEnv, UnsetAndExplicitZeroDisableSilently) {
+  const std::string err = captured_stderr([] {
+    EXPECT_FALSE(StallWatchdog::parse_env_text(nullptr));
+    EXPECT_FALSE(StallWatchdog::parse_env_text("0"));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(WatchdogEnv, MalformedValuesWarnAndDisable) {
+  for (const char* bad : {"garbage", "-5", "50x", "",
+                          "99999999999999999999999999"}) {
+    const std::string err = captured_stderr(
+        [bad] { EXPECT_FALSE(StallWatchdog::parse_env_text(bad)); });
+    EXPECT_NE(err.find("SEMLOCK_WATCHDOG_MS=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("watchdog disabled"), std::string::npos) << err;
+  }
+}
+
+TEST(WatchdogEnv, FromEnvIntegration) {
+  // Valid value: a watchdog starts. Garbage: none starts, one warning.
+  ASSERT_EQ(setenv("SEMLOCK_WATCHDOG_MS", "10000", 1), 0);
+  {
+    auto watchdog = StallWatchdog::from_env();
+    ASSERT_NE(watchdog, nullptr);
+    EXPECT_TRUE(watchdog->running());
+  }
+  ASSERT_EQ(setenv("SEMLOCK_WATCHDOG_MS", "not-a-number", 1), 0);
+  const std::string err = captured_stderr(
+      [] { EXPECT_EQ(StallWatchdog::from_env(), nullptr); });
+  EXPECT_NE(err.find("SEMLOCK_WATCHDOG_MS=\"not-a-number\""),
+            std::string::npos)
+      << err;
+  ASSERT_EQ(unsetenv("SEMLOCK_WATCHDOG_MS"), 0);
+}
+
+}  // namespace
+}  // namespace semlock

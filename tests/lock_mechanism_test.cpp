@@ -190,6 +190,54 @@ TEST(LockMechanism, FastPathDisabledStillCorrect) {
   EXPECT_EQ(counter, 4 * 3000);
 }
 
+// Regression: releasing one of several holders of a mode must not wake the
+// partition — only the release that drops the counter to zero can satisfy a
+// waiter's conflict check, so earlier wakeups just stampede waiters into
+// re-parking (observable as a generation bump and extra parks).
+TEST(LockMechanism, UnlockWakesOnlyOnLastRelease) {
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {star()})}),
+       SymbolicSet({op("size"), op("clear")})},
+      c);
+  LockMechanism m(t);
+  const int add_mode = t.resolve_constant(0);
+  const int clear_mode = t.resolve_constant(1);
+  ASSERT_TRUE(t.commutes(add_mode, add_mode));
+  ASSERT_FALSE(t.commutes(add_mode, clear_mode));
+  const int partition = t.partition_of(clear_mode);
+  ASSERT_EQ(partition, t.partition_of(add_mode));  // same conflict component
+
+  m.lock(add_mode);
+  m.lock(add_mode);  // two holders of the commuting mode
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    local_acquire_stats().reset();
+    m.lock(clear_mode);
+    acquired.store(true);
+    m.unlock(clear_mode);
+    EXPECT_GE(local_acquire_stats().parks, 1u);  // it really parked
+  });
+  while (m.parking_lot().parked(partition) == 0) std::this_thread::yield();
+
+  const std::uint32_t gen_before = m.parking_lot().generation(partition);
+  m.unlock(add_mode);  // one holder remains: no wakeup
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(m.parking_lot().generation(partition), gen_before);
+  EXPECT_FALSE(acquired.load());
+
+  m.unlock(add_mode);  // last holder: full wakeup handshake
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  // Two add releases plus the waiter's own clear release produced exactly
+  // one generation bump: the wakeup that mattered.
+  EXPECT_EQ(m.parking_lot().generation(partition), gen_before + 1);
+}
+
 TEST(SemanticLockTest, LockSiteResolvesAndLocks) {
   const auto t = make_set_table();
   SemanticLock lk(t);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "commute/builtin_specs.h"
 #include "semlock/transaction.h"
 
@@ -121,6 +124,50 @@ TEST(TransactionTest, LvWithKeyedSiteResolvesByValue) {
   EXPECT_EQ(held[0].mode, t.resolve(0, k3));
   EXPECT_EQ(held[1].mode, t.resolve(0, k5));
   EXPECT_NE(held[0].mode, held[1].mode);  // 3 and 5 differ mod 4
+  txn.unlock_all();
+}
+
+// Exercises the hash index holds() switches to once the held set outgrows
+// the inline linear scan (Fig. 12 LVn shapes can hold hundreds of
+// instances), including early release and reuse after unlock_all.
+TEST(TransactionTest, HoldsScalesPastInlineThreshold) {
+  const auto t = make_table();
+  const int mode = t.resolve_constant(0);  // add(*): self-commuting
+  constexpr int kInstances = 100;          // well past the inline threshold
+  std::vector<std::unique_ptr<SemanticLock>> locks;
+  locks.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) {
+    locks.push_back(std::make_unique<SemanticLock>(t));
+  }
+
+  Transaction txn;
+  for (auto& lk : locks) txn.lv_mode(lk.get(), mode);
+  EXPECT_EQ(txn.num_held(), static_cast<std::size_t>(kInstances));
+  for (auto& lk : locks) EXPECT_TRUE(txn.holds(lk.get()));
+
+  // LOCAL_SET semantics survive the index switch: no re-lock.
+  txn.lv_mode(locks[0].get(), mode);
+  EXPECT_EQ(txn.num_held(), static_cast<std::size_t>(kInstances));
+  EXPECT_EQ(locks[0]->holders(mode), 1u);
+
+  // Early release must drop the instance from the index too.
+  txn.unlock_instance(locks[5].get());
+  EXPECT_FALSE(txn.holds(locks[5].get()));
+  EXPECT_EQ(locks[5]->holders(mode), 0u);
+  txn.lv_mode(locks[5].get(), mode);  // and re-locking works
+  EXPECT_TRUE(txn.holds(locks[5].get()));
+
+  txn.unlock_all();
+  EXPECT_EQ(txn.num_held(), 0u);
+  for (auto& lk : locks) {
+    EXPECT_FALSE(txn.holds(lk.get()));
+    EXPECT_EQ(lk->holders(mode), 0u);
+  }
+
+  // The transaction object is reusable after the epilogue.
+  txn.lv_mode(locks[1].get(), mode);
+  EXPECT_TRUE(txn.holds(locks[1].get()));
+  EXPECT_FALSE(txn.holds(locks[2].get()));
   txn.unlock_all();
 }
 
