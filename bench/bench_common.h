@@ -6,6 +6,8 @@
 // testbed ran 10M ops/thread on 32 cores — far beyond a CI container).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,6 +18,7 @@
 
 #include "apps/compute_if_absent.h"
 #include "runtime/wait_policy.h"
+#include "semlock/lock_mechanism.h"
 #include "util/stats.h"
 
 namespace semlock::bench {
@@ -46,6 +49,45 @@ inline void print_results(const util::SeriesTable& table) {
   std::printf("%s\ncsv:\n%s\n", table.to_table().c_str(),
               table.to_csv().c_str());
 }
+
+// Cross-thread aggregation of the thread-local AcquireStats, so benches can
+// attribute throughput to the acquisition tier that produced it
+// (docs/FAST_PATH.md): optimistic hits won lock-free, retracts paid for
+// failed announcements, parks went through the ParkingLot. Workers call
+// collect() (after reset() at thread start); the driver prints one line.
+class AcquireTally {
+ public:
+  void collect(const AcquireStats& s) {
+    acquisitions.fetch_add(s.acquisitions, std::memory_order_relaxed);
+    contended.fetch_add(s.contended, std::memory_order_relaxed);
+    parks.fetch_add(s.parks, std::memory_order_relaxed);
+    optimistic_hits.fetch_add(s.optimistic_hits, std::memory_order_relaxed);
+    retracts.fetch_add(s.retracts, std::memory_order_relaxed);
+  }
+
+  void print(const char* label) const {
+    const std::uint64_t acq = acquisitions.load(std::memory_order_relaxed);
+    const std::uint64_t hits = optimistic_hits.load(std::memory_order_relaxed);
+    std::printf(
+        "  [%s] acquisitions=%llu optimistic_hits=%llu (%.1f%%) "
+        "retracts=%llu contended=%llu parks=%llu\n",
+        label, static_cast<unsigned long long>(acq),
+        static_cast<unsigned long long>(hits),
+        acq > 0 ? 100.0 * static_cast<double>(hits) / static_cast<double>(acq)
+                : 0.0,
+        static_cast<unsigned long long>(
+            retracts.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            contended.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(parks.load(std::memory_order_relaxed)));
+  }
+
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> parks{0};
+  std::atomic<std::uint64_t> optimistic_hits{0};
+  std::atomic<std::uint64_t> retracts{0};
+};
 
 // The wait-policy knob shared by every bench binary: `--wait-policy=NAME`
 // on the command line wins, then SEMLOCK_WAIT_POLICY, then `fallback`.

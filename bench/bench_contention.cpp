@@ -9,6 +9,7 @@
 // (semlock::local_acquire_stats), fed by the semantic-lock mechanism, the
 // baseline mutexes, and the Manual implementations' counted guards.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -19,8 +20,11 @@
 #include "apps/graph_module.h"
 #include "apps/intruder.h"
 #include "bench/bench_common.h"
+#include "commute/builtin_specs.h"
+#include "commute/symbolic.h"
 #include "semlock/lock_mechanism.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/thread_team.h"
 
 namespace {
@@ -62,15 +66,75 @@ void report(const char* bench, const char* strategy, const Contention& c) {
               static_cast<unsigned long long>(c.contended), c.percent());
 }
 
+// --- Fast-path sweep (ISSUE 3 headline) -------------------------------------
+// Acquire/release throughput of a self-commuting read mode R={contains(*)}
+// that conflicts with a writer mode W={add(*),remove(*)}, read-mostly mix.
+// `fastpath` is the shipped configuration (optimistic + striped counters);
+// `spinlock` forces every acquisition through the partition-spinlock
+// arbitrated path — the pre-ISSUE-3 mechanism. Same table, same wait policy,
+// same workload: the gap is pure acquire-path overhead.
+ModeTable make_sweep_table(bool fastpath) {
+  using commute::op;
+  using commute::star;
+  using commute::SymbolicSet;
+  ModeTableConfig cfg;
+  cfg.optimistic_acquire = fastpath;
+  cfg.stripe_self_commuting = fastpath;  // stripe count: auto (per-machine)
+  return ModeTable::compile(
+      commute::set_spec(),
+      {
+          SymbolicSet({op("contains", {star()})}),
+          SymbolicSet({op("add", {star()}), op("remove", {star()})}),
+      },
+      cfg);
+}
+
+double sweep_cell(std::size_t threads, bool fastpath, std::size_t ops,
+                  semlock::bench::AcquireTally* tally) {
+  const ModeTable table = make_sweep_table(fastpath);
+  LockMechanism mech(table);
+  const int read_mode = table.resolve_constant(0);
+  const int write_mode = table.resolve_constant(1);
+  const auto start = std::chrono::steady_clock::now();
+  util::run_team(threads, [&](std::size_t tid) {
+    auto& stats = local_acquire_stats();
+    stats.reset();
+    util::Xoshiro256 rng(util::derive_seed(91, tid));
+    for (std::size_t i = 0; i < ops; ++i) {
+      const bool write = rng.chance_percent(1);
+      const int mode = write ? write_mode : read_mode;
+      mech.lock(mode);
+      mech.unlock(mode);
+    }
+    if (tally) tally->collect(stats);
+  });
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads * ops) / ms;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace semlock::bench;
+  // Perf-trajectory artifact (override path with --json=PATH).
+  std::string json_path = "BENCH_contention.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
   print_figure_header(
       "Contention profile",
       "waiting acquisitions per strategy (4 threads; lower = more scalable)");
   const std::size_t kThreads = 4;
   const auto ops = static_cast<std::size_t>(50'000 * scale_factor());
+
+  // Contended% per (figure, strategy), recorded for BENCH_contention.json.
+  util::SeriesTable contended_tbl("figure", "contended %");
+  contended_tbl.set_series({"Ours", "Global", "2PL", "Manual"});
+  std::vector<double> cells;
 
   // --- ComputeIfAbsent (Fig. 21) -------------------------------------------
   for (const Strategy s : {Strategy::Ours, Strategy::Global, Strategy::TwoPL,
@@ -85,7 +149,10 @@ int main() {
       }
     });
     report("Fig21/CIA", strategy_name(s), c);
+    cells.push_back(c.percent());
   }
+  contended_tbl.add_row(21, cells);
+  cells.clear();
   std::printf("\n");
 
   // --- Graph (Fig. 22) ------------------------------------------------------
@@ -110,7 +177,10 @@ int main() {
       }
     });
     report("Fig22/Graph", strategy_name(s), c);
+    cells.push_back(c.percent());
   }
+  contended_tbl.add_row(22, cells);
+  cells.clear();
   std::printf("\n");
 
   // --- Cache (Fig. 23) ------------------------------------------------------
@@ -130,7 +200,10 @@ int main() {
       }
     });
     report("Fig23/Cache", strategy_name(s), c);
+    cells.push_back(c.percent());
   }
+  contended_tbl.add_row(23, cells);
+  cells.clear();
   std::printf("\n");
 
   // --- Intruder (Fig. 24) ---------------------------------------------------
@@ -152,8 +225,11 @@ int main() {
             }
           });
       report("Fig24/Intrudr", strategy_name(s), c);
+      cells.push_back(c.percent());
     }
   }
+  contended_tbl.add_row(24, cells);
+  cells.clear();
   std::printf("\n");
 
   // --- GossipRouter (Fig. 25) ------------------------------------------------
@@ -175,7 +251,34 @@ int main() {
       }
     });
     report("Fig25/Gossip", strategy_name(s), c);
+    cells.push_back(c.percent());
   }
+  contended_tbl.add_row(25, cells);
+  cells.clear();
+  std::printf("\n");
 
+  // --- Fast-path sweep ------------------------------------------------------
+  std::printf(
+      "Fast path: read-mostly acquire/release of a self-commuting mode\n"
+      "(fastpath = optimistic + striped counters; spinlock = arbitrated "
+      "path)\n");
+  util::SeriesTable sweep_tbl("threads", "ops/ms");
+  sweep_tbl.set_series({"fastpath", "spinlock", "speedup"});
+  const auto sweep_ops = static_cast<std::size_t>(200'000 * scale_factor());
+  AcquireTally tally;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}, std::size_t{16}}) {
+    const double fast = sweep_cell(t, true, sweep_ops, &tally);
+    const double slow = sweep_cell(t, false, sweep_ops, nullptr);
+    sweep_tbl.add_row(static_cast<double>(t), {fast, slow, fast / slow});
+  }
+  print_results(sweep_tbl);
+  tally.print("fastpath");
+
+  if (!write_bench_json(json_path, "contention",
+                        {{"contended_percent", &contended_tbl},
+                         {"fastpath_ops_per_ms", &sweep_tbl}})) {
+    return 1;
+  }
   return 0;
 }

@@ -9,10 +9,17 @@
 #include "apps/harness.h"
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace semlock;
   using namespace semlock::apps;
   using namespace semlock::bench;
+
+  // Perf-trajectory artifact (override path with --json=PATH).
+  std::string json_path = "BENCH_fig21.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
 
   print_figure_header("Fig. 21", "ComputeIfAbsent throughput vs threads");
 
@@ -48,5 +55,9 @@ int main() {
     table.add_row(static_cast<double>(threads), row);
   }
   print_results(table);
+  if (!write_bench_json(json_path, "fig21_computeifabsent",
+                        {{"throughput_ops_per_ms", &table}})) {
+    return 1;
+  }
   return 0;
 }

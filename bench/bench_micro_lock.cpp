@@ -65,6 +65,56 @@ void BM_SemanticLockModeKnown(benchmark::State& state) {
 }
 BENCHMARK(BM_SemanticLockModeKnown);
 
+// Read-heavy acquisition of one self-commuting mode across threads — the
+// headline microbench of the ISSUE 3 fast path. With optimistic + striped
+// acquisition the series scales with threads; forcing every acquisition
+// through the partition spinlock (`fast` == 0) flatlines it.
+void BM_SelfCommutingAcquire(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  static const ModeTable fast_table = [] {
+    ModeTableConfig cfg;
+    cfg.optimistic_acquire = true;
+    cfg.stripe_self_commuting = true;
+    cfg.counter_stripes = 64;
+    return ModeTable::compile(
+        commute::set_spec(),
+        {SymbolicSet({op("contains", {star()})}),
+         SymbolicSet({op("add", {star()}), op("remove", {star()})})},
+        cfg);
+  }();
+  static const ModeTable slow_table = [] {
+    ModeTableConfig cfg;
+    cfg.optimistic_acquire = false;
+    cfg.stripe_self_commuting = false;
+    return ModeTable::compile(
+        commute::set_spec(),
+        {SymbolicSet({op("contains", {star()})}),
+         SymbolicSet({op("add", {star()}), op("remove", {star()})})},
+        cfg);
+  }();
+  const ModeTable& table = fast ? fast_table : slow_table;
+  static SemanticLock* lock = nullptr;
+  if (state.thread_index() == 0) lock = new SemanticLock(table);
+  const int mode = table.resolve_constant(0);
+  for (auto _ : state) {
+    lock->lock(mode);
+    benchmark::DoNotOptimize(lock);
+    lock->unlock(mode);
+  }
+  if (state.thread_index() == 0) {
+    delete lock;
+    lock = nullptr;
+  }
+}
+BENCHMARK(BM_SelfCommutingAcquire)
+    ->ArgName("fast")
+    ->Arg(1)
+    ->Arg(0)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
 void BM_ModeResolve(benchmark::State& state) {
   static const ModeTable table = cia_table(64);
   Value k = 0;

@@ -48,6 +48,14 @@ void futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t observed);
 void set_mutation_drop_announce_revalidate(bool on) noexcept;
 bool mutation_drop_announce_revalidate() noexcept;
 
+// When set, a failed optimistic acquisition retracts its announcement
+// WITHOUT replaying the last-release wakeup handshake — a waiter that parked
+// against the transient announcement sleeps forever (the lost-wakeup bug of
+// the optimistic tier; see LockMechanism::announce_validate and
+// docs/FAST_PATH.md).
+void set_mutation_drop_retract_rewake(bool on) noexcept;
+bool mutation_drop_retract_rewake() noexcept;
+
 }  // namespace semlock::dct
 
 #define SEMLOCK_DCT_POINT(point, object)                  \

@@ -80,6 +80,7 @@ void surrender(const char* point, const void* object,
 }
 
 std::atomic<bool> g_mutation_drop_announce_revalidate{false};
+std::atomic<bool> g_mutation_drop_retract_rewake{false};
 
 }  // namespace
 
@@ -122,6 +123,14 @@ void set_mutation_drop_announce_revalidate(bool on) noexcept {
 
 bool mutation_drop_announce_revalidate() noexcept {
   return g_mutation_drop_announce_revalidate.load(std::memory_order_relaxed);
+}
+
+void set_mutation_drop_retract_rewake(bool on) noexcept {
+  g_mutation_drop_retract_rewake.store(on, std::memory_order_relaxed);
+}
+
+bool mutation_drop_retract_rewake() noexcept {
+  return g_mutation_drop_retract_rewake.load(std::memory_order_relaxed);
 }
 
 const char* strategy_name(StrategyKind kind) {

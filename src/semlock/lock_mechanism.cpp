@@ -8,6 +8,39 @@
 
 namespace semlock {
 
+namespace {
+
+// Bounded retries for the lock-free optimistic tier before falling back to
+// the spinlock-arbitrated slow path. Small on purpose: a validation failure
+// means a conflicting mode is actually held, and repeated announce/retract
+// cycles only disturb that holder's cache lines.
+constexpr int kOptimisticAttempts = 4;
+
+// Randomized backoff between optimistic retries: two racing conflicting
+// announcers that failed against each other must not re-announce in
+// lockstep. SplitMix64 per thread; only the pause count is randomized, never
+// control flow, so DCT replay stays deterministic.
+std::uint32_t backoff_jitter() noexcept {
+  thread_local std::uint64_t state = [] {
+    return 0x9E3779B97F4A7C15ull *
+           (0x2545F4914F6CDD1Dull +
+            reinterpret_cast<std::uintptr_t>(&state));
+  }();
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<std::uint32_t>(z >> 32);
+}
+
+void backoff_pause(int attempt) noexcept {
+  const std::uint32_t ceiling = 8u << (attempt < 8 ? attempt : 8);
+  const std::uint32_t spins = backoff_jitter() & (ceiling - 1);
+  for (std::uint32_t i = 0; i < spins; ++i) util::cpu_relax();
+}
+
+}  // namespace
+
 AcquireStats& local_acquire_stats() {
   thread_local AcquireStats stats;
   return stats;
@@ -20,6 +53,7 @@ LockMechanism::LockMechanism(const ModeTable& table)
                   : sizeof(std::atomic<std::uint32_t>)),
       counters_(new std::byte[static_cast<std::size_t>(table.num_modes()) *
                               stride_]),
+      striped_row_(static_cast<std::size_t>(table.num_modes()), -1),
       partition_locks_(
           new util::Spinlock[static_cast<std::size_t>(
               table.num_partitions())]),
@@ -29,21 +63,118 @@ LockMechanism::LockMechanism(const ModeTable& table)
                       ? static_cast<std::uint32_t>(
                             table.config().park_spin_limit)
                       : 0),
-      can_park_(policy_ != runtime::WaitPolicyKind::SpinYield) {
+      can_park_(policy_ != runtime::WaitPolicyKind::SpinYield),
+      optimistic_(table.config().optimistic_acquire) {
   for (int m = 0; m < table.num_modes(); ++m) {
     new (counters_.get() + static_cast<std::size_t>(m) * stride_)
         std::atomic<std::uint32_t>(0);
   }
+  // Stripe the self-commuting modes: those are exactly the modes whose
+  // holders never exclude each other, so their counter line is pure
+  // mechanism overhead worth de-sharing. Self-conflicting modes stay flat —
+  // their holders serialize anyway, and the flat prev==1 release test is
+  // cheaper than a stripe sum.
+  if (table.config().stripe_self_commuting &&
+      table.config().counter_stripes > 0) {
+    std::uint32_t rows = 0;
+    for (int m = 0; m < table.num_modes(); ++m) {
+      if (table.commutes(m, m)) {
+        striped_row_[static_cast<std::size_t>(m)] =
+            static_cast<std::int32_t>(rows++);
+      }
+    }
+    if (rows > 0) {
+      bank_ = std::make_unique<util::StripedCounterBank>(
+          rows, static_cast<std::uint32_t>(table.config().counter_stripes));
+    }
+  }
 }
 
-bool LockMechanism::conflicts_clear(int mode) const {
+std::uint32_t LockMechanism::holder_count(int mode,
+                                          std::memory_order order) const {
+  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+  if (row >= 0) return bank_->sum(static_cast<std::uint32_t>(row), order);
+  return counter(mode).load(order);
+}
+
+void LockMechanism::increment(int mode, std::memory_order order) {
+  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+  if (row >= 0) {
+    bank_->local_slot(static_cast<std::uint32_t>(row)).fetch_add(1, order);
+  } else {
+    counter(mode).fetch_add(1, order);
+  }
+}
+
+bool LockMechanism::release_one(int mode) {
+  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+  if (row < 0) {
+    const std::uint32_t prev =
+        counter(mode).fetch_sub(1, std::memory_order_release);
+    return can_park_ && prev == 1;
+  }
+  if (!can_park_) {
+    // Nobody can be parked: skip the last-hold test and keep the release a
+    // single RMW, mirroring the flat path under SpinYield.
+    bank_->local_slot(static_cast<std::uint32_t>(row))
+        .fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  // The striped last-hold test: seq_cst decrement, then seq_cst sum. Against
+  // a concurrent releaser on another stripe this is Dekker: in the seq_cst
+  // total order one of the two decrements comes second, and the sum of that
+  // releaser sees both, so at least one of two racing final releasers
+  // observes the zero and wakes the partition.
+  bank_->local_slot(static_cast<std::uint32_t>(row))
+      .fetch_sub(1, std::memory_order_seq_cst);
+  return bank_->sum(static_cast<std::uint32_t>(row),
+                    std::memory_order_seq_cst) == 0;
+}
+
+bool LockMechanism::conflicts_clear_impl(int mode, std::uint32_t self_allow,
+                                         std::memory_order order) const {
   for (const std::int32_t other : table_->conflicts_of(mode)) {
     SEMLOCK_DCT_POINT("mode.check", &counter(other));
-    if (counter(other).load(std::memory_order_acquire) > 0) {
+    const std::uint32_t allow = other == mode ? self_allow : 0;
+    if (holder_count(other, order) > allow) {
       return false;
     }
   }
   return true;
+}
+
+bool LockMechanism::announce_validate(int mode, int partition,
+                                      AcquireStats& stats) {
+  SEMLOCK_DCT_POINT("mode.announce", &counter(mode));
+  // Announce-before-validate on both sides, all seq_cst: in the seq_cst
+  // total order, of two conflicting announcers one increments second, and
+  // that one's validation loads (also seq_cst) then see the other's
+  // announcement (Dekker / SB litmus) — they cannot both validate. A seq_cst
+  // RMW is the same instruction as a relaxed one on x86 and folds the
+  // barrier into the load/add on ARM, which is why this beats a relaxed
+  // announce plus a standalone fence. self_allow=1 discounts our own
+  // announcement when the mode conflicts with itself.
+  increment(mode, std::memory_order_seq_cst);
+  if (conflicts_clear_impl(mode, 1, std::memory_order_seq_cst)) return true;
+  ++stats.retracts;
+  SEMLOCK_DCT_POINT("mode.retract", &counter(mode));
+#if defined(SEMLOCK_DCT)
+  if (dct::mutation_drop_retract_rewake()) {
+    // Test-only mutation: retract without the rewake — a conflicting waiter
+    // that parked against our transient announcement is never woken
+    // (tests/dct_mutation_test.cpp validates the detector against it).
+    (void)release_one(mode);
+    return false;
+  }
+#endif
+  if (release_one(mode)) {
+    // Our transient announcement may have parked a conflicting waiter whose
+    // real blocker released in the meantime; since ours was possibly the
+    // last visible hold, replay the unlock wakeup so that waiter
+    // re-validates instead of sleeping forever.
+    parking_.unpark_all(partition);
+  }
+  return false;
 }
 
 void LockMechanism::lock(int mode) {
@@ -52,14 +183,30 @@ void LockMechanism::lock(int mode) {
   const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];
-  // Uncontended path: one attempt, no wait bookkeeping. The pre-check
-  // (Fig. 20 lines 3–4) avoids taking the internal lock while a conflicting
-  // mode is visibly held.
-  if (!table_->config().fast_path_precheck || conflicts_clear(mode)) {
+  const bool precheck = table_->config().fast_path_precheck;
+  if (optimistic_) {
+    // Tier T1: lock-free attempts. The pre-check keeps the ablation knob
+    // meaningful (and skips a futile announce when a conflict is visibly
+    // held); validation inside announce_validate is unconditional.
+    for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+      if (precheck && !conflicts_clear(mode)) break;
+      if (announce_validate(mode, partition, stats)) {
+        ++stats.optimistic_hits;
+        return;
+      }
+      backoff_pause(attempt);
+    }
+    lock_contended(mode, partition, internal, stats);
+    return;
+  }
+  // Historical arbitrated path (optimistic_acquire off): check-then-
+  // increment is sound here because every increment happens under the
+  // partition's internal lock.
+  if (!precheck || conflicts_clear(mode)) {
     internal.lock();
     if (conflicts_clear(mode)) {
       SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-      counter(mode).fetch_add(1, std::memory_order_relaxed);
+      increment(mode);
       internal.unlock();
       return;
     }
@@ -80,15 +227,27 @@ void LockMechanism::lock_contended(int mode, int partition,
   for (;;) {
     if (!precheck || conflicts_clear(mode)) {
       internal.lock();
-      if (conflicts_clear(mode)) {
-        SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-        counter(mode).fetch_add(1, std::memory_order_relaxed);
-        internal.unlock();
+      bool acquired;
+      if (optimistic_) {
+        // Tier T2: same announce/validate protocol, but arbitrated — the
+        // internal lock serializes the slow-path waiters of this partition
+        // so they cannot starve each other with dueling announcements.
+        // (Plain check-then-increment would race with the lock-free T1
+        // announcers, which never take this lock.)
+        acquired = announce_validate(mode, partition, stats);
+      } else {
+        acquired = conflicts_clear(mode);
+        if (acquired) {
+          SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
+          increment(mode);
+        }
+      }
+      internal.unlock();
+      if (acquired) {
         stats.wait_ns += runtime::steady_now_ns() - wait_start;
         stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
         return;
       }
-      internal.unlock();
     }
     // One unit of waiting: the policy spins/yields itself (step() == false)
     // or asks us to park. Parking re-validates after announcing so a release
@@ -117,22 +276,39 @@ void LockMechanism::lock_contended(int mode, int partition,
 bool LockMechanism::try_lock(int mode) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
+  const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
-      partition_locks_[static_cast<std::size_t>(table_->partition_of(mode))];
+      partition_locks_[static_cast<std::size_t>(partition)];
   // Mirrors lock(): the pre-check is the Fig. 20 fast path and obeys the
   // same ablation knob, and a refused attempt charges its duration to the
   // wait counters just like a contended lock() does.
   const std::uint64_t wait_start = runtime::steady_now_ns();
   const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
+  const bool precheck = table_->config().fast_path_precheck;
   bool ok = false;
-  if (!table_->config().fast_path_precheck || conflicts_clear(mode)) {
-    internal.lock();
-    ok = conflicts_clear(mode);
-    if (ok) {
-      SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-      counter(mode).fetch_add(1, std::memory_order_relaxed);
+  if (!precheck || conflicts_clear(mode)) {
+    if (optimistic_) {
+      // One lock-free attempt, then one arbitrated attempt. The fallback
+      // keeps try_lock as decisive as the historical path: two conflicting
+      // try_locks that retract against each other's announcements settle
+      // under the internal lock, where exactly one of them revalidates.
+      ok = announce_validate(mode, partition, stats);
+      if (ok) {
+        ++stats.optimistic_hits;
+      } else {
+        internal.lock();
+        ok = announce_validate(mode, partition, stats);
+        internal.unlock();
+      }
+    } else {
+      internal.lock();
+      ok = conflicts_clear(mode);
+      if (ok) {
+        SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
+        increment(mode);
+      }
+      internal.unlock();
     }
-    internal.unlock();
   }
   if (!ok) {
     ++stats.contended;
@@ -144,9 +320,7 @@ bool LockMechanism::try_lock(int mode) {
 
 void LockMechanism::unlock(int mode) {
   SEMLOCK_DCT_POINT("mode.release", &counter(mode));
-  const std::uint32_t prev =
-      counter(mode).fetch_sub(1, std::memory_order_release);
-  if (can_park_ && prev == 1) {
+  if (release_one(mode)) {
     // Wake only when this was the mode's last hold: a counter that stays
     // nonzero cannot turn any waiter's conflicts_clear from false to true,
     // so waking earlier would only stampede waiters into re-parking. Scoped

@@ -1,11 +1,27 @@
 // The runtime locking mechanism of Fig. 20.
 //
 // Per ADT instance, one atomic counter per (canonical) locking mode holds the
-// number of transactions currently holding that mode. `lock(l)` first checks
-// outside the internal lock that no conflicting mode is held (the fast-path
-// pre-check of Fig. 20 lines 3–4), then revalidates under the internal lock
-// and increments C_l. `unlock(l)` decrements C_l and, when the table's wait
-// policy can park, wakes the waiters of the released mode's partition.
+// number of transactions currently holding that mode. Acquisition runs
+// through up to three tiers (docs/FAST_PATH.md):
+//
+//   T1 (optimistic, default): announce by incrementing C_l, seq_cst fence,
+//      validate that the conflicting counters are clear; retract + replay
+//      the wakeup handshake on failure, with a few randomized-backoff
+//      retries. Lock-free — the common commuting acquisition never touches
+//      the partition spinlock.
+//   T2 (arbitrated): the same announce/validate under the partition's
+//      internal spinlock, so conflicting waiters make progress in turn.
+//      With optimistic_acquire off this is the first tier, using the
+//      historical check-then-increment (sound because then EVERY increment
+//      happens under the spinlock).
+//   T3 (waiting): between T2 attempts, spin/yield/park per the table's wait
+//      policy.
+//
+// `unlock(l)` decrements C_l and, when that was the mode's last hold and the
+// wait policy can park, wakes the released mode's conflict partition.
+// Self-commuting modes optionally spread C_l over cache-line-padded stripes
+// (util/striped_counter.h); validation and the last-hold test then sum the
+// stripes behind the same fences.
 //
 // Lock partitioning (Section 5.2) gives each connected component of the
 // conflict graph its own internal lock, so commuting mode families never
@@ -21,11 +37,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "runtime/parking_lot.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode_table.h"
 #include "util/spinlock.h"
+#include "util/striped_counter.h"
 
 namespace semlock {
 
@@ -35,6 +53,11 @@ struct AcquireStats {
   std::uint64_t acquisitions = 0;
   std::uint64_t contended = 0;  // acquisitions that waited at least once
   std::uint64_t parks = 0;      // times a waiter blocked in the ParkingLot
+  // Acquisitions won by the lock-free optimistic tier (no spinlock touched)
+  // and announcements retracted after a failed validation — together they
+  // attribute throughput to the tier that produced it (ISSUE 3 ablations).
+  std::uint64_t optimistic_hits = 0;
+  std::uint64_t retracts = 0;
   std::uint64_t wait_ns = 0;    // total wall time spent in contended waits
   // Thread CPU time charged to this thread while it waited. The policy
   // discriminator: spinners burn CPU for the whole wait, parked waiters
@@ -107,9 +130,10 @@ class LockMechanism {
   void unlock(int mode);
 
   // Number of transactions currently holding `mode` (approximate under
-  // concurrency; exact when quiescent).
+  // concurrency; exact when quiescent — striped modes sum their stripes,
+  // which is exact mod 2^32, see util/striped_counter.h).
   std::uint32_t holders(int mode) const {
-    return counter(mode).load(std::memory_order_acquire);
+    return holder_count(mode, std::memory_order_acquire);
   }
 
   const ModeTable& table() const { return *table_; }
@@ -118,8 +142,37 @@ class LockMechanism {
   const runtime::ParkingLot& parking_lot() const { return parking_; }
   runtime::WaitPolicyKind wait_policy() const { return policy_; }
 
+  // Fast-path observability (tests, docs/FAST_PATH.md examples).
+  bool optimistic() const { return optimistic_; }
+  bool mode_striped(int mode) const {
+    return striped_row_[static_cast<std::size_t>(mode)] >= 0;
+  }
+  std::uint32_t stripes() const { return bank_ ? bank_->stripes() : 1; }
+
  private:
-  bool conflicts_clear(int mode) const;
+  bool conflicts_clear(int mode) const { return conflicts_clear_impl(mode, 0); }
+  // Validation once our own announcement is already counted: `self_allow`
+  // holds of `mode` itself are ours, not a conflict (a self-conflicting mode
+  // appears in its own conflicts_of row). The optimistic tier validates with
+  // seq_cst loads (free on x86) to close the Dekker argument against the
+  // seq_cst announce RMW.
+  bool conflicts_clear_impl(
+      int mode, std::uint32_t self_allow,
+      std::memory_order order = std::memory_order_acquire) const;
+
+  // The optimistic announce/validate/retract step (tiers T1 and T2 when
+  // optimistic_acquire is on). Returns true when `mode` was acquired; on
+  // failure the announcement has been retracted and, if it might have parked
+  // a conflicting waiter, the partition rewoken.
+  bool announce_validate(int mode, int partition, AcquireStats& stats);
+
+  // Logical counter ops that hide the striped/flat representation.
+  std::uint32_t holder_count(int mode, std::memory_order order) const;
+  void increment(int mode,
+                 std::memory_order order = std::memory_order_relaxed);
+  // Releases one hold; true when the caller must wake the partition (the
+  // hold released may have been the mode's last and the policy can park).
+  bool release_one(int mode);
 
   // The wait loop: spins, yields or parks per the table's wait policy until
   // the mode is acquired. Split out so the uncontended path stays small.
@@ -138,8 +191,13 @@ class LockMechanism {
   const ModeTable* table_;
   // Counter storage with configurable stride: sizeof(atomic) packed, or a
   // full cache line per counter when ModeTableConfig::pad_counters is set.
+  // Striped modes keep their flat slot (it stays 0 and doubles as the mode's
+  // stable identity for DCT schedule points) but count holds in bank_.
   std::size_t stride_;
   std::unique_ptr<std::byte[]> counters_;
+  // striped_row_[mode] is the mode's row in bank_, or -1 for flat modes.
+  std::vector<std::int32_t> striped_row_;
+  std::unique_ptr<util::StripedCounterBank> bank_;
   std::unique_ptr<util::Spinlock[]> partition_locks_;
   runtime::ParkingLot parking_;
   runtime::WaitPolicyKind policy_;
@@ -147,6 +205,7 @@ class LockMechanism {
   // False under SpinYield: unlock skips the wakeup fence entirely, keeping
   // the historical release path (one relaxed RMW) intact.
   bool can_park_;
+  bool optimistic_;
 };
 
 }  // namespace semlock

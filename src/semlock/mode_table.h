@@ -20,6 +20,27 @@
 
 namespace semlock {
 
+// Process-wide defaults for the lock-free fast path of the lock mechanism
+// (docs/FAST_PATH.md), read once from the environment:
+//   SEMLOCK_OPTIMISTIC=0|1   gates the optimistic announce/validate tier
+//                            (default on).
+//   SEMLOCK_STRIPES=N        0 disables holder-counter striping; 1..1024
+//                            fixes the stripe count. Default: striping on
+//                            with a hardware-concurrency-sized power of two.
+bool default_optimistic_acquire();
+bool default_stripe_self_commuting();
+int default_counter_stripes();
+
+// Testable strict parsers behind the defaults. Same contract as the other
+// runtime knobs (util/env): malformed values warn once on stderr and fall
+// back to the documented default; nullptr (unset) is silent.
+bool optimistic_from_env_text(const char* text);
+struct StripeEnvChoice {
+  bool enabled;
+  int stripes;
+};
+StripeEnvChoice stripes_from_env_text(const char* text);
+
 struct ModeTableConfig {
   // n: number of abstract values of phi (the paper evaluates with 64).
   int abstract_values = 64;
@@ -53,6 +74,20 @@ struct ModeTableConfig {
   // SpinThenPark only: backoff rounds spent spinning before the waiter
   // parks on the partition's futex. Higher values favor latency over CPU.
   int park_spin_limit = 64;
+  // Lock-free fast path (docs/FAST_PATH.md). With optimistic_acquire, lock()
+  // and try_lock() announce by incrementing the mode's counter BEFORE
+  // validating that the conflicting counters are clear, retracting on
+  // failure — mutual exclusion then follows from announce-before-validate on
+  // both sides (Dekker), and the common commuting acquisition never takes
+  // the partition spinlock. Disabling restores the spinlock-arbitrated
+  // acquire path (and is the baseline of bench_contention's fastpath sweep).
+  bool optimistic_acquire = default_optimistic_acquire();
+  // Give every self-commuting mode counter_stripes cache-line-padded stripes
+  // (util/striped_counter.h) so commuting holders stop ping-ponging one
+  // counter line; conflict checks and holders() sum the stripes. Costs
+  // 64 B * counter_stripes per striped mode per instance.
+  bool stripe_self_commuting = default_stripe_self_commuting();
+  int counter_stripes = default_counter_stripes();
 };
 
 class ModeTable {

@@ -15,6 +15,7 @@
 // (size/clear semantics).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <optional>
 #include <utility>
@@ -59,6 +60,23 @@ class ModeGuard {
   int mode_ = 0;
 };
 
+namespace detail {
+
+// Constant-site mode memo: a site whose symbolic set kept no variables
+// always resolves to the same mode, so acquire() can skip the per-call O(k)
+// tuple hash in ModeTable::resolve. -1 marks keyed sites.
+template <std::size_t N>
+std::array<int, N> memoize_constant_sites(const ModeTable& table) {
+  std::array<int, N> memo;
+  for (int s = 0; s < static_cast<int>(N); ++s) {
+    memo[static_cast<std::size_t>(s)] =
+        table.site_variables(s).empty() ? table.resolve_constant(s) : -1;
+  }
+  return memo;
+}
+
+}  // namespace detail
+
 enum class MapIntent {
   ReadKey,    // {get(k), containsKey(k)}           — readers never conflict
   WriteKey,   // {put(k,*), remove(k)}              — same-alpha writes conflict
@@ -71,6 +89,7 @@ class SemMap {
  public:
   explicit SemMap(int abstract_values = 64, std::size_t num_stripes = 64)
       : table_(make_table(abstract_values)),
+        constant_mode_(detail::memoize_constant_sites<4>(table_)),
         lock_(table_),
         map_(num_stripes) {}
 
@@ -78,11 +97,14 @@ class SemMap {
   // itself when K is integral); ignored for Exclusive.
   ModeGuard acquire(MapIntent intent, commute::Value key_id = 0) {
     const int site = static_cast<int>(intent);
+    const int memo = constant_mode_[static_cast<std::size_t>(site)];
+    if (memo >= 0) {
+      lock_.lock(memo);
+      return ModeGuard(&lock_, memo);
+    }
     const commute::Value vals[1] = {key_id};
-    const bool keyed = intent != MapIntent::Exclusive;
     const int mode =
-        lock_.lock_site(site, keyed ? std::span<const commute::Value>(vals)
-                                    : std::span<const commute::Value>());
+        lock_.lock_site(site, std::span<const commute::Value>(vals));
     return ModeGuard(&lock_, mode);
   }
 
@@ -124,6 +146,7 @@ class SemMap {
   }
 
   ModeTable table_;
+  std::array<int, 4> constant_mode_;
   SemanticLock lock_;
   adt::StripedHashMap<K, V, Hash> map_;
 };
@@ -140,17 +163,20 @@ class SemSet {
  public:
   explicit SemSet(int abstract_values = 64, std::size_t num_stripes = 64)
       : table_(make_table(abstract_values)),
+        constant_mode_(detail::memoize_constant_sites<4>(table_)),
         lock_(table_),
         set_(num_stripes) {}
 
   ModeGuard acquire(SetIntent intent, commute::Value elem_id = 0) {
     const int site = static_cast<int>(intent);
+    const int memo = constant_mode_[static_cast<std::size_t>(site)];
+    if (memo >= 0) {
+      lock_.lock(memo);
+      return ModeGuard(&lock_, memo);
+    }
     const commute::Value vals[1] = {elem_id};
-    const bool keyed =
-        intent == SetIntent::ReadElem || intent == SetIntent::WriteElem;
     const int mode =
-        lock_.lock_site(site, keyed ? std::span<const commute::Value>(vals)
-                                    : std::span<const commute::Value>());
+        lock_.lock_site(site, std::span<const commute::Value>(vals));
     return ModeGuard(&lock_, mode);
   }
 
@@ -183,6 +209,7 @@ class SemSet {
   }
 
   ModeTable table_;
+  std::array<int, 4> constant_mode_;
   SemanticLock lock_;
   adt::StripedHashSet<K, Hash> set_;
 };
@@ -195,10 +222,16 @@ enum class PoolIntent {
 template <typename T>
 class SemPool {
  public:
-  explicit SemPool() : table_(make_table()), lock_(table_) {}
+  explicit SemPool()
+      : table_(make_table()),
+        constant_mode_(detail::memoize_constant_sites<2>(table_)),
+        lock_(table_) {}
 
   ModeGuard acquire(PoolIntent intent) {
-    const int mode = lock_.lock_site(static_cast<int>(intent), {});
+    // Both Pool sites are constant, so the memo always hits.
+    const int mode =
+        constant_mode_[static_cast<std::size_t>(static_cast<int>(intent))];
+    lock_.lock(mode);
     return ModeGuard(&lock_, mode);
   }
 
@@ -223,6 +256,7 @@ class SemPool {
   }
 
   ModeTable table_;
+  std::array<int, 2> constant_mode_;
   SemanticLock lock_;
   adt::TwoLockQueue<T> queue_;
 };

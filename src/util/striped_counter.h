@@ -1,0 +1,114 @@
+// Striped 32-bit holder counters (BRAVO/SNZI-style de-sharing).
+//
+// A shared `fetch_add` counter serializes commuting lock holders on one
+// cache line even though the semantics say they never conflict. This bank
+// gives each counter S cache-line-padded stripes; a thread increments only
+// its own stripe (chosen by a per-thread hash), so concurrent commuting
+// acquisitions touch disjoint lines and scale like the hand-written striping
+// of the paper's Manual baselines.
+//
+// Reading the logical value means summing the stripes. Two properties make
+// that sound:
+//
+//   * The sum is computed in uint32 arithmetic, which is exact mod 2^32.
+//     A hold acquired on thread A and released on thread B decrements a
+//     DIFFERENT stripe than it incremented — the stripe wraps negative, but
+//     the wrapped values still cancel in the modular sum, so the total is
+//     exact whenever the true number of holds fits in 31 bits (it is a
+//     bounded count of in-flight transactions).
+//   * A sum racing with increments/decrements may observe any intermediate
+//     value, exactly like a racing load of a single counter. The lock
+//     mechanism's protocols only draw conclusions from a sum after the
+//     Dekker-style seq_cst fence handshake documented in
+//     semlock/lock_mechanism.cpp and docs/FAST_PATH.md, which is the same
+//     discipline they use for unstriped counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/align.h"
+
+namespace semlock::util {
+
+// This thread's stripe-selection token: a sequential id passed through a
+// multiplicative hash so threads created back-to-back land on different
+// stripes even for small stripe counts. Stable for the thread's lifetime.
+inline std::uint32_t thread_stripe_token() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t token = [] {
+    std::uint32_t x = next.fetch_add(1, std::memory_order_relaxed);
+    x *= 0x9E3779B9u;  // Fibonacci hashing spreads consecutive ids
+    x ^= x >> 16;
+    return x;
+  }();
+  return token;
+}
+
+// A bank of `rows` striped counters sharing one slab: row r, stripe s lives
+// at slot r*stripes+s, each slot on its own cache line. The lock mechanism
+// allocates one row per striped locking mode.
+class StripedCounterBank {
+ public:
+  static constexpr std::uint32_t kMaxStripes = 1024;
+
+  // `stripes` is rounded up to a power of two and clamped to
+  // [1, kMaxStripes] so stripe selection is a mask, not a modulo.
+  StripedCounterBank(std::uint32_t rows, std::uint32_t stripes)
+      : rows_(rows),
+        stripes_(round_up_pow2(stripes)),
+        mask_(stripes_ - 1),
+        slots_(new Slot[static_cast<std::size_t>(rows_) * stripes_]) {}
+
+  StripedCounterBank(const StripedCounterBank&) = delete;
+  StripedCounterBank& operator=(const StripedCounterBank&) = delete;
+
+  std::uint32_t rows() const noexcept { return rows_; }
+  std::uint32_t stripes() const noexcept { return stripes_; }
+
+  // The calling thread's stripe of row `row`. All RMWs a thread performs on
+  // a row hit this one slot; the caller picks the memory order.
+  std::atomic<std::uint32_t>& local_slot(std::uint32_t row) noexcept {
+    return slot(row, thread_stripe_token() & mask_);
+  }
+
+  // Direct stripe access (tests and diagnostics).
+  std::atomic<std::uint32_t>& slot(std::uint32_t row,
+                                   std::uint32_t stripe) noexcept {
+    return *slots_[static_cast<std::size_t>(row) * stripes_ + stripe];
+  }
+  const std::atomic<std::uint32_t>& slot(std::uint32_t row,
+                                         std::uint32_t stripe) const noexcept {
+    return *slots_[static_cast<std::size_t>(row) * stripes_ + stripe];
+  }
+
+  // Sum of row `row`'s stripes mod 2^32 — the logical counter value. Exact
+  // at quiescence (including after cross-thread inc/dec pairs, see header
+  // comment); a racing read behaves like a racing load of a single counter.
+  std::uint32_t sum(std::uint32_t row, std::memory_order order) const noexcept {
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < stripes_; ++s) {
+      total += slot(row, s).load(order);
+    }
+    return total;
+  }
+
+  static constexpr std::uint32_t round_up_pow2(std::uint32_t v) noexcept {
+    if (v <= 1) return 1;
+    if (v >= kMaxStripes) return kMaxStripes;
+    std::uint32_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+ private:
+  using Slot = CacheLinePadded<std::atomic<std::uint32_t>>;
+
+  std::uint32_t rows_;
+  std::uint32_t stripes_;
+  std::uint32_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace semlock::util

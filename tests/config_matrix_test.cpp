@@ -196,5 +196,132 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- ISSUE 3 fast-path matrix: optimistic × striping × wait policy ----------
+// The acquire tiers and counter representations must be correct under every
+// wait policy, including the parked ones whose wakeup handshake the
+// optimistic retract path replays. Kept separate from the main matrix (which
+// varies the compilation knobs) so the cross product stays small.
+
+// (optimistic_acquire, stripe_self_commuting, wait_policy)
+using FastPathConfig = std::tuple<bool, bool, runtime::WaitPolicyKind>;
+
+class FastPathMatrix : public ::testing::TestWithParam<FastPathConfig> {
+ protected:
+  ModeTableConfig make_config() const {
+    const auto [optimistic, striped, policy] = GetParam();
+    ModeTableConfig cfg;
+    cfg.abstract_values = 8;
+    cfg.optimistic_acquire = optimistic;
+    cfg.stripe_self_commuting = striped;
+    cfg.counter_stripes = 4;
+    cfg.wait_policy = policy;
+    cfg.park_spin_limit = 4;  // reach the parked tier quickly
+    return cfg;
+  }
+};
+
+TEST_P(FastPathMatrix, ReadWriteExclusionAndQuiescence) {
+  // Self-commuting readers against a self-conflicting writer: writers must
+  // exclude readers and each other; holders() must be exact once quiescent.
+  const auto table = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("contains", {star()})}),
+       SymbolicSet({op("add", {star()}), op("remove", {star()})})},
+      make_config());
+  LockMechanism mech(table);
+  const int read = table.resolve_constant(0);
+  const int write = table.resolve_constant(1);
+
+  long shared_value = 0;
+  std::atomic<long> reads_sum{0};
+  std::atomic<int> in_write{0};
+  std::atomic<bool> violated{false};
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kOps = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        mech.lock(write);
+        if (in_write.fetch_add(1) != 0) violated.store(true);
+        ++shared_value;  // torn iff writers overlap anything
+        in_write.fetch_sub(1);
+        mech.unlock(write);
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        mech.lock(read);
+        if (in_write.load() != 0) violated.store(true);
+        reads_sum.fetch_add(shared_value);
+        mech.unlock(read);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(shared_value, kWriters * kOps);
+  EXPECT_EQ(mech.holders(read), 0u);
+  EXPECT_EQ(mech.holders(write), 0u);
+}
+
+TEST_P(FastPathMatrix, KeyedExclusionHolds) {
+  const auto table = ModeTable::compile(
+      commute::map_spec(),
+      {SymbolicSet({op("get", {var("k")}), op("put", {var("k"), star()})})},
+      make_config());
+  LockMechanism mech(table);
+  constexpr int kKeys = 4;
+  constexpr int kThreads = 3;
+  constexpr int kOps = 1500;
+  long counters[kKeys] = {0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(util::derive_seed(7, t));
+      for (int i = 0; i < kOps; ++i) {
+        const Value k = static_cast<Value>(rng.next_below(kKeys));
+        const Value vals[1] = {k};
+        const int mode = table.resolve(0, vals);
+        mech.lock(mode);
+        ++counters[k];
+        mech.unlock(mode);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  long total = 0;
+  for (long c : counters) total += c;
+  EXPECT_EQ(total, kThreads * kOps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FastPathConfigs, FastPathMatrix,
+    ::testing::Combine(
+        ::testing::Bool(),  // optimistic_acquire
+        ::testing::Bool(),  // stripe_self_commuting
+        ::testing::Values(runtime::WaitPolicyKind::SpinYield,
+                          runtime::WaitPolicyKind::SpinThenPark,
+                          runtime::WaitPolicyKind::AlwaysPark)),
+    [](const auto& pinfo) {
+      std::string name = std::get<0>(pinfo.param) ? "opt" : "noopt";
+      name += std::get<1>(pinfo.param) ? "_striped" : "_flat";
+      switch (std::get<2>(pinfo.param)) {
+        case runtime::WaitPolicyKind::SpinYield:
+          name += "_spinyield";
+          break;
+        case runtime::WaitPolicyKind::SpinThenPark:
+          name += "_spinthenpark";
+          break;
+        case runtime::WaitPolicyKind::AlwaysPark:
+          name += "_alwayspark";
+          break;
+      }
+      return name;
+    });
+
 }  // namespace
 }  // namespace semlock

@@ -122,5 +122,127 @@ TEST(DctMutation, StockProtocolSurvivesSameBudgetClean) {
   EXPECT_EQ(result.schedules_run, kScheduleBudget);
 }
 
+// --- ISSUE 3: the optimistic tier's retract-then-rewake step ---------------
+
+// Reverts the drop-retract-rewake fault injection on scope exit.
+struct RetractMutationGuard {
+  explicit RetractMutationGuard(bool on) {
+    dct::set_mutation_drop_retract_rewake(on);
+  }
+  ~RetractMutationGuard() { dct::set_mutation_drop_retract_rewake(false); }
+};
+
+// The smallest workload whose schedules contain the optimistic tier's lost
+// wakeup. Modes: R = {contains(*)} (self-commuting, striped when `striped`)
+// conflicting with W = {add(*), remove(*)}. Threads: three W lockers and one
+// R try_locker, AlwaysPark, default pre-check (its conflict-skip is what
+// lets a waiter park without touching the partition spinlock).
+//
+// The bug needs a MASKED last release, because an unmasked unlock or any
+// later successful acquire/release would rewake the partition and rescue
+// the sleepers. One schedule that deadlocks only under the mutation:
+//   1. T1 holds W. T3's lock(W) sees it and parks.
+//   2. T4's lock(W) prechecked before T1 announced, so it announces late:
+//      C_W=2; its validation fails (suspended before the retract).
+//   3. T2's try_lock(R) announces, fails against C_W, retracts (DROPPED —
+//      harmless here), then announces again under the internal lock and
+//      fails again while T4's transient is still up: suspended before its
+//      second retract with C_R=1.
+//   4. T1 unlocks: prev==2 because of T4's transient — no wakeup. This is
+//      the mask: the stock protocol's wake now rides on T4's retract.
+//   5. T4 retracts (DROPPED — the bug), re-prechecks, sees T2's transient
+//      C_R, and parks beside T3 without the spinlock.
+//   6. T2 performs its second retract (DROPPED) and returns false.
+// Nothing will ever bump the partition generation again: T3 and T4 sleep
+// forever — an exact deadlock. With the rewake intact, step 5's retract
+// wakes T3/T4 and step 6's wakes T4, and every schedule converges.
+dct::Workload make_retract_workload(bool striped) {
+  struct State {
+    ModeTable table;
+    LockMechanism mech;
+    explicit State(ModeTableConfig c)
+        : table(ModeTable::compile(
+              commute::set_spec(),
+              {SymbolicSet({op("contains", {commute::star()})}),
+               SymbolicSet({op("add", {commute::star()}),
+                            op("remove", {commute::star()})})},
+              c)),
+          mech(table) {}
+  };
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+  c.optimistic_acquire = true;
+  c.stripe_self_commuting = striped;
+  c.counter_stripes = 4;
+  auto state = std::make_shared<State>(c);
+  const int read = state->table.resolve_constant(0);
+  const int write = state->table.resolve_constant(1);
+
+  dct::Workload w;
+  for (int t = 0; t < 3; ++t) {
+    w.threads.push_back([state, write] {
+      state->mech.lock(write);
+      state->mech.unlock(write);
+    });
+  }
+  w.threads.push_back([state, read] {
+    if (state->mech.try_lock(read)) state->mech.unlock(read);
+  });
+  return w;
+}
+
+class DctRetractMutation : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DctRetractMutation, DroppedRewakeCaughtWithinBudget) {
+  const bool striped = GetParam();
+  RetractMutationGuard mutation(true);
+  const dct::ExploreOptions opts = budget_options();
+  const dct::ExploreResult result =
+      dct::explore(opts, [striped] { return make_retract_workload(striped); });
+
+  ASSERT_FALSE(result.ok)
+      << "drop-retract-rewake mutation survived " << kScheduleBudget
+      << " schedules undetected (striped=" << striped << ")";
+  std::cout << "[ detector ] retract mutation (striped=" << striped
+            << ") caught after " << result.schedules_run << " schedules (seed "
+            << result.failing_seed << ")\n";
+  EXPECT_TRUE(result.schedule.hung());
+  EXPECT_EQ(result.schedule.outcome, dct::ScheduleResult::Outcome::Deadlock);
+  EXPECT_LE(result.schedules_run, kScheduleBudget);
+  EXPECT_NE(result.failure.find("replay:"), std::string::npos);
+
+  // Deterministic replay of the printed seed: same outcome, same trace.
+  const dct::ExploreResult again =
+      dct::replay(opts.sched, result.failing_seed,
+                  [striped] { return make_retract_workload(striped); });
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.schedule.outcome, result.schedule.outcome);
+  EXPECT_EQ(again.schedule.steps, result.schedule.steps);
+  ASSERT_EQ(again.schedule.trace.size(), result.schedule.trace.size());
+  for (std::size_t i = 0; i < again.schedule.trace.size(); ++i) {
+    EXPECT_EQ(again.schedule.trace[i].thread, result.schedule.trace[i].thread)
+        << "step " << i;
+    EXPECT_STREQ(again.schedule.trace[i].point,
+                 result.schedule.trace[i].point)
+        << "step " << i;
+  }
+}
+
+TEST_P(DctRetractMutation, StockRetractSurvivesSameBudgetClean) {
+  const bool striped = GetParam();
+  const dct::ExploreResult result = dct::explore(
+      budget_options(), [striped] { return make_retract_workload(striped); });
+  EXPECT_TRUE(result.ok) << result.to_string();
+  EXPECT_EQ(result.schedules_run, kScheduleBudget);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCounterRepresentations, DctRetractMutation,
+                         ::testing::Bool(),
+                         [](const auto& pinfo) {
+                           return pinfo.param ? std::string("striped")
+                                              : std::string("flat");
+                         });
+
 }  // namespace
 }  // namespace semlock

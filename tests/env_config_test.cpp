@@ -9,7 +9,9 @@
 
 #include "runtime/stall_watchdog.h"
 #include "runtime/wait_policy.h"
+#include "semlock/mode_table.h"
 #include "util/env.h"
+#include "util/striped_counter.h"
 
 namespace semlock {
 namespace {
@@ -131,6 +133,74 @@ TEST(WatchdogEnv, MalformedValuesWarnAndDisable) {
         << "value: " << bad << "\nstderr: " << err;
     EXPECT_NE(err.find("watchdog disabled"), std::string::npos) << err;
   }
+}
+
+TEST(OptimisticEnv, ParsesZeroAndOne) {
+  const std::string err = captured_stderr([] {
+    EXPECT_TRUE(optimistic_from_env_text("1"));
+    EXPECT_FALSE(optimistic_from_env_text("0"));
+    // Unset is the default (on), silently.
+    EXPECT_TRUE(optimistic_from_env_text(nullptr));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(OptimisticEnv, MalformedValuesWarnAndStayOn) {
+  for (const char* bad : {"garbage", "2", "-1", "1x", "yes", ""}) {
+    const std::string err = captured_stderr(
+        [bad] { EXPECT_TRUE(optimistic_from_env_text(bad)); });
+    EXPECT_NE(err.find("SEMLOCK_OPTIMISTIC=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("optimistic acquisition on"), std::string::npos) << err;
+  }
+}
+
+TEST(StripesEnv, ParsesCountZeroDisablesUnsetIsAuto) {
+  const std::string err = captured_stderr([] {
+    const auto fixed = stripes_from_env_text("16");
+    EXPECT_TRUE(fixed.enabled);
+    EXPECT_EQ(fixed.stripes, 16);
+
+    const auto off = stripes_from_env_text("0");
+    EXPECT_FALSE(off.enabled);
+
+    // Unset: silently auto-sized, on, at least one stripe, within the cap.
+    const auto auto_choice = stripes_from_env_text(nullptr);
+    EXPECT_TRUE(auto_choice.enabled);
+    EXPECT_GE(auto_choice.stripes, 1);
+    EXPECT_LE(auto_choice.stripes,
+              static_cast<int>(util::StripedCounterBank::kMaxStripes));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(StripesEnv, MalformedValuesWarnAndFallBackToAuto) {
+  const auto auto_choice = stripes_from_env_text(nullptr);
+  for (const char* bad : {"garbage", "-1", "8x", "", "1025",
+                          "99999999999999999999999999"}) {
+    const std::string err = captured_stderr([&] {
+      const auto choice = stripes_from_env_text(bad);
+      EXPECT_TRUE(choice.enabled) << "value: " << bad;
+      EXPECT_EQ(choice.stripes, auto_choice.stripes) << "value: " << bad;
+    });
+    EXPECT_NE(err.find("SEMLOCK_STRIPES=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("automatic stripe count"), std::string::npos) << err;
+  }
+}
+
+TEST(FastPathEnv, ConfigDefaultsFollowProcessEnvCache) {
+  // The ModeTableConfig defaults read the environment once per process (so
+  // two tables of one spec can never disagree); they must agree with the
+  // pure parsers' view of an unset/current environment and be internally
+  // consistent.
+  const ModeTableConfig cfg;
+  EXPECT_EQ(cfg.optimistic_acquire, default_optimistic_acquire());
+  EXPECT_EQ(cfg.stripe_self_commuting, default_stripe_self_commuting());
+  EXPECT_EQ(cfg.counter_stripes, default_counter_stripes());
+  EXPECT_GE(cfg.counter_stripes, 1);
 }
 
 TEST(WatchdogEnv, FromEnvIntegration) {

@@ -17,16 +17,25 @@
 namespace semlock::synth {
 namespace {
 
-SynthesisOptions options() {
-  SynthesisOptions opts;
-  opts.mode_config.abstract_values = 4;
-  return opts;
-}
+// Parametrized over the holder-counter representation: flat atomic counters
+// vs striped banks for self-commuting modes (readCell self-commutes, so its
+// counter really is striped in the second variant). Serializability must not
+// depend on how holds are counted.
+class Serializability : public ::testing::TestWithParam<bool> {
+ protected:
+  SynthesisOptions options() const {
+    SynthesisOptions opts;
+    opts.mode_config.abstract_values = 4;
+    opts.mode_config.stripe_self_commuting = GetParam();
+    opts.mode_config.counter_stripes = 4;
+    return opts;
+  }
+};
 
 // The classic lost-update test: increment = read-then-write on a Register.
 // The spec makes readCell/write conflict, so the synthesized locking must
 // serialize increments; any lost update breaks the final count.
-TEST(Serializability, NoLostUpdates) {
+TEST_P(Serializability, NoLostUpdates) {
   Program p;
   p.adt_types = {{"Register", &commute::register_spec()}};
   AtomicSection s;
@@ -65,7 +74,7 @@ TEST(Serializability, NoLostUpdates) {
 // into r1, racing. The only serializable outcomes are (r1, r2) = (1, 1) or
 // (2, 2) — the "swap both" interleaving (1,2)->(2,1) is non-serializable
 // and must never appear. Repeated across many racy trials.
-TEST(Serializability, CopyRaceHasOnlySerialOutcomes) {
+TEST_P(Serializability, CopyRaceHasOnlySerialOutcomes) {
   Program p;
   p.adt_types = {{"Register", &commute::register_spec()}};
   AtomicSection s;
@@ -125,7 +134,7 @@ TEST(Serializability, CopyRaceHasOnlySerialOutcomes) {
 // Read-modify-write across TWO instances: move one unit from src to dst if
 // available. The global total is invariant, and no balance may go negative
 // — both break if the check-then-act is not atomic.
-TEST(Serializability, ConditionalMovePreservesInvariants) {
+TEST_P(Serializability, ConditionalMovePreservesInvariants) {
   Program p;
   p.adt_types = {{"Register", &commute::register_spec()}};
   AtomicSection s;
@@ -187,6 +196,13 @@ TEST(Serializability, ConditionalMovePreservesInvariants) {
   }
   EXPECT_EQ(total, kRegs * 100);
 }
+
+INSTANTIATE_TEST_SUITE_P(BothCounterRepresentations, Serializability,
+                         ::testing::Bool(),
+                         [](const auto& pinfo) {
+                           return pinfo.param ? std::string("striped")
+                                              : std::string("flat");
+                         });
 
 }  // namespace
 }  // namespace semlock::synth

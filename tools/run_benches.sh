@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the BENCH_*.json perf-trajectory artifacts at the repo root.
+#
+# Usage: tools/run_benches.sh [build-dir]
+#
+# Environment:
+#   SEMLOCK_BENCH_SCALE   workload multiplier (default 1; CI smoke uses 0.05)
+#
+# The JSON-emitting benches write into the current directory, so run this
+# from the repo root when refreshing the committed artifacts.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+echo "=== bench_fig21_computeifabsent -> BENCH_fig21.json ==="
+"${BUILD_DIR}/bench/bench_fig21_computeifabsent"
+
+echo "=== bench_contention -> BENCH_contention.json ==="
+"${BUILD_DIR}/bench/bench_contention"
+
+echo "=== bench_oversubscription -> BENCH_oversubscription.json ==="
+"${BUILD_DIR}/bench/bench_oversubscription"
+
+echo "done: BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json"
