@@ -21,6 +21,11 @@
 #include "semlock/lock_mechanism.h"
 #include "util/stats.h"
 
+#if defined(SEMLOCK_OBS)
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#endif
+
 namespace semlock::bench {
 
 inline double scale_factor() {
@@ -113,11 +118,55 @@ inline runtime::WaitPolicyKind wait_policy_from_args(
   return fallback;
 }
 
+// Run metadata stamped into every BENCH_*.json: enough to tell two
+// committed artifacts apart without replaying CI. The git SHA comes from
+// SEMLOCK_GIT_SHA (tools/run_benches.sh exports it; "unknown" when run by
+// hand outside the script); the fast-path/wait knobs record the ambient
+// defaults the run actually used.
+inline std::string run_metadata_json() {
+  const char* sha = std::getenv("SEMLOCK_GIT_SHA");
+  std::string out = "{\"git_sha\": \"";
+  out += (sha != nullptr && sha[0] != '\0') ? sha : "unknown";
+  out += "\", \"compiler\": \"";
+#if defined(__clang__)
+  out += "clang " __clang_version__;
+#elif defined(__GNUC__)
+  out += "gcc " __VERSION__;
+#else
+  out += "unknown";
+#endif
+  out += "\", \"build\": \"";
+#if defined(NDEBUG)
+  out += "release";
+#else
+  out += "debug";
+#endif
+#if defined(SEMLOCK_DCT)
+  out += "+dct";
+#endif
+#if defined(SEMLOCK_OBS)
+  out += "+obs";
+#endif
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\", \"hardware_concurrency\": %u, \"scale_factor\": %.2f, "
+                "\"wait_policy\": \"%s\", \"optimistic\": %s, "
+                "\"stripes\": %d}",
+                std::thread::hardware_concurrency(), scale_factor(),
+                runtime::wait_policy_name(runtime::default_wait_policy()),
+                default_optimistic_acquire() ? "true" : "false",
+                default_stripe_self_commuting() ? default_counter_stripes()
+                                                : 0);
+  out += buf;
+  return out;
+}
+
 // Writes one BENCH_*.json artifact: run metadata plus a named SeriesTable
 // per metric. The format is shared by every bench that records a perf
 // trajectory file at the repo root. Returns false if the file cannot be
 // written so callers can exit non-zero instead of silently dropping the
-// artifact.
+// artifact. When tracing is on (SEMLOCK_TRACE=1), the observability
+// metrics snapshot is written alongside as <path>.metrics.json.
 inline bool write_bench_json(
     const std::string& path, const std::string& bench_name,
     const std::vector<std::pair<std::string, const util::SeriesTable*>>&
@@ -129,9 +178,9 @@ inline bool write_bench_json(
   }
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"hardware_threads\": %u,\n"
-               "  \"scale_factor\": %.2f,\n  \"metrics\": {",
+               "  \"scale_factor\": %.2f,\n  \"run\": %s,\n  \"metrics\": {",
                bench_name.c_str(), std::thread::hardware_concurrency(),
-               scale_factor());
+               scale_factor(), run_metadata_json().c_str());
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": %s", i > 0 ? "," : "",
                  metrics[i].first.c_str(),
@@ -140,6 +189,18 @@ inline bool write_bench_json(
   std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+#if defined(SEMLOCK_OBS)
+  if (obs::runtime_enabled()) {
+    const std::string side = path + ".metrics.json";
+    if (std::FILE* mf = std::fopen(side.c_str(), "w")) {
+      const std::string json = obs::collect_metrics().to_json();
+      std::fwrite(json.data(), 1, json.size(), mf);
+      std::fputc('\n', mf);
+      std::fclose(mf);
+      std::printf("wrote %s\n", side.c_str());
+    }
+  }
+#endif
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hooks.h"
 #include "runtime/wait_policy.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -41,6 +42,9 @@ double measure(const SweepConfig& cfg, std::size_t threads,
   const runtime::ScopedWaitPolicy wait_policy_scope(cfg.wait_policy);
   for (int pass = 0; pass < cfg.warmup_passes + cfg.timed_passes; ++pass) {
     auto state = make_state();
+    // Pass boundary marker so a trace (SEMLOCK_TRACE=1) can be cut into
+    // warm-up and timed sections; the mode field carries the pass index.
+    SEMLOCK_OBS_EVENT(kMark, nullptr, pass);
     const auto result = util::run_team(threads, [&](std::size_t tid) {
       util::Xoshiro256 rng(util::derive_seed(
           cfg.seed, static_cast<std::uint64_t>(pass * 1000 + tid)));

@@ -1,0 +1,598 @@
+// Dump I/O and the two human-facing exporters. Format v1 is documented in
+// export.h; everything here is plain C stdio so the exporters work in the
+// stripped-down CLI as well as the runtime's exit path.
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+namespace semlock::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- little binary writer/reader over stdio ---------------------------------
+
+struct Writer {
+  std::FILE* f;
+  bool ok = true;
+
+  void u32(std::uint32_t v) {
+    if (ok) ok = std::fwrite(&v, sizeof(v), 1, f) == 1;
+  }
+  void u64(std::uint64_t v) {
+    if (ok) ok = std::fwrite(&v, sizeof(v), 1, f) == 1;
+  }
+  void i32(std::int32_t v) {
+    if (ok) ok = std::fwrite(&v, sizeof(v), 1, f) == 1;
+  }
+  void bytes(const void* p, std::size_t n) {
+    if (ok && n > 0) ok = std::fwrite(p, 1, n, f) == n;
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    if (ok) ok = std::fread(&v, sizeof(v), 1, f) == 1;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (ok) ok = std::fread(&v, sizeof(v), 1, f) == 1;
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v = 0;
+    if (ok) ok = std::fread(&v, sizeof(v), 1, f) == 1;
+    return v;
+  }
+  void bytes(void* p, std::size_t n) {
+    if (ok && n > 0) ok = std::fread(p, 1, n, f) == n;
+  }
+};
+
+void write_cells(Writer& w, const std::vector<BlockedByCell>& cells) {
+  w.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const BlockedByCell& c : cells) {
+    w.i32(c.waiter);
+    w.i32(c.holder);
+    w.u64(c.count);
+  }
+}
+
+bool read_cells(Reader& r, std::vector<BlockedByCell>& cells) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok || n > (1u << 24)) return false;
+  cells.resize(n);
+  for (BlockedByCell& c : cells) {
+    c.waiter = r.i32();
+    c.holder = r.i32();
+    c.count = r.u64();
+  }
+  return r.ok;
+}
+
+void write_metrics(Writer& w, const MetricsSnapshot& m) {
+  const AcquireStats& a = m.acquire_totals;
+  w.u64(a.acquisitions);
+  w.u64(a.contended);
+  w.u64(a.parks);
+  w.u64(a.optimistic_hits);
+  w.u64(a.retracts);
+  w.u64(a.wait_ns);
+  w.u64(a.wait_cpu_ns);
+  w.u32(static_cast<std::uint32_t>(m.instances.size()));
+  for (const InstanceMetrics& im : m.instances) {
+    w.u64(im.instance);
+    w.u64(im.contended);
+    w.u64(im.waits);
+    w.u64(im.wait_ns);
+    write_cells(w, im.blocked_by);
+  }
+  write_cells(w, m.conflict_matrix);
+  for (std::size_t i = 0; i < util::Log2Histogram::kBuckets; ++i) {
+    w.u64(m.wait_hist.bucket(i));
+  }
+  w.u64(m.wait_hist.total());
+  w.u32(static_cast<std::uint32_t>(m.top_waits.size()));
+  for (const WaitSample& s : m.top_waits) {
+    w.u64(s.wait_ns);
+    w.u64(s.instance);
+    w.i32(s.mode);
+  }
+}
+
+bool read_metrics(Reader& r, MetricsSnapshot& m) {
+  AcquireStats& a = m.acquire_totals;
+  a.acquisitions = r.u64();
+  a.contended = r.u64();
+  a.parks = r.u64();
+  a.optimistic_hits = r.u64();
+  a.retracts = r.u64();
+  a.wait_ns = r.u64();
+  a.wait_cpu_ns = r.u64();
+  const std::uint32_t instances = r.u32();
+  if (!r.ok || instances > (1u << 24)) return false;
+  m.instances.resize(instances);
+  for (InstanceMetrics& im : m.instances) {
+    im.instance = r.u64();
+    im.contended = r.u64();
+    im.waits = r.u64();
+    im.wait_ns = r.u64();
+    if (!read_cells(r, im.blocked_by)) return false;
+  }
+  if (!read_cells(r, m.conflict_matrix)) return false;
+  std::uint64_t buckets[util::Log2Histogram::kBuckets];
+  for (std::uint64_t& b : buckets) b = r.u64();
+  const std::uint64_t hist_total = r.u64();
+  m.wait_hist.load(buckets, hist_total);
+  const std::uint32_t tops = r.u32();
+  if (!r.ok || tops > (1u << 16)) return false;
+  m.top_waits.resize(tops);
+  for (WaitSample& s : m.top_waits) {
+    s.wait_ns = r.u64();
+    s.instance = r.u64();
+    s.mode = r.i32();
+  }
+  return r.ok;
+}
+
+}  // namespace
+
+bool write_dump_file(const TraceDump& dump, const std::string& path,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  Writer w{f};
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(dump.threads.size()));
+  write_metrics(w, dump.metrics);
+  for (const ThreadTrace& t : dump.threads) {
+    w.u32(t.tid);
+    w.u32(t.live ? 1 : 0);
+    w.u64(t.events.size());
+    for (const Event& e : t.events) {
+      w.u64(e.ts_ns);
+      w.u64(e.instance);
+      w.u64(e.txn);
+      w.u64(pack_type_mode(e.type, e.mode));
+    }
+  }
+  const bool ok = w.ok && std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+bool load_dump_file(const std::string& path, TraceDump& out,
+                    std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f, &std::fclose);
+  Reader r{f};
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  if (!r.ok || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    if (error != nullptr) *error = path + ": not a semlock trace dump";
+    return false;
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    if (error != nullptr) {
+      *error = path + ": unsupported dump version " + std::to_string(version);
+    }
+    return false;
+  }
+  const std::uint32_t threads = r.u32();
+  if (!r.ok || threads > (1u << 20)) {
+    if (error != nullptr) *error = path + ": corrupt header";
+    return false;
+  }
+  out = TraceDump{};
+  if (!read_metrics(r, out.metrics)) {
+    if (error != nullptr) *error = path + ": corrupt metrics section";
+    return false;
+  }
+  out.threads.resize(threads);
+  for (ThreadTrace& t : out.threads) {
+    t.tid = r.u32();
+    t.live = r.u32() != 0;
+    const std::uint64_t count = r.u64();
+    if (!r.ok || count > (1ull << 28)) {
+      if (error != nullptr) *error = path + ": corrupt thread section";
+      return false;
+    }
+    t.events.resize(static_cast<std::size_t>(count));
+    for (Event& e : t.events) {
+      e.ts_ns = r.u64();
+      e.instance = r.u64();
+      e.txn = r.u64();
+      const std::uint64_t tm = r.u64();
+      e.type = unpack_type(tm);
+      e.mode = unpack_mode(tm);
+    }
+  }
+  if (!r.ok && error != nullptr) *error = path + ": truncated dump";
+  return r.ok;
+}
+
+// --- Chrome trace-event JSON ------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+// One traceEvents entry. dur_ns < 0 means an instant event.
+void append_chrome_event(std::string& out, bool& first, const char* name,
+                         std::uint32_t tid, std::uint64_t ts_ns,
+                         std::int64_t dur_ns, const Event& e) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[256];
+  out += "  {\"name\": \"";
+  append_escaped(out, name);
+  std::snprintf(buf, sizeof(buf),
+                "\", \"cat\": \"semlock\", \"pid\": 1, \"tid\": %u, "
+                "\"ts\": %.3f",
+                tid, static_cast<double>(ts_ns) / 1000.0);
+  out += buf;
+  if (dur_ns >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"ph\": \"X\", \"dur\": %.3f",
+                  static_cast<double>(dur_ns) / 1000.0);
+    out += buf;
+  } else {
+    out += ", \"ph\": \"i\", \"s\": \"t\"";
+  }
+  std::snprintf(buf, sizeof(buf),
+                ", \"args\": {\"instance\": \"0x%" PRIx64
+                "\", \"mode\": %d, \"txn\": %" PRIu64 "}}",
+                e.instance, e.mode, e.txn);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceDump& dump) {
+  // Normalize timestamps so the trace starts near t=0 regardless of steady-
+  // clock epoch.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const ThreadTrace& t : dump.threads) {
+    for (const Event& e : t.events) t0 = std::min(t0, e.ts_ns);
+  }
+  if (t0 == ~std::uint64_t{0}) t0 = 0;
+
+  std::string out = "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  bool first = true;
+  char name[96];
+  for (const ThreadTrace& t : dump.threads) {
+    // Pair begin/end events per (instance, mode) for acquires and per
+    // instance for parks; everything unpaired degrades to an instant.
+    std::unordered_map<std::uint64_t, Event> open_acquire;  // key: inst^mode
+    std::unordered_map<std::uint64_t, Event> open_park;     // key: inst
+    auto acq_key = [](const Event& e) {
+      return e.instance * 31 + static_cast<std::uint32_t>(e.mode);
+    };
+    for (const Event& e : t.events) {
+      const std::uint64_t ts = e.ts_ns - t0;
+      switch (e.type) {
+        case EventType::kAcquireBegin:
+          open_acquire[acq_key(e)] = e;
+          break;
+        case EventType::kAcquireGrant:
+        case EventType::kOptimisticHit: {
+          auto it = open_acquire.find(acq_key(e));
+          if (it != open_acquire.end()) {
+            const std::uint64_t begin = it->second.ts_ns - t0;
+            std::snprintf(name, sizeof(name), "%s mode %d",
+                          e.type == EventType::kOptimisticHit
+                              ? "acquire (optimistic)"
+                              : "acquire",
+                          e.mode);
+            append_chrome_event(out, first, name, t.tid, begin,
+                                static_cast<std::int64_t>(ts - begin), e);
+            open_acquire.erase(it);
+          } else {
+            append_chrome_event(out, first, event_name(e.type), t.tid, ts, -1,
+                                e);
+          }
+          break;
+        }
+        case EventType::kPark:
+          open_park[e.instance] = e;
+          break;
+        case EventType::kUnpark: {
+          auto it = open_park.find(e.instance);
+          if (it != open_park.end()) {
+            const std::uint64_t begin = it->second.ts_ns - t0;
+            std::snprintf(name, sizeof(name), "parked (mode %d)", e.mode);
+            append_chrome_event(out, first, name, t.tid, begin,
+                                static_cast<std::int64_t>(ts - begin), e);
+            open_park.erase(it);
+          } else {
+            append_chrome_event(out, first, event_name(e.type), t.tid, ts, -1,
+                                e);
+          }
+          break;
+        }
+        default:
+          append_chrome_event(out, first, event_name(e.type), t.tid, ts, -1,
+                              e);
+          break;
+      }
+    }
+    // Dangling begins (thread was mid-acquire at snapshot) become instants.
+    for (const auto& [key, e] : open_acquire) {
+      (void)key;
+      append_chrome_event(out, first, "acquire_begin (unmatched)", t.tid,
+                          e.ts_ns - t0, -1, e);
+    }
+    for (const auto& [key, e] : open_park) {
+      (void)key;
+      append_chrome_event(out, first, "park (unmatched)", t.tid,
+                          e.ts_ns - t0, -1, e);
+    }
+  }
+  out += "\n],\n\"semlockMetrics\": ";
+  out += dump.metrics.to_json();
+  out += "\n}\n";
+  return out;
+}
+
+// --- text report ------------------------------------------------------------
+
+std::string text_report(const TraceDump& dump) {
+  char buf[256];
+  std::string out = "semlock trace report\n====================\n";
+
+  std::uint64_t total_events = 0;
+  std::map<EventType, std::uint64_t> by_type;
+  for (const ThreadTrace& t : dump.threads) {
+    total_events += t.events.size();
+    for (const Event& e : t.events) by_type[e.type] += 1;
+  }
+  std::snprintf(buf, sizeof(buf), "threads: %zu   retained events: %" PRIu64
+                "\n\n", dump.threads.size(), total_events);
+  out += buf;
+
+  out += "event counts:\n";
+  for (const auto& [type, n] : by_type) {
+    std::snprintf(buf, sizeof(buf), "  %-16s %" PRIu64 "\n",
+                  event_name(type), n);
+    out += buf;
+  }
+
+  const MetricsSnapshot& m = dump.metrics;
+  const AcquireStats& a = m.acquire_totals;
+  out += "\nacquire totals:\n";
+  std::snprintf(buf, sizeof(buf),
+                "  acquisitions %" PRIu64 "  contended %" PRIu64
+                "  parks %" PRIu64 "\n  optimistic hits %" PRIu64
+                "  retracts %" PRIu64 "\n  wait %.3f ms wall, %.3f ms cpu\n",
+                a.acquisitions, a.contended, a.parks, a.optimistic_hits,
+                a.retracts, static_cast<double>(a.wait_ns) / 1e6,
+                static_cast<double>(a.wait_cpu_ns) / 1e6);
+  out += buf;
+
+  out += "\ntop contended instances:\n";
+  if (m.instances.empty()) out += "  (no contention recorded)\n";
+  for (std::size_t i = 0; i < m.instances.size() && i < 10; ++i) {
+    const InstanceMetrics& im = m.instances[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  0x%" PRIx64 "  contended %" PRIu64 "  waits %" PRIu64
+                  "  wait %.3f ms\n",
+                  im.instance, im.contended, im.waits,
+                  static_cast<double>(im.wait_ns) / 1e6);
+    out += buf;
+  }
+
+  out += "\nhottest non-commuting mode pairs (waiter blocked by holder):\n";
+  if (m.conflict_matrix.empty()) out += "  (none observed)\n";
+  for (std::size_t i = 0; i < m.conflict_matrix.size() && i < 10; ++i) {
+    const BlockedByCell& c = m.conflict_matrix[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  mode %d blocked by mode %d: %" PRIu64 " times\n",
+                  c.waiter, c.holder, c.count);
+    out += buf;
+  }
+
+  out += "\nlongest waits:\n";
+  if (m.top_waits.empty()) out += "  (none recorded)\n";
+  for (const WaitSample& s : m.top_waits) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %.3f ms  instance 0x%" PRIx64 "  mode %d\n",
+                  static_cast<double>(s.wait_ns) / 1e6, s.instance, s.mode);
+    out += buf;
+  }
+
+  if (m.wait_hist.count() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nwait latency: %" PRIu64 " samples, p50 < %.3f us, "
+                  "p99 < %.3f us\n",
+                  m.wait_hist.count(),
+                  static_cast<double>(m.wait_hist.quantile_upper_bound(0.5)) /
+                      1e3,
+                  static_cast<double>(m.wait_hist.quantile_upper_bound(0.99)) /
+                      1e3);
+    out += buf;
+  }
+  return out;
+}
+
+// --- structural JSON validation ---------------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void skip_ws() {
+    while (p != end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::memcmp(p, lit, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  bool string() {
+    if (p == end || *p != '"') return false;
+    ++p;
+    while (p != end) {
+      if (*p == '\\') {
+        ++p;
+        if (p == end) return false;
+        ++p;
+      } else if (*p == '"') {
+        ++p;
+        return true;
+      } else {
+        ++p;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const char* start = p;
+    if (p != end && *p == '-') ++p;
+    while (p != end && *p >= '0' && *p <= '9') ++p;
+    if (p != end && *p == '.') {
+      ++p;
+      while (p != end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p != end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p != end && (*p == '+' || *p == '-')) ++p;
+      while (p != end && *p >= '0' && *p <= '9') ++p;
+    }
+    return p != start && !(p - start == 1 && *start == '-');
+  }
+
+  bool value() {
+    if (++depth > 128) return false;
+    skip_ws();
+    bool ok = false;
+    if (p == end) {
+      ok = false;
+    } else if (*p == '{') {
+      ++p;
+      skip_ws();
+      if (p != end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (p == end || *p != ':') break;
+          ++p;
+          if (!value()) break;
+          skip_ws();
+          if (p != end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p != end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      skip_ws();
+      if (p != end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) break;
+          skip_ws();
+          if (p != end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p != end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      ok = string();
+    } else if (literal("true") || literal("false") || literal("null")) {
+      ok = true;
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool validate_json(const std::string& text, std::string* error) {
+  JsonCursor c{text.data(), text.data() + text.size()};
+  if (!c.value()) {
+    if (error != nullptr) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "invalid JSON near offset %zd",
+                    c.p - text.data());
+      *error = buf;
+    }
+    return false;
+  }
+  c.skip_ws();
+  if (c.p != c.end) {
+    if (error != nullptr) *error = "trailing content after JSON value";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace semlock::obs

@@ -1,0 +1,52 @@
+// Exporters for the observability layer: the binary dump format, the Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing), and the text
+// report. Shared by the runtime's exit dump (trace.cpp) and the
+// tools/semlock-trace CLI, so both ends of the format live in one place.
+//
+// Binary dump format v1 (native endianness; produced and consumed on the
+// same machine):
+//   char[8]  magic "SLTRACE1"
+//   u32      version (1)
+//   u32      thread count
+//   metrics section (MetricsSnapshot, see read/write below)
+//   per thread: u32 tid, u32 live, u64 event count,
+//               count * kEventWords u64 words (oldest event first)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace semlock::obs {
+
+struct TraceDump {
+  std::vector<ThreadTrace> threads;
+  MetricsSnapshot metrics;
+};
+
+// In-process capture: ring snapshots (live + retired) plus collect_metrics().
+TraceDump capture();
+
+bool write_dump_file(const TraceDump& dump, const std::string& path,
+                     std::string* error = nullptr);
+bool load_dump_file(const std::string& path, TraceDump& out,
+                    std::string* error = nullptr);
+
+// Chrome trace-event JSON: acquire begin→grant and park→unpark pairs become
+// duration ("X") events; everything else becomes instant ("i") events. The
+// metrics snapshot rides along under the top-level "semlockMetrics" key
+// (Perfetto ignores unknown keys).
+std::string to_chrome_json(const TraceDump& dump);
+
+// Plain-text report: event totals, top contended instances, hottest
+// non-commuting mode pairs, longest waits.
+std::string text_report(const TraceDump& dump);
+
+// Minimal structural JSON validator (strings/escapes/nesting/commas) used by
+// `semlock-trace check` so CI can validate the Chrome export without a JSON
+// library. Not a full parser — it validates syntax, not schema.
+bool validate_json(const std::string& text, std::string* error = nullptr);
+
+}  // namespace semlock::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace semlock::obs {
+
+void TopWaits::add(const WaitSample& s) {
+  if (samples_.size() < kKeep) {
+    samples_.push_back(s);
+    return;
+  }
+  auto min_it = std::min_element(
+      samples_.begin(), samples_.end(),
+      [](const WaitSample& a, const WaitSample& b) {
+        return a.wait_ns < b.wait_ns;
+      });
+  if (s.wait_ns > min_it->wait_ns) *min_it = s;
+}
+
+void TopWaits::merge(const TopWaits& other) {
+  for (const WaitSample& s : other.samples_) add(s);
+}
+
+std::vector<WaitSample> TopWaits::sorted() const {
+  std::vector<WaitSample> out = samples_;
+  std::sort(out.begin(), out.end(),
+            [](const WaitSample& a, const WaitSample& b) {
+              return a.wait_ns > b.wait_ns;
+            });
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_cells(std::string& out, const std::vector<BlockedByCell>& cells) {
+  out += '[';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"waiter\": %d, \"holder\": %d, \"count\": %llu}",
+                  cells[i].waiter, cells[i].holder,
+                  static_cast<unsigned long long>(cells[i].count));
+    out += buf;
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"acquire\": {";
+  const AcquireStats& a = acquire_totals;
+  out += "\"acquisitions\": ";
+  append_u64(out, a.acquisitions);
+  out += ", \"contended\": ";
+  append_u64(out, a.contended);
+  out += ", \"parks\": ";
+  append_u64(out, a.parks);
+  out += ", \"optimistic_hits\": ";
+  append_u64(out, a.optimistic_hits);
+  out += ", \"retracts\": ";
+  append_u64(out, a.retracts);
+  out += ", \"wait_ns\": ";
+  append_u64(out, a.wait_ns);
+  out += ", \"wait_cpu_ns\": ";
+  append_u64(out, a.wait_cpu_ns);
+  out += "}, \"instances\": [";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (i > 0) out += ", ";
+    const InstanceMetrics& m = instances[i];
+    out += "{\"instance\": ";
+    append_hex(out, m.instance);
+    out += ", \"contended\": ";
+    append_u64(out, m.contended);
+    out += ", \"waits\": ";
+    append_u64(out, m.waits);
+    out += ", \"wait_ns\": ";
+    append_u64(out, m.wait_ns);
+    out += ", \"blocked_by\": ";
+    append_cells(out, m.blocked_by);
+    out += '}';
+  }
+  out += "], \"conflict_matrix\": ";
+  append_cells(out, conflict_matrix);
+  out += ", \"wait_hist_ns\": ";
+  out += wait_hist.to_json();
+  out += ", \"top_waits\": [";
+  for (std::size_t i = 0; i < top_waits.size(); ++i) {
+    if (i > 0) out += ", ";
+    const WaitSample& s = top_waits[i];
+    out += "{\"wait_ns\": ";
+    append_u64(out, s.wait_ns);
+    out += ", \"instance\": ";
+    append_hex(out, s.instance);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ", \"mode\": %d}", s.mode);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace semlock::obs

@@ -1,0 +1,85 @@
+// Process-wide aggregation of the per-thread observability data.
+//
+// Thread-local data (AcquireStats counters, the blocked-by conflict samples
+// and wait-latency records gathered by the lock mechanism's contended path)
+// is folded into the process-wide registry when a thread exits, and read on
+// demand via collect_metrics(), which combines the folded totals with the
+// live threads' current state. The combined view answers the questions the
+// paper's evaluation (§5) raises but per-thread counters cannot: which
+// instances actually contend, which non-commuting mode pairs block whom,
+// and where wait time goes.
+//
+// collect_metrics() is exact at quiescence (all worker threads joined — the
+// normal end-of-bench report point). While workers are still running, the
+// live threads' plain counters are sampled best-effort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semlock/acquire_stats.h"
+#include "util/stats.h"
+
+namespace semlock::obs {
+
+// One cell of the blocked-by conflict matrix: a waiter that entered the
+// contended path for `waiter` observed `holder` held. Only non-commuting
+// (waiter, holder) pairs can ever be recorded — the sample walks the mode's
+// conflict row — so a non-empty cell is direct evidence of a non-commuting
+// pair the workload exercised.
+struct BlockedByCell {
+  std::int32_t waiter = -1;
+  std::int32_t holder = -1;
+  std::uint64_t count = 0;
+};
+
+// Per-ADT-instance contention record; `instance` is the LockMechanism
+// address (the same id the trace events carry).
+struct InstanceMetrics {
+  std::uint64_t instance = 0;
+  std::uint64_t contended = 0;  // entries into the contended wait loop
+  std::uint64_t waits = 0;      // completed contended acquisitions
+  std::uint64_t wait_ns = 0;    // total contended wait wall time
+  std::vector<BlockedByCell> blocked_by;
+};
+
+// One of the longest individual waits observed.
+struct WaitSample {
+  std::uint64_t wait_ns = 0;
+  std::uint64_t instance = 0;
+  std::int32_t mode = -1;
+};
+
+// Bounded keep-the-largest set of wait samples ("longest waits" in the
+// text report). Small linear structure: K is tiny and insertion is rare
+// (only contended acquisitions reach it).
+class TopWaits {
+ public:
+  static constexpr std::size_t kKeep = 8;
+  void add(const WaitSample& s);
+  void merge(const TopWaits& other);
+  // Descending by wait_ns.
+  std::vector<WaitSample> sorted() const;
+
+ private:
+  std::vector<WaitSample> samples_;
+};
+
+struct MetricsSnapshot {
+  AcquireStats acquire_totals;               // exact cross-thread sums
+  std::vector<InstanceMetrics> instances;    // sorted by contended, desc
+  std::vector<BlockedByCell> conflict_matrix;  // summed across instances
+  util::Log2Histogram wait_hist;             // contended wait latencies, ns
+  std::vector<WaitSample> top_waits;         // descending
+
+  // JSON for the BENCH_*.json sidecar files and the dump's embedded
+  // metrics section (schema in docs/OBSERVABILITY.md).
+  std::string to_json() const;
+};
+
+// Folds the registry's retired-thread totals with the live threads' current
+// state. Implemented in trace.cpp next to the thread registry.
+MetricsSnapshot collect_metrics();
+
+}  // namespace semlock::obs

@@ -1,0 +1,542 @@
+// Per-thread trace state, the process-wide registry it retires into, and
+// the metrics fold. See trace.h for the lifecycle contract.
+//
+// Synchronization summary:
+//   - the registry (live-thread list, retired data, dump path) is guarded
+//     by a util::Spinlock; under DCT the spinlock is a schedule point, so
+//     deterministic tests explore interleavings through here too;
+//   - each thread's slow-path metric accumulators are guarded by a
+//     per-thread spinlock (held by the owner in record_*, by the collector
+//     in collect_metrics), so mid-run collection is race-free;
+//   - each thread's AcquireStats is plain memory written on the acquire
+//     fast path; it is folded only at retirement (merge-on-exit) or read
+//     from the calling thread itself, so totals are exact once worker
+//     threads have joined and no fast-path write is ever contended;
+//   - event rings are SPSC with lock-free concurrent snapshot (ring.h).
+//
+// The registry itself is a leaky heap singleton: thread exit order versus
+// static destruction order is unknowable across toolchains, and a retiring
+// thread must always find the registry alive.
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/ring.h"
+#include "util/env.h"
+#include "util/spinlock.h"
+
+namespace semlock::obs {
+
+const char* event_name(EventType type) noexcept {
+  switch (type) {
+    case EventType::kNone: return "none";
+    case EventType::kAcquireBegin: return "acquire_begin";
+    case EventType::kAcquireGrant: return "acquire_grant";
+    case EventType::kContendedWait: return "contended_wait";
+    case EventType::kPark: return "park";
+    case EventType::kUnpark: return "unpark";
+    case EventType::kOptimisticHit: return "optimistic_hit";
+    case EventType::kRetract: return "retract";
+    case EventType::kRelease: return "release";
+    case EventType::kUnlockAll: return "unlock_all";
+    case EventType::kWatchdogStall: return "watchdog_stall";
+    case EventType::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+namespace detail {
+std::atomic<bool> g_runtime_enabled{false};
+std::atomic<std::uint64_t> g_next_txn{0};
+}  // namespace detail
+
+namespace {
+
+std::atomic<std::uint32_t> g_ring_capacity{kDefaultRingEvents};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// (waiter_mode, holder_mode) packed for the per-thread blocked-by map.
+std::uint64_t pack_pair(std::int32_t waiter, std::int32_t holder) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(waiter))
+          << 32) |
+         static_cast<std::uint32_t>(holder);
+}
+
+struct InstanceAccum {
+  std::uint64_t contended = 0;
+  std::uint64_t waits = 0;
+  std::uint64_t wait_ns = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> blocked_by;
+};
+
+// The slow-path accumulators, guarded by ThreadState::metrics_lock.
+struct MetricsAccum {
+  std::unordered_map<std::uint64_t, InstanceAccum> instances;
+  util::Log2Histogram wait_hist;
+  TopWaits top_waits;
+
+  void merge_into(MetricsAccum& out) const {
+    for (const auto& [inst, acc] : instances) {
+      InstanceAccum& dst = out.instances[inst];
+      dst.contended += acc.contended;
+      dst.waits += acc.waits;
+      dst.wait_ns += acc.wait_ns;
+      for (const auto& [pair, n] : acc.blocked_by) dst.blocked_by[pair] += n;
+    }
+    out.wait_hist.merge(wait_hist);
+    out.top_waits.merge(top_waits);
+  }
+};
+
+struct ThreadState {
+  std::uint32_t tid = 0;
+  // Created lazily on the first emitted event; published with release so
+  // concurrent snapshotters see fully constructed storage.
+  std::atomic<EventRing*> ring{nullptr};
+  AcquireStats stats;  // fast-path counters; owner-written, folded on retire
+  mutable util::Spinlock metrics_lock;
+  MetricsAccum metrics;
+
+  ~ThreadState() { delete ring.load(std::memory_order_relaxed); }
+};
+
+struct RetiredEvents {
+  std::uint32_t tid = 0;
+  std::vector<Event> events;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaky: see file comment
+    return *r;
+  }
+
+  std::uint32_t register_thread(ThreadState* ts) {
+    std::lock_guard<util::Spinlock> g(lock_);
+    live_.push_back(ts);
+    return next_tid_++;
+  }
+
+  void retire_thread(ThreadState* ts) {
+    // Snapshot the ring outside the registry lock: the owner is retiring,
+    // so the ring is quiescent and this is a plain read.
+    std::vector<Event> events;
+    if (EventRing* ring = ts->ring.load(std::memory_order_acquire)) {
+      events = ring->snapshot();
+    }
+    std::lock_guard<util::Spinlock> g(lock_);
+    live_.erase(std::remove(live_.begin(), live_.end(), ts), live_.end());
+    retired_stats_.merge(ts->stats);
+    ts->metrics.merge_into(retired_metrics_);
+    if (!events.empty()) {
+      retired_event_count_ += events.size();
+      retired_.push_back(RetiredEvents{ts->tid, std::move(events)});
+      // Cap retained post-mortem data; evict whole oldest-retired threads
+      // first (their events are the least likely to matter in a dump).
+      while (retired_event_count_ > kMaxRetiredEvents && retired_.size() > 1) {
+        retired_event_count_ -= retired_.front().events.size();
+        retired_.pop_front();
+      }
+    }
+  }
+
+  std::vector<ThreadTrace> snapshot_traces() {
+    std::lock_guard<util::Spinlock> g(lock_);
+    std::vector<ThreadTrace> out;
+    out.reserve(retired_.size() + live_.size());
+    for (const RetiredEvents& r : retired_) {
+      out.push_back(ThreadTrace{r.tid, false, r.events});
+    }
+    for (ThreadState* ts : live_) {
+      ThreadTrace t;
+      t.tid = ts->tid;
+      t.live = true;
+      if (EventRing* ring = ts->ring.load(std::memory_order_acquire)) {
+        t.events = ring->snapshot();
+      }
+      out.push_back(std::move(t));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ThreadTrace& a, const ThreadTrace& b) {
+                return a.tid < b.tid;
+              });
+    return out;
+  }
+
+  MetricsSnapshot collect(ThreadState* self) {
+    AcquireStats totals;
+    MetricsAccum merged;
+    {
+      std::lock_guard<util::Spinlock> g(lock_);
+      totals = retired_stats_;
+      retired_metrics_.merge_into(merged);
+      for (ThreadState* ts : live_) {
+        std::lock_guard<util::Spinlock> tg(ts->metrics_lock);
+        ts->metrics.merge_into(merged);
+      }
+    }
+    // AcquireStats is fast-path plain memory: only the caller's own live
+    // counters can be read without a race. Retired threads are already
+    // folded, so totals are exact at quiescence.
+    if (self != nullptr) totals.merge(self->stats);
+
+    MetricsSnapshot snap;
+    snap.acquire_totals = totals;
+    snap.wait_hist = merged.wait_hist;
+    snap.top_waits = merged.top_waits.sorted();
+    std::unordered_map<std::uint64_t, std::uint64_t> matrix;
+    for (const auto& [inst, acc] : merged.instances) {
+      InstanceMetrics im;
+      im.instance = inst;
+      im.contended = acc.contended;
+      im.waits = acc.waits;
+      im.wait_ns = acc.wait_ns;
+      for (const auto& [pair, n] : acc.blocked_by) {
+        im.blocked_by.push_back(BlockedByCell{
+            static_cast<std::int32_t>(pair >> 32),
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(pair)), n});
+        matrix[pair] += n;
+      }
+      std::sort(im.blocked_by.begin(), im.blocked_by.end(),
+                [](const BlockedByCell& a, const BlockedByCell& b) {
+                  return a.count > b.count;
+                });
+      snap.instances.push_back(std::move(im));
+    }
+    std::sort(snap.instances.begin(), snap.instances.end(),
+              [](const InstanceMetrics& a, const InstanceMetrics& b) {
+                return a.contended != b.contended ? a.contended > b.contended
+                                                  : a.instance < b.instance;
+              });
+    for (const auto& [pair, n] : matrix) {
+      snap.conflict_matrix.push_back(BlockedByCell{
+          static_cast<std::int32_t>(pair >> 32),
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(pair)), n});
+    }
+    std::sort(snap.conflict_matrix.begin(), snap.conflict_matrix.end(),
+              [](const BlockedByCell& a, const BlockedByCell& b) {
+                return a.count != b.count ? a.count > b.count
+                       : a.waiter != b.waiter ? a.waiter < b.waiter
+                                              : a.holder < b.holder;
+              });
+    return snap;
+  }
+
+  void reset(ThreadState* self) {
+    std::lock_guard<util::Spinlock> g(lock_);
+    retired_.clear();
+    retired_event_count_ = 0;
+    retired_stats_ = AcquireStats{};
+    retired_metrics_ = MetricsAccum{};
+    if (self != nullptr) {
+      delete self->ring.exchange(nullptr, std::memory_order_acq_rel);
+      self->stats = AcquireStats{};
+      std::lock_guard<util::Spinlock> tg(self->metrics_lock);
+      self->metrics = MetricsAccum{};
+    }
+  }
+
+  void set_dump_path(std::string path) {
+    std::lock_guard<util::Spinlock> g(lock_);
+    dump_path_ = std::move(path);
+  }
+
+  std::string dump_path() {
+    std::lock_guard<util::Spinlock> g(lock_);
+    return dump_path_;
+  }
+
+ private:
+  Registry() = default;
+
+  static constexpr std::size_t kMaxRetiredEvents = 1u << 18;  // 262144 events
+
+  util::Spinlock lock_;
+  std::uint32_t next_tid_ = 1;
+  std::vector<ThreadState*> live_;
+  std::deque<RetiredEvents> retired_;
+  std::size_t retired_event_count_ = 0;
+  AcquireStats retired_stats_;
+  MetricsAccum retired_metrics_;
+  std::string dump_path_;
+};
+
+// Thread-local handle whose destructor retires the state into the registry.
+// The handle (not ThreadState directly) is the thread_local so registration
+// happens exactly once per thread, on first use.
+struct TlsHandle {
+  ThreadState state;
+  TlsHandle() { state.tid = Registry::instance().register_thread(&state); }
+  ~TlsHandle() { Registry::instance().retire_thread(&state); }
+};
+
+ThreadState& thread_state() {
+  thread_local TlsHandle handle;
+  return handle.state;
+}
+
+}  // namespace
+
+// --- configuration ----------------------------------------------------------
+
+bool trace_enabled_from_env_text(const char* text) {
+  return util::env_bool_01("SEMLOCK_TRACE", text, "tracing off")
+      .value_or(false);
+}
+
+std::uint32_t trace_ring_events_from_env_text(const char* text) {
+  char fallback[64];
+  std::snprintf(fallback, sizeof(fallback), "%u events",
+                kDefaultRingEvents);
+  return static_cast<std::uint32_t>(
+      util::env_int_in_range("SEMLOCK_TRACE_EVENTS", text, 64, 4194304,
+                             fallback)
+          .value_or(kDefaultRingEvents));
+}
+
+std::string trace_file_from_env_text(const char* text) {
+  if (text == nullptr) return kDefaultTraceFile;
+  if (text[0] == '\0') {
+    util::warn_invalid_env("SEMLOCK_TRACE_FILE", text, kDefaultTraceFile);
+    return kDefaultTraceFile;
+  }
+  return text;
+}
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig cfg;
+  cfg.enabled = trace_enabled_from_env_text(std::getenv("SEMLOCK_TRACE"));
+  cfg.ring_events =
+      trace_ring_events_from_env_text(std::getenv("SEMLOCK_TRACE_EVENTS"));
+  cfg.file = trace_file_from_env_text(std::getenv("SEMLOCK_TRACE_FILE"));
+  return cfg;
+}
+
+void set_runtime_enabled(bool on) noexcept {
+  detail::g_runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t ring_capacity() noexcept {
+  return g_ring_capacity.load(std::memory_order_relaxed);
+}
+
+void set_ring_capacity(std::uint32_t events) noexcept {
+  g_ring_capacity.store(events < EventRing::kMinCapacity
+                            ? EventRing::kMinCapacity
+                            : events,
+                        std::memory_order_relaxed);
+}
+
+// --- emission ---------------------------------------------------------------
+
+void emit(EventType type, const void* instance, int mode) {
+  ThreadState& ts = thread_state();
+  EventRing* ring = ts.ring.load(std::memory_order_relaxed);
+  if (ring == nullptr) {
+    ring = new EventRing(ring_capacity());
+    ts.ring.store(ring, std::memory_order_release);
+  }
+  Event e;
+  e.ts_ns = now_ns();
+  e.instance = reinterpret_cast<std::uint64_t>(instance);
+  e.txn = current_txn();
+  e.type = type;
+  e.mode = mode;
+  ring->append(e);
+}
+
+AcquireStats& thread_acquire_stats() { return thread_state().stats; }
+
+void record_blocked_by(const void* instance, int waiter_mode,
+                       int holder_mode) {
+  ThreadState& ts = thread_state();
+  std::lock_guard<util::Spinlock> g(ts.metrics_lock);
+  InstanceAccum& acc =
+      ts.metrics.instances[reinterpret_cast<std::uint64_t>(instance)];
+  acc.contended += 1;
+  acc.blocked_by[pack_pair(waiter_mode, holder_mode)] += 1;
+}
+
+void record_wait(const void* instance, int mode, std::uint64_t wait_ns) {
+  ThreadState& ts = thread_state();
+  std::lock_guard<util::Spinlock> g(ts.metrics_lock);
+  InstanceAccum& acc =
+      ts.metrics.instances[reinterpret_cast<std::uint64_t>(instance)];
+  acc.waits += 1;
+  acc.wait_ns += wait_ns;
+  ts.metrics.wait_hist.add(wait_ns);
+  ts.metrics.top_waits.add(WaitSample{
+      wait_ns, reinterpret_cast<std::uint64_t>(instance),
+      static_cast<std::int32_t>(mode)});
+}
+
+// --- snapshots and dumps ----------------------------------------------------
+
+std::vector<ThreadTrace> snapshot_traces() {
+  return Registry::instance().snapshot_traces();
+}
+
+MetricsSnapshot collect_metrics() {
+  return Registry::instance().collect(&thread_state());
+}
+
+// Defined here (declared in export.h) so the exit-time dump path never
+// constructs thread-local state: after main's TLS destructors have run,
+// touching thread_state() again would re-register a handle mid-exit. The
+// caller's own live AcquireStats is therefore not in the dump's metrics —
+// exact totals come from retired threads, which at exit is everyone.
+TraceDump capture() {
+  TraceDump dump;
+  dump.threads = Registry::instance().snapshot_traces();
+  dump.metrics = Registry::instance().collect(nullptr);
+  return dump;
+}
+
+std::string stall_forensics(
+    const void* instance, int waited_mode,
+    const std::vector<std::pair<int, std::uint32_t>>& conflicting_holders,
+    std::size_t tail_events) {
+  const std::uint64_t inst = reinterpret_cast<std::uint64_t>(instance);
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "stall forensics: instance 0x%llx, waited mode %d\n",
+                static_cast<unsigned long long>(inst), waited_mode);
+  out += buf;
+
+  const std::vector<ThreadTrace> traces = snapshot_traces();
+
+  // Per held mode: the holder count the watchdog sampled, plus the
+  // transaction that most recently acquired that mode on this instance
+  // (latest grant/optimistic-hit event across all rings).
+  out += "  held conflicting modes:\n";
+  if (conflicting_holders.empty()) {
+    out += "    (none sampled — holders drained between poll and dump)\n";
+  }
+  for (const auto& [mode, holders] : conflicting_holders) {
+    std::uint64_t last_txn = 0;
+    std::uint64_t last_ts = 0;
+    std::uint32_t last_tid = 0;
+    for (const ThreadTrace& t : traces) {
+      for (const Event& e : t.events) {
+        if (e.instance != inst || e.mode != mode) continue;
+        if (e.type != EventType::kAcquireGrant &&
+            e.type != EventType::kOptimisticHit) {
+          continue;
+        }
+        if (e.ts_ns >= last_ts) {
+          last_ts = e.ts_ns;
+          last_txn = e.txn;
+          last_tid = t.tid;
+        }
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "    mode %d: holders=%u", mode, holders);
+    out += buf;
+    if (last_ts != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", last acquired by txn %llu (thread %u)",
+                    static_cast<unsigned long long>(last_txn), last_tid);
+      out += buf;
+    } else {
+      out += ", no acquire event retained";
+    }
+    out += '\n';
+  }
+
+  // The tail of each ring, filtered to this instance: what happened here
+  // most recently, per thread, oldest first.
+  out += "  recent events for this instance:\n";
+  bool any = false;
+  for (const ThreadTrace& t : traces) {
+    std::vector<const Event*> hits;
+    for (const Event& e : t.events) {
+      if (e.instance == inst) hits.push_back(&e);
+    }
+    if (hits.empty()) continue;
+    any = true;
+    const std::size_t keep = hits.size() < tail_events ? hits.size()
+                                                       : tail_events;
+    for (std::size_t i = hits.size() - keep; i < hits.size(); ++i) {
+      const Event& e = *hits[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    [thread %u%s] ts=%llu %s mode=%d txn=%llu\n", t.tid,
+                    t.live ? "" : " exited",
+                    static_cast<unsigned long long>(e.ts_ns),
+                    event_name(e.type), e.mode,
+                    static_cast<unsigned long long>(e.txn));
+      out += buf;
+    }
+  }
+  if (!any) out += "    (no events retained for this instance)\n";
+  return out;
+}
+
+bool write_dump(const std::string& path) {
+  std::string error;
+  if (!write_dump_file(capture(), path, &error)) {
+    std::fprintf(stderr, "[semlock] trace dump failed: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+void reset_for_test() {
+  Registry::instance().reset(&thread_state());
+  detail::g_next_txn.store(0, std::memory_order_relaxed);
+  detail::txn_tls().id = 0;
+  detail::txn_tls().depth = 0;
+}
+
+// --- process startup / exit -------------------------------------------------
+
+namespace {
+
+void dump_at_exit() {
+  if (!runtime_enabled()) return;
+  const std::string path = Registry::instance().dump_path();
+  if (path.empty()) return;
+  if (write_dump(path)) {
+    std::fprintf(stderr, "[semlock] trace written to %s\n", path.c_str());
+  }
+}
+
+// Reads the env knobs once at static-init time. The atexit handler is
+// registered here, i.e. before main runs and therefore before main's
+// thread_local TLS handles are constructed; main's TLS destructors run
+// first at exit, so the dump sees main's events already retired.
+struct TraceRuntimeInit {
+  TraceRuntimeInit() {
+    const TraceConfig cfg = TraceConfig::from_env();
+    set_ring_capacity(cfg.ring_events);
+    if (cfg.enabled) {
+      Registry::instance().set_dump_path(cfg.file);
+      set_runtime_enabled(true);
+      std::atexit(&dump_at_exit);
+    }
+  }
+};
+
+const TraceRuntimeInit g_trace_runtime_init;
+
+}  // namespace
+
+}  // namespace semlock::obs

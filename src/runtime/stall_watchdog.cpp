@@ -8,6 +8,10 @@
 #include "semlock/lock_mechanism.h"
 #include "util/env.h"
 
+#if defined(SEMLOCK_OBS)
+#include "obs/trace.h"
+#endif
+
 namespace semlock::runtime {
 
 std::string StallReport::to_string() const {
@@ -23,6 +27,10 @@ std::string StallReport::to_string() const {
   if (conflicting_holders.empty()) out += " none";
   for (const auto& [m, holders] : conflicting_holders) {
     out += " l" + std::to_string(m) + "=" + std::to_string(holders);
+  }
+  if (!forensics.empty()) {
+    out += '\n';
+    out += forensics;
   }
   return out;
 }
@@ -127,6 +135,18 @@ void StallWatchdog::sample() {
           }
         }
         watched_mutex_.unlock();
+
+#if defined(SEMLOCK_OBS)
+        if (report.mechanism != nullptr && report.mechanism->traced()) {
+          // Leave a marker in the trace stream and attach the forensic dump:
+          // held modes with the transaction that last acquired them, plus
+          // the tail of the per-thread rings filtered to this instance.
+          obs::emit(obs::EventType::kWatchdogStall, report.mechanism,
+                    wait.mode);
+          report.forensics = obs::stall_forensics(
+              report.mechanism, wait.mode, report.conflicting_holders);
+        }
+#endif
 
         last.seq = wait.seq;
         last.reported_at_ns = now;

@@ -45,6 +45,12 @@ struct StallReport {
   // null. A stall with every holder count zero points at the mechanism's
   // internal lock or a wakeup bug rather than a long-held mode.
   std::vector<std::pair<int, std::uint32_t>> conflicting_holders;
+  // Post-mortem from the observability layer (obs::stall_forensics): which
+  // conflicting modes are held and by which transaction, plus the recent
+  // trace events touching the stalled instance. Populated only when the
+  // mechanism is watch()ed, built with SEMLOCK_OBS, and has trace_events on;
+  // empty otherwise.
+  std::string forensics;
 
   std::string to_string() const;
 };

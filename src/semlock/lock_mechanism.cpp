@@ -6,6 +6,21 @@
 #include "runtime/wait_registry.h"
 #include "util/align.h"
 
+#if defined(SEMLOCK_OBS)
+#include "obs/trace.h"
+// Mechanism-level trace hook: gated on this mechanism's cached
+// ModeTableConfig::trace_events flag (trace_), not the global switch, so
+// per-table overrides work and the disabled cost is one predictable branch.
+#define LM_OBS_EVENT(type, mode)                                     \
+  do {                                                               \
+    if (trace_) [[unlikely]]                                         \
+      ::semlock::obs::emit(::semlock::obs::EventType::type, this,    \
+                           (mode));                                  \
+  } while (0)
+#else
+#define LM_OBS_EVENT(type, mode) ((void)0)
+#endif
+
 namespace semlock {
 
 namespace {
@@ -42,8 +57,15 @@ void backoff_pause(int attempt) noexcept {
 }  // namespace
 
 AcquireStats& local_acquire_stats() {
+#if defined(SEMLOCK_OBS)
+  // The counters live inside the obs thread state so they are merged into
+  // the process-wide MetricsRegistry when the thread exits — cross-thread
+  // totals stay exact instead of losing whatever exited early.
+  return obs::thread_acquire_stats();
+#else
   thread_local AcquireStats stats;
   return stats;
+#endif
 }
 
 LockMechanism::LockMechanism(const ModeTable& table)
@@ -64,7 +86,12 @@ LockMechanism::LockMechanism(const ModeTable& table)
                             table.config().park_spin_limit)
                       : 0),
       can_park_(policy_ != runtime::WaitPolicyKind::SpinYield),
-      optimistic_(table.config().optimistic_acquire) {
+      optimistic_(table.config().optimistic_acquire),
+#if defined(SEMLOCK_OBS)
+      trace_(table.config().trace_events) {
+#else
+      trace_(false) {
+#endif
   for (int m = 0; m < table.num_modes(); ++m) {
     new (counters_.get() + static_cast<std::size_t>(m) * stride_)
         std::atomic<std::uint32_t>(0);
@@ -157,6 +184,7 @@ bool LockMechanism::announce_validate(int mode, int partition,
   increment(mode, std::memory_order_seq_cst);
   if (conflicts_clear_impl(mode, 1, std::memory_order_seq_cst)) return true;
   ++stats.retracts;
+  LM_OBS_EVENT(kRetract, mode);
   SEMLOCK_DCT_POINT("mode.retract", &counter(mode));
 #if defined(SEMLOCK_DCT)
   if (dct::mutation_drop_retract_rewake()) {
@@ -180,6 +208,7 @@ bool LockMechanism::announce_validate(int mode, int partition,
 void LockMechanism::lock(int mode) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
+  LM_OBS_EVENT(kAcquireBegin, mode);
   const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];
@@ -192,6 +221,7 @@ void LockMechanism::lock(int mode) {
       if (precheck && !conflicts_clear(mode)) break;
       if (announce_validate(mode, partition, stats)) {
         ++stats.optimistic_hits;
+        LM_OBS_EVENT(kOptimisticHit, mode);
         return;
       }
       backoff_pause(attempt);
@@ -208,6 +238,7 @@ void LockMechanism::lock(int mode) {
       SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
       increment(mode);
       internal.unlock();
+      LM_OBS_EVENT(kAcquireGrant, mode);
       return;
     }
     internal.unlock();
@@ -219,6 +250,19 @@ void LockMechanism::lock_contended(int mode, int partition,
                                    util::Spinlock& internal,
                                    AcquireStats& stats) {
   ++stats.contended;
+  LM_OBS_EVENT(kContendedWait, mode);
+#if defined(SEMLOCK_OBS)
+  if (trace_) {
+    // Sample the blocked-by conflict matrix: which non-commuting modes were
+    // actually held when this waiter gave up on the fast path. The walk is
+    // over conflicts_of(mode) only, so commuting pairs can never appear.
+    for (const std::int32_t other : table_->conflicts_of(mode)) {
+      if (holder_count(other, std::memory_order_acquire) > 0) {
+        obs::record_blocked_by(this, mode, other);
+      }
+    }
+  }
+#endif
   const std::uint64_t wait_start = runtime::steady_now_ns();
   const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
   runtime::WaitScope watchdog_scope(this, mode, partition);
@@ -244,8 +288,13 @@ void LockMechanism::lock_contended(int mode, int partition,
       }
       internal.unlock();
       if (acquired) {
-        stats.wait_ns += runtime::steady_now_ns() - wait_start;
+        const std::uint64_t waited = runtime::steady_now_ns() - wait_start;
+        stats.wait_ns += waited;
         stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
+        LM_OBS_EVENT(kAcquireGrant, mode);
+#if defined(SEMLOCK_OBS)
+        if (trace_) obs::record_wait(this, mode, waited);
+#endif
         return;
       }
     }
@@ -266,8 +315,10 @@ void LockMechanism::lock_contended(int mode, int partition,
       if (revalidated) {
         parking_.retract(partition);
       } else {
+        LM_OBS_EVENT(kPark, mode);
         parking_.park(partition, gen);
         ++stats.parks;
+        LM_OBS_EVENT(kUnpark, mode);
       }
     }
   }
@@ -276,6 +327,7 @@ void LockMechanism::lock_contended(int mode, int partition,
 bool LockMechanism::try_lock(int mode) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
+  LM_OBS_EVENT(kAcquireBegin, mode);
   const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];
@@ -295,10 +347,12 @@ bool LockMechanism::try_lock(int mode) {
       ok = announce_validate(mode, partition, stats);
       if (ok) {
         ++stats.optimistic_hits;
+        LM_OBS_EVENT(kOptimisticHit, mode);
       } else {
         internal.lock();
         ok = announce_validate(mode, partition, stats);
         internal.unlock();
+        if (ok) LM_OBS_EVENT(kAcquireGrant, mode);
       }
     } else {
       internal.lock();
@@ -308,6 +362,7 @@ bool LockMechanism::try_lock(int mode) {
         increment(mode);
       }
       internal.unlock();
+      if (ok) LM_OBS_EVENT(kAcquireGrant, mode);
     }
   }
   if (!ok) {
@@ -319,6 +374,7 @@ bool LockMechanism::try_lock(int mode) {
 }
 
 void LockMechanism::unlock(int mode) {
+  LM_OBS_EVENT(kRelease, mode);
   SEMLOCK_DCT_POINT("mode.release", &counter(mode));
   if (release_one(mode)) {
     // Wake only when this was the mode's last hold: a counter that stays

@@ -41,31 +41,12 @@
 
 #include "runtime/parking_lot.h"
 #include "runtime/wait_policy.h"
+#include "semlock/acquire_stats.h"
 #include "semlock/mode_table.h"
 #include "util/spinlock.h"
 #include "util/striped_counter.h"
 
 namespace semlock {
-
-// Thread-local acquisition statistics (cheap; used by benchmarks and tests
-// to observe contention rather than infer it).
-struct AcquireStats {
-  std::uint64_t acquisitions = 0;
-  std::uint64_t contended = 0;  // acquisitions that waited at least once
-  std::uint64_t parks = 0;      // times a waiter blocked in the ParkingLot
-  // Acquisitions won by the lock-free optimistic tier (no spinlock touched)
-  // and announcements retracted after a failed validation — together they
-  // attribute throughput to the tier that produced it (ISSUE 3 ablations).
-  std::uint64_t optimistic_hits = 0;
-  std::uint64_t retracts = 0;
-  std::uint64_t wait_ns = 0;    // total wall time spent in contended waits
-  // Thread CPU time charged to this thread while it waited. The policy
-  // discriminator: spinners burn CPU for the whole wait, parked waiters
-  // only around the futex calls.
-  std::uint64_t wait_cpu_ns = 0;
-  void reset() { *this = AcquireStats{}; }
-};
-AcquireStats& local_acquire_stats();
 
 // Counted RAII acquisition of any BasicLockable with try_lock — used by the
 // Manual baselines so the contention benchmark observes every strategy
@@ -144,6 +125,10 @@ class LockMechanism {
 
   // Fast-path observability (tests, docs/FAST_PATH.md examples).
   bool optimistic() const { return optimistic_; }
+  // True when this mechanism emits src/obs trace events and metrics
+  // (ModeTableConfig::trace_events; always false without SEMLOCK_OBS). The
+  // StallWatchdog consults this before asking obs for forensics.
+  bool traced() const { return trace_; }
   bool mode_striped(int mode) const {
     return striped_row_[static_cast<std::size_t>(mode)] >= 0;
   }
@@ -206,6 +191,7 @@ class LockMechanism {
   // the historical release path (one relaxed RMW) intact.
   bool can_park_;
   bool optimistic_;
+  bool trace_;
 };
 
 }  // namespace semlock

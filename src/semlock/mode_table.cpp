@@ -12,6 +12,10 @@
 #include "util/env.h"
 #include "util/striped_counter.h"
 
+#if defined(SEMLOCK_OBS)
+#include "obs/trace.h"
+#endif
+
 namespace semlock {
 
 bool optimistic_from_env_text(const char* text) {
@@ -60,6 +64,14 @@ StripeEnvChoice env_stripe_choice() {
 bool default_optimistic_acquire() { return env_optimistic_acquire(); }
 bool default_stripe_self_commuting() { return env_stripe_choice().enabled; }
 int default_counter_stripes() { return env_stripe_choice().stripes; }
+
+bool default_trace_events() {
+#if defined(SEMLOCK_OBS)
+  return obs::runtime_enabled();
+#else
+  return false;
+#endif
+}
 
 namespace {
 

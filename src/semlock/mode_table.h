@@ -30,6 +30,11 @@ namespace semlock {
 bool default_optimistic_acquire();
 bool default_stripe_self_commuting();
 int default_counter_stripes();
+// Whether mechanisms built from this config emit observability events
+// (src/obs). Snapshot of the process-wide trace switch (SEMLOCK_TRACE /
+// obs::ScopedTraceEnable) at config-creation time; always false when the
+// library is built without SEMLOCK_OBS.
+bool default_trace_events();
 
 // Testable strict parsers behind the defaults. Same contract as the other
 // runtime knobs (util/env): malformed values warn once on stderr and fall
@@ -88,6 +93,12 @@ struct ModeTableConfig {
   // 64 B * counter_stripes per striped mode per instance.
   bool stripe_self_commuting = default_stripe_self_commuting();
   int counter_stripes = default_counter_stripes();
+  // Emit binary trace events and conflict/latency metrics from mechanisms
+  // built over this table (src/obs, docs/OBSERVABILITY.md). Cached by the
+  // LockMechanism at construction; defaults to the ambient trace switch so
+  // SEMLOCK_TRACE=1 traces everything without code changes, while tests can
+  // turn it on per table.
+  bool trace_events = default_trace_events();
 };
 
 class ModeTable {

@@ -37,6 +37,10 @@ class SemanticLock {
 
   std::uint32_t holders(int mode) const { return mechanism_.holders(mode); }
 
+  // The underlying mechanism — the instance identity that trace events and
+  // the StallWatchdog report (tests and forensics match against its address).
+  const LockMechanism& mechanism() const { return mechanism_; }
+
   // Unique ADT-instance identifier used for the dynamic lock ordering of
   // same-equivalence-class instances (Fig. 12 `unique`).
   std::uintptr_t unique_id() const {

@@ -26,6 +26,13 @@ void Transaction::unlock_instance(SemanticLock* lk) {
 
 void Transaction::unlock_all() {
   for (auto& e : entries_) e.lk->unlock(e.mode);
+  if (!entries_.empty()) {
+    // Epilogue marker: one event per non-empty release, with the number of
+    // instances released in the mode field. Emitted after the unlocks so a
+    // reader sees release events inside the [begin, unlock_all] span.
+    SEMLOCK_OBS_EVENT(kUnlockAll, nullptr,
+                      static_cast<int>(entries_.size()));
+  }
   entries_.clear();
   index_.clear();
   index_live_ = false;

@@ -13,16 +13,26 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/hooks.h"
 #include "semlock/semantic_lock.h"
 
 namespace semlock {
 
 class Transaction {
  public:
-  Transaction() { entries_.reserve(8); }
+  Transaction() {
+    entries_.reserve(8);
+    // Stamp a process-unique transaction id into the thread's trace state:
+    // every event emitted while this (outermost) transaction is open carries
+    // it, which is what lets forensics name the holder.
+    SEMLOCK_OBS_TXN_BEGIN();
+  }
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
-  ~Transaction() { unlock_all(); }
+  ~Transaction() {
+    unlock_all();
+    SEMLOCK_OBS_TXN_END();
+  }
 
   // LV(x) of Fig. 5: lock `lk` in the mode resolved for (site, values)
   // unless this transaction already holds it. Null `lk` is a no-op, like

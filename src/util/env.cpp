@@ -12,6 +12,17 @@ void warn_invalid_env(const char* name, const char* text,
                name, text, fallback_desc);
 }
 
+std::optional<bool> env_bool_01(const char* name, const char* text,
+                                const char* fallback_desc) {
+  if (text == nullptr) return std::nullopt;  // unset is not an error
+  if (text[0] != '\0' && text[1] == '\0') {
+    if (text[0] == '0') return false;
+    if (text[0] == '1') return true;
+  }
+  warn_invalid_env(name, text, fallback_desc);
+  return std::nullopt;
+}
+
 std::optional<long long> env_int_in_range(const char* name, const char* text,
                                           long long min, long long max,
                                           const char* fallback_desc) {

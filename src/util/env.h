@@ -20,6 +20,12 @@ std::optional<long long> env_int_in_range(const char* name, const char* text,
                                           long long min, long long max,
                                           const char* fallback_desc);
 
+// Parses `text` as a strict boolean: exactly "0" or "1". Anything else
+// ("true", "yes", " 1", "01") warns with the standard one-liner and returns
+// nullopt so the caller falls back. Unset (nullptr) is silently nullopt.
+std::optional<bool> env_bool_01(const char* name, const char* text,
+                                const char* fallback_desc);
+
 // Same contract for warning, but the caller does the domain-specific
 // parsing; this just emits the standard one-liner.
 void warn_invalid_env(const char* name, const char* text,

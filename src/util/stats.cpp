@@ -1,10 +1,81 @@
 #include "util/stats.h"
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
 namespace semlock::util {
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  buckets_[std::bit_width(value)] += 1;
+  count_ += 1;
+  total_ += value;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+void Log2Histogram::load(const std::uint64_t buckets[kBuckets],
+                         std::uint64_t total) noexcept {
+  count_ = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] = buckets[i];
+    count_ += buckets[i];
+  }
+  total_ = total;
+}
+
+std::size_t Log2Histogram::max_bucket() const noexcept {
+  for (std::size_t i = kBuckets; i > 0; --i) {
+    if (buckets_[i - 1] != 0) return i;
+  }
+  return 0;
+}
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Bucket i holds values in [2^(i-1), 2^i); bucket 0 holds only zero.
+      if (i == 0) return 0;
+      return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i);
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+std::string Log2Histogram::to_json() const {
+  char buf[96];
+  std::string out = "{\"count\": ";
+  std::snprintf(buf, sizeof(buf), "%llu, \"total\": %llu, \"buckets\": [",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(total_));
+  out += buf;
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    const unsigned long long le =
+        i == 0 ? 0ULL
+        : i >= 64 ? ~0ULL
+                  : static_cast<unsigned long long>(std::uint64_t{1} << i) - 1;
+    std::snprintf(buf, sizeof(buf), "{\"le\": %llu, \"count\": %llu}", le,
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
 
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;

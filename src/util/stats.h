@@ -7,13 +7,53 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace semlock::util {
 
+// Both return 0.0 rather than dividing by zero when given fewer samples
+// than the statistic needs (empty for mean, <2 for stddev).
 double mean(const std::vector<double>& xs);
 double stddev(const std::vector<double>& xs);
+
+// Log-scale (power-of-two bucket) histogram for latency-style values with a
+// huge dynamic range. Value v lands in bucket floor(log2(v)) + 1, i.e. the
+// bucket whose range is [2^(b-1), 2^b); zero gets bucket 0. 65 buckets cover
+// the full uint64 range, so add() never clamps or drops.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t value) noexcept;
+  void merge(const Log2Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBuckets ? buckets_[i] : 0;
+  }
+  // Index one past the last non-empty bucket (0 when empty).
+  std::size_t max_bucket() const noexcept;
+
+  // Smallest upper bucket bound b such that at least q of the samples are
+  // < 2^b; a coarse quantile (factor-of-two resolution). Returns 0 if empty.
+  std::uint64_t quantile_upper_bound(double q) const noexcept;
+
+  // {"count": N, "total": T, "buckets": [{"le": 2^b, "count": n}, ...]}
+  // with empty buckets omitted.
+  std::string to_json() const;
+
+  // Replaces the contents from serialized state (count is recomputed as the
+  // bucket sum). Used by the binary trace-dump loader.
+  void load(const std::uint64_t buckets[kBuckets], std::uint64_t total) noexcept;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+};
 
 class SeriesTable {
  public:

@@ -5,8 +5,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
+#if defined(SEMLOCK_OBS)
+#include "obs/trace.h"
+#endif
 #include "runtime/stall_watchdog.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode_table.h"
@@ -201,6 +205,91 @@ TEST(FastPathEnv, ConfigDefaultsFollowProcessEnvCache) {
   EXPECT_EQ(cfg.stripe_self_commuting, default_stripe_self_commuting());
   EXPECT_EQ(cfg.counter_stripes, default_counter_stripes());
   EXPECT_GE(cfg.counter_stripes, 1);
+}
+
+#if defined(SEMLOCK_OBS)
+TEST(TraceEnv, EnabledAcceptsExactlyZeroAndOne) {
+  const std::string err = captured_stderr([] {
+    EXPECT_TRUE(obs::trace_enabled_from_env_text("1"));
+    EXPECT_FALSE(obs::trace_enabled_from_env_text("0"));
+    // Unset: tracing off, silently.
+    EXPECT_FALSE(obs::trace_enabled_from_env_text(nullptr));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(TraceEnv, EnabledMalformedWarnsAndStaysOff) {
+  for (const char* bad : {"true", "yes", "2", "-1", "01", "1x", ""}) {
+    const std::string err = captured_stderr(
+        [bad] { EXPECT_FALSE(obs::trace_enabled_from_env_text(bad)); });
+    EXPECT_NE(err.find("SEMLOCK_TRACE=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("tracing off"), std::string::npos) << err;
+  }
+}
+
+TEST(TraceEnv, RingEventsParsesAndBoundsRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(obs::trace_ring_events_from_env_text("1024"), 1024u);
+    EXPECT_EQ(obs::trace_ring_events_from_env_text("64"), 64u);
+    EXPECT_EQ(obs::trace_ring_events_from_env_text("4194304"), 4194304u);
+    // Unset: the default, silently.
+    EXPECT_EQ(obs::trace_ring_events_from_env_text(nullptr),
+              obs::kDefaultRingEvents);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(TraceEnv, RingEventsMalformedWarnsAndFallsBack) {
+  for (const char* bad : {"garbage", "-1", "63", "4194305", "1024x", "",
+                          "99999999999999999999999999"}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(obs::trace_ring_events_from_env_text(bad),
+                obs::kDefaultRingEvents)
+          << "value: " << bad;
+    });
+    EXPECT_NE(err.find("SEMLOCK_TRACE_EVENTS=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+  }
+}
+
+TEST(TraceEnv, FileAcceptsAnyNonEmptyPathRejectsEmpty) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(obs::trace_file_from_env_text("/tmp/t.bin"), "/tmp/t.bin");
+    EXPECT_EQ(obs::trace_file_from_env_text(nullptr),
+              obs::kDefaultTraceFile);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+
+  const std::string err2 = captured_stderr([] {
+    EXPECT_EQ(obs::trace_file_from_env_text(""), obs::kDefaultTraceFile);
+  });
+  EXPECT_NE(err2.find("SEMLOCK_TRACE_FILE=\"\""), std::string::npos) << err2;
+}
+#endif  // SEMLOCK_OBS
+
+TEST(EnvBool01, AcceptsExactlyZeroAndOne) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(util::env_bool_01("X", "1", "default"), true);
+    EXPECT_EQ(util::env_bool_01("X", "0", "default"), false);
+    // Unset: nullopt, silently — the caller's default applies.
+    EXPECT_EQ(util::env_bool_01("X", nullptr, "default"), std::nullopt);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(EnvBool01, MalformedWarnsAndYieldsNullopt) {
+  for (const char* bad : {"true", "on", "10", "00", " 1", ""}) {
+    const std::string err = captured_stderr(
+        [bad] { EXPECT_EQ(util::env_bool_01("X", bad, "default"),
+                          std::nullopt); });
+    EXPECT_NE(err.find("invalid X=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("default"), std::string::npos) << err;
+  }
 }
 
 TEST(WatchdogEnv, FromEnvIntegration) {

@@ -5,13 +5,22 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "commute/builtin_specs.h"
 #include "runtime/stall_watchdog.h"
 #include "semlock/lock_mechanism.h"
+#include "semlock/semantic_lock.h"
+#include "semlock/transaction.h"
+
+#if defined(SEMLOCK_OBS)
+#include "obs/trace.h"
+#endif
 
 namespace semlock {
 namespace {
@@ -172,6 +181,78 @@ TEST(StallWatchdog, FromEnvDisabledWithoutVariable) {
   ASSERT_EQ(std::getenv("SEMLOCK_WATCHDOG_MS"), nullptr);
   EXPECT_EQ(StallWatchdog::from_env(), nullptr);
 }
+
+#if defined(SEMLOCK_OBS)
+// With tracing on, a stall report on a watched mechanism carries the
+// observability post-mortem: the held conflicting mode, the transaction
+// that acquired it, and the instance address.
+TEST(StallWatchdog, ForensicsNameHolderTransactionAndMode) {
+  obs::reset_for_test();
+  ModeTableConfig c;
+  c.abstract_values = 4;
+  c.wait_policy = WaitPolicyKind::AlwaysPark;
+  c.trace_events = true;
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {var("v")}), op("remove", {var("v")})}),
+       SymbolicSet({op("size"), op("clear")})},
+      c);
+  SemanticLock lk(t);
+  const Value v0[1] = {0};
+  const int held_mode = t.resolve(0, v0);
+  const int starved_mode = t.resolve_constant(1);
+
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(40);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.watch(lk.mechanism());
+  watchdog.start();
+
+  // The holder is a real Transaction so the grant event carries its id.
+  Transaction holder;
+  holder.lv_mode(&lk, held_mode);
+  std::thread starved([&] {
+    Transaction txn;
+    txn.lv_mode(&lk, starved_mode);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (watchdog.stalls_reported() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::string forensics;
+  {
+    const std::lock_guard<std::mutex> guard(collector.mu);
+    ASSERT_FALSE(collector.reports.empty());
+    forensics = collector.reports.front().forensics;
+    // The forensic text also flows into the rendered report.
+    EXPECT_NE(collector.reports.front().to_string().find("stall forensics"),
+              std::string::npos);
+  }
+  holder.unlock_all();
+  starved.join();
+  watchdog.stop();
+
+  ASSERT_FALSE(forensics.empty());
+  char instance_hex[32];
+  std::snprintf(instance_hex, sizeof(instance_hex), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(&lk.mechanism())));
+  EXPECT_NE(forensics.find(instance_hex), std::string::npos) << forensics;
+  EXPECT_NE(forensics.find("waited mode " + std::to_string(starved_mode)),
+            std::string::npos)
+      << forensics;
+  EXPECT_NE(forensics.find("mode " + std::to_string(held_mode) +
+                           ": holders=1"),
+            std::string::npos)
+      << forensics;
+  EXPECT_NE(forensics.find("last acquired by txn"), std::string::npos)
+      << forensics;
+}
+#endif  // SEMLOCK_OBS
 
 }  // namespace
 }  // namespace semlock

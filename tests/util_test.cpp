@@ -141,9 +141,79 @@ TEST(ThreadTeam, RunsEveryThreadOnce) {
 
 TEST(Stats, MeanAndStddev) {
   EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
-  EXPECT_DOUBLE_EQ(mean({}), 0.0);
   EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+}
+
+TEST(Stats, MeanAndStddevEmptyInputIsZeroNotNan) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
   EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Log2Hist, BucketsByBitWidth) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_bucket(), 0u);
+  h.add(0);    // bit_width(0) == 0
+  h.add(1);    // bucket 1
+  h.add(2);    // bucket 2
+  h.add(3);    // bucket 2
+  h.add(4);    // bucket 3
+  h.add(255);  // bucket 8
+  h.add(256);  // bucket 9
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.total(), 0u + 1 + 2 + 3 + 4 + 255 + 256);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(8), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.max_bucket(), 10u);  // one past the last non-empty
+  // The extremes land in the first and last bucket — no overflow.
+  h.add(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket(Log2Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Log2Hist, MergeSumsBuckets) {
+  Log2Histogram a, b;
+  a.add(10);
+  a.add(100);
+  b.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.total(), 10u + 100 + 10 + 1000);
+  EXPECT_EQ(a.bucket(4), 2u);  // both 10s
+}
+
+TEST(Log2Hist, QuantileUpperBound) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);  // empty
+  for (int i = 0; i < 99; ++i) h.add(3);  // bucket 2: values < 4
+  h.add(1000);                            // bucket 10: values < 1024
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 4u);
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 4u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1024u);
+}
+
+TEST(Log2Hist, JsonAndLoadRoundTrip) {
+  Log2Histogram h;
+  h.add(7);
+  h.add(900);
+  const std::string json = h.to_json();
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+
+  std::uint64_t raw[Log2Histogram::kBuckets] = {};
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    raw[i] = h.bucket(i);
+  }
+  Log2Histogram loaded;
+  loaded.load(raw, h.total());
+  EXPECT_EQ(loaded.count(), h.count());
+  EXPECT_EQ(loaded.total(), h.total());
+  EXPECT_EQ(loaded.max_bucket(), h.max_bucket());
 }
 
 TEST(Stats, SeriesTableFormats) {

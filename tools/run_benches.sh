@@ -12,6 +12,13 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 
+# Stamp the artifacts with the commit they were generated from (falls back
+# to "unknown" inside write_bench_json when unset).
+if [[ -z "${SEMLOCK_GIT_SHA:-}" ]]; then
+  SEMLOCK_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || true)"
+fi
+export SEMLOCK_GIT_SHA
+
 if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
   echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2

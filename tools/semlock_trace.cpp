@@ -1,0 +1,112 @@
+// semlock-trace: converts the binary trace dump written by SEMLOCK_TRACE=1
+// (src/obs, docs/OBSERVABILITY.md) into human- and tool-facing forms.
+//
+//   semlock-trace chrome  <dump> [out.json]   Chrome trace-event JSON
+//                                             (load in Perfetto or
+//                                             chrome://tracing); stdout when
+//                                             no output path is given.
+//   semlock-trace report  <dump>              text report: top contended
+//                                             instances, hottest
+//                                             non-commuting mode pairs,
+//                                             longest waits.
+//   semlock-trace metrics <dump>              the embedded metrics snapshot
+//                                             as JSON.
+//   semlock-trace check   <file.json>         structural JSON validation
+//                                             (exit 0/1); CI runs this on
+//                                             the chrome export.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: semlock-trace chrome <dump> [out.json]\n"
+               "       semlock-trace report <dump>\n"
+               "       semlock-trace metrics <dump>\n"
+               "       semlock-trace check <file.json>\n");
+  return 2;
+}
+
+int load_or_fail(const char* path, semlock::obs::TraceDump& dump) {
+  std::string error;
+  if (!semlock::obs::load_dump_file(path, dump, &error)) {
+    std::fprintf(stderr, "semlock-trace: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* cmd = argv[1];
+  const char* path = argv[2];
+
+  if (std::strcmp(cmd, "chrome") == 0) {
+    semlock::obs::TraceDump dump;
+    if (int rc = load_or_fail(path, dump)) return rc;
+    const std::string json = semlock::obs::to_chrome_json(dump);
+    if (argc >= 4) {
+      std::FILE* f = std::fopen(argv[3], "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "semlock-trace: cannot write %s\n", argv[3]);
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "semlock-trace: wrote %s\n", argv[3]);
+    } else {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "report") == 0) {
+    semlock::obs::TraceDump dump;
+    if (int rc = load_or_fail(path, dump)) return rc;
+    const std::string report = semlock::obs::text_report(dump);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "metrics") == 0) {
+    semlock::obs::TraceDump dump;
+    if (int rc = load_or_fail(path, dump)) return rc;
+    const std::string json = dump.metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "check") == 0) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "semlock-trace: cannot read %s\n", path);
+      return 1;
+    }
+    std::string error;
+    if (!semlock::obs::validate_json(text, &error)) {
+      std::fprintf(stderr, "semlock-trace: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid JSON (%zu bytes)\n", path, text.size());
+    return 0;
+  }
+
+  return usage();
+}
