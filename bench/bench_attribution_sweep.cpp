@@ -1,0 +1,234 @@
+// Abstract-values sweep for the conflict-attribution profiler (src/obs/
+// attribution.h): how much of the observed blocking is the workload's fault
+// vs. the abstraction's.
+//
+// A key-skewed compute-if-absent workload (80% of acquisitions hit a small
+// hot set, the rest spread uniformly) runs against SemMap instances compiled
+// with abstract_values n in {1, 4, 16, 64, 256}. With n=1 every key maps to
+// the same alpha class, so almost every blocked wait is a PHI_COLLISION —
+// the concrete keys commute, phi merged them. As n grows, distinct hot keys
+// land in distinct classes and the false-conflict rate collapses toward the
+// workload's genuine same-key conflicts, which is exactly the mechanism
+// behind the paper's abstract-value ablation: fewer false conflicts, higher
+// throughput. BENCH_attribution.json records both curves so the correlation
+// is visible in one artifact.
+//
+// SEMLOCK_ATTR_SWEEP_HOLD_MS=N (0..60000, default 0) keeps the process
+// running traced operations for N ms after the sweep — a window for an
+// external `kill -USR1` to exercise the mid-run snapshot path (CI's
+// attribution-smoke job does this).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/attribution.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "semlock/sem_adt.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace semlock;
+
+constexpr std::uint64_t kHotKeys = 16;
+constexpr std::uint64_t kKeyRange = 1 << 14;
+constexpr int kHotPercent = 80;
+
+struct PointResult {
+  double ops_per_ms = 0;
+  double false_rate = 0;   // (phi + overapprox + wrapper) / sampled
+  double true_rate = 0;    // (true_conflict + self_mode) / sampled
+  std::uint64_t sampled = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t classes[obs::kNumAttrClasses] = {};
+};
+
+// One sweep point: a fresh SemMap compiled with `abstract_values`, hammered
+// by `threads` workers running the skewed compute-if-absent mix.
+PointResult run_point(int abstract_values, std::size_t threads,
+                      std::size_t ops_per_thread) {
+  SemMap<std::int64_t, std::int64_t> map(abstract_values);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(0x5EED + t);
+      volatile std::uint64_t sink = 0;
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        const bool hot = rng.next_below(100) <
+                         static_cast<std::uint64_t>(kHotPercent);
+        const std::int64_t key = static_cast<std::int64_t>(
+            hot ? rng.next_below(kHotKeys) : rng.next_below(kKeyRange));
+        {
+          auto g = map.acquire(MapIntent::UpdateKey,
+                               static_cast<commute::Value>(key));
+          if (!map.contains_key(key)) map.put(key, key * 2);
+          // The paper's computation step (alloc + work) lives inside the
+          // critical section; model it so holds have width and overlapping
+          // acquisitions actually block. The mid-hold yield stands in for
+          // preemption while holding, which is what creates blocked waits
+          // when the bench runs on fewer cores than threads.
+          for (int spin = 0; spin < 400; ++spin) sink = sink + spin;
+          if (i % 64 == 0) std::this_thread::yield();
+        }
+        // Post-release yield: hands the core to waiters woken by the
+        // release so they can actually retry. Without it, a single-core run
+        // degenerates to whole-thread serialization (each thread blocks
+        // once, then runs to completion) and the sweep sees no conflicts.
+        if (i % 64 == 32) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  PointResult r;
+  r.ops_per_ms =
+      ms > 0 ? static_cast<double>(threads * ops_per_thread) / ms : 0;
+  const obs::MetricsSnapshot snap = obs::collect_metrics();
+  r.contended = snap.acquire_totals.contended;
+  for (const obs::AttributionCell& cell : snap.attribution) {
+    for (std::size_t c = 0; c < obs::kNumAttrClasses; ++c) {
+      r.classes[c] += cell.counts[c];
+    }
+  }
+  const std::uint64_t unsampled =
+      r.classes[static_cast<std::size_t>(obs::AttrClass::kUnsampled)];
+  std::uint64_t total = 0;
+  for (std::uint64_t c : r.classes) total += c;
+  r.sampled = total - unsampled;
+  if (r.sampled > 0) {
+    const std::uint64_t false_n =
+        r.classes[static_cast<std::size_t>(obs::AttrClass::kPhiCollision)] +
+        r.classes[static_cast<std::size_t>(obs::AttrClass::kModeOverapprox)] +
+        r.classes[static_cast<std::size_t>(
+            obs::AttrClass::kWrapperCoarsening)];
+    r.false_rate =
+        100.0 * static_cast<double>(false_n) / static_cast<double>(r.sampled);
+    r.true_rate = 100.0 *
+                  static_cast<double>(
+                      r.classes[static_cast<std::size_t>(
+                          obs::AttrClass::kTrueConflict)] +
+                      r.classes[static_cast<std::size_t>(
+                          obs::AttrClass::kSelfMode)]) /
+                  static_cast<double>(r.sampled);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace semlock::bench;
+
+  std::string json_path = "BENCH_attribution.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
+  print_figure_header(
+      "Attribution sweep",
+      "false-conflict rate vs. abstract_values on skewed compute-if-absent");
+
+  // Tracing + attribution on for the whole run; the SIGUSR1 handler makes
+  // the post-sweep hold window snapshot-able.
+  obs::ScopedTraceEnable trace_on;
+  obs::set_attribution_enabled(true);
+  obs::install_snapshot_signal_handler();
+
+  // Fixed at 4: blocking comes from holding conflicting modes, which
+  // oversubscription produces just as reliably as parallelism, so the sweep
+  // stays meaningful on small CI containers.
+  const std::size_t threads = 4;
+  const std::size_t ops_per_thread =
+      static_cast<std::size_t>(30'000 * scale_factor());
+
+  util::SeriesTable rates("abstract_values", "% of sampled waits");
+  rates.set_series({"false_conflict", "true_conflict"});
+  util::SeriesTable tput("abstract_values", "ops/ms");
+  tput.set_series({"throughput"});
+  util::SeriesTable counts("abstract_values", "classified waits");
+  counts.set_series({"true_conflict", "self_mode", "phi_collision",
+                     "mode_overapprox", "wrapper_coarsening", "unsampled"});
+
+  std::printf("threads=%zu ops/thread=%zu hot=%d%% of %llu keys\n\n",
+              threads, ops_per_thread, kHotPercent,
+              static_cast<unsigned long long>(kHotKeys));
+
+  for (const int n : {1, 4, 16, 64, 256}) {
+    // Isolate each point's tallies (worker threads have joined, so their
+    // data has retired into the registry and the reset drops it).
+    obs::reset_for_test();
+    const PointResult r = run_point(n, threads, ops_per_thread);
+    std::printf(
+        "n=%-4d  %9.1f ops/ms  false=%5.1f%%  true=%5.1f%%  sampled=%llu  "
+        "contended=%llu\n",
+        n, r.ops_per_ms, r.false_rate, r.true_rate,
+        static_cast<unsigned long long>(r.sampled),
+        static_cast<unsigned long long>(r.contended));
+    rates.add_row(n, {r.false_rate, r.true_rate});
+    tput.add_row(n, {r.ops_per_ms});
+    std::vector<double> row;
+    for (std::size_t c = 0; c < obs::kNumAttrClasses; ++c) {
+      row.push_back(static_cast<double>(r.classes[c]));
+    }
+    counts.add_row(n, row);
+  }
+
+  std::printf("\n");
+  print_results(rates);
+  print_results(tput);
+
+  if (!write_bench_json(json_path, "attribution_sweep",
+                        {{"conflict_rates_pct", &rates},
+                         {"throughput_ops_per_ms", &tput},
+                         {"class_counts", &counts}})) {
+    return 1;
+  }
+
+  // Optional hold window: keep running traced operations so an external
+  // SIGUSR1 lands while emit() is active and gets drained into a snapshot.
+  const long long hold_ms =
+      semlock::util::env_int_in_range(
+          "SEMLOCK_ATTR_SWEEP_HOLD_MS",
+          std::getenv("SEMLOCK_ATTR_SWEEP_HOLD_MS"), 0, 60'000,
+          "no post-sweep hold window")
+          .value_or(0);
+  if (hold_ms > 0) {
+    std::printf("holding for %lld ms (send SIGUSR1 for a snapshot)...\n",
+                hold_ms);
+    std::fflush(stdout);
+    const std::uint32_t before = obs::snapshots_written();
+    SemMap<std::int64_t, std::int64_t> map(4);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(hold_ms);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < 2; ++t) {
+      workers.emplace_back([&, t] {
+        util::Xoshiro256 rng(0xAB5 + t);
+        while (std::chrono::steady_clock::now() < deadline) {
+          const std::int64_t key =
+              static_cast<std::int64_t>(rng.next_below(kHotKeys));
+          auto g = map.acquire(MapIntent::UpdateKey,
+                               static_cast<commute::Value>(key));
+          if (!map.contains_key(key)) map.put(key, key);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    std::printf("hold window over; snapshots written during hold: %u\n",
+                obs::snapshots_written() - before);
+  }
+  return 0;
+}

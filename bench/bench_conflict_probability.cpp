@@ -80,12 +80,17 @@ struct Row {
   double v8 = -1;  // only CIA reports V8
 };
 
-void print_row(const char* name, const Row& r) {
+// Prints the row and records it in the figures table (x = paper figure
+// number; V8 cells stay -1 where the paper has no V8 curve) for the
+// BENCH_conflict_probability.json artifact.
+void print_row(const char* name, double figure, const Row& r,
+               semlock::util::SeriesTable& figures) {
   std::printf("%-16s Ours=%6.2f%%  Global=%6.2f%%  2PL=%6.2f%%  "
               "Manual=%6.2f%%",
               name, r.ours, r.global, r.twopl, r.manual);
   if (r.v8 >= 0) std::printf("  V8=%6.2f%%", r.v8);
   std::printf("\n");
+  figures.add_row(figure, {r.ours, r.global, r.twopl, r.manual, r.v8});
 }
 
 template <typename SampleTxn>
@@ -115,6 +120,12 @@ int main() {
       "probability two concurrent transactions conflict (shape of "
       "Figs. 21-25)");
   util::Xoshiro256 rng(2026);
+  util::SeriesTable figures("figure", "conflict %");
+  figures.set_series({"ours", "global", "twopl", "manual", "v8"});
+  util::SeriesTable abl_values("abstract_values", "conflict %");
+  abl_values.set_series({"cia_ours"});
+  util::SeriesTable abl_modes("max_modes", "conflict %");
+  abl_modes.set_series({"graph_put_remove", "num_modes"});
 
   // --- Fig. 21 ComputeIfAbsent ----------------------------------------------
   {
@@ -136,7 +147,7 @@ int main() {
     // V8: two computeIfAbsent conflict iff the keys share a bucket stripe.
     const Row r = measure_conflicts(table, sample, rng, true,
                                     100.0 / static_cast<double>(kV8Stripes));
-    print_row("Fig21/CIA", r);
+    print_row("Fig21/CIA", 21, r, figures);
   }
 
   // --- Fig. 22 Graph ----------------------------------------------------------
@@ -185,7 +196,8 @@ int main() {
       }
       return t;
     };
-    print_row("Fig22/Graph", measure_conflicts(table, sample, rng));
+    print_row("Fig22/Graph", 22, measure_conflicts(table, sample, rng),
+              figures);
   }
 
   // --- Fig. 23 Cache ----------------------------------------------------------
@@ -210,7 +222,8 @@ int main() {
       t.manual = {static_cast<std::size_t>(k) % kManualStripes};
       return t;
     };
-    print_row("Fig23/Cache", measure_conflicts(eden, sample, rng));
+    print_row("Fig23/Cache", 23, measure_conflicts(eden, sample, rng),
+              figures);
   }
 
   // --- Fig. 24 Intruder -------------------------------------------------------
@@ -232,7 +245,8 @@ int main() {
       t.manual = {static_cast<std::size_t>(f) % kManualStripes};
       return t;
     };
-    print_row("Fig24/Intruder", measure_conflicts(table, sample, rng));
+    print_row("Fig24/Intruder", 24, measure_conflicts(table, sample, rng),
+              figures);
   }
 
   // --- Fig. 25 GossipRouter ---------------------------------------------------
@@ -272,7 +286,8 @@ int main() {
       }
       return t;
     };
-    print_row("Fig25/Gossip", measure_conflicts(group, sample, rng));
+    print_row("Fig25/Gossip", 25, measure_conflicts(group, sample, rng),
+              figures);
   }
 
   // --- Ablation: abstract-value count (phi range) on the CIA workload -------
@@ -296,6 +311,7 @@ int main() {
       }
     }
     std::printf("  n=%d: %.2f%%", n, 100.0 * conflicts / kPairs);
+    abl_values.add_row(n, {100.0 * conflicts / kPairs});
   }
   std::printf("\n");
 
@@ -332,6 +348,9 @@ int main() {
     }
     std::printf("  N=%d(modes=%d): %.3f%%", max_modes, table.num_modes(),
                 100.0 * conflicts / kEdgePairs);
+    abl_modes.add_row(max_modes,
+                      {100.0 * conflicts / kEdgePairs,
+                       static_cast<double>(table.num_modes())});
   }
   std::printf("\n");
 
@@ -339,5 +358,13 @@ int main() {
       "\nReading: ~0%% conflicts -> near-linear scaling on multicore "
       "hardware;\n~100%% -> serialized execution (flat or declining "
       "curves in the paper's figures).\n");
+
+  if (!write_bench_json("BENCH_conflict_probability.json",
+                        "conflict_probability",
+                        {{"figures", &figures},
+                         {"abstract_values_ablation", &abl_values},
+                         {"mode_bound_ablation", &abl_modes}})) {
+    return 1;
+  }
   return 0;
 }

@@ -24,6 +24,8 @@ enum class EventType : std::uint32_t {
   kUnlockAll = 9,      // transaction epilogue; mode field = instances released
   kWatchdogStall = 10, // StallWatchdog reported this (instance, mode) starved
   kMark = 11,          // harness/bench annotation; mode field = pass index
+  kAttribution = 12,   // classified contended wait; mode field = AttrClass
+                       // index (obs/attribution.h)
 };
 
 // Stable names for reports and the Chrome exporter.

@@ -1,4 +1,4 @@
-// Dump I/O and the two human-facing exporters. Format v1 is documented in
+// Dump I/O and the human-facing exporters. Format v2 is documented in
 // export.h; everything here is plain C stdio so the exporters work in the
 // stripped-down CLI as well as the runtime's exit path.
 #include "obs/export.h"
@@ -16,7 +16,7 @@ namespace semlock::obs {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
 // --- little binary writer/reader over stdio ---------------------------------
 
@@ -99,8 +99,15 @@ void write_metrics(Writer& w, const MetricsSnapshot& m) {
     w.u64(im.waits);
     w.u64(im.wait_ns);
     write_cells(w, im.blocked_by);
+    for (std::uint64_t c : im.attribution) w.u64(c);
   }
   write_cells(w, m.conflict_matrix);
+  w.u32(static_cast<std::uint32_t>(m.attribution.size()));
+  for (const AttributionCell& c : m.attribution) {
+    w.i32(c.waiter);
+    w.i32(c.holder);
+    for (std::uint64_t n : c.counts) w.u64(n);
+  }
   for (std::size_t i = 0; i < util::Log2Histogram::kBuckets; ++i) {
     w.u64(m.wait_hist.bucket(i));
   }
@@ -131,8 +138,17 @@ bool read_metrics(Reader& r, MetricsSnapshot& m) {
     im.waits = r.u64();
     im.wait_ns = r.u64();
     if (!read_cells(r, im.blocked_by)) return false;
+    for (std::uint64_t& c : im.attribution) c = r.u64();
   }
   if (!read_cells(r, m.conflict_matrix)) return false;
+  const std::uint32_t attr_cells = r.u32();
+  if (!r.ok || attr_cells > (1u << 24)) return false;
+  m.attribution.resize(attr_cells);
+  for (AttributionCell& c : m.attribution) {
+    c.waiter = r.i32();
+    c.holder = r.i32();
+    for (std::uint64_t& n : c.counts) n = r.u64();
+  }
   std::uint64_t buckets[util::Log2Histogram::kBuckets];
   for (std::uint64_t& b : buckets) b = r.u64();
   const std::uint64_t hist_total = r.u64();
@@ -426,6 +442,27 @@ std::string text_report(const TraceDump& dump) {
     out += buf;
   }
 
+  std::uint64_t attr_totals[kNumAttrClasses] = {};
+  std::uint64_t attr_sum = 0;
+  for (const AttributionCell& c : m.attribution) {
+    for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+      attr_totals[k] += c.counts[k];
+      attr_sum += c.counts[k];
+    }
+  }
+  if (attr_sum > 0) {
+    out += "\nwait attribution (see `semlock-trace attribution`):\n";
+    for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+      if (attr_totals[k] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  %-18s %" PRIu64 " (%.1f%%)\n",
+                    attr_class_name(static_cast<AttrClass>(k)),
+                    attr_totals[k],
+                    100.0 * static_cast<double>(attr_totals[k]) /
+                        static_cast<double>(attr_sum));
+      out += buf;
+    }
+  }
+
   out += "\nlongest waits:\n";
   if (m.top_waits.empty()) out += "  (none recorded)\n";
   for (const WaitSample& s : m.top_waits) {
@@ -446,6 +483,95 @@ std::string text_report(const TraceDump& dump) {
                       1e3);
     out += buf;
   }
+  return out;
+}
+
+// --- attribution report -----------------------------------------------------
+
+std::string attribution_report(const TraceDump& dump) {
+  char buf[256];
+  const MetricsSnapshot& m = dump.metrics;
+  std::string out =
+      "conflict attribution report\n===========================\n";
+
+  std::uint64_t totals[kNumAttrClasses] = {};
+  std::uint64_t sum = 0;
+  for (const AttributionCell& c : m.attribution) {
+    for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+      totals[k] += c.counts[k];
+      sum += c.counts[k];
+    }
+  }
+  if (sum == 0) {
+    out += "no classified waits (attribution off, or nothing contended)\n";
+    return out;
+  }
+
+  const std::uint64_t sampled =
+      sum - totals[static_cast<std::size_t>(AttrClass::kUnsampled)];
+  const std::uint64_t genuine =
+      totals[static_cast<std::size_t>(AttrClass::kTrueConflict)] +
+      totals[static_cast<std::size_t>(AttrClass::kSelfMode)];
+  const std::uint64_t artifact = sampled - genuine;
+  std::snprintf(buf, sizeof(buf),
+                "classified waits: %" PRIu64 " (+ %" PRIu64 " unsampled)\n"
+                "genuine semantic conflicts: %" PRIu64 " (%.1f%%)\n"
+                "abstraction artifacts:      %" PRIu64 " (%.1f%%)\n\n",
+                sampled,
+                totals[static_cast<std::size_t>(AttrClass::kUnsampled)],
+                genuine,
+                sampled > 0 ? 100.0 * static_cast<double>(genuine) /
+                                  static_cast<double>(sampled)
+                            : 0.0,
+                artifact,
+                sampled > 0 ? 100.0 * static_cast<double>(artifact) /
+                                  static_cast<double>(sampled)
+                            : 0.0);
+  out += buf;
+
+  out += "by class:\n";
+  for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+    if (totals[k] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-18s %" PRIu64 " (%.1f%%)\n",
+                  attr_class_name(static_cast<AttrClass>(k)), totals[k],
+                  100.0 * static_cast<double>(totals[k]) /
+                      static_cast<double>(sum));
+    out += buf;
+  }
+
+  out += "\nby mode pair (waiter blocked by holder):\n";
+  for (std::size_t i = 0; i < m.attribution.size() && i < 20; ++i) {
+    const AttributionCell& c = m.attribution[i];
+    std::snprintf(buf, sizeof(buf), "  mode %d <- mode %d: %" PRIu64 "\n",
+                  c.waiter, c.holder, c.total());
+    out += buf;
+    for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+      if (c.counts[k] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "    %-18s %" PRIu64 "\n",
+                    attr_class_name(static_cast<AttrClass>(k)), c.counts[k]);
+      out += buf;
+    }
+  }
+
+  out += "\nper instance:\n";
+  bool any_instance = false;
+  for (const InstanceMetrics& im : m.instances) {
+    std::uint64_t inst_sum = 0;
+    for (std::uint64_t c : im.attribution) inst_sum += c;
+    if (inst_sum == 0) continue;
+    any_instance = true;
+    std::snprintf(buf, sizeof(buf), "  0x%" PRIx64 ":", im.instance);
+    out += buf;
+    for (std::size_t k = 0; k < kNumAttrClasses; ++k) {
+      if (im.attribution[k] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  %s %" PRIu64,
+                    attr_class_key(static_cast<AttrClass>(k)),
+                    im.attribution[k]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  if (!any_instance) out += "  (none)\n";
   return out;
 }
 

@@ -3,12 +3,13 @@
 // report. Shared by the runtime's exit dump (trace.cpp) and the
 // tools/semlock-trace CLI, so both ends of the format live in one place.
 //
-// Binary dump format v1 (native endianness; produced and consumed on the
+// Binary dump format v2 (native endianness; produced and consumed on the
 // same machine):
 //   char[8]  magic "SLTRACE1"
-//   u32      version (1)
+//   u32      version (2)
 //   u32      thread count
-//   metrics section (MetricsSnapshot, see read/write below)
+//   metrics section (MetricsSnapshot, see read/write below; v2 adds the
+//   per-instance AttrClass tallies and the per-mode-pair attribution cells)
 //   per thread: u32 tid, u32 live, u64 event count,
 //               count * kEventWords u64 words (oldest event first)
 #pragma once
@@ -41,8 +42,13 @@ bool load_dump_file(const std::string& path, TraceDump& out,
 std::string to_chrome_json(const TraceDump& dump);
 
 // Plain-text report: event totals, top contended instances, hottest
-// non-commuting mode pairs, longest waits.
+// non-commuting mode pairs, longest waits, attribution summary.
 std::string text_report(const TraceDump& dump);
+
+// Attribution-focused text report: overall true-conflict vs. artifact
+// split, then the per-mode-pair breakdown by AttrClass. Backing for the
+// `semlock-trace attribution` command.
+std::string attribution_report(const TraceDump& dump);
 
 // Minimal structural JSON validator (strings/escapes/nesting/commas) used by
 // `semlock-trace check` so CI can validate the Chrome export without a JSON

@@ -61,6 +61,19 @@ void append_cells(std::string& out, const std::vector<BlockedByCell>& cells) {
   out += ']';
 }
 
+void append_attr_counts(std::string& out,
+                        const std::uint64_t (&counts)[kNumAttrClasses]) {
+  out += '{';
+  for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+    if (c > 0) out += ", ";
+    out += '"';
+    out += attr_class_key(static_cast<AttrClass>(c));
+    out += "\": ";
+    append_u64(out, counts[c]);
+  }
+  out += '}';
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::to_json() const {
@@ -94,11 +107,30 @@ std::string MetricsSnapshot::to_json() const {
     append_u64(out, m.wait_ns);
     out += ", \"blocked_by\": ";
     append_cells(out, m.blocked_by);
+    out += ", \"attribution\": ";
+    append_attr_counts(out, m.attribution);
     out += '}';
   }
   out += "], \"conflict_matrix\": ";
   append_cells(out, conflict_matrix);
-  out += ", \"wait_hist_ns\": ";
+  out += ", \"attribution\": [";
+  for (std::size_t i = 0; i < attribution.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributionCell& cell = attribution[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"waiter\": %d, \"holder\": %d, ",
+                  cell.waiter, cell.holder);
+    out += buf;
+    for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+      if (c > 0) out += ", ";
+      out += '"';
+      out += attr_class_key(static_cast<AttrClass>(c));
+      out += "\": ";
+      append_u64(out, cell.counts[c]);
+    }
+    out += '}';
+  }
+  out += "], \"wait_hist_ns\": ";
   out += wait_hist.to_json();
   out += ", \"top_waits\": [";
   for (std::size_t i = 0; i < top_waits.size(); ++i) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "semlock/acquire_stats.h"
 #include "util/stats.h"
 
@@ -34,6 +35,21 @@ struct BlockedByCell {
   std::uint64_t count = 0;
 };
 
+// One cell of the attribution matrix: classified contended waits for a
+// (waiter mode, holder mode) pair, broken down by AttrClass
+// (obs/attribution.h) — counts[c] indexes by AttrClass value.
+struct AttributionCell {
+  std::int32_t waiter = -1;
+  std::int32_t holder = -1;
+  std::uint64_t counts[kNumAttrClasses] = {};
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts) sum += c;
+    return sum;
+  }
+};
+
 // Per-ADT-instance contention record; `instance` is the LockMechanism
 // address (the same id the trace events carry).
 struct InstanceMetrics {
@@ -42,6 +58,9 @@ struct InstanceMetrics {
   std::uint64_t waits = 0;      // completed contended acquisitions
   std::uint64_t wait_ns = 0;    // total contended wait wall time
   std::vector<BlockedByCell> blocked_by;
+  // Classified waits by AttrClass (indexes by AttrClass value; all zero
+  // when attribution was off or nothing contended).
+  std::uint64_t attribution[kNumAttrClasses] = {};
 };
 
 // One of the longest individual waits observed.
@@ -70,6 +89,7 @@ struct MetricsSnapshot {
   AcquireStats acquire_totals;               // exact cross-thread sums
   std::vector<InstanceMetrics> instances;    // sorted by contended, desc
   std::vector<BlockedByCell> conflict_matrix;  // summed across instances
+  std::vector<AttributionCell> attribution;  // per mode pair, busiest first
   util::Log2Histogram wait_hist;             // contended wait latencies, ns
   std::vector<WaitSample> top_waits;         // descending
 

@@ -20,6 +20,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +31,9 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
+#include "obs/attribution.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/ring.h"
@@ -52,6 +56,7 @@ const char* event_name(EventType type) noexcept {
     case EventType::kUnlockAll: return "unlock_all";
     case EventType::kWatchdogStall: return "watchdog_stall";
     case EventType::kMark: return "mark";
+    case EventType::kAttribution: return "attribution";
   }
   return "unknown";
 }
@@ -84,11 +89,16 @@ struct InstanceAccum {
   std::uint64_t waits = 0;
   std::uint64_t wait_ns = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> blocked_by;
+  std::uint64_t attr_classes[kNumAttrClasses] = {};
 };
+
+using AttrCounts = std::array<std::uint64_t, kNumAttrClasses>;
 
 // The slow-path accumulators, guarded by ThreadState::metrics_lock.
 struct MetricsAccum {
   std::unordered_map<std::uint64_t, InstanceAccum> instances;
+  // (waiter mode, holder mode) -> per-AttrClass counts of classified waits.
+  std::unordered_map<std::uint64_t, AttrCounts> attr_pairs;
   util::Log2Histogram wait_hist;
   TopWaits top_waits;
 
@@ -99,6 +109,13 @@ struct MetricsAccum {
       dst.waits += acc.waits;
       dst.wait_ns += acc.wait_ns;
       for (const auto& [pair, n] : acc.blocked_by) dst.blocked_by[pair] += n;
+      for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+        dst.attr_classes[c] += acc.attr_classes[c];
+      }
+    }
+    for (const auto& [pair, counts] : attr_pairs) {
+      AttrCounts& dst = out.attr_pairs[pair];
+      for (std::size_t c = 0; c < kNumAttrClasses; ++c) dst[c] += counts[c];
     }
     out.wait_hist.merge(wait_hist);
     out.top_waits.merge(top_waits);
@@ -209,6 +226,9 @@ class Registry {
       im.contended = acc.contended;
       im.waits = acc.waits;
       im.wait_ns = acc.wait_ns;
+      for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+        im.attribution[c] = acc.attr_classes[c];
+      }
       for (const auto& [pair, n] : acc.blocked_by) {
         im.blocked_by.push_back(BlockedByCell{
             static_cast<std::int32_t>(pair >> 32),
@@ -234,6 +254,23 @@ class Registry {
     std::sort(snap.conflict_matrix.begin(), snap.conflict_matrix.end(),
               [](const BlockedByCell& a, const BlockedByCell& b) {
                 return a.count != b.count ? a.count > b.count
+                       : a.waiter != b.waiter ? a.waiter < b.waiter
+                                              : a.holder < b.holder;
+              });
+    for (const auto& [pair, counts] : merged.attr_pairs) {
+      AttributionCell cell;
+      cell.waiter = static_cast<std::int32_t>(pair >> 32);
+      cell.holder = static_cast<std::int32_t>(static_cast<std::uint32_t>(pair));
+      for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+        cell.counts[c] = counts[c];
+      }
+      snap.attribution.push_back(cell);
+    }
+    std::sort(snap.attribution.begin(), snap.attribution.end(),
+              [](const AttributionCell& a, const AttributionCell& b) {
+                const std::uint64_t ta = a.total();
+                const std::uint64_t tb = b.total();
+                return ta != tb ? ta > tb
                        : a.waiter != b.waiter ? a.waiter < b.waiter
                                               : a.holder < b.holder;
               });
@@ -347,6 +384,46 @@ void set_ring_capacity(std::uint32_t events) noexcept {
 
 // --- emission ---------------------------------------------------------------
 
+namespace {
+
+// Pending vs. claimed snapshot requests. The signal handler only increments
+// g_snapshot_requests (async-signal-safe); emit() — which runs only on
+// tracing threads, outside any obs lock — notices the gap and drains it.
+std::atomic<std::uint32_t> g_snapshot_requests{0};
+std::atomic<std::uint32_t> g_snapshot_claims{0};
+std::atomic<std::uint32_t> g_snapshots_written{0};
+
+void drain_snapshot_requests() {
+  for (;;) {
+    const std::uint32_t pending =
+        g_snapshot_requests.load(std::memory_order_acquire);
+    std::uint32_t claimed = g_snapshot_claims.load(std::memory_order_relaxed);
+    if (claimed >= pending) return;
+    if (!g_snapshot_claims.compare_exchange_strong(
+            claimed, claimed + 1, std::memory_order_acq_rel)) {
+      continue;  // another thread took this request
+    }
+    const std::uint32_t n =
+        g_snapshots_written.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::string base = Registry::instance().dump_path();
+    if (base.empty()) base = kDefaultTraceFile;
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".snap%u", n);
+    const std::string path = base + suffix;
+    if (!write_dump(path)) continue;
+    const std::string json = collect_metrics().to_json();
+    const std::string jpath = path + ".metrics.json";
+    if (std::FILE* f = std::fopen(jpath.c_str(), "wb")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+    std::fprintf(stderr, "[semlock] snapshot %u written to %s (+%s)\n", n,
+                 path.c_str(), jpath.c_str());
+  }
+}
+
+}  // namespace
+
 void emit(EventType type, const void* instance, int mode) {
   ThreadState& ts = thread_state();
   EventRing* ring = ts.ring.load(std::memory_order_relaxed);
@@ -361,9 +438,21 @@ void emit(EventType type, const void* instance, int mode) {
   e.type = type;
   e.mode = mode;
   ring->append(e);
+  // The lock-path poll point for on-demand snapshots: any tracing thread
+  // between events (never inside an obs lock) claims pending requests.
+  if (g_snapshot_requests.load(std::memory_order_relaxed) !=
+      g_snapshot_claims.load(std::memory_order_relaxed)) [[unlikely]] {
+    drain_snapshot_requests();
+  }
 }
 
 AcquireStats& thread_acquire_stats() { return thread_state().stats; }
+
+std::uint64_t current_owner_id() noexcept {
+  const std::uint64_t txn = detail::txn_tls().id;
+  if (txn != 0) return txn;
+  return 0x8000000000000000ull | thread_state().tid;
+}
 
 void record_blocked_by(const void* instance, int waiter_mode,
                        int holder_mode) {
@@ -386,6 +475,17 @@ void record_wait(const void* instance, int mode, std::uint64_t wait_ns) {
   ts.metrics.top_waits.add(WaitSample{
       wait_ns, reinterpret_cast<std::uint64_t>(instance),
       static_cast<std::int32_t>(mode)});
+}
+
+void record_attribution_tally(const void* instance, int waiter_mode,
+                              int holder_mode, std::uint32_t attr_class) {
+  if (attr_class >= kNumAttrClasses) return;
+  ThreadState& ts = thread_state();
+  std::lock_guard<util::Spinlock> g(ts.metrics_lock);
+  InstanceAccum& acc =
+      ts.metrics.instances[reinterpret_cast<std::uint64_t>(instance)];
+  acc.attr_classes[attr_class] += 1;
+  ts.metrics.attr_pairs[pack_pair(waiter_mode, holder_mode)][attr_class] += 1;
 }
 
 // --- snapshots and dumps ----------------------------------------------------
@@ -499,11 +599,42 @@ bool write_dump(const std::string& path) {
   return true;
 }
 
+// --- on-demand snapshots ----------------------------------------------------
+
+void request_snapshot() noexcept {
+  // Only the increment — everything else (file I/O, locks, allocation)
+  // happens at the next emit() poll point, never in the signal handler.
+  g_snapshot_requests.fetch_add(1, std::memory_order_release);
+}
+
+namespace {
+extern "C" void snapshot_signal_handler(int) { request_snapshot(); }
+}  // namespace
+
+void install_snapshot_signal_handler() noexcept {
+#if defined(SIGUSR1)
+  std::signal(SIGUSR1, &snapshot_signal_handler);
+#endif
+}
+
+std::uint32_t snapshots_written() noexcept {
+  return g_snapshots_written.load(std::memory_order_relaxed);
+}
+
+void set_trace_file(const std::string& path) {
+  Registry::instance().set_dump_path(path);
+}
+
 void reset_for_test() {
   Registry::instance().reset(&thread_state());
   detail::g_next_txn.store(0, std::memory_order_relaxed);
   detail::txn_tls().id = 0;
   detail::txn_tls().depth = 0;
+  // Drop un-drained snapshot requests (the written count stays monotonic so
+  // earlier files are never overwritten) and the executed-ops evidence.
+  g_snapshot_claims.store(g_snapshot_requests.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  reset_executed_ops();
 }
 
 // --- process startup / exit -------------------------------------------------
@@ -530,6 +661,7 @@ struct TraceRuntimeInit {
     if (cfg.enabled) {
       Registry::instance().set_dump_path(cfg.file);
       set_runtime_enabled(true);
+      install_snapshot_signal_handler();
       std::atexit(&dump_at_exit);
     }
   }

@@ -21,6 +21,14 @@
 //   SEMLOCK_TRACE_EVENTS=N   per-thread ring capacity in events, rounded up
 //                            to a power of two (default 8192, range
 //                            64..4194304).
+//   SEMLOCK_ATTRIBUTION=0|1, SEMLOCK_ATTRIBUTION_SAMPLE=N
+//                            conflict-attribution knobs (obs/attribution.h).
+//
+// On-demand snapshots: SIGUSR1 (installed when SEMLOCK_TRACE=1) sets an
+// async-signal-safe counter that the next emit() on any tracing thread
+// drains by writing "<trace file>.snapN" plus a ".snapN.metrics.json"
+// sidecar — a long bench or server can be inspected mid-run without waiting
+// for the atexit dump.
 #pragma once
 
 #include <atomic>
@@ -113,6 +121,11 @@ inline void txn_end() noexcept {
 
 inline std::uint64_t current_txn() noexcept { return detail::txn_tls().id; }
 
+// Identity of the caller for attribution records: the open transaction id,
+// or (outside any transaction) the thread's obs tid with the top bit set so
+// the two id spaces never collide.
+std::uint64_t current_owner_id() noexcept;
+
 // --- emission (callers gate: LockMechanism on its cached trace_events flag,
 // --- process-level sites on runtime_enabled()) ------------------------------
 
@@ -127,6 +140,11 @@ AcquireStats& thread_acquire_stats();
 void record_blocked_by(const void* instance, int waiter_mode,
                        int holder_mode);
 void record_wait(const void* instance, int mode, std::uint64_t wait_ns);
+// One classified contended wait (attr_class is an obs::AttrClass index);
+// folded into the per-instance and per-mode-pair attribution tallies of
+// MetricsSnapshot. Called by obs::record_attribution (obs/attribution.h).
+void record_attribution_tally(const void* instance, int waiter_mode,
+                              int holder_mode, std::uint32_t attr_class);
 
 // --- snapshots and dumps ----------------------------------------------------
 
@@ -151,6 +169,26 @@ std::string stall_forensics(
 // Writes the binary trace dump (events + metrics; format in export.h) to
 // `path`. Returns false (with a stderr line) on I/O failure.
 bool write_dump(const std::string& path);
+
+// --- on-demand mid-run snapshots --------------------------------------------
+
+// Async-signal-safe: bumps the pending-snapshot counter. The next emit() on
+// any tracing thread claims it and writes "<trace file>.snapN" (binary dump)
+// plus "<trace file>.snapN.metrics.json". SIGUSR1 calls this when the
+// handler is installed.
+void request_snapshot() noexcept;
+
+// Installs the SIGUSR1 -> request_snapshot() handler. Done automatically at
+// startup when SEMLOCK_TRACE=1; tests and benches that enable tracing via
+// ScopedTraceEnable call it themselves.
+void install_snapshot_signal_handler() noexcept;
+
+// Number of snapshot files written so far (monotonic across the process).
+std::uint32_t snapshots_written() noexcept;
+
+// Sets the base path snapshots (and the atexit dump, when enabled) derive
+// their names from. Overrides SEMLOCK_TRACE_FILE.
+void set_trace_file(const std::string& path);
 
 // Test hook: drops retired-thread data, zeroes the folded global totals and
 // the calling thread's own ring/stats/accumulators, and resets the txn

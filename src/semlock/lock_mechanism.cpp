@@ -7,6 +7,7 @@
 #include "util/align.h"
 
 #if defined(SEMLOCK_OBS)
+#include "obs/attribution.h"
 #include "obs/trace.h"
 // Mechanism-level trace hook: gated on this mechanism's cached
 // ModeTableConfig::trace_events flag (trace_), not the global switch, so
@@ -17,8 +18,23 @@
       ::semlock::obs::emit(::semlock::obs::EventType::type, this,    \
                            (mode));                                  \
   } while (0)
+// Grant hook for the conflict-attribution profiler: refresh the mode's
+// last-acquirer record with this caller's identity and concrete argument
+// values. Same trace_ gate as LM_OBS_EVENT, so the traced-off cost stays one
+// predictable branch.
+#define LM_ATTR_GRANT(mode, args)                                    \
+  do {                                                               \
+    if (trace_) [[unlikely]] {                                       \
+      if (attr_records_ != nullptr && obs::attribution_enabled()) {  \
+        obs::attr_record_grant(                                      \
+            attr_records_[static_cast<std::size_t>(mode)],           \
+            obs::current_owner_id(), (args));                        \
+      }                                                              \
+    }                                                                \
+  } while (0)
 #else
 #define LM_OBS_EVENT(type, mode) ((void)0)
+#define LM_ATTR_GRANT(mode, args) ((void)0)
 #endif
 
 namespace semlock {
@@ -115,7 +131,16 @@ LockMechanism::LockMechanism(const ModeTable& table)
           rows, static_cast<std::uint32_t>(table.config().counter_stripes));
     }
   }
+#if defined(SEMLOCK_OBS)
+  if (trace_) {
+    attr_records_ = std::make_unique<obs::AttrRecord[]>(
+        static_cast<std::size_t>(table.num_modes()));
+  }
+#endif
 }
+
+// Out of line: obs::AttrRecord is incomplete in the header.
+LockMechanism::~LockMechanism() = default;
 
 std::uint32_t LockMechanism::holder_count(int mode,
                                           std::memory_order order) const {
@@ -205,7 +230,7 @@ bool LockMechanism::announce_validate(int mode, int partition,
   return false;
 }
 
-void LockMechanism::lock(int mode) {
+void LockMechanism::lock(int mode, const LockSiteArgs* args) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
@@ -222,11 +247,12 @@ void LockMechanism::lock(int mode) {
       if (announce_validate(mode, partition, stats)) {
         ++stats.optimistic_hits;
         LM_OBS_EVENT(kOptimisticHit, mode);
+        LM_ATTR_GRANT(mode, args);
         return;
       }
       backoff_pause(attempt);
     }
-    lock_contended(mode, partition, internal, stats);
+    lock_contended(mode, partition, internal, stats, args);
     return;
   }
   // Historical arbitrated path (optimistic_acquire off): check-then-
@@ -239,16 +265,18 @@ void LockMechanism::lock(int mode) {
       increment(mode);
       internal.unlock();
       LM_OBS_EVENT(kAcquireGrant, mode);
+      LM_ATTR_GRANT(mode, args);
       return;
     }
     internal.unlock();
   }
-  lock_contended(mode, partition, internal, stats);
+  lock_contended(mode, partition, internal, stats, args);
 }
 
 void LockMechanism::lock_contended(int mode, int partition,
                                    util::Spinlock& internal,
-                                   AcquireStats& stats) {
+                                   AcquireStats& stats,
+                                   const LockSiteArgs* args) {
   ++stats.contended;
   LM_OBS_EVENT(kContendedWait, mode);
 #if defined(SEMLOCK_OBS)
@@ -256,9 +284,20 @@ void LockMechanism::lock_contended(int mode, int partition,
     // Sample the blocked-by conflict matrix: which non-commuting modes were
     // actually held when this waiter gave up on the fast path. The walk is
     // over conflicts_of(mode) only, so commuting pairs can never appear.
+    // When attribution is on (and this wait drew a sample), also classify
+    // the wait against each blocking mode's last-acquirer record: true
+    // semantic conflict, or which abstraction artifact (obs/attribution.h).
+    const bool classify = attr_records_ != nullptr &&
+                          obs::attribution_enabled() &&
+                          obs::attribution_should_sample();
     for (const std::int32_t other : table_->conflicts_of(mode)) {
       if (holder_count(other, std::memory_order_acquire) > 0) {
         obs::record_blocked_by(this, mode, other);
+        if (classify) {
+          obs::record_attribution(
+              this, *table_, mode, args, other,
+              &attr_records_[static_cast<std::size_t>(other)]);
+        }
       }
     }
   }
@@ -292,6 +331,7 @@ void LockMechanism::lock_contended(int mode, int partition,
         stats.wait_ns += waited;
         stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
         LM_OBS_EVENT(kAcquireGrant, mode);
+        LM_ATTR_GRANT(mode, args);
 #if defined(SEMLOCK_OBS)
         if (trace_) obs::record_wait(this, mode, waited);
 #endif
@@ -324,7 +364,7 @@ void LockMechanism::lock_contended(int mode, int partition,
   }
 }
 
-bool LockMechanism::try_lock(int mode) {
+bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
@@ -348,11 +388,15 @@ bool LockMechanism::try_lock(int mode) {
       if (ok) {
         ++stats.optimistic_hits;
         LM_OBS_EVENT(kOptimisticHit, mode);
+        LM_ATTR_GRANT(mode, args);
       } else {
         internal.lock();
         ok = announce_validate(mode, partition, stats);
         internal.unlock();
-        if (ok) LM_OBS_EVENT(kAcquireGrant, mode);
+        if (ok) {
+          LM_OBS_EVENT(kAcquireGrant, mode);
+          LM_ATTR_GRANT(mode, args);
+        }
       }
     } else {
       internal.lock();
@@ -362,7 +406,10 @@ bool LockMechanism::try_lock(int mode) {
         increment(mode);
       }
       internal.unlock();
-      if (ok) LM_OBS_EVENT(kAcquireGrant, mode);
+      if (ok) {
+        LM_OBS_EVENT(kAcquireGrant, mode);
+        LM_ATTR_GRANT(mode, args);
+      }
     }
   }
   if (!ok) {

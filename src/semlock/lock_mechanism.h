@@ -37,8 +37,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "commute/value.h"
 #include "runtime/parking_lot.h"
 #include "runtime/wait_policy.h"
 #include "semlock/acquire_stats.h"
@@ -47,6 +49,29 @@
 #include "util/striped_counter.h"
 
 namespace semlock {
+
+#if defined(SEMLOCK_OBS)
+namespace obs {
+struct AttrRecord;
+}  // namespace obs
+#endif
+
+// Optional call-site context for an acquisition, used by the conflict-
+// attribution profiler (src/obs/attribution.h): the mode table's lock site
+// and the concrete argument values the site was resolved against. `values`
+// must stay alive for the duration of the lock()/try_lock() call (callers
+// pass their own argument storage). `logical_instance`, when nonzero,
+// identifies the logical ADT instance within a coarser physical lock — a
+// caller multiplexing several logical maps behind one mechanism (the §3.4
+// global-wrapper collapse) tags each with a distinct id so waits between
+// different logical instances can be attributed to wrapper coarsening.
+// Plain data with no obs dependency; passing it costs nothing when
+// attribution is off.
+struct LockSiteArgs {
+  std::int32_t site = -1;
+  std::span<const commute::Value> values;
+  std::uint64_t logical_instance = 0;
+};
 
 // Counted RAII acquisition of any BasicLockable with try_lock — used by the
 // Manual baselines so the contention benchmark observes every strategy
@@ -93,18 +118,22 @@ class LockMechanism {
   // `table` must outlive the mechanism; it is shared by all instances of the
   // same (ADT class, pointer class).
   explicit LockMechanism(const ModeTable& table);
+  ~LockMechanism();
 
   LockMechanism(const LockMechanism&) = delete;
   LockMechanism& operator=(const LockMechanism&) = delete;
 
   // Blocks until no other transaction holds a mode conflicting with `mode`,
-  // then registers the caller as a holder. (Fig. 20 `lock`.)
-  void lock(int mode);
+  // then registers the caller as a holder. (Fig. 20 `lock`.) `args`, when
+  // given, carries the call site's concrete argument values for the
+  // conflict-attribution profiler; it is ignored unless this mechanism is
+  // traced and attribution is on.
+  void lock(int mode, const LockSiteArgs* args = nullptr);
 
   // Non-blocking variant: returns false instead of waiting. Honors the same
   // fast-path pre-check knob as lock() and charges refused attempts to the
   // contended/wait counters.
-  bool try_lock(int mode);
+  bool try_lock(int mode, const LockSiteArgs* args = nullptr);
 
   // Releases one hold on `mode` and, when that was the mode's last hold,
   // wakes the waiters parked on its conflict partition. (Fig. 20 `unlock`.)
@@ -162,7 +191,7 @@ class LockMechanism {
   // The wait loop: spins, yields or parks per the table's wait policy until
   // the mode is acquired. Split out so the uncontended path stays small.
   void lock_contended(int mode, int partition, util::Spinlock& internal,
-                      AcquireStats& stats);
+                      AcquireStats& stats, const LockSiteArgs* args);
 
   std::atomic<std::uint32_t>& counter(int mode) {
     return *reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -192,6 +221,13 @@ class LockMechanism {
   bool can_park_;
   bool optimistic_;
   bool trace_;
+#if defined(SEMLOCK_OBS)
+  // One seqlock-protected last-acquirer record per mode, allocated only when
+  // this mechanism traces (nullptr otherwise). Written at every grant that
+  // carries LockSiteArgs; read by the attribution classifier when a waiter
+  // blocks against the mode. (src/obs/attribution.h.)
+  std::unique_ptr<obs::AttrRecord[]> attr_records_;
+#endif
 };
 
 }  // namespace semlock

@@ -27,6 +27,25 @@
 #include "commute/symbolic.h"
 #include "semlock/semantic_lock.h"
 
+#if defined(SEMLOCK_OBS)
+#include "obs/attribution.h"
+#include "obs/trace.h"
+// Executed-op note for the conflict-attribution profiler's MODE_OVERAPPROX
+// class: each data-method call records its method bit against (mechanism,
+// caller identity), so the classifier can tell which of the locked mode's
+// ops the blocking transaction actually executed on this instance. Gated
+// exactly like the lock path: traced mechanism + attribution on.
+#define SEMLOCK_ADT_NOTE(midx)                                           \
+  do {                                                                   \
+    if (lock_.mechanism().traced() && obs::attribution_enabled()) {      \
+      obs::note_executed_op(&lock_.mechanism(), obs::current_owner_id(), \
+                            (midx));                                     \
+    }                                                                    \
+  } while (0)
+#else
+#define SEMLOCK_ADT_NOTE(midx) ((void)0)
+#endif
+
 namespace semlock {
 
 // RAII hold on one acquired mode. Movable, not copyable.
@@ -91,7 +110,16 @@ class SemMap {
       : table_(make_table(abstract_values)),
         constant_mode_(detail::memoize_constant_sites<4>(table_)),
         lock_(table_),
-        map_(num_stripes) {}
+        map_(num_stripes) {
+#if defined(SEMLOCK_OBS)
+    midx_get_ = table_.spec().method_index("get");
+    midx_contains_ = table_.spec().method_index("containsKey");
+    midx_put_ = table_.spec().method_index("put");
+    midx_remove_ = table_.spec().method_index("remove");
+    midx_size_ = table_.spec().method_index("size");
+    midx_clear_ = table_.spec().method_index("clear");
+#endif
+  }
 
   // `key_id` is the abstraction key for keyed intents (usually the key
   // itself when K is integral); ignored for Exclusive.
@@ -99,7 +127,8 @@ class SemMap {
     const int site = static_cast<int>(intent);
     const int memo = constant_mode_[static_cast<std::size_t>(site)];
     if (memo >= 0) {
-      lock_.lock(memo);
+      const LockSiteArgs args{site, {}, 0};
+      lock_.lock(memo, &args);
       return ModeGuard(&lock_, memo);
     }
     const commute::Value vals[1] = {key_id};
@@ -109,15 +138,34 @@ class SemMap {
   }
 
   // Standard API — call only while holding a covering guard.
-  std::optional<V> get(const K& k) const { return map_.get(k); }
-  bool contains_key(const K& k) const { return map_.contains_key(k); }
-  bool put(const K& k, V v) { return map_.put(k, std::move(v)); }
+  std::optional<V> get(const K& k) const {
+    SEMLOCK_ADT_NOTE(midx_get_);
+    return map_.get(k);
+  }
+  bool contains_key(const K& k) const {
+    SEMLOCK_ADT_NOTE(midx_contains_);
+    return map_.contains_key(k);
+  }
+  bool put(const K& k, V v) {
+    SEMLOCK_ADT_NOTE(midx_put_);
+    return map_.put(k, std::move(v));
+  }
   bool put_if_absent(const K& k, V v) {
+    SEMLOCK_ADT_NOTE(midx_put_);
     return map_.put_if_absent(k, std::move(v));
   }
-  bool remove(const K& k) { return map_.remove(k); }
-  std::size_t size() const { return map_.size(); }
-  void clear() { map_.clear(); }
+  bool remove(const K& k) {
+    SEMLOCK_ADT_NOTE(midx_remove_);
+    return map_.remove(k);
+  }
+  std::size_t size() const {
+    SEMLOCK_ADT_NOTE(midx_size_);
+    return map_.size();
+  }
+  void clear() {
+    SEMLOCK_ADT_NOTE(midx_clear_);
+    map_.clear();
+  }
 
   const ModeTable& mode_table() const { return table_; }
 
@@ -149,6 +197,15 @@ class SemMap {
   std::array<int, 4> constant_mode_;
   SemanticLock lock_;
   adt::StripedHashMap<K, V, Hash> map_;
+#if defined(SEMLOCK_OBS)
+  // Memoized AdtSpec method indices for the executed-op notes.
+  int midx_get_ = -1;
+  int midx_contains_ = -1;
+  int midx_put_ = -1;
+  int midx_remove_ = -1;
+  int midx_size_ = -1;
+  int midx_clear_ = -1;
+#endif
 };
 
 enum class SetIntent {
@@ -165,13 +222,22 @@ class SemSet {
       : table_(make_table(abstract_values)),
         constant_mode_(detail::memoize_constant_sites<4>(table_)),
         lock_(table_),
-        set_(num_stripes) {}
+        set_(num_stripes) {
+#if defined(SEMLOCK_OBS)
+    midx_add_ = table_.spec().method_index("add");
+    midx_remove_ = table_.spec().method_index("remove");
+    midx_contains_ = table_.spec().method_index("contains");
+    midx_size_ = table_.spec().method_index("size");
+    midx_clear_ = table_.spec().method_index("clear");
+#endif
+  }
 
   ModeGuard acquire(SetIntent intent, commute::Value elem_id = 0) {
     const int site = static_cast<int>(intent);
     const int memo = constant_mode_[static_cast<std::size_t>(site)];
     if (memo >= 0) {
-      lock_.lock(memo);
+      const LockSiteArgs args{site, {}, 0};
+      lock_.lock(memo, &args);
       return ModeGuard(&lock_, memo);
     }
     const commute::Value vals[1] = {elem_id};
@@ -180,11 +246,26 @@ class SemSet {
     return ModeGuard(&lock_, mode);
   }
 
-  bool add(const K& k) { return set_.add(k); }
-  bool remove(const K& k) { return set_.remove(k); }
-  bool contains(const K& k) const { return set_.contains(k); }
-  std::size_t size() const { return set_.size(); }
-  void clear() { set_.clear(); }
+  bool add(const K& k) {
+    SEMLOCK_ADT_NOTE(midx_add_);
+    return set_.add(k);
+  }
+  bool remove(const K& k) {
+    SEMLOCK_ADT_NOTE(midx_remove_);
+    return set_.remove(k);
+  }
+  bool contains(const K& k) const {
+    SEMLOCK_ADT_NOTE(midx_contains_);
+    return set_.contains(k);
+  }
+  std::size_t size() const {
+    SEMLOCK_ADT_NOTE(midx_size_);
+    return set_.size();
+  }
+  void clear() {
+    SEMLOCK_ADT_NOTE(midx_clear_);
+    set_.clear();
+  }
 
   const ModeTable& mode_table() const { return table_; }
 
@@ -212,6 +293,13 @@ class SemSet {
   std::array<int, 4> constant_mode_;
   SemanticLock lock_;
   adt::StripedHashSet<K, Hash> set_;
+#if defined(SEMLOCK_OBS)
+  int midx_add_ = -1;
+  int midx_remove_ = -1;
+  int midx_contains_ = -1;
+  int midx_size_ = -1;
+  int midx_clear_ = -1;
+#endif
 };
 
 enum class PoolIntent {
@@ -231,7 +319,8 @@ class SemPool {
     // Both Pool sites are constant, so the memo always hits.
     const int mode =
         constant_mode_[static_cast<std::size_t>(static_cast<int>(intent))];
-    lock_.lock(mode);
+    const LockSiteArgs args{static_cast<int>(intent), {}, 0};
+    lock_.lock(mode, &args);
     return ModeGuard(&lock_, mode);
   }
 
@@ -262,3 +351,5 @@ class SemPool {
 };
 
 }  // namespace semlock
+
+#undef SEMLOCK_ADT_NOTE

@@ -22,17 +22,24 @@ class SemanticLock {
 
   // Resolves lock site `site` under the runtime `values` of its symbolic
   // variables and acquires the resulting mode. Returns the mode id, which
-  // the caller passes back to unlock (or hands to a Transaction).
+  // the caller passes back to unlock (or hands to a Transaction). The
+  // (site, values) context rides along for the conflict-attribution
+  // profiler; it costs nothing when attribution is off.
   int lock_site(int site, std::span<const commute::Value> values) {
     const int mode = table().resolve(site, values);
-    mechanism_.lock(mode);
+    const LockSiteArgs args{site, values, 0};
+    mechanism_.lock(mode, &args);
     return mode;
   }
 
   // Direct mode-level interface (used when the mode is known statically,
   // i.e. constant symbolic sets).
-  void lock(int mode) { mechanism_.lock(mode); }
-  bool try_lock(int mode) { return mechanism_.try_lock(mode); }
+  void lock(int mode, const LockSiteArgs* args = nullptr) {
+    mechanism_.lock(mode, args);
+  }
+  bool try_lock(int mode, const LockSiteArgs* args = nullptr) {
+    return mechanism_.try_lock(mode, args);
+  }
   void unlock(int mode) { mechanism_.unlock(mode); }
 
   std::uint32_t holders(int mode) const { return mechanism_.holders(mode); }

@@ -9,6 +9,7 @@
 #include <string>
 
 #if defined(SEMLOCK_OBS)
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #endif
 #include "runtime/stall_watchdog.h"
@@ -267,6 +268,57 @@ TEST(TraceEnv, FileAcceptsAnyNonEmptyPathRejectsEmpty) {
     EXPECT_EQ(obs::trace_file_from_env_text(""), obs::kDefaultTraceFile);
   });
   EXPECT_NE(err2.find("SEMLOCK_TRACE_FILE=\"\""), std::string::npos) << err2;
+}
+TEST(AttributionEnv, EnabledAcceptsExactlyZeroAndOne) {
+  const std::string err = captured_stderr([] {
+    EXPECT_TRUE(obs::attribution_enabled_from_env_text("1"));
+    EXPECT_FALSE(obs::attribution_enabled_from_env_text("0"));
+    // Unset: attribution ON, silently — it only costs anything while the
+    // mechanism is traced, which is itself opt-in.
+    EXPECT_TRUE(obs::attribution_enabled_from_env_text(nullptr));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(AttributionEnv, EnabledMalformedWarnsAndStaysOn) {
+  for (const char* bad : {"true", "yes", "2", "-1", "01", "1x", ""}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_TRUE(obs::attribution_enabled_from_env_text(bad));
+    });
+    EXPECT_NE(err.find("SEMLOCK_ATTRIBUTION=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("attribution on"), std::string::npos) << err;
+  }
+}
+
+TEST(AttributionEnv, SampleParsesAndBoundsRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(obs::attribution_sample_from_env_text("1"), 1u);
+    EXPECT_EQ(obs::attribution_sample_from_env_text("16"), 16u);
+    EXPECT_EQ(obs::attribution_sample_from_env_text("1048576"), 1048576u);
+    // Unset: classify every contended wait, silently.
+    EXPECT_EQ(obs::attribution_sample_from_env_text(nullptr), 1u);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(AttributionEnv, SampleMalformedWarnsAndFallsBack) {
+  // Zero would mean "never sample" under a naive mod; it is out of range
+  // and falls back to 1 like every other malformed value.
+  for (const char* bad : {"garbage", "0", "-1", "1048577", "16x", "",
+                          "99999999999999999999999999"}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(obs::attribution_sample_from_env_text(bad), 1u)
+          << "value: " << bad;
+    });
+    EXPECT_NE(
+        err.find("SEMLOCK_ATTRIBUTION_SAMPLE=\"" + std::string(bad) + "\""),
+        std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("classifying every contended wait"), std::string::npos)
+        << err;
+  }
 }
 #endif  // SEMLOCK_OBS
 

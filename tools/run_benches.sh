@@ -34,4 +34,18 @@ echo "=== bench_contention -> BENCH_contention.json ==="
 echo "=== bench_oversubscription -> BENCH_oversubscription.json ==="
 "${BUILD_DIR}/bench/bench_oversubscription"
 
-echo "done: BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json"
+echo "=== bench_conflict_probability -> BENCH_conflict_probability.json ==="
+"${BUILD_DIR}/bench/bench_conflict_probability"
+
+DONE="BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json \
+BENCH_conflict_probability.json"
+
+# Attribution sweep: built only when the observability layer is in
+# (SEMLOCK_OBS=ON, the default).
+if [[ -x "${BUILD_DIR}/bench/bench_attribution_sweep" ]]; then
+  echo "=== bench_attribution_sweep -> BENCH_attribution.json ==="
+  "${BUILD_DIR}/bench/bench_attribution_sweep"
+  DONE="${DONE} BENCH_attribution.json"
+fi
+
+echo "done: ${DONE}"

@@ -11,6 +11,10 @@
 //                                             longest waits.
 //   semlock-trace metrics <dump>              the embedded metrics snapshot
 //                                             as JSON.
+//   semlock-trace attribution <dump>          conflict-attribution report:
+//                                             true semantic conflicts vs.
+//                                             abstraction artifacts, by
+//                                             class / mode pair / instance.
 //   semlock-trace check   <file.json>         structural JSON validation
 //                                             (exit 0/1); CI runs this on
 //                                             the chrome export.
@@ -27,6 +31,7 @@ int usage() {
                "usage: semlock-trace chrome <dump> [out.json]\n"
                "       semlock-trace report <dump>\n"
                "       semlock-trace metrics <dump>\n"
+               "       semlock-trace attribution <dump>\n"
                "       semlock-trace check <file.json>\n");
   return 2;
 }
@@ -90,6 +95,14 @@ int main(int argc, char** argv) {
     const std::string json = dump.metrics.to_json();
     std::fwrite(json.data(), 1, json.size(), stdout);
     std::fputc('\n', stdout);
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "attribution") == 0) {
+    semlock::obs::TraceDump dump;
+    if (int rc = load_or_fail(path, dump)) return rc;
+    const std::string report = semlock::obs::attribution_report(dump);
+    std::fwrite(report.data(), 1, report.size(), stdout);
     return 0;
   }
 
