@@ -147,11 +147,17 @@ inline std::string run_metadata_json() {
 #if defined(SEMLOCK_OBS)
   out += "+obs";
 #endif
-  char buf[160];
+  char buf[192];
+  // "hardware_threads" is stamped both here and at the artifact top level:
+  // a single-core CI container makes every scaling figure meaningless, and
+  // the reader of a lone "run" object must be able to see that without
+  // cross-referencing the wrapper.
   std::snprintf(buf, sizeof(buf),
-                "\", \"hardware_concurrency\": %u, \"scale_factor\": %.2f, "
+                "\", \"hardware_threads\": %u"
+                ", \"hardware_concurrency\": %u, \"scale_factor\": %.2f, "
                 "\"wait_policy\": \"%s\", \"optimistic\": %s, "
                 "\"stripes\": %d}",
+                std::thread::hardware_concurrency(),
                 std::thread::hardware_concurrency(), scale_factor(),
                 runtime::wait_policy_name(runtime::default_wait_policy()),
                 default_optimistic_acquire() ? "true" : "false",

@@ -1,0 +1,159 @@
+// semlock-server end-to-end comparison: the IDENTICAL open-loop request
+// stream replayed under all five concurrency-control modes.
+//
+// Methodology: the offered rate is deliberately set below every mode's
+// single-core service capacity, so in steady state every mode completes
+// (essentially) the whole stream and the THROUGHPUT row reads as "kept up
+// with offered load" for all of them — the differences the figure is after
+// live in the latency tails (p50/p99/p999 measured from each request's
+// INTENDED arrival, charging queueing delay to the mode that caused it)
+// and in the shed/retry columns once bursts push shards past capacity.
+//
+// After the measured replay, each mode runs a short CHECKED pass: every
+// committed operation is recorded and the DCT harness's conflict-
+// serializability oracle is run over the merged history. Any cycle fails
+// the binary — a fast mode that reorders non-commuting operations is
+// wrong, not fast.
+//
+// Emits BENCH_server.json (schema of bench_common::write_bench_json).
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "semlock/history.h"
+#include "server/config.h"
+#include "server/server.h"
+#include "server/traffic_gen.h"
+#include "util/stats.h"
+
+using namespace semlock;
+using namespace semlock::server;
+
+namespace {
+
+constexpr CCMode kModes[] = {CCMode::kSemantic, CCMode::kSerial,
+                             CCMode::kGlobalLock, CCMode::kTwoPL,
+                             CCMode::kOcc};
+
+}  // namespace
+
+int main() {
+  bench::print_figure_header(
+      "semlock-server",
+      "open-loop replay: one request stream, five concurrency-control modes");
+
+  // Honor the SEMLOCK_SERVER_* knobs (so operators can sweep), but anchor
+  // the defaults for a reproducible artifact: modest store, mixed traffic,
+  // bursty Zipfian arrivals at a rate every mode sustains on one core.
+  ServerConfig cfg = server_config_from_env();
+  if (std::getenv("SEMLOCK_SERVER_RATE") == nullptr) {
+    cfg.traffic.rate_rps = 20000.0;
+  }
+  if (std::getenv("SEMLOCK_SERVER_DURATION_MS") == nullptr) {
+    cfg.traffic.duration_ms = static_cast<std::uint64_t>(
+        500.0 * bench::scale_factor() < 25.0
+            ? 25.0
+            : 500.0 * bench::scale_factor());
+  }
+  if (std::getenv("SEMLOCK_SERVER_BURST_X") == nullptr) {
+    cfg.traffic.burst_factor = 4;
+  }
+
+  const std::vector<Request> schedule = generate_schedule(cfg.traffic);
+  std::printf("schedule: %zu requests, %d workers x %d shards, mix over %d "
+              "request kinds\n\n",
+              schedule.size(), cfg.workers, cfg.shards, kNumRequestKinds);
+
+  // Short checked schedule, dispatched unpaced so the queues actually
+  // interleave transactions: this is the serializability gate, not a
+  // latency measurement.
+  TrafficConfig checked_traffic = cfg.traffic;
+  checked_traffic.duration_ms =
+      cfg.traffic.duration_ms < 100 ? cfg.traffic.duration_ms : 100;
+  checked_traffic.seed = cfg.traffic.seed + 1;
+  const std::vector<Request> checked_schedule =
+      generate_schedule(checked_traffic);
+
+  std::vector<std::string> names;
+  std::vector<double> throughput, p50, p99, p999, shed, retries;
+  bool serializable = true;
+  bool all_completed = true;
+
+  for (CCMode mode : kModes) {
+    names.emplace_back(cc_mode_name(mode));
+
+    std::unique_ptr<CCBackend> backend =
+        make_cc_backend(mode, cfg.traffic.store);
+    Server srv(cfg, backend.get());
+    const ServerReport r = srv.run(schedule, /*paced=*/true);
+    throughput.push_back(r.throughput_rps());
+    p50.push_back(static_cast<double>(r.latency_ns.p50()) / 1e3);
+    p99.push_back(static_cast<double>(r.latency_ns.p99()) / 1e3);
+    p999.push_back(static_cast<double>(r.latency_ns.p999()) / 1e3);
+    shed.push_back(static_cast<double>(r.shed));
+    retries.push_back(static_cast<double>(r.retries));
+    if (r.completed == 0 || r.completed + r.shed != r.offered) {
+      all_completed = false;
+    }
+
+    HistoryRecorder recorder;
+    std::unique_ptr<CCBackend> checked =
+        make_cc_backend(mode, cfg.traffic.store, &recorder);
+    Server checked_srv(cfg, checked.get());
+    const ServerReport cr = checked_srv.run(checked_schedule, /*paced=*/false);
+    const SerializabilityReport rep =
+        check_conflict_serializability(recorder.snapshot());
+    if (!rep.serializable) serializable = false;
+
+    std::printf("%-12s %9.0f req/s  p50<%8.1fus p99<%8.1fus p999<%8.1fus  "
+                "shed %6.0f  retries %6.0f  checked: %" PRIu64
+                " txns, %zu edges, %s\n",
+                cc_mode_name(mode), throughput.back(), p50.back(), p99.back(),
+                p999.back(), shed.back(), retries.back(), cr.completed,
+                rep.precedence_edges,
+                rep.serializable ? "serializable" : "VIOLATION");
+  }
+
+  const double x = static_cast<double>(cfg.workers);
+  util::SeriesTable t_tput("workers", "req/s");
+  util::SeriesTable t_p50("workers", "us");
+  util::SeriesTable t_p99("workers", "us");
+  util::SeriesTable t_p999("workers", "us");
+  util::SeriesTable t_shed("workers", "requests");
+  util::SeriesTable t_retries("workers", "aborted attempts");
+  for (auto* t : {&t_tput, &t_p50, &t_p99, &t_p999, &t_shed, &t_retries}) {
+    t->set_series(names);
+  }
+  t_tput.add_row(x, throughput);
+  t_p50.add_row(x, p50);
+  t_p99.add_row(x, p99);
+  t_p999.add_row(x, p999);
+  t_shed.add_row(x, shed);
+  t_retries.add_row(x, retries);
+
+  std::printf("\n");
+  bench::print_results(t_tput);
+
+  if (!bench::write_bench_json("BENCH_server.json", "server",
+                               {{"throughput_rps", &t_tput},
+                                {"latency_p50_us", &t_p50},
+                                {"latency_p99_us", &t_p99},
+                                {"latency_p999_us", &t_p999},
+                                {"shed", &t_shed},
+                                {"occ_retries", &t_retries}})) {
+    return 1;
+  }
+  if (!all_completed) {
+    std::fprintf(stderr, "FAIL: a mode lost requests or completed none\n");
+    return 1;
+  }
+  if (!serializable) {
+    std::fprintf(stderr,
+                 "FAIL: serializability violation in checked pass\n");
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Optimistic-concurrency-control baseline ("OCC" in the semlock-server
+// comparison): TL2-style word-versioned cells with backward validation.
+//
+// Where the paper's mechanism (and the 2PL baseline) synchronize
+// pessimistically at transaction start, OCC runs the body against versioned
+// reads, buffers writes locally, and validates at commit: write cells are
+// locked in address order (the version word doubles as the lock — odd means
+// write-locked), the read set is revalidated, and writes install with a
+// version bump. Any validation failure aborts the attempt; the caller
+// re-runs the transaction body. This is the classic alternative CC scheme
+// the server workload compares semantic locking against head-to-head (the
+// related "Semantic Lock ... Operation Conflict Graph" evaluation does the
+// same): OCC wins when conflicts are rare and loses progress to aborts
+// exactly where semantic locking keeps commuting operations conflict-free.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "semlock/lock_mechanism.h"  // local_acquire_stats
+#include "util/spinlock.h"           // cpu_relax
+
+namespace semlock::baseline {
+
+// One versioned 64-bit record. `ver` is even when the cell is stable (the
+// value's version) and odd while a committer holds its write lock. 16 bytes;
+// deliberately NOT cache-line padded — the store is millions of cells and
+// false sharing is part of the scheme's honest cost.
+struct OccCell {
+  std::atomic<std::uint64_t> ver{0};
+  std::atomic<std::int64_t> val{0};
+};
+
+// Transaction-local read/write sets for one attempt. Reusable across
+// attempts and transactions: run() resets it per attempt.
+class OccTxn {
+ public:
+  // Versioned read. Consults the local write buffer first (read-your-own-
+  // writes), then spins past in-flight committers for a stable snapshot.
+  std::int64_t read(OccCell* cell) {
+    for (const WriteEntry& w : writes_) {
+      if (w.cell == cell) return w.val;
+    }
+    for (;;) {
+      const std::uint64_t v1 = cell->ver.load(std::memory_order_acquire);
+      if (v1 & 1) continue;  // committer in flight; its window is tiny
+      const std::int64_t value = cell->val.load(std::memory_order_acquire);
+      if (cell->ver.load(std::memory_order_acquire) == v1) {
+        reads_.push_back(ReadEntry{cell, v1});
+        return value;
+      }
+    }
+  }
+
+  // Buffered write; becomes visible only if commit() succeeds.
+  void write(OccCell* cell, std::int64_t value) {
+    for (WriteEntry& w : writes_) {
+      if (w.cell == cell) {
+        w.val = value;
+        return;
+      }
+    }
+    writes_.push_back(WriteEntry{cell, value});
+  }
+
+  // Validate-and-install. Returns false on conflict, leaving the store
+  // untouched; the caller resets and re-runs the body. Read-only
+  // transactions validate without taking any lock.
+  bool commit() {
+    auto& stats = local_acquire_stats();
+    ++stats.acquisitions;
+    // Lock the write set in address order (same discipline as the 2PL
+    // baseline's dynamic instance ordering, so committers cannot deadlock).
+    std::sort(writes_.begin(), writes_.end(),
+              [](const WriteEntry& a, const WriteEntry& b) {
+                return a.cell < b.cell;
+              });
+    std::size_t locked = 0;
+    bool ok = true;
+    for (; locked < writes_.size(); ++locked) {
+      OccCell* cell = writes_[locked].cell;
+      std::uint64_t v = cell->ver.load(std::memory_order_relaxed);
+      if ((v & 1) != 0 ||
+          !cell->ver.compare_exchange_strong(v, v + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+        ok = false;
+        break;
+      }
+      writes_[locked].locked_ver = v;
+    }
+    // Backward validation: every read version must still be current (for
+    // cells we write-locked ourselves, current means our pre-lock version).
+    if (ok) {
+      for (const ReadEntry& r : reads_) {
+        const std::uint64_t now = r.cell->ver.load(std::memory_order_acquire);
+        const std::uint64_t expect = locked_version_of(r.cell, locked);
+        if ((expect != kNotLocked ? expect : now) != r.ver) {
+          ok = false;
+          break;
+        }
+        if (expect == kNotLocked && (now & 1) != 0) {
+          ok = false;  // concurrent committer owns a cell we read
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      for (std::size_t i = 0; i < locked; ++i) {
+        writes_[i].cell->ver.store(writes_[i].locked_ver,
+                                   std::memory_order_release);
+      }
+      ++stats.contended;
+      return false;
+    }
+    for (const WriteEntry& w : writes_) {
+      w.cell->val.store(w.val, std::memory_order_release);
+    }
+    for (const WriteEntry& w : writes_) {
+      w.cell->ver.store(w.locked_ver + 2, std::memory_order_release);
+    }
+    return true;
+  }
+
+  void reset() {
+    reads_.clear();
+    writes_.clear();
+  }
+
+  const std::vector<std::pair<OccCell*, std::int64_t>> buffered_writes()
+      const {
+    std::vector<std::pair<OccCell*, std::int64_t>> out;
+    out.reserve(writes_.size());
+    for (const WriteEntry& w : writes_) out.emplace_back(w.cell, w.val);
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kNotLocked = ~std::uint64_t{0};
+
+  struct ReadEntry {
+    OccCell* cell;
+    std::uint64_t ver;
+  };
+  struct WriteEntry {
+    OccCell* cell;
+    std::int64_t val;
+    std::uint64_t locked_ver = 0;
+  };
+
+  // Pre-lock version of `cell` if it is among the first `locked` write
+  // entries, else kNotLocked. Linear: write sets here are a handful of
+  // cells.
+  std::uint64_t locked_version_of(const OccCell* cell,
+                                  std::size_t locked) const {
+    for (std::size_t i = 0; i < locked; ++i) {
+      if (writes_[i].cell == cell) return writes_[i].locked_ver;
+    }
+    return kNotLocked;
+  }
+
+  std::vector<ReadEntry> reads_;
+  std::vector<WriteEntry> writes_;
+};
+
+// Runs `body(txn)` under OCC until it commits, with capped randomized
+// exponential backoff between attempts. Returns the number of aborted
+// attempts. `body` must be re-runnable (all effects through txn).
+template <typename Body>
+std::uint32_t occ_run(OccTxn& txn, std::uint64_t* backoff_state,
+                      const Body& body) {
+  std::uint32_t aborts = 0;
+  for (;;) {
+    txn.reset();
+    body(txn);
+    if (txn.commit()) return aborts;
+    ++aborts;
+    // xorshift-mixed spin backoff, capped: progress over politeness.
+    *backoff_state ^= *backoff_state << 13;
+    *backoff_state ^= *backoff_state >> 7;
+    *backoff_state ^= *backoff_state << 17;
+    const std::uint32_t cap = 1u << std::min<std::uint32_t>(aborts, 10);
+    for (std::uint32_t i = *backoff_state % cap; i > 0; --i) {
+      util::cpu_relax();
+    }
+  }
+}
+
+}  // namespace semlock::baseline

@@ -475,12 +475,11 @@ std::string text_report(const TraceDump& dump) {
   if (m.wait_hist.count() > 0) {
     std::snprintf(buf, sizeof(buf),
                   "\nwait latency: %" PRIu64 " samples, p50 < %.3f us, "
-                  "p99 < %.3f us\n",
+                  "p99 < %.3f us, p999 < %.3f us\n",
                   m.wait_hist.count(),
-                  static_cast<double>(m.wait_hist.quantile_upper_bound(0.5)) /
-                      1e3,
-                  static_cast<double>(m.wait_hist.quantile_upper_bound(0.99)) /
-                      1e3);
+                  static_cast<double>(m.wait_hist.p50()) / 1e3,
+                  static_cast<double>(m.wait_hist.p99()) / 1e3,
+                  static_cast<double>(m.wait_hist.p999()) / 1e3);
     out += buf;
   }
   return out;

@@ -132,6 +132,14 @@ std::string MetricsSnapshot::to_json() const {
   }
   out += "], \"wait_hist_ns\": ";
   out += wait_hist.to_json();
+  // Upper-bound tail quantiles (factor-of-two resolution) so dashboards can
+  // plot the wait tail without re-deriving it from the buckets.
+  out += ", \"wait_p50_ns\": ";
+  append_u64(out, wait_hist.p50());
+  out += ", \"wait_p99_ns\": ";
+  append_u64(out, wait_hist.p99());
+  out += ", \"wait_p999_ns\": ";
+  append_u64(out, wait_hist.p999());
   out += ", \"top_waits\": [";
   for (std::size_t i = 0; i < top_waits.size(); ++i) {
     if (i > 0) out += ", ";

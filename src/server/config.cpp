@@ -1,0 +1,105 @@
+#include "server/config.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/env.h"
+
+namespace semlock::server {
+
+namespace {
+
+// Int knob with the standard strict-parse-or-fallback contract, applied in
+// place so unset/invalid both leave the default.
+template <typename T>
+void apply_int(const char* name, const char* text, long long min,
+               long long max, T* slot) {
+  const std::string fallback = std::to_string(static_cast<long long>(*slot));
+  if (const auto v =
+          util::env_int_in_range(name, text, min, max, fallback.c_str())) {
+    *slot = static_cast<T>(*v);
+  }
+}
+
+void apply_double(const char* name, const char* text, double min, double max,
+                  double* slot) {
+  const std::string fallback = std::to_string(*slot);
+  if (const auto v =
+          util::env_double_in_range(name, text, min, max, fallback.c_str())) {
+    *slot = *v;
+  }
+}
+
+}  // namespace
+
+ServerConfig server_config_from_env_text(const ServerEnvText& env) {
+  ServerConfig cfg;
+  parse_traffic_mix("mixed", &cfg.traffic.mix);
+
+  apply_int("SEMLOCK_SERVER_WORKERS", env.workers, 1, 1024, &cfg.workers);
+  apply_int("SEMLOCK_SERVER_SHARDS", env.shards, 1, 65536, &cfg.shards);
+  apply_int("SEMLOCK_SERVER_QUEUE_CAP", env.queue_cap, 1, 1 << 20,
+            &cfg.queue_capacity);
+
+  if (env.mode != nullptr) {
+    if (const auto m = parse_cc_mode(env.mode)) {
+      cfg.mode = *m;
+    } else {
+      util::warn_invalid_env("SEMLOCK_SERVER_MODE", env.mode, "semantic");
+    }
+  }
+  if (const auto b = util::env_bool_01("SEMLOCK_SERVER_CHECKED", env.checked,
+                                       "unchecked")) {
+    cfg.checked = *b;
+  }
+
+  apply_double("SEMLOCK_SERVER_RATE", env.rate, 1.0, 1e9,
+               &cfg.traffic.rate_rps);
+  apply_int("SEMLOCK_SERVER_DURATION_MS", env.duration_ms, 1, 600000,
+            &cfg.traffic.duration_ms);
+  apply_double("SEMLOCK_SERVER_ZIPF_THETA", env.zipf_theta, 0.0, 0.99,
+               &cfg.traffic.zipf_theta);
+  apply_int("SEMLOCK_SERVER_BURST_X", env.burst_x, 1, 1000,
+            &cfg.traffic.burst_factor);
+  apply_int("SEMLOCK_SERVER_BURST_PERIOD_MS", env.burst_period_ms, 1, 60000,
+            &cfg.traffic.burst_period_ms);
+  apply_int("SEMLOCK_SERVER_THINK_USERS", env.think_users, 0, 1000000,
+            &cfg.traffic.think_users);
+  apply_double("SEMLOCK_SERVER_THINK_MS", env.think_ms, 0.001, 60000.0,
+               &cfg.traffic.think_ms);
+
+  if (env.mix != nullptr && !parse_traffic_mix(env.mix, &cfg.traffic.mix)) {
+    util::warn_invalid_env("SEMLOCK_SERVER_MIX", env.mix, "mixed");
+  }
+  apply_int("SEMLOCK_SERVER_SEED", env.seed, 0,
+            (1LL << 62), &cfg.traffic.seed);
+  return cfg;
+}
+
+ServerConfig server_config_from_env() {
+  ServerEnvText env;
+  env.workers = std::getenv("SEMLOCK_SERVER_WORKERS");
+  env.shards = std::getenv("SEMLOCK_SERVER_SHARDS");
+  env.queue_cap = std::getenv("SEMLOCK_SERVER_QUEUE_CAP");
+  env.mode = std::getenv("SEMLOCK_SERVER_MODE");
+  env.checked = std::getenv("SEMLOCK_SERVER_CHECKED");
+  env.rate = std::getenv("SEMLOCK_SERVER_RATE");
+  env.duration_ms = std::getenv("SEMLOCK_SERVER_DURATION_MS");
+  env.zipf_theta = std::getenv("SEMLOCK_SERVER_ZIPF_THETA");
+  env.burst_x = std::getenv("SEMLOCK_SERVER_BURST_X");
+  env.burst_period_ms = std::getenv("SEMLOCK_SERVER_BURST_PERIOD_MS");
+  env.think_users = std::getenv("SEMLOCK_SERVER_THINK_USERS");
+  env.think_ms = std::getenv("SEMLOCK_SERVER_THINK_MS");
+  env.mix = std::getenv("SEMLOCK_SERVER_MIX");
+  env.seed = std::getenv("SEMLOCK_SERVER_SEED");
+
+  ServerConfig cfg = server_config_from_env_text(env);
+  if (cfg.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg.workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return cfg;
+}
+
+}  // namespace semlock::server

@@ -1,0 +1,72 @@
+// semlock-server configuration and its SEMLOCK_SERVER_* environment knobs.
+//
+// Every knob follows the repo's strict-parsing convention (util/env): a
+// malformed or out-of-range value is rejected with one stderr line naming
+// the variable, the offending text, and the default it fell back to —
+// a typo'd knob must never silently become 0. The parsing core is the pure
+// function server_config_from_env_text, which takes the raw text of every
+// variable explicitly so tests (tests/env_config_test.cpp) can exercise the
+// full matrix without touching the process environment.
+//
+// Knobs (docs/SERVER.md documents each in detail):
+//   SEMLOCK_SERVER_WORKERS        worker threads, 1..1024
+//                                 (default: hardware concurrency)
+//   SEMLOCK_SERVER_SHARDS         request shards, 1..65536    (default 16)
+//   SEMLOCK_SERVER_QUEUE_CAP      per-shard queue bound, 1..2^20 (default 1024)
+//   SEMLOCK_SERVER_MODE           semantic|serial|global|2pl|occ
+//                                 (default semantic)
+//   SEMLOCK_SERVER_CHECKED       0|1: record history + serializability oracle
+//   SEMLOCK_SERVER_RATE           open-loop offered load, req/s, 1..10^9
+//   SEMLOCK_SERVER_DURATION_MS    schedule horizon, 1..600000
+//   SEMLOCK_SERVER_ZIPF_THETA     key skew, 0 <= theta <= 0.99
+//   SEMLOCK_SERVER_BURST_X        burst rate multiplier, 1..1000 (1 = none)
+//   SEMLOCK_SERVER_BURST_PERIOD_MS burst square-wave period, 1..60000
+//   SEMLOCK_SERVER_THINK_USERS    partly-open users, 0..10^6 (0 = open loop)
+//   SEMLOCK_SERVER_THINK_MS       mean think time, 0.001..60000
+//   SEMLOCK_SERVER_MIX            kv|bank|graph|mixed (default mixed)
+//   SEMLOCK_SERVER_SEED           schedule seed, 0..2^62
+#pragma once
+
+#include "server/cc_backend.h"
+#include "server/traffic_gen.h"
+
+namespace semlock::server {
+
+struct ServerConfig {
+  int workers = 0;  // 0 = use hardware concurrency (resolved by from_env)
+  int shards = 16;
+  int queue_capacity = 1024;
+  CCMode mode = CCMode::kSemantic;
+  bool checked = false;
+  TrafficConfig traffic;
+};
+
+// Raw environment text, nullptr for unset. Field names match the knob
+// suffixes above.
+struct ServerEnvText {
+  const char* workers = nullptr;
+  const char* shards = nullptr;
+  const char* queue_cap = nullptr;
+  const char* mode = nullptr;
+  const char* checked = nullptr;
+  const char* rate = nullptr;
+  const char* duration_ms = nullptr;
+  const char* zipf_theta = nullptr;
+  const char* burst_x = nullptr;
+  const char* burst_period_ms = nullptr;
+  const char* think_users = nullptr;
+  const char* think_ms = nullptr;
+  const char* mix = nullptr;
+  const char* seed = nullptr;
+};
+
+// Pure: applies every knob in `env` on top of the defaults, with strict
+// parsing and per-knob fallback. workers == 0 is left unresolved so the
+// caller (or the server) can substitute hardware concurrency.
+ServerConfig server_config_from_env_text(const ServerEnvText& env);
+
+// getenv() wrapper around the above; also resolves workers = hardware
+// concurrency when the knob is unset.
+ServerConfig server_config_from_env();
+
+}  // namespace semlock::server

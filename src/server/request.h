@@ -1,0 +1,54 @@
+// Request vocabulary of the semlock-server transaction-processing service.
+//
+// A request names one atomic section drawn from the repo's benchmark
+// workloads (docs/SERVER.md): the check-then-act ComputeIfAbsent of Fig. 21,
+// bank-transfer-style multi-instance transactions over Account ADTs
+// (examples/bank_transfer), and the Graph edge/degree operations of Fig. 22.
+// The traffic generator pre-stamps each request with its intended arrival
+// offset, so the identical stream can be replayed under every concurrency-
+// control mode and open-loop latency is measured from when the request was
+// *supposed* to arrive (no coordinated omission).
+#pragma once
+
+#include <cstdint>
+
+namespace semlock::server {
+
+enum class RequestKind : std::uint8_t {
+  kComputeIfAbsent = 0,  // kv: if (get(a) == absent) put(a, f(a))
+  kTransfer,             // accounts: withdraw(a, amount); deposit(b, amount)
+  kAudit,                // accounts: balance(a) + balance(b) (read-only)
+  kInsertEdge,           // graph: edge(a,b) += succ_deg(a)/pred_deg(b) upkeep
+  kRemoveEdge,           // graph: inverse of kInsertEdge
+  kDegree,               // graph: read succ_deg(a) (read-only)
+};
+inline constexpr int kNumRequestKinds = 6;
+
+struct Request {
+  std::uint64_t id = 0;          // dense stream index (stable across modes)
+  RequestKind kind = RequestKind::kComputeIfAbsent;
+  std::int64_t a = 0;            // primary key: account/kv key/source node
+  std::int64_t b = 0;            // secondary key (transfer target, edge dst)
+  std::int64_t amount = 0;       // transfer amount
+  std::uint64_t arrival_ns = 0;  // intended arrival, relative to stream start
+};
+
+// Outcome of executing one request inside a CC backend.
+struct ExecResult {
+  std::int64_t observed = 0;   // read result (audit sum, degree, CIA hit)
+  std::uint32_t retries = 0;   // aborted attempts (OCC; 0 for pessimistic)
+};
+
+inline const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kComputeIfAbsent: return "compute_if_absent";
+    case RequestKind::kTransfer: return "transfer";
+    case RequestKind::kAudit: return "audit";
+    case RequestKind::kInsertEdge: return "insert_edge";
+    case RequestKind::kRemoveEdge: return "remove_edge";
+    case RequestKind::kDegree: return "degree";
+  }
+  return "?";
+}
+
+}  // namespace semlock::server

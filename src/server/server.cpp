@@ -1,0 +1,172 @@
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "server/shard_queue.h"
+#include "server/traffic_gen.h"
+
+namespace semlock::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+struct WorkerState {
+  std::uint64_t completed = 0;
+  std::uint64_t retries = 0;
+  std::int64_t observed_sum = 0;
+  util::Log2Histogram latency_ns;
+  // Exponential moving average of service time, published for the
+  // dispatcher's retry-after hints. Seeded at 1us so the first hints are
+  // sane before any sample lands.
+  std::atomic<std::uint64_t> ema_service_ns{1000};
+};
+
+}  // namespace
+
+Server::Server(const ServerConfig& cfg, CCBackend* backend)
+    : backend_(backend),
+      workers_(cfg.workers < 1 ? 1 : cfg.workers),
+      shards_(cfg.shards < 1 ? 1 : cfg.shards),
+      queue_capacity_(cfg.queue_capacity < 1 ? 1 : cfg.queue_capacity) {
+  if (backend_->mode() == CCMode::kSerial) workers_ = 1;
+  if (workers_ > shards_) workers_ = shards_;
+}
+
+ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
+  ServerReport report;
+  report.offered = schedule.size();
+
+  std::vector<std::unique_ptr<ShardQueue>> queues;
+  queues.reserve(static_cast<std::size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    queues.push_back(std::make_unique<ShardQueue>(
+        static_cast<std::size_t>(queue_capacity_)));
+  }
+
+  std::vector<std::unique_ptr<WorkerState>> states;
+  states.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    states.push_back(std::make_unique<WorkerState>());
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  Clock::time_point start_tp;  // written before go, read after (acq/rel)
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerState& st = *states[static_cast<std::size_t>(w)];
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const Clock::time_point start = start_tp;
+      std::uint64_t ema = st.ema_service_ns.load(std::memory_order_relaxed);
+      Request r;
+      for (;;) {
+        bool any = false;
+        for (int s = w; s < shards_; s += workers_) {
+          if (!queues[static_cast<std::size_t>(s)]->try_pop(&r)) continue;
+          any = true;
+          const std::uint64_t t0 = ns_since(start);
+          const ExecResult res = backend_->execute(r);
+          const std::uint64_t t1 = ns_since(start);
+          st.completed += 1;
+          st.retries += res.retries;
+          st.observed_sum += res.observed;
+          st.latency_ns.add(t1 > r.arrival_ns ? t1 - r.arrival_ns : 0);
+          const std::uint64_t service = t1 - t0;
+          ema = ema - ema / 16 + service / 16;
+          st.ema_service_ns.store(ema, std::memory_order_relaxed);
+        }
+        if (!any) {
+          if (stop.load(std::memory_order_acquire)) {
+            // stop is set only after the final dispatch, so empty-once
+            // after observing it means drained for good.
+            bool drained = true;
+            for (int s = w; s < shards_; s += workers_) {
+              if (queues[static_cast<std::size_t>(s)]->depth() != 0) {
+                drained = false;
+                break;
+              }
+            }
+            if (drained) break;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < workers_) {
+    std::this_thread::yield();
+  }
+  start_tp = Clock::now();
+  go.store(true, std::memory_order_release);
+
+  for (const Request& r : schedule) {
+    if (paced) {
+      // Sleep down to ~100us before the intended arrival, then yield-spin:
+      // coarse sleep keeps the single-core container's workers fed, the
+      // final spin keeps dispatch jitter well under the latency buckets.
+      for (;;) {
+        const std::uint64_t now = ns_since(start_tp);
+        if (now >= r.arrival_ns) break;
+        const std::uint64_t ahead = r.arrival_ns - now;
+        if (ahead > 100000) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(ahead - 50000));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    ShardQueue& q = *queues[shard_of(r, static_cast<std::uint32_t>(shards_))];
+    if (!q.try_push(r)) {
+      // Admission control: shed with a retry-after hint — the time this
+      // shard needs to work off its current depth at its recent pace.
+      std::uint64_t ema_sum = 0;
+      for (const auto& st : states) {
+        ema_sum += st->ema_service_ns.load(std::memory_order_relaxed);
+      }
+      const std::uint64_t ema =
+          ema_sum / static_cast<std::uint64_t>(workers_);
+      report.shed += 1;
+      report.last_retry_after_ns =
+          (static_cast<std::uint64_t>(q.depth()) + 1) * ema;
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  report.wall_seconds =
+      static_cast<double>(ns_since(start_tp)) / 1e9;
+
+  for (const auto& st : states) {
+    report.completed += st->completed;
+    report.retries += st->retries;
+    report.observed_sum += st->observed_sum;
+    report.latency_ns.merge(st->latency_ns);
+  }
+  for (const auto& q : queues) {
+    if (q->high_watermark() > report.max_queue_depth) {
+      report.max_queue_depth = q->high_watermark();
+    }
+  }
+  return report;
+}
+
+}  // namespace semlock::server

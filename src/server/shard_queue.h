@@ -1,0 +1,76 @@
+// Bounded per-shard request queue with shed-on-full admission control.
+//
+// The server routes every request to one of S shards (shard_of in
+// traffic_gen.h) and each worker owns a fixed subset of shards, so a queue
+// has many producers (the dispatcher today; multiple ingress threads
+// tomorrow) and exactly one consumer. Capacity is the admission-control
+// surface: a full queue means the server is past its service capacity at
+// this shard, and the honest open-loop response is to SHED the request with
+// a retry-after hint rather than to let an unbounded queue convert overload
+// into unbounded latency for everyone behind it.
+//
+// A spinlocked ring keeps the implementation obviously correct under TSan;
+// the queues are not the bottleneck (every pop leads into an atomic section
+// that dwarfs the push/pop critical sections).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "server/request.h"
+#include "util/spinlock.h"
+
+namespace semlock::server {
+
+class ShardQueue {
+ public:
+  explicit ShardQueue(std::size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  ShardQueue(const ShardQueue&) = delete;
+  ShardQueue& operator=(const ShardQueue&) = delete;
+
+  // False = queue full: the request is shed, never enqueued.
+  bool try_push(const Request& r) {
+    std::scoped_lock lk(lock_);
+    const std::size_t depth = size_.load(std::memory_order_relaxed);
+    if (depth == ring_.size()) return false;
+    ring_[tail_] = r;
+    tail_ = (tail_ + 1) % ring_.size();
+    size_.store(depth + 1, std::memory_order_relaxed);
+    if (depth + 1 > high_watermark_.load(std::memory_order_relaxed)) {
+      high_watermark_.store(depth + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  bool try_pop(Request* out) {
+    std::scoped_lock lk(lock_);
+    const std::size_t depth = size_.load(std::memory_order_relaxed);
+    if (depth == 0) return false;
+    *out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    size_.store(depth - 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Racy by design: admission control and watermark reporting want a cheap
+  // current-depth estimate, not a linearizable one.
+  std::size_t depth() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t high_watermark() const {
+    return high_watermark_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  util::Spinlock lock_;
+  std::vector<Request> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> high_watermark_{0};
+};
+
+}  // namespace semlock::server

@@ -1,0 +1,195 @@
+#include "server/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "server/zipf.h"
+#include "util/rng.h"
+
+namespace semlock::server {
+
+namespace {
+
+constexpr double kNanosPerMilli = 1e6;
+constexpr double kNanosPerSecond = 1e9;
+
+// Exp(1) variate from a uniform draw; clamped away from log(0).
+double exp_variate(util::Xoshiro256& rng) {
+  const double u =
+      (static_cast<double>(rng.next() >> 11) + 1.0) / 9007199254740993.0;
+  return -std::log(u);
+}
+
+struct KindSampler {
+  explicit KindSampler(const TrafficMix& mix) {
+    int acc = 0;
+    for (int k = 0; k < kNumRequestKinds; ++k) {
+      acc += mix.pct[k];
+      cumulative[k] = acc;
+    }
+  }
+  RequestKind sample(util::Xoshiro256& rng) const {
+    const int roll = static_cast<int>(rng.next_below(100));
+    for (int k = 0; k < kNumRequestKinds; ++k) {
+      if (roll < cumulative[k]) return static_cast<RequestKind>(k);
+    }
+    return RequestKind::kComputeIfAbsent;
+  }
+  int cumulative[kNumRequestKinds] = {};
+};
+
+// Fills everything except id and arrival_ns.
+void fill_body(Request* r, const KindSampler& kinds,
+               const ZipfSampler& accounts, const ZipfSampler& kv_keys,
+               const ZipfSampler& nodes, util::Xoshiro256& rng) {
+  r->kind = kinds.sample(rng);
+  switch (r->kind) {
+    case RequestKind::kComputeIfAbsent:
+      r->a = static_cast<std::int64_t>(kv_keys.next_key(rng));
+      r->b = 0;
+      r->amount = 0;
+      break;
+    case RequestKind::kTransfer:
+    case RequestKind::kAudit: {
+      const auto a = static_cast<std::int64_t>(accounts.next_key(rng));
+      auto b = static_cast<std::int64_t>(accounts.next_key(rng));
+      if (b == a) {
+        // Self-transfers are legal but uninteresting; step to a neighbor.
+        b = (a + 1) % static_cast<std::int64_t>(accounts.n());
+      }
+      r->a = a;
+      r->b = b;
+      r->amount =
+          r->kind == RequestKind::kTransfer ? rng.next_in(1, 100) : 0;
+      break;
+    }
+    case RequestKind::kInsertEdge:
+    case RequestKind::kRemoveEdge:
+    case RequestKind::kDegree:
+      r->a = static_cast<std::int64_t>(nodes.next_key(rng));
+      r->b = static_cast<std::int64_t>(nodes.next_key(rng));
+      r->amount = 0;
+      break;
+  }
+}
+
+}  // namespace
+
+bool parse_traffic_mix(const char* name, TrafficMix* out) {
+  if (name == nullptr) return false;
+  TrafficMix m;
+  auto set = [&m](int cia, int xfer, int audit, int ins, int rem, int deg) {
+    m.pct[static_cast<int>(RequestKind::kComputeIfAbsent)] = cia;
+    m.pct[static_cast<int>(RequestKind::kTransfer)] = xfer;
+    m.pct[static_cast<int>(RequestKind::kAudit)] = audit;
+    m.pct[static_cast<int>(RequestKind::kInsertEdge)] = ins;
+    m.pct[static_cast<int>(RequestKind::kRemoveEdge)] = rem;
+    m.pct[static_cast<int>(RequestKind::kDegree)] = deg;
+  };
+  if (std::strcmp(name, "kv") == 0) {
+    set(100, 0, 0, 0, 0, 0);
+  } else if (std::strcmp(name, "bank") == 0) {
+    set(0, 70, 30, 0, 0, 0);
+  } else if (std::strcmp(name, "graph") == 0) {
+    set(0, 0, 0, 40, 30, 30);
+  } else if (std::strcmp(name, "mixed") == 0) {
+    set(40, 25, 10, 10, 5, 10);
+  } else {
+    return false;
+  }
+  *out = m;
+  return true;
+}
+
+std::vector<Request> generate_schedule(const TrafficConfig& cfg) {
+  TrafficMix mix = cfg.mix;
+  int total = 0;
+  for (int p : mix.pct) total += p;
+  if (total != 100) parse_traffic_mix("mixed", &mix);
+
+  const KindSampler kinds(mix);
+  const ZipfSampler accounts(static_cast<std::uint64_t>(cfg.store.accounts),
+                             cfg.zipf_theta);
+  const ZipfSampler kv_keys(static_cast<std::uint64_t>(cfg.store.kv_keys),
+                            cfg.zipf_theta);
+  // Graph nodes stay uniform: the Graph workload's contention comes from the
+  // three shared containers, not from key skew.
+  const ZipfSampler nodes(static_cast<std::uint64_t>(cfg.store.nodes), 0.0);
+
+  const auto horizon_ns =
+      static_cast<std::uint64_t>(cfg.duration_ms * kNanosPerMilli);
+  std::vector<Request> out;
+
+  if (cfg.think_users > 0) {
+    // Partly-open: per-user arrival chains, merged by sort below.
+    const double think_ns = std::max(1.0, cfg.think_ms * kNanosPerMilli);
+    for (int u = 0; u < cfg.think_users; ++u) {
+      util::Xoshiro256 rng(
+          util::derive_seed(cfg.seed, static_cast<std::uint64_t>(u)));
+      // Stagger session starts uniformly across one think interval so the
+      // users do not arrive in phase.
+      double t = exp_variate(rng) * think_ns;
+      while (t < static_cast<double>(horizon_ns)) {
+        Request r;
+        r.arrival_ns = static_cast<std::uint64_t>(t);
+        fill_body(&r, kinds, accounts, kv_keys, nodes, rng);
+        out.push_back(r);
+        t += exp_variate(rng) * think_ns;
+      }
+    }
+  } else {
+    // Open loop: Poisson process whose instantaneous rate follows a square
+    // wave — base rate for the first half of every burst period,
+    // burst_factor * base for the second half.
+    util::Xoshiro256 rng(cfg.seed);
+    const double base_rate =
+        std::max(1.0, cfg.rate_rps) / kNanosPerSecond;  // req per ns
+    const auto period_ns = static_cast<std::uint64_t>(
+        std::max<std::uint64_t>(1, cfg.burst_period_ms) * kNanosPerMilli);
+    const int factor = std::max(1, cfg.burst_factor);
+    double t = 0.0;
+    for (;;) {
+      const auto now = static_cast<std::uint64_t>(t);
+      if (now >= horizon_ns) break;
+      const bool bursting = factor > 1 && (now % period_ns) * 2 >= period_ns;
+      const double rate = bursting ? base_rate * factor : base_rate;
+      t += exp_variate(rng) / rate;
+      if (t >= static_cast<double>(horizon_ns)) break;
+      Request r;
+      r.arrival_ns = static_cast<std::uint64_t>(t);
+      fill_body(&r, kinds, accounts, kv_keys, nodes, rng);
+      out.push_back(r);
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = i;
+  }
+  return out;
+}
+
+std::uint32_t shard_of(const Request& r, std::uint32_t num_shards) {
+  if (num_shards == 0) return 0;
+  // Keyspace salt keeps account 5, kv key 5, and node 5 off one shard.
+  std::uint64_t domain = 0;
+  switch (r.kind) {
+    case RequestKind::kComputeIfAbsent: domain = 1; break;
+    case RequestKind::kTransfer:
+    case RequestKind::kAudit: domain = 2; break;
+    case RequestKind::kInsertEdge:
+    case RequestKind::kRemoveEdge:
+    case RequestKind::kDegree: domain = 3; break;
+  }
+  std::uint64_t x = static_cast<std::uint64_t>(r.a) + (domain << 56);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % num_shards);
+}
+
+}  // namespace semlock::server

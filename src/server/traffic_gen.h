@@ -1,0 +1,68 @@
+// Open-loop traffic generation for semlock-server.
+//
+// The generator is a PURE function from (TrafficConfig, seed) to a request
+// schedule: every request carries its intended arrival offset, pre-stamped
+// before any mode runs. That is what makes the cross-mode comparison honest —
+// all five concurrency-control modes replay the byte-identical stream, and
+// latency is measured from the INTENDED arrival, so a slow mode that falls
+// behind accrues queueing delay instead of quietly slowing the generator
+// down (the coordinated-omission trap of closed-loop harnesses).
+//
+// Two population models, both pre-generated:
+//   open loop    Poisson arrivals at `rate_rps`, optionally modulated by a
+//                square-wave burst (burst_factor x rate for the second half
+//                of every burst_period): the classic "requests arrive
+//                whether or not you are keeping up" model.
+//   partly open  `think_users` independent users, each issuing a request,
+//                thinking Exp(think_ms), and issuing the next. Matches
+//                session-style traffic; degrades to the open-loop model when
+//                think_users == 0.
+//
+// Key skew is Zipfian (zipf.h) over each keyspace, so hot accounts and hot
+// kv keys contend the way the paper's Fig. 21-25 workloads do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/cc_backend.h"
+#include "server/request.h"
+
+namespace semlock::server {
+
+// Percentage of the stream issued per request kind; must sum to 100.
+struct TrafficMix {
+  int pct[kNumRequestKinds] = {0, 0, 0, 0, 0, 0};
+};
+
+// Named mixes drawn from the repo's benchmark workloads:
+//   "kv"     100% compute_if_absent            (Fig. 21 / apps CIA loops)
+//   "bank"   70% transfer, 30% audit           (examples/bank_transfer)
+//   "graph"  40% insert, 30% remove, 30% degree (Fig. 22 Graph)
+//   "mixed"  40% CIA, 25% transfer, 10% audit, 10/5/10 graph (default)
+// Returns false (leaving `out` untouched) for any other name.
+bool parse_traffic_mix(const char* name, TrafficMix* out);
+
+struct TrafficConfig {
+  double rate_rps = 20000.0;       // open-loop offered rate
+  std::uint64_t duration_ms = 500; // schedule horizon
+  double zipf_theta = 0.6;         // key skew for accounts and kv keys
+  int burst_factor = 1;            // 1 = no bursts; k = k*rate half the time
+  std::uint64_t burst_period_ms = 100;
+  int think_users = 0;             // >0 switches to the partly-open model
+  double think_ms = 1.0;           // mean think time per user
+  TrafficMix mix;                  // defaults to "mixed" if left all-zero
+  StoreConfig store;               // keyspace bounds
+  std::uint64_t seed = 42;
+};
+
+// Deterministic: equal (cfg, cfg.seed) gives a byte-identical schedule,
+// sorted by arrival_ns, with ids 0..n-1 in arrival order.
+std::vector<Request> generate_schedule(const TrafficConfig& cfg);
+
+// Shard routing: stable hash of the request's primary key, salted by the
+// keyspace it addresses (accounts / kv / graph), so equal numeric keys in
+// different keyspaces do not pile onto the same shard.
+std::uint32_t shard_of(const Request& r, std::uint32_t num_shards);
+
+}  // namespace semlock::server

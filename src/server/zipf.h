@@ -1,0 +1,77 @@
+// Zipfian key sampler for the traffic generator (Gray et al., SIGMOD'94 —
+// the generator YCSB popularized). Key popularity follows P(rank i) ∝ 1/i^θ;
+// θ=0 is uniform, θ→1 concentrates traffic on a few hot keys, which is what
+// makes millions of simulated users contend the way real caches and account
+// stores do. The harmonic normalizers are precomputed once per (n, θ), so
+// sampling is a handful of flops per draw.
+//
+// Ranks are scrambled through a SplitMix64-style hash before being returned
+// as keys: without scrambling, the hottest keys are 0,1,2,... and every
+// workload's hot set collides with its initialization pattern.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace semlock::server {
+
+class ZipfSampler {
+ public:
+  // `n` keys in [0, n), skew theta in [0, 1). theta == 0 degrades to a
+  // uniform sampler without the harmonic setup cost.
+  ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n_ == 0) n_ = 1;
+    if (theta_ <= 0.0) return;
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  // Popularity rank in [0, n): rank 0 is the hottest key.
+  std::uint64_t next_rank(util::Xoshiro256& rng) const {
+    if (theta_ <= 0.0) return rng.next_below(n_);
+    const double u =
+        static_cast<double>(rng.next()) / 18446744073709551616.0;  // [0,1)
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  // Scrambled key in [0, n): rank popularity, hash-spread identity.
+  std::uint64_t next_key(util::Xoshiro256& rng) const {
+    return scramble(next_rank(rng)) % n_;
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  static std::uint64_t scramble(std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace semlock::server

@@ -1,6 +1,7 @@
 #include "util/env.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -33,6 +34,23 @@ std::optional<long long> env_int_in_range(const char* name, const char* text,
   const bool overflowed = errno == ERANGE;
   const bool parsed = end != text && *end == '\0';
   if (!parsed || overflowed || value < min || value > max) {
+    warn_invalid_env(name, text, fallback_desc);
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> env_double_in_range(const char* name, const char* text,
+                                          double min, double max,
+                                          const char* fallback_desc) {
+  if (text == nullptr) return std::nullopt;  // unset is not an error
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  const bool overflowed = errno == ERANGE;
+  const bool parsed = end != text && *end == '\0';
+  if (!parsed || overflowed || std::isnan(value) || value < min ||
+      value > max) {
     warn_invalid_env(name, text, fallback_desc);
     return std::nullopt;
   }

@@ -20,6 +20,13 @@ std::optional<long long> env_int_in_range(const char* name, const char* text,
                                           long long min, long long max,
                                           const char* fallback_desc);
 
+// Parses `text` as a decimal floating-point value in [min, max]. Same
+// strictness contract as env_int_in_range: trailing junk, non-numbers,
+// infinities/NaN, and out-of-range values warn once and return nullopt.
+std::optional<double> env_double_in_range(const char* name, const char* text,
+                                          double min, double max,
+                                          const char* fallback_desc);
+
 // Parses `text` as a strict boolean: exactly "0" or "1". Anything else
 // ("true", "yes", " 1", "01") warns with the standard one-liner and returns
 // nullopt so the caller falls back. Unset (nullptr) is silently nullopt.

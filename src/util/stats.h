@@ -41,6 +41,13 @@ class Log2Histogram {
   // < 2^b; a coarse quantile (factor-of-two resolution). Returns 0 if empty.
   std::uint64_t quantile_upper_bound(double q) const noexcept;
 
+  // The tail quantiles every latency report wants, at the histogram's
+  // factor-of-two resolution. p999 is the honest one for an open-loop
+  // server: medians hide queueing, the 99.9th percentile does not.
+  std::uint64_t p50() const noexcept { return quantile_upper_bound(0.50); }
+  std::uint64_t p99() const noexcept { return quantile_upper_bound(0.99); }
+  std::uint64_t p999() const noexcept { return quantile_upper_bound(0.999); }
+
   // {"count": N, "total": T, "buckets": [{"le": 2^b, "count": n}, ...]}
   // with empty buckets omitted.
   std::string to_json() const;

@@ -13,6 +13,8 @@
 #include "apps/gossip_router.h"
 #include "apps/graph_module.h"
 #include "apps/intruder.h"
+#include "server/cc_backend.h"
+#include "server/traffic_gen.h"
 #include "util/rng.h"
 
 namespace semlock::apps {
@@ -133,6 +135,50 @@ TEST(Differential, GossipSendCounts) {
   }
   for (std::size_t i = 1; i < totals.size(); ++i) {
     EXPECT_EQ(totals[i], totals[0]);
+  }
+}
+
+// The same discipline for the server's CC backends: executed single-
+// threaded over one request stream, every mode — in particular the
+// optimistic OCC path, whose buffered-write/validate/install machinery is
+// the most likely to diverge — must land on the identical final store as
+// the no-synchronization SERIAL reference.
+TEST(Differential, ServerBackendsMatchSerialOnEveryMix) {
+  using server::CCMode;
+  for (const char* mix_name : {"kv", "bank", "graph"}) {
+    server::TrafficConfig traffic;
+    traffic.rate_rps = 500000.0;
+    traffic.duration_ms = 10;
+    traffic.zipf_theta = 0.9;
+    traffic.seed = 31;
+    traffic.store.accounts = 64;
+    traffic.store.kv_keys = 512;
+    traffic.store.nodes = 24;
+    ASSERT_TRUE(server::parse_traffic_mix(mix_name, &traffic.mix));
+    const auto schedule = server::generate_schedule(traffic);
+    ASSERT_FALSE(schedule.empty()) << mix_name;
+
+    auto reference = server::make_cc_backend(CCMode::kSerial, traffic.store);
+    std::vector<std::int64_t> ref_observed;
+    for (const auto& r : schedule) {
+      ref_observed.push_back(reference->execute(r).observed);
+    }
+
+    for (const CCMode mode : {CCMode::kOcc, CCMode::kSemantic,
+                              CCMode::kGlobalLock, CCMode::kTwoPL}) {
+      auto backend = server::make_cc_backend(mode, traffic.store);
+      std::vector<std::int64_t> observed;
+      for (const auto& r : schedule) {
+        observed.push_back(backend->execute(r).observed);
+      }
+      EXPECT_EQ(observed, ref_observed)
+          << mix_name << "/" << server::cc_mode_name(mode);
+      EXPECT_EQ(backend->digest(), reference->digest())
+          << mix_name << "/" << server::cc_mode_name(mode);
+      EXPECT_EQ(backend->balance_total(), reference->balance_total());
+      EXPECT_EQ(backend->kv_inserted(), reference->kv_inserted());
+      EXPECT_EQ(backend->edges_present(), reference->edges_present());
+    }
   }
 }
 

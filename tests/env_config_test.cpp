@@ -15,6 +15,7 @@
 #include "runtime/stall_watchdog.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode_table.h"
+#include "server/config.h"
 #include "util/env.h"
 #include "util/striped_counter.h"
 
@@ -321,6 +322,118 @@ TEST(AttributionEnv, SampleMalformedWarnsAndFallsBack) {
   }
 }
 #endif  // SEMLOCK_OBS
+
+TEST(EnvDoubleInRange, AcceptsDecimalsWithinRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(util::env_double_in_range("X", "0.75", 0.0, 1.0, "default"),
+              0.75);
+    EXPECT_EQ(util::env_double_in_range("X", "0", 0.0, 1.0, "default"), 0.0);
+    EXPECT_EQ(util::env_double_in_range("X", "1e3", 0.0, 1e6, "default"),
+              1000.0);
+    EXPECT_EQ(util::env_double_in_range("X", nullptr, 0.0, 1.0, "default"),
+              std::nullopt);  // unset is silent
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(EnvDoubleInRange, MalformedWarnsAndYieldsNullopt) {
+  for (const char* bad :
+       {"garbage", "0.5x", "", "1.5", "-0.1", "nan", "inf", "1e999"}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(util::env_double_in_range("X", bad, 0.0, 1.0, "default"),
+                std::nullopt)
+          << "value: " << bad;
+    });
+    EXPECT_NE(err.find("invalid X=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+  }
+}
+
+TEST(ServerEnv, AllUnsetGivesDocumentedDefaultsSilently) {
+  const std::string err = captured_stderr([] {
+    const server::ServerConfig cfg =
+        server::server_config_from_env_text(server::ServerEnvText{});
+    EXPECT_EQ(cfg.workers, 0);  // 0 = resolve to hardware concurrency later
+    EXPECT_EQ(cfg.shards, 16);
+    EXPECT_EQ(cfg.queue_capacity, 1024);
+    EXPECT_EQ(cfg.mode, server::CCMode::kSemantic);
+    EXPECT_FALSE(cfg.checked);
+    EXPECT_EQ(cfg.traffic.zipf_theta, 0.6);
+    EXPECT_EQ(cfg.traffic.burst_factor, 1);
+    EXPECT_EQ(cfg.traffic.think_users, 0);
+    int sum = 0;
+    for (int p : cfg.traffic.mix.pct) sum += p;
+    EXPECT_EQ(sum, 100);  // defaults to the "mixed" mix
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(ServerEnv, ValidSettingsApply) {
+  server::ServerEnvText env;
+  env.workers = "4";
+  env.shards = "32";
+  env.queue_cap = "64";
+  env.mode = "occ";
+  env.checked = "1";
+  env.rate = "12500.5";
+  env.duration_ms = "250";
+  env.zipf_theta = "0.95";
+  env.burst_x = "8";
+  env.burst_period_ms = "20";
+  env.think_users = "100";
+  env.think_ms = "2.5";
+  env.mix = "bank";
+  env.seed = "777";
+  const std::string err = captured_stderr([&env] {
+    const server::ServerConfig cfg = server::server_config_from_env_text(env);
+    EXPECT_EQ(cfg.workers, 4);
+    EXPECT_EQ(cfg.shards, 32);
+    EXPECT_EQ(cfg.queue_capacity, 64);
+    EXPECT_EQ(cfg.mode, server::CCMode::kOcc);
+    EXPECT_TRUE(cfg.checked);
+    EXPECT_EQ(cfg.traffic.rate_rps, 12500.5);
+    EXPECT_EQ(cfg.traffic.duration_ms, 250u);
+    EXPECT_EQ(cfg.traffic.zipf_theta, 0.95);
+    EXPECT_EQ(cfg.traffic.burst_factor, 8);
+    EXPECT_EQ(cfg.traffic.burst_period_ms, 20u);
+    EXPECT_EQ(cfg.traffic.think_users, 100);
+    EXPECT_EQ(cfg.traffic.think_ms, 2.5);
+    EXPECT_EQ(cfg.traffic.seed, 777u);
+    EXPECT_EQ(cfg.traffic.mix.pct[static_cast<int>(
+                  server::RequestKind::kTransfer)],
+              70);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(ServerEnv, MalformedKnobsWarnPerKnobAndFallBack) {
+  server::ServerEnvText env;
+  env.workers = "lots";    // not a number
+  env.shards = "0";        // below range
+  env.mode = "mvcc";       // unknown mode
+  env.zipf_theta = "1.5";  // above range
+  env.mix = "everything";  // unknown mix
+  env.checked = "yes";     // not 0/1
+  const std::string err = captured_stderr([&env] {
+    const server::ServerConfig cfg = server::server_config_from_env_text(env);
+    EXPECT_EQ(cfg.workers, 0);
+    EXPECT_EQ(cfg.shards, 16);
+    EXPECT_EQ(cfg.mode, server::CCMode::kSemantic);
+    EXPECT_FALSE(cfg.checked);
+    EXPECT_EQ(cfg.traffic.zipf_theta, 0.6);
+    int sum = 0;
+    for (int p : cfg.traffic.mix.pct) sum += p;
+    EXPECT_EQ(sum, 100);
+  });
+  for (const char* knob :
+       {"SEMLOCK_SERVER_WORKERS=\"lots\"", "SEMLOCK_SERVER_SHARDS=\"0\"",
+        "SEMLOCK_SERVER_MODE=\"mvcc\"", "SEMLOCK_SERVER_ZIPF_THETA=\"1.5\"",
+        "SEMLOCK_SERVER_MIX=\"everything\"",
+        "SEMLOCK_SERVER_CHECKED=\"yes\""}) {
+    EXPECT_NE(err.find(knob), std::string::npos) << knob << "\n" << err;
+  }
+}
 
 TEST(EnvBool01, AcceptsExactlyZeroAndOne) {
   const std::string err = captured_stderr([] {

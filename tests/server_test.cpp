@@ -1,0 +1,357 @@
+// semlock-server subsystem tests: deterministic traffic generation and shard
+// routing, bounded-queue backpressure (shed-with-retry-after), drain-and-
+// shutdown conservation (no lost or double-executed requests — this file is
+// part of the TSan job), and the serializability oracle over concurrent
+// checked runs of every non-serial mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "semlock/history.h"
+#include "server/cc_backend.h"
+#include "server/config.h"
+#include "server/server.h"
+#include "server/shard_queue.h"
+#include "server/traffic_gen.h"
+#include "server/zipf.h"
+#include "util/rng.h"
+
+namespace semlock::server {
+namespace {
+
+StoreConfig small_store() {
+  StoreConfig s;
+  s.accounts = 64;
+  s.kv_keys = 1024;
+  s.nodes = 32;
+  s.abstract_values = 16;
+  return s;
+}
+
+TrafficConfig small_traffic(std::uint64_t seed = 7) {
+  TrafficConfig t;
+  t.rate_rps = 200000.0;
+  t.duration_ms = 20;
+  t.zipf_theta = 0.8;  // hot keys: make modes actually contend
+  t.store = small_store();
+  t.seed = seed;
+  parse_traffic_mix("mixed", &t.mix);
+  return t;
+}
+
+bool streams_equal(const std::vector<Request>& a,
+                   const std::vector<Request>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].kind != b[i].kind || a[i].a != b[i].a ||
+        a[i].b != b[i].b || a[i].amount != b[i].amount ||
+        a[i].arrival_ns != b[i].arrival_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TrafficGen, ScheduleIsDeterministicSortedAndDenselyNumbered) {
+  const TrafficConfig cfg = small_traffic();
+  const auto s1 = generate_schedule(cfg);
+  const auto s2 = generate_schedule(cfg);
+  ASSERT_FALSE(s1.empty());
+  EXPECT_TRUE(streams_equal(s1, s2));
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].id, i);
+    if (i > 0) EXPECT_GE(s1[i].arrival_ns, s1[i - 1].arrival_ns);
+    EXPECT_LT(s1[i].arrival_ns, cfg.duration_ms * 1000000ull);
+  }
+
+  TrafficConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_FALSE(streams_equal(s1, generate_schedule(other)));
+}
+
+TEST(TrafficGen, KeysStayInsideTheirKeyspaces) {
+  const TrafficConfig cfg = small_traffic();
+  for (const Request& r : generate_schedule(cfg)) {
+    switch (r.kind) {
+      case RequestKind::kComputeIfAbsent:
+        EXPECT_GE(r.a, 0);
+        EXPECT_LT(r.a, cfg.store.kv_keys);
+        break;
+      case RequestKind::kTransfer:
+      case RequestKind::kAudit:
+        EXPECT_GE(r.a, 0);
+        EXPECT_LT(r.a, cfg.store.accounts);
+        EXPECT_GE(r.b, 0);
+        EXPECT_LT(r.b, cfg.store.accounts);
+        EXPECT_NE(r.a, r.b);
+        break;
+      case RequestKind::kInsertEdge:
+      case RequestKind::kRemoveEdge:
+      case RequestKind::kDegree:
+        EXPECT_GE(r.a, 0);
+        EXPECT_LT(r.a, cfg.store.nodes);
+        EXPECT_GE(r.b, 0);
+        EXPECT_LT(r.b, cfg.store.nodes);
+        break;
+    }
+  }
+}
+
+TEST(TrafficGen, PartlyOpenModelRespectsHorizonAndDeterminism) {
+  TrafficConfig cfg = small_traffic();
+  cfg.think_users = 8;
+  cfg.think_ms = 0.05;
+  const auto s1 = generate_schedule(cfg);
+  ASSERT_FALSE(s1.empty());
+  EXPECT_TRUE(streams_equal(s1, generate_schedule(cfg)));
+  for (std::size_t i = 1; i < s1.size(); ++i) {
+    EXPECT_GE(s1[i].arrival_ns, s1[i - 1].arrival_ns);
+  }
+  EXPECT_LT(s1.back().arrival_ns, cfg.duration_ms * 1000000ull);
+}
+
+TEST(TrafficGen, BurstsRaiseTheArrivalCount) {
+  TrafficConfig base = small_traffic();
+  base.burst_factor = 1;
+  TrafficConfig bursty = base;
+  bursty.burst_factor = 8;
+  bursty.burst_period_ms = 4;
+  // Square wave at 8x for half the time: ~4.5x the arrivals.
+  EXPECT_GT(generate_schedule(bursty).size(),
+            2 * generate_schedule(base).size());
+}
+
+TEST(TrafficGen, ShardRoutingIsDeterministicAndInRange) {
+  const auto schedule = generate_schedule(small_traffic());
+  for (const Request& r : schedule) {
+    const std::uint32_t s = shard_of(r, 16);
+    EXPECT_LT(s, 16u);
+    EXPECT_EQ(s, shard_of(r, 16));  // pure function of the request
+  }
+  // Same primary key, same kind => same shard (session affinity).
+  Request a = schedule.front();
+  Request b = a;
+  b.id += 1;
+  b.arrival_ns += 12345;
+  EXPECT_EQ(shard_of(a, 64), shard_of(b, 64));
+}
+
+TEST(Zipf, SamplesStayInRangeAndSkewTowardHotKeys) {
+  util::Xoshiro256 rng(3);
+  const ZipfSampler zipf(1000, 0.9);
+  std::uint64_t rank0 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t r = zipf.next_rank(rng);
+    ASSERT_LT(r, 1000u);
+    if (r == 0) ++rank0;
+    ASSERT_LT(zipf.next_key(rng), 1000u);
+  }
+  // Rank 0 of a theta=0.9 Zipfian over 1000 keys carries ~12% of the mass;
+  // a uniform sampler would give 0.1%.
+  EXPECT_GT(rank0, 1000u);
+}
+
+TEST(CCModes, ParseRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_cc_mode("semantic"), CCMode::kSemantic);
+  EXPECT_EQ(parse_cc_mode("serial"), CCMode::kSerial);
+  EXPECT_EQ(parse_cc_mode("global"), CCMode::kGlobalLock);
+  EXPECT_EQ(parse_cc_mode("2pl"), CCMode::kTwoPL);
+  EXPECT_EQ(parse_cc_mode("occ"), CCMode::kOcc);
+  EXPECT_FALSE(parse_cc_mode("SEMANTIC"));
+  EXPECT_FALSE(parse_cc_mode(""));
+  EXPECT_FALSE(parse_cc_mode("mvcc"));
+}
+
+TEST(TrafficMixes, NamedMixesSumToOneHundred) {
+  for (const char* name : {"kv", "bank", "graph", "mixed"}) {
+    TrafficMix mix;
+    ASSERT_TRUE(parse_traffic_mix(name, &mix)) << name;
+    int sum = 0;
+    for (int p : mix.pct) sum += p;
+    EXPECT_EQ(sum, 100) << name;
+  }
+  TrafficMix mix;
+  EXPECT_FALSE(parse_traffic_mix("everything", &mix));
+  EXPECT_FALSE(parse_traffic_mix(nullptr, &mix));
+}
+
+TEST(ShardQueueTest, BoundedPushPopAndWatermark) {
+  ShardQueue q(4);
+  Request r;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    r.id = i;
+    EXPECT_TRUE(q.try_push(r));
+  }
+  r.id = 99;
+  EXPECT_FALSE(q.try_push(r));  // full: shed
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.high_watermark(), 4u);
+
+  Request out;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out.id, i);  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.high_watermark(), 4u);  // watermark survives the drain
+}
+
+// Counts executions per request id — the direct witness that drain-and-
+// shutdown neither loses nor double-executes.
+class CountingBackend final : public CCBackend {
+ public:
+  explicit CountingBackend(std::size_t n) : seen(n) {}
+  ExecResult execute(const Request& r) override {
+    seen[static_cast<std::size_t>(r.id)].fetch_add(
+        1, std::memory_order_relaxed);
+    return ExecResult{};
+  }
+  CCMode mode() const override { return CCMode::kTwoPL; }  // multi-worker
+  std::int64_t balance_total() const override { return 0; }
+  std::int64_t kv_inserted() const override { return 0; }
+  std::int64_t edges_present() const override { return 0; }
+  std::uint64_t digest() const override { return 0; }
+
+  std::vector<std::atomic<std::uint32_t>> seen;
+};
+
+TEST(ServerTest, DrainAndShutdownExecutesEveryAcceptedRequestExactlyOnce) {
+  const auto schedule = generate_schedule(small_traffic());
+  ServerConfig cfg;
+  cfg.workers = 4;  // oversubscribed on a 1-core container — that's the point
+  cfg.shards = 8;
+  cfg.queue_capacity = static_cast<int>(schedule.size());  // no sheds
+  CountingBackend backend(schedule.size());
+  Server srv(cfg, &backend);
+  const ServerReport r = srv.run(schedule, /*paced=*/false);
+
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.completed, schedule.size());
+  EXPECT_EQ(r.completed + r.shed, r.offered);
+  for (std::size_t i = 0; i < backend.seen.size(); ++i) {
+    EXPECT_EQ(backend.seen[i].load(std::memory_order_relaxed), 1u)
+        << "request " << i;
+  }
+  EXPECT_EQ(r.latency_ns.count(), r.completed);
+}
+
+TEST(ServerTest, OverloadShedsWithRetryAfterAndConservesAccounting) {
+  const auto schedule = generate_schedule(small_traffic());
+  ASSERT_GT(schedule.size(), 100u);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.shards = 1;        // one queue: depth pressure is maximal
+  cfg.queue_capacity = 2;  // unpaced dispatch must outrun the worker
+  cfg.mode = CCMode::kGlobalLock;
+  auto backend = make_cc_backend(cfg.mode, small_store());
+  Server srv(cfg, backend.get());
+  const ServerReport r = srv.run(schedule, /*paced=*/false);
+
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_GT(r.last_retry_after_ns, 0u);
+  EXPECT_EQ(r.completed + r.shed, r.offered);
+  EXPECT_LE(r.max_queue_depth, 2u);
+}
+
+TEST(ServerTest, SerialModeClampsToOneWorker) {
+  ServerConfig cfg;
+  cfg.workers = 8;
+  cfg.shards = 8;
+  auto backend = make_cc_backend(CCMode::kSerial, small_store());
+  Server srv(cfg, backend.get());
+  EXPECT_EQ(srv.workers(), 1);
+
+  auto parallel = make_cc_backend(CCMode::kSemantic, small_store());
+  Server psrv(cfg, parallel.get());
+  EXPECT_EQ(psrv.workers(), 8);
+}
+
+TEST(ServerTest, WorkersNeverExceedShards) {
+  ServerConfig cfg;
+  cfg.workers = 16;
+  cfg.shards = 3;
+  auto backend = make_cc_backend(CCMode::kTwoPL, small_store());
+  Server srv(cfg, backend.get());
+  EXPECT_EQ(srv.workers(), 3);
+}
+
+TEST(ServerTest, BalanceConservationAcrossConcurrentModes) {
+  TrafficConfig traffic = small_traffic();
+  parse_traffic_mix("bank", &traffic.mix);
+  const auto schedule = generate_schedule(traffic);
+  const std::int64_t expected =
+      traffic.store.accounts * traffic.store.initial_balance;
+  for (const CCMode mode : {CCMode::kSemantic, CCMode::kGlobalLock,
+                            CCMode::kTwoPL, CCMode::kOcc}) {
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.shards = 8;
+    cfg.queue_capacity = static_cast<int>(schedule.size());
+    auto backend = make_cc_backend(mode, traffic.store);
+    Server srv(cfg, backend.get());
+    const ServerReport r = srv.run(schedule, /*paced=*/false);
+    EXPECT_EQ(r.completed, r.offered) << cc_mode_name(mode);
+    EXPECT_EQ(backend->balance_total(), expected) << cc_mode_name(mode);
+  }
+}
+
+// The acceptance gate of the subsystem: with history recording on, a
+// concurrent run of every non-serial mode must produce a conflict-
+// serializable history. Under TSan this is also the data-race check for
+// the commuting SEMANTIC fast path and the OCC commit protocol.
+TEST(ServerTest, CheckedConcurrentRunsAreSerializable) {
+  const auto schedule = generate_schedule(small_traffic(11));
+  for (const CCMode mode : {CCMode::kSemantic, CCMode::kGlobalLock,
+                            CCMode::kTwoPL, CCMode::kOcc}) {
+    HistoryRecorder recorder;
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.shards = 8;
+    cfg.queue_capacity = static_cast<int>(schedule.size());
+    auto backend = make_cc_backend(mode, small_store(), &recorder);
+    Server srv(cfg, backend.get());
+    const ServerReport r = srv.run(schedule, /*paced=*/false);
+    EXPECT_EQ(r.completed, r.offered) << cc_mode_name(mode);
+    const SerializabilityReport rep =
+        check_conflict_serializability(recorder.snapshot());
+    EXPECT_TRUE(rep.serializable)
+        << cc_mode_name(mode) << ": " << rep.to_string();
+  }
+}
+
+TEST(ServerTest, IdenticalStreamYieldsIdenticalFinalStateAcrossModes) {
+  // The final store is order-independent across shard interleavings: every
+  // pair of requests whose operations do NOT commute (same-source edge ops,
+  // same-key CIA) shares a primary key, hence a shard, hence FIFO order,
+  // while cross-shard writes commute (transfers, pred-degree updates). So
+  // the full-store digest must match bit-for-bit across modes — the
+  // cross-mode differential analogue of differential_test.cpp.
+  const auto schedule = generate_schedule(small_traffic(23));
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (const CCMode mode :
+       {CCMode::kSerial, CCMode::kSemantic, CCMode::kGlobalLock,
+        CCMode::kTwoPL, CCMode::kOcc}) {
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.shards = 4;
+    cfg.queue_capacity = static_cast<int>(schedule.size());
+    auto backend = make_cc_backend(mode, small_store());
+    Server srv(cfg, backend.get());
+    const ServerReport r = srv.run(schedule, /*paced=*/false);
+    ASSERT_EQ(r.completed, r.offered) << cc_mode_name(mode);
+    if (first) {
+      reference = backend->digest();
+      first = false;
+    } else {
+      EXPECT_EQ(backend->digest(), reference) << cc_mode_name(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semlock::server

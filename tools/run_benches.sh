@@ -25,6 +25,19 @@ if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   exit 1
 fi
 
+# Every artifact stamps hardware_threads; make the degenerate case impossible
+# to miss in the console too. With one hardware thread all scaling series
+# collapse and only single-thread rows mean anything.
+HW_THREADS="$(nproc 2>/dev/null || echo 1)"
+if [[ "${HW_THREADS}" -eq 1 ]]; then
+  echo "##############################################################" >&2
+  echo "## WARNING: only 1 hardware thread available.               ##" >&2
+  echo "## Multi-thread rows in these artifacts measure             ##" >&2
+  echo "## OVERSUBSCRIPTION, not scaling. Do not read them as the   ##" >&2
+  echo "## paper's figures; see EXPERIMENTS.md section 0.           ##" >&2
+  echo "##############################################################" >&2
+fi
+
 echo "=== bench_fig21_computeifabsent -> BENCH_fig21.json ==="
 "${BUILD_DIR}/bench/bench_fig21_computeifabsent"
 
@@ -37,8 +50,11 @@ echo "=== bench_oversubscription -> BENCH_oversubscription.json ==="
 echo "=== bench_conflict_probability -> BENCH_conflict_probability.json ==="
 "${BUILD_DIR}/bench/bench_conflict_probability"
 
+echo "=== bench_server -> BENCH_server.json ==="
+"${BUILD_DIR}/bench/bench_server"
+
 DONE="BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json \
-BENCH_conflict_probability.json"
+BENCH_conflict_probability.json BENCH_server.json"
 
 # Attribution sweep: built only when the observability layer is in
 # (SEMLOCK_OBS=ON, the default).
