@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/compute_if_absent.h"
+#include "runtime/grant_policy.h"
 #include "runtime/wait_policy.h"
 #include "semlock/lock_mechanism.h"
 #include "util/stats.h"
@@ -147,7 +148,7 @@ inline std::string run_metadata_json() {
 #if defined(SEMLOCK_OBS)
   out += "+obs";
 #endif
-  char buf[192];
+  char buf[256];
   // "hardware_threads" is stamped both here and at the artifact top level:
   // a single-core CI container makes every scaling figure meaningless, and
   // the reader of a lone "run" object must be able to see that without
@@ -156,13 +157,16 @@ inline std::string run_metadata_json() {
                 "\", \"hardware_threads\": %u"
                 ", \"hardware_concurrency\": %u, \"scale_factor\": %.2f, "
                 "\"wait_policy\": \"%s\", \"optimistic\": %s, "
-                "\"stripes\": %d}",
+                "\"stripes\": %d, \"grant_policy\": \"%s\", "
+                "\"bypass_bound\": %u}",
                 std::thread::hardware_concurrency(),
                 std::thread::hardware_concurrency(), scale_factor(),
                 runtime::wait_policy_name(runtime::default_wait_policy()),
                 default_optimistic_acquire() ? "true" : "false",
                 default_stripe_self_commuting() ? default_counter_stripes()
-                                                : 0);
+                                                : 0,
+                runtime::grant_policy_name(runtime::default_grant_policy()),
+                static_cast<unsigned>(runtime::default_bypass_bound()));
   out += buf;
   return out;
 }

@@ -56,6 +56,13 @@ bool mutation_drop_announce_revalidate() noexcept;
 void set_mutation_drop_retract_rewake(bool on) noexcept;
 bool mutation_drop_retract_rewake() noexcept;
 
+// When set, the bypass tiers skip the grant-policy barrier check — commuting
+// arrivals overtake queued waiters exactly as under the Free policy, so a
+// fair policy silently loses its no-starvation bound (the regression the DCT
+// no-starvation oracle must catch; see LockMechanism::fast_path_admitted).
+void set_mutation_drop_barrier_check(bool on) noexcept;
+bool mutation_drop_barrier_check() noexcept;
+
 }  // namespace semlock::dct
 
 #define SEMLOCK_DCT_POINT(point, object)                  \

@@ -81,6 +81,7 @@ void surrender(const char* point, const void* object,
 
 std::atomic<bool> g_mutation_drop_announce_revalidate{false};
 std::atomic<bool> g_mutation_drop_retract_rewake{false};
+std::atomic<bool> g_mutation_drop_barrier_check{false};
 
 }  // namespace
 
@@ -131,6 +132,14 @@ void set_mutation_drop_retract_rewake(bool on) noexcept {
 
 bool mutation_drop_retract_rewake() noexcept {
   return g_mutation_drop_retract_rewake.load(std::memory_order_relaxed);
+}
+
+void set_mutation_drop_barrier_check(bool on) noexcept {
+  g_mutation_drop_barrier_check.store(on, std::memory_order_relaxed);
+}
+
+bool mutation_drop_barrier_check() noexcept {
+  return g_mutation_drop_barrier_check.load(std::memory_order_relaxed);
 }
 
 const char* strategy_name(StrategyKind kind) {

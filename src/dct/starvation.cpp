@@ -1,0 +1,100 @@
+#include "dct/starvation.h"
+
+#if defined(SEMLOCK_DCT)
+
+#include <atomic>
+
+namespace semlock::dct {
+
+namespace {
+
+// The active tracker. Plain pointer behind an atomic: install/uninstall
+// happen outside the measured region (between schedules), and report sites
+// only load it.
+std::atomic<StarvationTracker*> g_tracker{nullptr};
+
+}  // namespace
+
+StarvationTracker::StarvationTracker() = default;
+
+StarvationTracker::~StarvationTracker() { uninstall(); }
+
+void StarvationTracker::install() {
+  g_tracker.store(this, std::memory_order_release);
+}
+
+void StarvationTracker::uninstall() {
+  StarvationTracker* expected = this;
+  g_tracker.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+std::uint64_t StarvationTracker::max_bypasses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t max = 0;
+  for (const Episode& e : episodes_) {
+    if (e.bypasses > max) max = e.bypasses;
+  }
+  return max;
+}
+
+std::uint64_t StarvationTracker::episodes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return episodes_.size();
+}
+
+std::string StarvationTracker::describe() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (std::size_t i = 0; i < episodes_.size(); ++i) {
+    const Episode& e = episodes_[i];
+    if (!out.empty()) out += ", ";
+    out += "#" + std::to_string(i) + " p" + std::to_string(e.partition) +
+           " " + std::to_string(e.bypasses) + "x" + (e.open ? " open" : "");
+  }
+  return out;
+}
+
+StarvationWaitScope::StarvationWaitScope(const void* mechanism, int partition)
+    : tracker_(g_tracker.load(std::memory_order_acquire)), index_(0) {
+  if (tracker_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(tracker_->mu_);
+  index_ = tracker_->episodes_.size();
+  tracker_->episodes_.push_back({mechanism, partition, 0, true});
+}
+
+void StarvationWaitScope::granted() {
+  if (tracker_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(tracker_->mu_);
+  StarvationTracker::Episode& own = tracker_->episodes_[index_];
+  if (!own.open) return;  // already closed: don't double-bump on destruction
+  own.open = false;
+  // This grant overtakes exactly the waiters that entered the wait loop
+  // before this one and are still waiting. Later-registered waiters were
+  // behind this episode all along — a grant in arrival order is not a
+  // bypass, or FIFO itself would look starving.
+  for (std::size_t i = 0; i < index_; ++i) {
+    StarvationTracker::Episode& e = tracker_->episodes_[i];
+    if (e.open && e.mechanism == own.mechanism &&
+        e.partition == own.partition) {
+      ++e.bypasses;
+    }
+  }
+}
+
+StarvationWaitScope::~StarvationWaitScope() { granted(); }
+
+void starvation_on_grant(const void* mechanism, int partition) {
+  StarvationTracker* tracker = g_tracker.load(std::memory_order_acquire);
+  if (tracker == nullptr) return;
+  std::lock_guard<std::mutex> lk(tracker->mu_);
+  for (StarvationTracker::Episode& e : tracker->episodes_) {
+    if (e.open && e.mechanism == mechanism && e.partition == partition) {
+      ++e.bypasses;
+    }
+  }
+}
+
+}  // namespace semlock::dct
+
+#endif  // SEMLOCK_DCT

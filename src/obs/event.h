@@ -26,6 +26,10 @@ enum class EventType : std::uint32_t {
   kMark = 11,          // harness/bench annotation; mode field = pass index
   kAttribution = 12,   // classified contended wait; mode field = AttrClass
                        // index (obs/attribution.h)
+  kBarrierDivert = 13, // commuting arrival diverted to the wait path by the
+                       // grant-policy barrier (runtime/grant_policy.h)
+  kGrantHandoff = 14,  // ticketed grant advanced the cursor and rewoke the
+                       // partition for the next eligible waiter
 };
 
 // Stable names for reports and the Chrome exporter.

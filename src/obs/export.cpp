@@ -1,4 +1,4 @@
-// Dump I/O and the human-facing exporters. Format v2 is documented in
+// Dump I/O and the human-facing exporters. Format v3 is documented in
 // export.h; everything here is plain C stdio so the exporters work in the
 // stripped-down CLI as well as the runtime's exit path.
 #include "obs/export.h"
@@ -16,7 +16,8 @@ namespace semlock::obs {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
-constexpr std::uint32_t kVersion = 2;
+// v3 appended max_wait_ns/diverted/handoffs to the AcquireStats block.
+constexpr std::uint32_t kVersion = 3;
 
 // --- little binary writer/reader over stdio ---------------------------------
 
@@ -92,6 +93,9 @@ void write_metrics(Writer& w, const MetricsSnapshot& m) {
   w.u64(a.retracts);
   w.u64(a.wait_ns);
   w.u64(a.wait_cpu_ns);
+  w.u64(a.max_wait_ns);
+  w.u64(a.diverted);
+  w.u64(a.handoffs);
   w.u32(static_cast<std::uint32_t>(m.instances.size()));
   for (const InstanceMetrics& im : m.instances) {
     w.u64(im.instance);
@@ -129,6 +133,9 @@ bool read_metrics(Reader& r, MetricsSnapshot& m) {
   a.retracts = r.u64();
   a.wait_ns = r.u64();
   a.wait_cpu_ns = r.u64();
+  a.max_wait_ns = r.u64();
+  a.diverted = r.u64();
+  a.handoffs = r.u64();
   const std::uint32_t instances = r.u32();
   if (!r.ok || instances > (1u << 24)) return false;
   m.instances.resize(instances);
@@ -414,10 +421,14 @@ std::string text_report(const TraceDump& dump) {
   std::snprintf(buf, sizeof(buf),
                 "  acquisitions %" PRIu64 "  contended %" PRIu64
                 "  parks %" PRIu64 "\n  optimistic hits %" PRIu64
-                "  retracts %" PRIu64 "\n  wait %.3f ms wall, %.3f ms cpu\n",
+                "  retracts %" PRIu64 "\n  wait %.3f ms wall, %.3f ms cpu"
+                "  max %.3f ms\n  grant policy: diverted %" PRIu64
+                "  handoffs %" PRIu64 "\n",
                 a.acquisitions, a.contended, a.parks, a.optimistic_hits,
                 a.retracts, static_cast<double>(a.wait_ns) / 1e6,
-                static_cast<double>(a.wait_cpu_ns) / 1e6);
+                static_cast<double>(a.wait_cpu_ns) / 1e6,
+                static_cast<double>(a.max_wait_ns) / 1e6, a.diverted,
+                a.handoffs);
   out += buf;
 
   out += "\ntop contended instances:\n";

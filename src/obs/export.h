@@ -3,13 +3,14 @@
 // report. Shared by the runtime's exit dump (trace.cpp) and the
 // tools/semlock-trace CLI, so both ends of the format live in one place.
 //
-// Binary dump format v2 (native endianness; produced and consumed on the
+// Binary dump format v3 (native endianness; produced and consumed on the
 // same machine):
 //   char[8]  magic "SLTRACE1"
-//   u32      version (2)
+//   u32      version (3)
 //   u32      thread count
-//   metrics section (MetricsSnapshot, see read/write below; v2 adds the
-//   per-instance AttrClass tallies and the per-mode-pair attribution cells)
+//   metrics section (MetricsSnapshot, see read/write below; v2 added the
+//   per-instance AttrClass tallies and the per-mode-pair attribution cells,
+//   v3 appends max_wait_ns/diverted/handoffs to the acquire totals)
 //   per thread: u32 tid, u32 live, u64 event count,
 //               count * kEventWords u64 words (oldest event first)
 #pragma once

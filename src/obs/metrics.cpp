@@ -93,6 +93,12 @@ std::string MetricsSnapshot::to_json() const {
   append_u64(out, a.wait_ns);
   out += ", \"wait_cpu_ns\": ";
   append_u64(out, a.wait_cpu_ns);
+  out += ", \"max_wait_ns\": ";
+  append_u64(out, a.max_wait_ns);
+  out += ", \"diverted\": ";
+  append_u64(out, a.diverted);
+  out += ", \"handoffs\": ";
+  append_u64(out, a.handoffs);
   out += "}, \"instances\": [";
   for (std::size_t i = 0; i < instances.size(); ++i) {
     if (i > 0) out += ", ";

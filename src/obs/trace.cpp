@@ -57,6 +57,8 @@ const char* event_name(EventType type) noexcept {
     case EventType::kWatchdogStall: return "watchdog_stall";
     case EventType::kMark: return "mark";
     case EventType::kAttribution: return "attribution";
+    case EventType::kBarrierDivert: return "barrier_divert";
+    case EventType::kGrantHandoff: return "grant_handoff";
   }
   return "unknown";
 }

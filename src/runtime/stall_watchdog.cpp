@@ -19,6 +19,10 @@ std::string StallReport::to_string() const {
                     " (partition " + std::to_string(partition) +
                     ") waiting " +
                     std::to_string(wait_ns / 1'000'000) + " ms";
+  if (cumulative_wait_ns > wait_ns) {
+    out += " (" + std::to_string(cumulative_wait_ns / 1'000'000) +
+           " ms across retried episodes)";
+  }
   if (mechanism == nullptr) {
     out += " (mechanism not watched; no holder detail)";
     return out;
@@ -38,7 +42,7 @@ std::string StallReport::to_string() const {
 StallWatchdog::StallWatchdog(Options options, Callback callback)
     : options_(options),
       callback_(std::move(callback)),
-      last_reports_(WaitRegistry::kSlots) {
+      tracks_(WaitRegistry::kSlots) {
   if (!callback_) {
     callback_ = [](const StallReport& report) {
       std::fprintf(stderr, "%s\n", report.to_string().c_str());
@@ -105,20 +109,52 @@ void StallWatchdog::sample() {
               options_.repeat_interval)
               .count());
 
+  // Chain gap: a retrying waiter re-registers within a couple of polls; a
+  // slot reused by an unrelated wait after sitting idle longer than this
+  // starts a fresh track. Generous (4 polls) because an episode can start
+  // and end entirely between two samples.
+  const std::uint64_t chain_gap_ns =
+      4 * static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  options_.poll)
+                  .count());
+
   WaitRegistry::instance().for_each_active(
       [&](const WaitRegistry::ActiveWait& wait) {
-        if (wait.start_ns + threshold_ns > now) return;
-        LastReport& last = last_reports_[static_cast<std::size_t>(
-            wait.slot_index)];
-        if (last.seq == wait.seq && repeat_ns > 0 &&
-            last.reported_at_ns + repeat_ns > now) {
-          return;  // same wait episode, reported recently
+        WaiterTrack& track =
+            tracks_[static_cast<std::size_t>(wait.slot_index)];
+        if (track.seq != wait.seq || track.mechanism != wait.mechanism) {
+          // New episode in this slot. Same mechanism and a small gap since
+          // the waiter was last seen = the same waiter retrying (possibly
+          // under a different mode after a partial release): carry its
+          // accrued wait forward. Anything else is a new waiter.
+          if (track.mechanism == wait.mechanism && track.last_seen_ns > 0 &&
+              track.last_seen_ns + chain_gap_ns > now) {
+            if (track.last_seen_ns > track.episode_start_ns) {
+              track.accrued_ns += track.last_seen_ns - track.episode_start_ns;
+            }
+          } else {
+            track.accrued_ns = 0;
+            track.reported_at_ns = 0;
+          }
+          track.mechanism = wait.mechanism;
+          track.seq = wait.seq;
+          track.episode_start_ns = wait.start_ns;
+        }
+        track.last_seen_ns = now;
+        const std::uint64_t cumulative =
+            track.accrued_ns + (now - wait.start_ns);
+        if (cumulative < threshold_ns) return;
+        if (repeat_ns > 0 && track.reported_at_ns != 0 &&
+            track.reported_at_ns + repeat_ns > now) {
+          return;  // this waiter was reported recently
         }
 
         StallReport report;
         report.mode = wait.mode;
         report.partition = wait.partition;
         report.wait_ns = now - wait.start_ns;
+        report.cumulative_wait_ns = cumulative;
 
         watched_mutex_.lock();
         for (const LockMechanism* m : watched_) {
@@ -148,8 +184,7 @@ void StallWatchdog::sample() {
         }
 #endif
 
-        last.seq = wait.seq;
-        last.reported_at_ns = now;
+        track.reported_at_ns = now;
         stalls_reported_.fetch_add(1, std::memory_order_acq_rel);
         callback_(report);
       });

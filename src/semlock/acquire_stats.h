@@ -27,6 +27,15 @@ struct AcquireStats {
   // discriminator: spinners burn CPU for the whole wait, parked waiters
   // only around the futex calls.
   std::uint64_t wait_cpu_ns = 0;
+  // Longest single contended wait. The fairness headline: under the Free
+  // grant policy a commuting flood makes this unbounded while the averages
+  // look fine (docs/RUNTIME_WAITING.md §5).
+  std::uint64_t max_wait_ns = 0;
+  // Grant-policy traffic: arrivals the barrier word diverted to the wait
+  // path, and ticketed grants that woke the partition to hand off to the
+  // next eligible waiter. Both stay 0 under the Free policy.
+  std::uint64_t diverted = 0;
+  std::uint64_t handoffs = 0;
   void reset() { *this = AcquireStats{}; }
 
   void merge(const AcquireStats& other) {
@@ -37,6 +46,9 @@ struct AcquireStats {
     retracts += other.retracts;
     wait_ns += other.wait_ns;
     wait_cpu_ns += other.wait_cpu_ns;
+    if (other.max_wait_ns > max_wait_ns) max_wait_ns = other.max_wait_ns;
+    diverted += other.diverted;
+    handoffs += other.handoffs;
   }
 };
 

@@ -6,6 +6,17 @@
 #include "runtime/wait_registry.h"
 #include "util/align.h"
 
+#if defined(SEMLOCK_DCT)
+#include "dct/starvation.h"
+// Grant hook for the DCT no-starvation oracle: every grant on a partition
+// bumps the bypass count of the wait episodes still queued there. Compiles
+// to nothing outside the harness.
+#define LM_DCT_GRANT(partition) \
+  ::semlock::dct::starvation_on_grant(this, (partition))
+#else
+#define LM_DCT_GRANT(partition) ((void)0)
+#endif
+
 #if defined(SEMLOCK_OBS)
 #include "obs/attribution.h"
 #include "obs/trace.h"
@@ -104,10 +115,19 @@ LockMechanism::LockMechanism(const ModeTable& table)
       can_park_(policy_ != runtime::WaitPolicyKind::SpinYield),
       optimistic_(table.config().optimistic_acquire),
 #if defined(SEMLOCK_OBS)
-      trace_(table.config().trace_events) {
+      trace_(table.config().trace_events),
 #else
-      trace_(false) {
+      trace_(false),
 #endif
+      grant_policy_(table.config().grant_policy),
+      bypass_bound_(table.config().bypass_bound > 0
+                        ? static_cast<std::uint32_t>(
+                              table.config().bypass_bound)
+                        : 1) {
+  if (grant_policy_ != runtime::GrantPolicyKind::Free) {
+    grant_slots_ = std::make_unique<GrantSlot[]>(
+        static_cast<std::size_t>(table.num_partitions()));
+  }
   for (int m = 0; m < table.num_modes(); ++m) {
     new (counters_.get() + static_cast<std::size_t>(m) * stride_)
         std::atomic<std::uint32_t>(0);
@@ -230,6 +250,129 @@ bool LockMechanism::announce_validate(int mode, int partition,
   return false;
 }
 
+bool LockMechanism::fast_path_admitted(int partition, AcquireStats& stats,
+                                       int mode) {
+  if (grant_slots_ == nullptr) return true;
+#if defined(SEMLOCK_DCT)
+  // Test-only mutation: ignore the barrier — the bypass tiers behave as
+  // under Free and the no-starvation oracle must notice.
+  if (dct::mutation_drop_barrier_check()) return true;
+#endif
+  GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
+  SEMLOCK_DCT_POINT("grant.barrier", &slot.barrier);
+  const std::uint32_t barrier = slot.barrier.load(std::memory_order_acquire);
+  if (barrier == 0) return true;
+  if (barrier == 1) {
+    // BoundedBypass counting: charge the budget; the admission that exhausts
+    // it closes the barrier for everyone after. A straggler that loaded
+    // barrier==1 before a reset can only over-count — the bound holds.
+    const std::uint32_t before =
+        slot.bypasses.fetch_add(1, std::memory_order_acq_rel);
+    if (before + 1 >= bypass_bound_) {
+      std::uint32_t expected = 1;
+      slot.barrier.compare_exchange_strong(expected, 2,
+                                           std::memory_order_acq_rel);
+    }
+    if (before < bypass_bound_) return true;
+  }
+  ++stats.diverted;
+  LM_OBS_EVENT(kBarrierDivert, mode);
+  return false;
+}
+
+std::uint64_t LockMechanism::enqueue_waiter(int partition) {
+  GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
+  SEMLOCK_DCT_POINT("grant.enqueue", &slot.barrier);
+  const std::uint64_t ticket =
+      slot.next_ticket.fetch_add(1, std::memory_order_relaxed);
+  ++slot.waiting;
+  switch (grant_policy_) {
+    case runtime::GrantPolicyKind::Fifo:
+      // Strict handoff: the moment anyone queues, every bypass tier closes.
+      slot.barrier.store(2, std::memory_order_release);
+      break;
+    case runtime::GrantPolicyKind::PhaseFair:
+      slot.barrier.store(2, std::memory_order_release);
+      if (slot.phase_remaining == 0) {
+        // Open the first phase: just this waiter. Later arrivals queue for
+        // the next phase, which grant_complete sizes when this one drains.
+        slot.phase_remaining = 1;
+        slot.phase_end.store(ticket + 1, std::memory_order_release);
+      }
+      break;
+    case runtime::GrantPolicyKind::BoundedBypass:
+      if (slot.waiting == 1) {
+        // First waiter arms the counting barrier with a fresh budget. CAS:
+        // never demote a barrier a concurrent exhaustion already closed.
+        slot.bypasses.store(0, std::memory_order_relaxed);
+        std::uint32_t expected = 0;
+        slot.barrier.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel);
+      }
+      break;
+    case runtime::GrantPolicyKind::Free:
+      break;
+  }
+  return ticket;
+}
+
+bool LockMechanism::waiter_eligible(int partition,
+                                    std::uint64_t ticket) const {
+  if (grant_slots_ == nullptr) return true;
+  const GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
+  switch (grant_policy_) {
+    case runtime::GrantPolicyKind::Fifo:
+    case runtime::GrantPolicyKind::BoundedBypass:
+      // Tickets are unique, so once granted == ticket the cursor cannot move
+      // past us — eligibility is monotone and this lock-free read is final.
+      return slot.granted.load(std::memory_order_acquire) == ticket;
+    case runtime::GrantPolicyKind::PhaseFair:
+      // phase_end only grows, same monotonicity argument.
+      return ticket < slot.phase_end.load(std::memory_order_acquire);
+    case runtime::GrantPolicyKind::Free:
+      break;
+  }
+  return true;
+}
+
+bool LockMechanism::grant_complete(int partition) {
+  GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
+  --slot.waiting;
+  slot.granted.fetch_add(1, std::memory_order_release);
+  switch (grant_policy_) {
+    case runtime::GrantPolicyKind::Fifo:
+      if (slot.waiting == 0) slot.barrier.store(0, std::memory_order_release);
+      break;
+    case runtime::GrantPolicyKind::PhaseFair:
+      if (--slot.phase_remaining == 0) {
+        if (slot.waiting > 0) {
+          // Phase drained with a queue behind it: everyone ticketed by now
+          // forms the next phase (commuting members overlap freely; a
+          // conflicting member simply waits its turn inside the phase).
+          slot.phase_remaining = slot.waiting;
+          slot.phase_end.store(
+              slot.next_ticket.load(std::memory_order_relaxed),
+              std::memory_order_release);
+        } else {
+          slot.barrier.store(0, std::memory_order_release);
+        }
+      }
+      break;
+    case runtime::GrantPolicyKind::BoundedBypass:
+      // The waiter the budget protected is gone: refresh the budget for the
+      // next one, or reopen the fast path when the queue is empty.
+      slot.bypasses.store(0, std::memory_order_relaxed);
+      slot.barrier.store(slot.waiting > 0 ? 1 : 0, std::memory_order_release);
+      break;
+    case runtime::GrantPolicyKind::Free:
+      break;
+  }
+  // Waiters park against both "conflicts held" and "not my turn"; advancing
+  // the cursor changes the latter, so the caller must replay the wakeup
+  // (after dropping the internal lock) exactly like a releasing unlock does.
+  return slot.waiting > 0;
+}
+
 void LockMechanism::lock(int mode, const LockSiteArgs* args) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
@@ -241,13 +384,17 @@ void LockMechanism::lock(int mode, const LockSiteArgs* args) {
   if (optimistic_) {
     // Tier T1: lock-free attempts. The pre-check keeps the ablation knob
     // meaningful (and skips a futile announce when a conflict is visibly
-    // held); validation inside announce_validate is unconditional.
+    // held); validation inside announce_validate is unconditional. Under a
+    // non-Free grant policy every attempt first consults the partition's
+    // barrier word — a raised barrier sends this arrival to the wait path.
     for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+      if (!fast_path_admitted(partition, stats, mode)) break;
       if (precheck && !conflicts_clear(mode)) break;
       if (announce_validate(mode, partition, stats)) {
         ++stats.optimistic_hits;
         LM_OBS_EVENT(kOptimisticHit, mode);
         LM_ATTR_GRANT(mode, args);
+        LM_DCT_GRANT(partition);
         return;
       }
       backoff_pause(attempt);
@@ -257,8 +404,10 @@ void LockMechanism::lock(int mode, const LockSiteArgs* args) {
   }
   // Historical arbitrated path (optimistic_acquire off): check-then-
   // increment is sound here because every increment happens under the
-  // partition's internal lock.
-  if (!precheck || conflicts_clear(mode)) {
+  // partition's internal lock. This uncontended grant is ticketless, so it
+  // is a bypass too and obeys the same barrier.
+  if ((!precheck || conflicts_clear(mode)) &&
+      fast_path_admitted(partition, stats, mode)) {
     internal.lock();
     if (conflicts_clear(mode)) {
       SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
@@ -266,6 +415,7 @@ void LockMechanism::lock(int mode, const LockSiteArgs* args) {
       internal.unlock();
       LM_OBS_EVENT(kAcquireGrant, mode);
       LM_ATTR_GRANT(mode, args);
+      LM_DCT_GRANT(partition);
       return;
     }
     internal.unlock();
@@ -305,10 +455,26 @@ void LockMechanism::lock_contended(int mode, int partition,
   const std::uint64_t wait_start = runtime::steady_now_ns();
   const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
   runtime::WaitScope watchdog_scope(this, mode, partition);
+#if defined(SEMLOCK_DCT)
+  dct::StarvationWaitScope starvation_scope(this, partition);
+#endif
+  // Under a non-Free grant policy this waiter takes a ticket (raising the
+  // barrier per policy) and only attempts the arbitrated grant when the
+  // cursor says it is its turn; the grant then hands the cursor off to the
+  // next waiter. kMaxTicket marks the Free policy's ticketless waiters.
+  constexpr std::uint64_t kMaxTicket = ~std::uint64_t{0};
+  std::uint64_t ticket = kMaxTicket;
+  if (grant_slots_ != nullptr) {
+    internal.lock();
+    ticket = enqueue_waiter(partition);
+    internal.unlock();
+  }
   runtime::WaitState wait(policy_, spin_limit_);
   const bool precheck = table_->config().fast_path_precheck;
   for (;;) {
-    if (!precheck || conflicts_clear(mode)) {
+    const bool eligible =
+        ticket == kMaxTicket || waiter_eligible(partition, ticket);
+    if (eligible && (!precheck || conflicts_clear(mode))) {
       internal.lock();
       bool acquired;
       if (optimistic_) {
@@ -325,13 +491,32 @@ void LockMechanism::lock_contended(int mode, int partition,
           increment(mode);
         }
       }
+      bool handoff = false;
+      if (acquired && ticket != kMaxTicket) {
+        handoff = grant_complete(partition);
+      }
       internal.unlock();
       if (acquired) {
+        if (handoff) {
+          // The cursor moved: wake the partition so the newly eligible
+          // waiter re-validates instead of sleeping on a stale turn.
+          parking_.unpark_all(partition);
+          ++stats.handoffs;
+          LM_OBS_EVENT(kGrantHandoff, mode);
+        }
         const std::uint64_t waited = runtime::steady_now_ns() - wait_start;
         stats.wait_ns += waited;
+        if (waited > stats.max_wait_ns) stats.max_wait_ns = waited;
         stats.wait_cpu_ns += runtime::thread_cpu_now_ns() - cpu_start;
         LM_OBS_EVENT(kAcquireGrant, mode);
         LM_ATTR_GRANT(mode, args);
+#if defined(SEMLOCK_DCT)
+        // A contended grant is an overtake only of waiters that entered the
+        // wait loop BEFORE this one (granted() bumps exactly those); the
+        // unconditional LM_DCT_GRANT is for the fast-path sites, where the
+        // grantee arrived later than every registered waiter by definition.
+        starvation_scope.granted();
+#endif
 #if defined(SEMLOCK_OBS)
         if (trace_) obs::record_wait(this, mode, waited);
 #endif
@@ -340,17 +525,21 @@ void LockMechanism::lock_contended(int mode, int partition,
     }
     // One unit of waiting: the policy spins/yields itself (step() == false)
     // or asks us to park. Parking re-validates after announcing so a release
-    // racing with the announcement is never missed (see parking_lot.h).
+    // racing with the announcement is never missed (see parking_lot.h); with
+    // a ticket the re-validation covers eligibility too, since the handoff
+    // wakeup above races with this announcement the same way a release does.
     if (wait.step()) {
       const std::uint32_t gen = parking_.prepare(partition);
       parking_.announce(partition);
+      const bool turn_ok =
+          ticket == kMaxTicket || waiter_eligible(partition, ticket);
 #if defined(SEMLOCK_DCT)
       // Test-only mutation: park blind, skipping the re-validation half of
       // the handshake — the lost-wakeup bug the DCT harness must detect.
-      const bool revalidated =
-          !dct::mutation_drop_announce_revalidate() && conflicts_clear(mode);
+      const bool revalidated = !dct::mutation_drop_announce_revalidate() &&
+                               turn_ok && conflicts_clear(mode);
 #else
-      const bool revalidated = conflicts_clear(mode);
+      const bool revalidated = turn_ok && conflicts_clear(mode);
 #endif
       if (revalidated) {
         parking_.retract(partition);
@@ -378,7 +567,11 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
   const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
   const bool precheck = table_->config().fast_path_precheck;
   bool ok = false;
-  if (!precheck || conflicts_clear(mode)) {
+  // A try_lock never queues, so under a raised grant barrier it simply
+  // refuses — overtaking the queued waiters here would reopen the
+  // starvation channel the barrier exists to close.
+  if ((!precheck || conflicts_clear(mode)) &&
+      fast_path_admitted(partition, stats, mode)) {
     if (optimistic_) {
       // One lock-free attempt, then one arbitrated attempt. The fallback
       // keeps try_lock as decisive as the historical path: two conflicting
@@ -389,6 +582,7 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
         ++stats.optimistic_hits;
         LM_OBS_EVENT(kOptimisticHit, mode);
         LM_ATTR_GRANT(mode, args);
+        LM_DCT_GRANT(partition);
       } else {
         internal.lock();
         ok = announce_validate(mode, partition, stats);
@@ -396,6 +590,7 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
         if (ok) {
           LM_OBS_EVENT(kAcquireGrant, mode);
           LM_ATTR_GRANT(mode, args);
+          LM_DCT_GRANT(partition);
         }
       }
     } else {
@@ -409,6 +604,7 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
       if (ok) {
         LM_OBS_EVENT(kAcquireGrant, mode);
         LM_ATTR_GRANT(mode, args);
+        LM_DCT_GRANT(partition);
       }
     }
   }

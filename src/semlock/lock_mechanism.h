@@ -31,6 +31,14 @@
 // ParkingLot generation, so waiters in unrelated conflict components never
 // stampede (src/runtime/parking_lot.h documents the no-lost-wakeup
 // handshake; ModeTableConfig::wait_policy selects how waiters wait).
+//
+// Under a non-Free grant policy (ModeTableConfig::grant_policy,
+// src/runtime/grant_policy.h) every bypass tier additionally consults the
+// partition's barrier word before acquiring: once a conflicting waiter has
+// queued (Fifo/PhaseFair) or exhausted its bypass budget (BoundedBypass),
+// new arrivals — including T1 — divert to the wait path and grants hand off
+// through a ticket cursor, bounding how long a commuting flood can starve a
+// conflicting waiter (docs/RUNTIME_WAITING.md §5).
 #pragma once
 
 #include <atomic>
@@ -41,10 +49,12 @@
 #include <vector>
 
 #include "commute/value.h"
+#include "runtime/grant_policy.h"
 #include "runtime/parking_lot.h"
 #include "runtime/wait_policy.h"
 #include "semlock/acquire_stats.h"
 #include "semlock/mode_table.h"
+#include "util/align.h"
 #include "util/spinlock.h"
 #include "util/striped_counter.h"
 
@@ -151,6 +161,8 @@ class LockMechanism {
   // Waiting-subsystem observability (tests, watchdog, benches).
   const runtime::ParkingLot& parking_lot() const { return parking_; }
   runtime::WaitPolicyKind wait_policy() const { return policy_; }
+  runtime::GrantPolicyKind grant_policy() const { return grant_policy_; }
+  std::uint32_t bypass_bound() const { return bypass_bound_; }
 
   // Fast-path observability (tests, docs/FAST_PATH.md examples).
   bool optimistic() const { return optimistic_; }
@@ -164,6 +176,47 @@ class LockMechanism {
   std::uint32_t stripes() const { return bank_ ? bank_->stripes() : 1; }
 
  private:
+  // Per-partition grant state (docs/RUNTIME_WAITING.md §5), allocated only
+  // when the table's grant policy is not Free — with the default Free policy
+  // grant_slots_ is nullptr and every fast path is the unmodified PR 3 code.
+  //
+  // The barrier word is the one field the lock-free tiers read: 0 = open
+  // (commuting arrivals may acquire without queueing), 1 = BoundedBypass
+  // counting (arrivals charge `bypasses` and the K-th raises the barrier),
+  // 2 = closed (arrivals divert to the wait path). The ticket cursor
+  // (next_ticket/granted/phase_end) is written only under the partition's
+  // internal spinlock; waiters read it lock-free in the park re-validation,
+  // which is sound because eligibility is monotone — a ticket never becomes
+  // ineligible again before its grant. `waiting`/`phase_remaining` are plain
+  // ints touched exclusively under the internal lock.
+  struct alignas(util::kCacheLineSize) GrantSlot {
+    std::atomic<std::uint32_t> barrier{0};
+    std::atomic<std::uint32_t> bypasses{0};
+    std::atomic<std::uint64_t> next_ticket{0};
+    std::atomic<std::uint64_t> granted{0};
+    std::atomic<std::uint64_t> phase_end{0};
+    std::uint32_t waiting = 0;
+    std::uint32_t phase_remaining = 0;
+  };
+
+  // Doorway check for the bypass tiers (T1, the historical uncontended
+  // grant, try_lock): may this arrival acquire without a ticket? Charges
+  // stats.diverted and emits kBarrierDivert when it says no. Lock-free; an
+  // arrival that passed the check before the barrier rose may still announce
+  // (the "doorway race"), which is why the certified bypass bound is K plus
+  // an in-flight allowance, not exactly K.
+  bool fast_path_admitted(int partition, AcquireStats& stats, int mode);
+  // Takes a ticket and raises the barrier per policy. Called once per
+  // contended acquisition, under the partition's internal lock.
+  std::uint64_t enqueue_waiter(int partition);
+  // May the holder of `ticket` attempt the arbitrated grant now? Lock-free
+  // and monotone (see GrantSlot).
+  bool waiter_eligible(int partition, std::uint64_t ticket) const;
+  // Bookkeeping after a ticketed grant, under the internal lock: advances
+  // the cursor, re-arms or drops the barrier, and returns whether the caller
+  // must wake the partition so the next eligible waiter re-validates.
+  bool grant_complete(int partition);
+
   bool conflicts_clear(int mode) const { return conflicts_clear_impl(mode, 0); }
   // Validation once our own announcement is already counted: `self_allow`
   // holds of `mode` itself are ours, not a conflict (a self-conflicting mode
@@ -221,6 +274,10 @@ class LockMechanism {
   bool can_park_;
   bool optimistic_;
   bool trace_;
+  runtime::GrantPolicyKind grant_policy_;
+  std::uint32_t bypass_bound_;
+  // One slot per conflict partition; nullptr under the Free policy.
+  std::unique_ptr<GrantSlot[]> grant_slots_;
 #if defined(SEMLOCK_OBS)
   // One seqlock-protected last-acquirer record per mode, allocated only when
   // this mechanism traces (nullptr otherwise). Written at every grant that

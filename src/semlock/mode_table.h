@@ -15,6 +15,7 @@
 #include "commute/spec.h"
 #include "commute/symbolic.h"
 #include "commute/value.h"
+#include "runtime/grant_policy.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode.h"
 
@@ -79,6 +80,16 @@ struct ModeTableConfig {
   // SpinThenPark only: backoff rounds spent spinning before the waiter
   // parks on the partition's futex. Higher values favor latency over CPU.
   int park_spin_limit = 64;
+  // WHO gets the lock next once waiters exist (src/runtime/grant_policy.h):
+  // Free is the historical unbounded-bypass behavior; Fifo/PhaseFair/
+  // BoundedBypass bound how often commuting arrivals (including the
+  // optimistic tier) may overtake a conflicting waiter. Defaults to the
+  // ambient process policy: ScopedGrantPolicy if installed, else
+  // SEMLOCK_GRANT_POLICY, else Free.
+  runtime::GrantPolicyKind grant_policy = runtime::default_grant_policy();
+  // BoundedBypass budget K: commuting arrivals granted past the oldest
+  // waiter before the barrier rises (SEMLOCK_BYPASS_BOUND, default 16).
+  int bypass_bound = static_cast<int>(runtime::default_bypass_bound());
   // Lock-free fast path (docs/FAST_PATH.md). With optimistic_acquire, lock()
   // and try_lock() announce by incrementing the mode's counter BEFORE
   // validating that the conflicting counters are clear, retracting on

@@ -134,16 +134,18 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
         }
       }
     }
-    ShardQueue& q = *queues[shard_of(r, static_cast<std::uint32_t>(shards_))];
+    const std::uint32_t shard =
+        shard_of(r, static_cast<std::uint32_t>(shards_));
+    ShardQueue& q = *queues[shard];
     if (!q.try_push(r)) {
       // Admission control: shed with a retry-after hint — the time this
-      // shard needs to work off its current depth at its recent pace.
-      std::uint64_t ema_sum = 0;
-      for (const auto& st : states) {
-        ema_sum += st->ema_service_ns.load(std::memory_order_relaxed);
-      }
+      // shard needs to work off its current depth at its recent pace. The
+      // pace is the OWNING worker's EMA (worker w owns shards ≡ w mod W):
+      // averaging across all workers lets the idle ones dilute a hot
+      // shard's hint, under-reporting exactly the backlog being shed.
       const std::uint64_t ema =
-          ema_sum / static_cast<std::uint64_t>(workers_);
+          states[shard % static_cast<std::uint32_t>(workers_)]
+              ->ema_service_ns.load(std::memory_order_relaxed);
       report.shed += 1;
       report.last_retry_after_ns =
           (static_cast<std::uint64_t>(q.depth()) + 1) * ema;

@@ -40,11 +40,21 @@ std::uint64_t Log2Histogram::quantile_upper_bound(double q) const noexcept {
   if (count_ == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double target = q * static_cast<double>(count_);
+  // Integer rank, derived from how many samples are ALLOWED to exceed the
+  // bound: floor((1-q)*count). This makes the small-sample contract exact
+  // rather than at the mercy of float rounding against a fractional target:
+  // p999 of fewer than 1000 samples allows zero above, so it must be the
+  // max occupied bucket; at exactly 1000 one sample may sit above. A tail
+  // quantile that quietly reports an interior bucket under-reports precisely
+  // the starvation outliers the fairness work exists to expose.
+  const std::uint64_t allowed_above = static_cast<std::uint64_t>(
+      (1.0 - q) * static_cast<double>(count_));
+  const std::uint64_t target =
+      allowed_above >= count_ ? 1 : count_ - allowed_above;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
-    if (static_cast<double>(seen) >= target) {
+    if (seen >= target) {
       // Bucket i holds values in [2^(i-1), 2^i); bucket 0 holds only zero.
       if (i == 0) return 0;
       return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i);

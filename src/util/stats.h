@@ -37,8 +37,11 @@ class Log2Histogram {
   // Index one past the last non-empty bucket (0 when empty).
   std::size_t max_bucket() const noexcept;
 
-  // Smallest upper bucket bound b such that at least q of the samples are
-  // < 2^b; a coarse quantile (factor-of-two resolution). Returns 0 if empty.
+  // Smallest upper bucket bound 2^b with at most floor((1-q)*count) samples
+  // in buckets above b; a coarse quantile (factor-of-two resolution) with an
+  // exact integer rank. In particular, p999 of fewer than 1000 samples is
+  // the max occupied bucket — no sample may sit above it — while at exactly
+  // 1000 samples one may. Returns 0 if empty.
   std::uint64_t quantile_upper_bound(double q) const noexcept;
 
   // The tail quantiles every latency report wants, at the histogram's

@@ -7,6 +7,7 @@
 // -DSEMLOCK_DCT=ON.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -14,6 +15,8 @@
 #include "commute/builtin_specs.h"
 #include "dct/explorer.h"
 #include "dct/hooks.h"
+#include "dct/starvation.h"
+#include "runtime/grant_policy.h"
 #include "semlock/lock_mechanism.h"
 
 namespace semlock {
@@ -243,6 +246,183 @@ INSTANTIATE_TEST_SUITE_P(BothCounterRepresentations, DctRetractMutation,
                            return pinfo.param ? std::string("striped")
                                               : std::string("flat");
                          });
+
+// --- ISSUE 7: no-starvation oracle over the grant policies -----------------
+
+// Reverts the drop-barrier-check fault injection on scope exit.
+struct BarrierMutationGuard {
+  explicit BarrierMutationGuard(bool on) {
+    dct::set_mutation_drop_barrier_check(on);
+  }
+  ~BarrierMutationGuard() { dct::set_mutation_drop_barrier_check(false); }
+};
+
+constexpr int kFloodReaders = 3;
+constexpr int kFloodIters = 7;  // reader grants available: 3 x 7 = 21
+constexpr int kOracleBypassBound = 2;  // the K of BOUNDED_BYPASS under test
+
+// The certified no-starvation bound (grant_policy.h). The tracker counts
+// true overtakes only, and the allowance on top of the policy's budget has
+// two in-flight components, each worth one grant per peer thread: doorway
+// stragglers (barrier checked just before it rose) and ticket/registration
+// reorder (a peer that entered the wait loop later but drew its ticket
+// first), plus one phase-reorder grant per same-phase peer under
+// PHASE_FAIR. BOUNDED_BYPASS additionally refills its K budget for each
+// successive queue head, so K scales by the thread count (queue depth).
+// Worst observed over the 10k-schedule budget: FIFO 8, PHASE_FAIR 8,
+// BOUNDED_BYPASS 12 — each within its bound (9 / 9 / 14).
+std::uint64_t certified_bound(runtime::GrantPolicyKind policy) {
+  const std::uint64_t inflight = 2 * kFloodReaders;  // 2 x (threads - 1)
+  if (policy == runtime::GrantPolicyKind::BoundedBypass) {
+    return kOracleBypassBound * (kFloodReaders + 1) + inflight;
+  }
+  // FREE is held to the strictest fair standard — exceeding it is the bug.
+  return kFloodReaders + inflight;  // 3 x (threads - 1)
+}
+
+// The starvation workload of the issue: a flood of self-commuting readers
+// ({contains(*)}, kFloodReaders threads x kFloodIters acquisitions) against
+// ONE conflicting writer ({add(*),remove(*)}, a single acquisition). Under
+// FREE every reader grant while the writer waits is a bypass, and the flood
+// offers 21 of them; under the fair policies the barrier must cap the
+// count at certified_bound(). A StarvationTracker is installed per schedule
+// and the check() oracle fails any schedule whose worst wait episode was
+// bypassed more than `allowed` times.
+dct::Workload make_flood_workload(runtime::GrantPolicyKind policy,
+                                  std::uint64_t allowed) {
+  struct State {
+    ModeTable table;
+    LockMechanism mech;
+    dct::StarvationTracker tracker;
+    explicit State(ModeTableConfig c)
+        : table(ModeTable::compile(
+              commute::set_spec(),
+              {SymbolicSet({op("contains", {commute::star()})}),
+               SymbolicSet({op("add", {commute::star()}),
+                            op("remove", {commute::star()})})},
+              c)),
+          mech(table) {
+      tracker.install();  // uninstalls itself when the State is destroyed
+    }
+  };
+  ModeTableConfig c;
+  c.abstract_values = 2;
+  c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+  c.optimistic_acquire = true;
+  c.grant_policy = policy;
+  c.bypass_bound = kOracleBypassBound;
+  auto state = std::make_shared<State>(c);
+  const int read = state->table.resolve_constant(0);
+  const int write = state->table.resolve_constant(1);
+
+  dct::Workload w;
+  for (int t = 0; t < kFloodReaders; ++t) {
+    w.threads.push_back([state, read] {
+      for (int i = 0; i < kFloodIters; ++i) {
+        state->mech.lock(read);
+        state->mech.unlock(read);
+      }
+    });
+  }
+  w.threads.push_back([state, write] {
+    state->mech.lock(write);
+    state->mech.unlock(write);
+  });
+  w.check = [state, allowed] {
+    const std::uint64_t worst = state->tracker.max_bypasses();
+    if (worst > allowed) {
+      return "starvation: a waiter was bypassed " + std::to_string(worst) +
+             " times (certified bound " + std::to_string(allowed) +
+             "; episodes: " + state->tracker.describe() + ")";
+    }
+    return std::string();
+  };
+  return w;
+}
+
+TEST(DctStarvation, FreePolicyStarvesTheWriterWithinBudget) {
+  // FREE is the documented liveness hole: the oracle must find a schedule
+  // where the reader flood bypasses the waiting writer past the bound that
+  // the fair policies certify.
+  const std::uint64_t allowed =
+      certified_bound(runtime::GrantPolicyKind::Free);
+  const dct::ExploreOptions opts = budget_options();
+  const auto factory = [allowed] {
+    return make_flood_workload(runtime::GrantPolicyKind::Free, allowed);
+  };
+  const dct::ExploreResult result = dct::explore(opts, factory);
+
+  ASSERT_FALSE(result.ok)
+      << "FREE survived " << kScheduleBudget
+      << " schedules without starving the writer past " << allowed;
+  std::cout << "[ detector ] FREE starvation caught after "
+            << result.schedules_run << " schedules (seed "
+            << result.failing_seed << "): " << result.oracle_failure << "\n";
+  // Starvation is an oracle failure on a COMPLETED schedule — every thread
+  // eventually finishes; the writer was just trampled on the way.
+  EXPECT_EQ(result.schedule.outcome,
+            dct::ScheduleResult::Outcome::Completed);
+  EXPECT_NE(result.oracle_failure.find("starvation"), std::string::npos);
+
+  // Deterministic replay of the printed seed: same oracle verdict.
+  const dct::ExploreResult again =
+      dct::replay(opts.sched, result.failing_seed, factory);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.oracle_failure, result.oracle_failure);
+}
+
+class DctStarvationFairPolicy
+    : public ::testing::TestWithParam<runtime::GrantPolicyKind> {};
+
+TEST_P(DctStarvationFairPolicy, CertifiesBoundedBypassOverFullBudget) {
+  const runtime::GrantPolicyKind policy = GetParam();
+  const std::uint64_t allowed = certified_bound(policy);
+  const dct::ExploreResult result =
+      dct::explore(budget_options(), [policy, allowed] {
+        return make_flood_workload(policy, allowed);
+      });
+  EXPECT_TRUE(result.ok) << runtime::grant_policy_name(policy) << ": "
+                         << result.to_string();
+  EXPECT_EQ(result.schedules_run, kScheduleBudget);
+}
+
+TEST_P(DctStarvationFairPolicy, DroppedBarrierCheckCaughtWithinBudget) {
+  // Mutation-validate the oracle itself: a fast path that skips the barrier
+  // check turns every fair policy back into FREE, and the same schedules
+  // that starve the writer under FREE must now be flagged here.
+  const runtime::GrantPolicyKind policy = GetParam();
+  BarrierMutationGuard mutation(true);
+  const std::uint64_t allowed = certified_bound(policy);
+  const dct::ExploreResult result =
+      dct::explore(budget_options(), [policy, allowed] {
+        return make_flood_workload(policy, allowed);
+      });
+  ASSERT_FALSE(result.ok)
+      << "drop-barrier-check mutation survived " << kScheduleBudget
+      << " schedules under " << runtime::grant_policy_name(policy);
+  std::cout << "[ detector ] barrier mutation ("
+            << runtime::grant_policy_name(policy) << ") caught after "
+            << result.schedules_run << " schedules (seed "
+            << result.failing_seed << ")\n";
+  EXPECT_NE(result.oracle_failure.find("starvation"), std::string::npos)
+      << result.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFairPolicies, DctStarvationFairPolicy,
+    ::testing::Values(runtime::GrantPolicyKind::Fifo,
+                      runtime::GrantPolicyKind::PhaseFair,
+                      runtime::GrantPolicyKind::BoundedBypass),
+    [](const auto& pinfo) {
+      switch (pinfo.param) {
+        case runtime::GrantPolicyKind::Fifo:
+          return std::string("fifo");
+        case runtime::GrantPolicyKind::PhaseFair:
+          return std::string("phase_fair");
+        default:
+          return std::string("bounded_bypass");
+      }
+    });
 
 }  // namespace
 }  // namespace semlock

@@ -12,6 +12,7 @@
 #include "obs/attribution.h"
 #include "obs/trace.h"
 #endif
+#include "runtime/grant_policy.h"
 #include "runtime/stall_watchdog.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode_table.h"
@@ -111,6 +112,114 @@ TEST(WaitPolicyEnv, EmptyWarnsAndFallsBack) {
               WaitPolicyKind::SpinYield);
   });
   EXPECT_NE(err.find("SEMLOCK_WAIT_POLICY=\"\""), std::string::npos) << err;
+}
+
+TEST(GrantPolicyEnv, ParsesEveryRecognizedNameAndShorthand) {
+  using runtime::GrantPolicyKind;
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::grant_policy_from_env_text("free"),
+              GrantPolicyKind::Free);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("fifo"),
+              GrantPolicyKind::Fifo);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("ticket"),
+              GrantPolicyKind::Fifo);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("phase-fair"),
+              GrantPolicyKind::PhaseFair);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("pf"),
+              GrantPolicyKind::PhaseFair);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("bounded-bypass"),
+              GrantPolicyKind::BoundedBypass);
+    EXPECT_EQ(runtime::grant_policy_from_env_text("bb"),
+              GrantPolicyKind::BoundedBypass);
+    // Unset is the default, silently.
+    EXPECT_EQ(runtime::grant_policy_from_env_text(nullptr),
+              GrantPolicyKind::Free);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(GrantPolicyEnv, TypoWarnsAndFallsBackToFree) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::grant_policy_from_env_text("fifoo"),
+              runtime::GrantPolicyKind::Free);
+  });
+  EXPECT_NE(err.find("SEMLOCK_GRANT_POLICY=\"fifoo\""), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("free"), std::string::npos) << err;
+}
+
+TEST(GrantPolicyEnv, EmptyWarnsAndFallsBack) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::grant_policy_from_env_text(""),
+              runtime::GrantPolicyKind::Free);
+  });
+  EXPECT_NE(err.find("SEMLOCK_GRANT_POLICY=\"\""), std::string::npos) << err;
+}
+
+TEST(GrantPolicyEnv, NamesRoundTripThroughParse) {
+  using runtime::GrantPolicyKind;
+  for (const GrantPolicyKind kind :
+       {GrantPolicyKind::Free, GrantPolicyKind::Fifo,
+        GrantPolicyKind::PhaseFair, GrantPolicyKind::BoundedBypass}) {
+    const auto parsed =
+        runtime::parse_grant_policy(runtime::grant_policy_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << runtime::grant_policy_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(GrantPolicyEnv, ScopedOverrideFlowsIntoConfigDefaults) {
+  // With no override installed, a fresh config picks the ambient default
+  // (Free, or whatever SEMLOCK_GRANT_POLICY the CI matrix exported); inside
+  // the scope it picks the override; nesting restores the outer override on
+  // exit, and leaving the outermost scope restores the ambient default.
+  const runtime::GrantPolicyKind ambient = runtime::default_grant_policy();
+  ASSERT_EQ(ModeTableConfig{}.grant_policy, ambient);
+  {
+    runtime::ScopedGrantPolicy outer(runtime::GrantPolicyKind::Fifo);
+    EXPECT_EQ(ModeTableConfig{}.grant_policy, runtime::GrantPolicyKind::Fifo);
+    {
+      runtime::ScopedGrantPolicy inner(runtime::GrantPolicyKind::PhaseFair);
+      EXPECT_EQ(ModeTableConfig{}.grant_policy,
+                runtime::GrantPolicyKind::PhaseFair);
+    }
+    EXPECT_EQ(ModeTableConfig{}.grant_policy, runtime::GrantPolicyKind::Fifo);
+  }
+  EXPECT_EQ(ModeTableConfig{}.grant_policy, ambient);
+}
+
+TEST(BypassBoundEnv, ParsesInRangeValues) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("1"), 1u);
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("16"), 16u);
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("1048576"), 1u << 20);
+    // Unset is the documented default, silently.
+    EXPECT_EQ(runtime::bypass_bound_from_env_text(nullptr),
+              runtime::kDefaultBypassBound);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(BypassBoundEnv, MalformedValuesWarnAndFallBack) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("0"),
+              runtime::kDefaultBypassBound);
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("-3"),
+              runtime::kDefaultBypassBound);
+    EXPECT_EQ(runtime::bypass_bound_from_env_text("16x"),
+              runtime::kDefaultBypassBound);
+    EXPECT_EQ(runtime::bypass_bound_from_env_text(""),
+              runtime::kDefaultBypassBound);
+  });
+  EXPECT_NE(err.find("invalid SEMLOCK_BYPASS_BOUND=\"0\""), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("invalid SEMLOCK_BYPASS_BOUND=\"-3\""), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("invalid SEMLOCK_BYPASS_BOUND=\"16x\""),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("invalid SEMLOCK_BYPASS_BOUND=\"\""), std::string::npos)
+      << err;
 }
 
 TEST(WatchdogEnv, ParsesValidThreshold) {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "semlock/history.h"
@@ -255,6 +257,66 @@ TEST(ServerTest, OverloadShedsWithRetryAfterAndConservesAccounting) {
   EXPECT_GT(r.last_retry_after_ns, 0u);
   EXPECT_EQ(r.completed + r.shed, r.offered);
   EXPECT_LE(r.max_queue_depth, 2u);
+}
+
+// Service time is ~200us for requests routed to the hot shard and ~0
+// elsewhere, so the hot shard's owning worker warms its EMA to ~200us while
+// the other worker never executes and stays at the 1us seed.
+class HotShardBackend final : public CCBackend {
+ public:
+  HotShardBackend(std::uint32_t hot_shard, std::uint32_t shards)
+      : hot_shard_(hot_shard), shards_(shards) {}
+  ExecResult execute(const Request& r) override {
+    if (shard_of(r, shards_) == hot_shard_) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return ExecResult{};
+  }
+  CCMode mode() const override { return CCMode::kTwoPL; }  // multi-worker
+  std::int64_t balance_total() const override { return 0; }
+  std::int64_t kv_inserted() const override { return 0; }
+  std::int64_t edges_present() const override { return 0; }
+  std::uint64_t digest() const override { return 0; }
+
+ private:
+  std::uint32_t hot_shard_;
+  std::uint32_t shards_;
+};
+
+TEST(ServerTest, RetryAfterHintQuotesTheOwningWorkersPace) {
+  // All arrivals target one shard of two, every 50us for 40ms: offered load
+  // is ~4x the hot worker's ~200us service rate, so the depth-2 queue sheds
+  // throughout the run — including at the end, when the owning worker's EMA
+  // is fully warm. The hint on the final shed must be (depth + 1) x the
+  // OWNING worker's EMA: >= 2 x ~200us even if a pop races the depth read.
+  // A hint diluted by the idle worker's 1us seed (the old pool average)
+  // tops out near 3 x 100us and fails the lower bound.
+  Request proto;
+  proto.kind = RequestKind::kComputeIfAbsent;
+  while (shard_of(proto, 2) != 0) ++proto.a;
+
+  std::vector<Request> schedule;
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    Request r = proto;
+    r.id = i;
+    r.arrival_ns = i * 50'000;
+    schedule.push_back(r);
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.shards = 2;
+  cfg.queue_capacity = 2;
+  HotShardBackend backend(/*hot_shard=*/0, /*shards=*/2);
+  Server srv(cfg, &backend);
+  const ServerReport r = srv.run(schedule, /*paced=*/true);
+
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_EQ(r.completed + r.shed, r.offered);
+  EXPECT_GE(r.last_retry_after_ns, 390'000u);
+  // Loose sanity ceiling: sleep overshoot inflates the EMA a little, but the
+  // hint must stay in "queue depth x service time" territory.
+  EXPECT_LE(r.last_retry_after_ns, 20'000'000u);
 }
 
 TEST(ServerTest, SerialModeClampsToOneWorker) {

@@ -14,6 +14,7 @@
 
 #include "commute/builtin_specs.h"
 #include "runtime/stall_watchdog.h"
+#include "runtime/wait_registry.h"
 #include "semlock/lock_mechanism.h"
 #include "semlock/semantic_lock.h"
 #include "semlock/transaction.h"
@@ -173,6 +174,85 @@ TEST(StallWatchdog, NoFalseReportsWhenUncontended) {
     m.unlock(mode);
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_reported(), 0u);
+}
+
+// A waiter that keeps RETRYING — short wait episodes under alternating
+// modes, each one re-published with a fresh seq and start time — must still
+// cross the stall threshold on its cumulative wait. A dedup keyed on the
+// episode seq restarts the clock every retry and never reports this waiter;
+// the watchdog chains temporally-adjacent episodes in the same slot on the
+// same mechanism instead (the partial-release retry pattern).
+TEST(StallWatchdog, ChainedRetryEpisodesCrossThresholdCumulatively) {
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(120);
+  options.repeat_interval = std::chrono::milliseconds(50);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.start();
+
+  // Direct WaitScope publication: 30 episodes of ~20ms each, none remotely
+  // near the 120ms threshold on its own, alternating the waited mode to
+  // prove the chain keys on the waiter, not on (mode, seq).
+  const int fake_mechanism = 0;
+  std::atomic<bool> done{false};
+  std::thread retrier([&] {
+    for (int i = 0; i < 30 && watchdog.stalls_reported() == 0; ++i) {
+      runtime::WaitScope scope(&fake_mechanism, i % 2, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!done.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  retrier.join();
+  watchdog.stop();
+
+  EXPECT_GE(watchdog.stalls_reported(), 1u);
+  const std::lock_guard<std::mutex> guard(collector.mu);
+  ASSERT_FALSE(collector.reports.empty());
+  const StallReport& r = collector.reports.front();
+  // The cumulative wait crossed the threshold even though the reported
+  // episode itself is far younger.
+  EXPECT_GE(r.cumulative_wait_ns,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    options.threshold)
+                    .count()));
+  EXPECT_LT(r.wait_ns, r.cumulative_wait_ns);
+  // The rendered report names the chained total.
+  EXPECT_NE(r.to_string().find("across retried episodes"), std::string::npos);
+}
+
+// Episodes separated by longer than the chain gap are independent waits —
+// a thread that locks briefly now and then must never accumulate into a
+// phantom stall. (15 nominal-20ms episodes would sum to 300ms, far past the
+// 120ms threshold if the reset were missing; each one alone has a 6x margin
+// below it, so scheduler overshoot cannot fake a report.)
+TEST(StallWatchdog, GappedEpisodesDoNotChain) {
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(120);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.start();
+
+  const int fake_mechanism = 0;
+  for (int i = 0; i < 15; ++i) {
+    {
+      runtime::WaitScope scope(&fake_mechanism, 0, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // Idle gap > 4 * poll: the next episode must start a fresh track.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
   watchdog.stop();
   EXPECT_EQ(watchdog.stalls_reported(), 0u);
 }

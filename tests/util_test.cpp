@@ -197,6 +197,69 @@ TEST(Log2Hist, QuantileUpperBound) {
   EXPECT_EQ(h.quantile_upper_bound(1.0), 1024u);
 }
 
+// p999's small-sample contract: with fewer than 1000 samples, not even one
+// may sit above the reported bound, so it must be the max occupied bucket.
+// An interior bucket here silently hides exactly the outliers a tail
+// quantile exists to expose. Pinned at the documented boundaries.
+TEST(Log2Hist, P999SmallSamplesReturnMaxOccupiedBucket) {
+  {  // n = 0
+    Log2Histogram h;
+    EXPECT_EQ(h.p999(), 0u);
+  }
+  {  // n = 1: the single sample IS the tail
+    Log2Histogram h;
+    h.add(1000);  // bucket 10
+    EXPECT_EQ(h.p999(), 1024u);
+  }
+  {  // n = 10: 9 small + 1 huge -> the huge one
+    Log2Histogram h;
+    for (int i = 0; i < 9; ++i) h.add(3);
+    h.add(1'000'000);  // bucket 20
+    EXPECT_EQ(h.p999(), std::uint64_t{1} << 20);
+  }
+  {  // n = 999: still zero samples allowed above the bound
+    Log2Histogram h;
+    for (int i = 0; i < 998; ++i) h.add(3);
+    h.add(1'000'000);
+    EXPECT_EQ(h.p999(), std::uint64_t{1} << 20);
+  }
+  {  // n = 1000: exactly one sample may now sit above -> interior bucket
+    Log2Histogram h;
+    for (int i = 0; i < 999; ++i) h.add(3);
+    h.add(1'000'000);
+    EXPECT_EQ(h.p999(), 4u);
+    // ...but two outliers put the bound back in the tail.
+    Log2Histogram h2;
+    for (int i = 0; i < 998; ++i) h2.add(3);
+    h2.add(1'000'000);
+    h2.add(1'000'000);
+    EXPECT_EQ(h2.p999(), std::uint64_t{1} << 20);
+  }
+}
+
+// Same integer-rank contract for the other accessors: p99 allows one sample
+// above only from n = 100, p50 is the usual median rank.
+TEST(Log2Hist, QuantileIntegerRankBoundaries) {
+  {
+    Log2Histogram h;  // n = 99: p99 = max occupied
+    for (int i = 0; i < 98; ++i) h.add(3);
+    h.add(1000);
+    EXPECT_EQ(h.p99(), 1024u);
+  }
+  {
+    Log2Histogram h;  // n = 100: one allowed above
+    for (int i = 0; i < 99; ++i) h.add(3);
+    h.add(1000);
+    EXPECT_EQ(h.p99(), 4u);
+  }
+  {
+    Log2Histogram h;  // p50 of {3, 1000}: rank 1 of 2
+    h.add(3);
+    h.add(1000);
+    EXPECT_EQ(h.p50(), 4u);
+  }
+}
+
 TEST(Log2Hist, JsonAndLoadRoundTrip) {
   Log2Histogram h;
   h.add(7);

@@ -53,8 +53,11 @@ echo "=== bench_conflict_probability -> BENCH_conflict_probability.json ==="
 echo "=== bench_server -> BENCH_server.json ==="
 "${BUILD_DIR}/bench/bench_server"
 
+echo "=== bench_fairness -> BENCH_fairness.json ==="
+"${BUILD_DIR}/bench/bench_fairness"
+
 DONE="BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json \
-BENCH_conflict_probability.json BENCH_server.json"
+BENCH_conflict_probability.json BENCH_server.json BENCH_fairness.json"
 
 # Attribution sweep: built only when the observability layer is in
 # (SEMLOCK_OBS=ON, the default).
