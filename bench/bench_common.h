@@ -110,13 +110,26 @@ inline runtime::WaitPolicyKind wait_policy_from_args(
     if (!parsed) {
       std::fprintf(stderr,
                    "unknown wait policy '%s' (valid: spin-yield, "
-                   "spin-then-park, always-park)\n",
+                   "spin-then-park, always-park, futex-word)\n",
                    std::string(arg.substr(kPrefix.size())).c_str());
       std::exit(2);
     }
     return *parsed;
   }
   return fallback;
+}
+
+// What the artifact is allowed to claim about thread scaling. On one
+// hardware thread every multi-thread series measures oversubscription, not
+// scaling, so the stamp is "refused-single-core" and CI rejects artifacts
+// that would be read as the paper's scaling figures. tools/run_benches.sh
+// exports SEMLOCK_SCALING_CLAIMS to pin the stamp; unset, it derives from
+// hardware_concurrency.
+inline std::string scaling_claims() {
+  const char* env = std::getenv("SEMLOCK_SCALING_CLAIMS");
+  if (env != nullptr && env[0] != '\0') return env;
+  return std::thread::hardware_concurrency() <= 1 ? "refused-single-core"
+                                                  : "multi-core";
 }
 
 // Run metadata stamped into every BENCH_*.json: enough to tell two
@@ -148,7 +161,7 @@ inline std::string run_metadata_json() {
 #if defined(SEMLOCK_OBS)
   out += "+obs";
 #endif
-  char buf[256];
+  char buf[384];
   // "hardware_threads" is stamped both here and at the artifact top level:
   // a single-core CI container makes every scaling figure meaningless, and
   // the reader of a lone "run" object must be able to see that without
@@ -158,7 +171,8 @@ inline std::string run_metadata_json() {
                 ", \"hardware_concurrency\": %u, \"scale_factor\": %.2f, "
                 "\"wait_policy\": \"%s\", \"optimistic\": %s, "
                 "\"stripes\": %d, \"grant_policy\": \"%s\", "
-                "\"bypass_bound\": %u}",
+                "\"bypass_bound\": %u, \"storage\": \"%s\", "
+                "\"elision\": %s, \"scaling_claims\": \"%s\"}",
                 std::thread::hardware_concurrency(),
                 std::thread::hardware_concurrency(), scale_factor(),
                 runtime::wait_policy_name(runtime::default_wait_policy()),
@@ -166,7 +180,10 @@ inline std::string run_metadata_json() {
                 default_stripe_self_commuting() ? default_counter_stripes()
                                                 : 0,
                 runtime::grant_policy_name(runtime::default_grant_policy()),
-                static_cast<unsigned>(runtime::default_bypass_bound()));
+                static_cast<unsigned>(runtime::default_bypass_bound()),
+                storage_kind_name(default_storage()),
+                default_elide_locks() ? "true" : "false",
+                scaling_claims().c_str());
   out += buf;
   return out;
 }

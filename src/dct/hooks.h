@@ -40,6 +40,9 @@ void spinlock_release(std::atomic<bool>& flag);
 // Cooperative stand-in for std::atomic<uint32_t>::wait: blocks the virtual
 // thread until `word` differs from `observed`.
 void futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t observed);
+// Same for the packed 64-bit lock word (futex-word wait policy,
+// docs/FAST_PATH.md §7).
+void futex_wait(std::atomic<std::uint64_t>& word, std::uint64_t observed);
 
 // --- test-only fault injection ---------------------------------------------
 // When set, LockMechanism::lock_contended parks WITHOUT re-validating its
@@ -62,6 +65,14 @@ bool mutation_drop_retract_rewake() noexcept;
 // no-starvation oracle must catch; see LockMechanism::fast_path_admitted).
 void set_mutation_drop_barrier_check(bool on) noexcept;
 bool mutation_drop_barrier_check() noexcept;
+
+// When set, the Packed storage policy's acquisition CAS skips the
+// compiled conflict-mask test (`word & conflict_mask[m]`) — conflicting
+// holders stop excluding each other, and the DCT serializability oracle
+// must catch the resulting lost updates (see
+// LockMechanism::packed_try_acquire and tests/dct_mutation_test.cpp).
+void set_mutation_drop_packed_mask_check(bool on) noexcept;
+bool mutation_drop_packed_mask_check() noexcept;
 
 }  // namespace semlock::dct
 

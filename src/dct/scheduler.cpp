@@ -82,6 +82,7 @@ void surrender(const char* point, const void* object,
 std::atomic<bool> g_mutation_drop_announce_revalidate{false};
 std::atomic<bool> g_mutation_drop_retract_rewake{false};
 std::atomic<bool> g_mutation_drop_barrier_check{false};
+std::atomic<bool> g_mutation_drop_packed_mask_check{false};
 
 }  // namespace
 
@@ -118,6 +119,13 @@ void futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t observed) {
   });
 }
 
+void futex_wait(std::atomic<std::uint64_t>& word, std::uint64_t observed) {
+  std::atomic<std::uint64_t>* w = &word;
+  surrender("word.wait", w, [w, observed] {
+    return w->load(std::memory_order_relaxed) != observed;
+  });
+}
+
 void set_mutation_drop_announce_revalidate(bool on) noexcept {
   g_mutation_drop_announce_revalidate.store(on, std::memory_order_relaxed);
 }
@@ -140,6 +148,14 @@ void set_mutation_drop_barrier_check(bool on) noexcept {
 
 bool mutation_drop_barrier_check() noexcept {
   return g_mutation_drop_barrier_check.load(std::memory_order_relaxed);
+}
+
+void set_mutation_drop_packed_mask_check(bool on) noexcept {
+  g_mutation_drop_packed_mask_check.store(on, std::memory_order_relaxed);
+}
+
+bool mutation_drop_packed_mask_check() noexcept {
+  return g_mutation_drop_packed_mask_check.load(std::memory_order_relaxed);
 }
 
 const char* strategy_name(StrategyKind kind) {

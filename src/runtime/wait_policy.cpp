@@ -35,6 +35,8 @@ const char* wait_policy_name(WaitPolicyKind kind) {
       return "spin-then-park";
     case WaitPolicyKind::AlwaysPark:
       return "always-park";
+    case WaitPolicyKind::FutexWord:
+      return "futex-word";
   }
   return "unknown";
 }
@@ -49,6 +51,9 @@ std::optional<WaitPolicyKind> parse_wait_policy(std::string_view text) {
   }
   if (text == "always-park" || text == "park" || text == "alwayspark") {
     return WaitPolicyKind::AlwaysPark;
+  }
+  if (text == "futex-word" || text == "futex" || text == "futexword") {
+    return WaitPolicyKind::FutexWord;
   }
   return std::nullopt;
 }

@@ -16,6 +16,12 @@
 //                  economy under heavy oversubscription; used by the
 //                  no-lost-wakeup stress tests because it maximizes the
 //                  park/notify interleavings.
+//   FutexWord    — bounded spin, then sleep DIRECTLY on the packed lock
+//                  word via C++20 std::atomic::wait/notify, bypassing the
+//                  external ParkingLot (docs/FAST_PATH.md §7). Only the
+//                  Packed storage policy has a single word to sleep on;
+//                  mechanisms with flat/striped storage silently degrade
+//                  this policy to SpinThenPark.
 //
 // Selection is per ModeTable (ModeTableConfig::wait_policy). The process-wide
 // default honors the SEMLOCK_WAIT_POLICY environment variable and an ambient
@@ -35,14 +41,16 @@ enum class WaitPolicyKind {
   SpinYield,
   SpinThenPark,
   AlwaysPark,
+  FutexWord,
 };
 
-// Short stable name ("spin-yield", "spin-then-park", "always-park") used by
-// benchmark tables, JSON output, and the environment knob.
+// Short stable name ("spin-yield", "spin-then-park", "always-park",
+// "futex-word") used by benchmark tables, JSON output, and the environment
+// knob.
 const char* wait_policy_name(WaitPolicyKind kind);
 
-// Accepts the canonical names plus the shorthands "spin", "adaptive" and
-// "park". Returns nullopt for anything else.
+// Accepts the canonical names plus the shorthands "spin", "adaptive",
+// "park" and "futex". Returns nullopt for anything else.
 std::optional<WaitPolicyKind> parse_wait_policy(std::string_view text);
 
 // Resolves SEMLOCK_WAIT_POLICY text: recognized names parse as above;
@@ -88,6 +96,10 @@ class WaitState {
         backoff_.pause();
         return false;
       case WaitPolicyKind::SpinThenPark:
+      case WaitPolicyKind::FutexWord:
+        // FutexWord spins the same bounded budget; only WHERE the waiter
+        // then sleeps differs (on the packed word instead of the
+        // ParkingLot), and that is the mechanism's call, not this driver's.
         if (spins_left_ > 0) {
           --spins_left_;
           backoff_.pause();

@@ -5,6 +5,7 @@
 #include "dct/hooks.h"
 #include "runtime/wait_registry.h"
 #include "util/align.h"
+#include "util/htm.h"
 
 #if defined(SEMLOCK_DCT)
 #include "dct/starvation.h"
@@ -58,6 +59,12 @@ namespace {
 // cycles only disturb that holder's cache lines.
 constexpr int kOptimisticAttempts = 4;
 
+// Bounded CAS retries inside one packed acquisition attempt before reporting
+// Contended. A CAS failure here is not a conflict — a commuting neighbor
+// moved the word — so a couple of immediate retries usually land; past that
+// the caller backs off or arbitrates.
+constexpr int kPackedCasRetries = 4;
+
 // Randomized backoff between optimistic retries: two racing conflicting
 // announcers that failed against each other must not re-announce in
 // lockstep. SplitMix64 per thread; only the pause count is randomized, never
@@ -81,6 +88,64 @@ void backoff_pause(int attempt) noexcept {
   for (std::uint32_t i = 0; i < spins; ++i) util::cpu_relax();
 }
 
+// The futex-word policy degrades to SpinThenPark unless the storage is
+// Packed — only a packed table has a single word to sleep on. Resolved once
+// here so every consumer (parking allocation, can_park_, the public
+// wait_policy() accessor) agrees on the effective policy.
+runtime::WaitPolicyKind effective_wait_policy(const ModeTable& table,
+                                              StorageKind kind) {
+  const runtime::WaitPolicyKind p = table.config().wait_policy;
+  if (p == runtime::WaitPolicyKind::FutexWord &&
+      kind != StorageKind::Packed) {
+    return runtime::WaitPolicyKind::SpinThenPark;
+  }
+  return p;
+}
+
+bool uses_futex_word(const ModeTable& table, StorageKind kind) {
+  return kind == StorageKind::Packed &&
+         effective_wait_policy(table, kind) ==
+             runtime::WaitPolicyKind::FutexWord;
+}
+
+bool elision_armed(const ModeTable& table, StorageKind kind) {
+#if defined(SEMLOCK_DCT)
+  // A hardware transaction cannot surrender at schedule points (everything
+  // inside it is invisible until commit), so elision is never armed under
+  // the DCT harness — the deterministic schedules exercise the software
+  // tiers only.
+  (void)table;
+  (void)kind;
+  return false;
+#else
+  return table.config().elide_locks && kind == StorageKind::Packed &&
+         util::htm_compiled && util::htm_supported();
+#endif
+}
+
+// T0 elision bookkeeping. The slot is WRITTEN inside the hardware
+// transaction, so an abort rolls it back — `active` is truthful on every
+// path. One slot per thread suffices because a nested acquisition inside an
+// elided section aborts the transaction instead of stacking.
+struct ElisionSlot {
+  const void* mech = nullptr;
+  int mode = -1;
+  bool active = false;
+};
+
+ElisionSlot& elision_slot() noexcept {
+  thread_local ElisionSlot slot;
+  return slot;
+}
+
+// Abort-streak backoff: after this many consecutive failed elision attempts,
+// skip elision entirely for the next kElisionPausePeriod acquisitions —
+// a workload whose sections genuinely conflict (or overflow the HTM write
+// set) must not pay the begin/abort tax on every lock.
+constexpr int kElisionRetries = 3;
+constexpr std::uint32_t kElisionAbortThreshold = 4;
+constexpr std::uint32_t kElisionPausePeriod = 64;
+
 }  // namespace
 
 AcquireStats& local_acquire_stats() {
@@ -95,19 +160,38 @@ AcquireStats& local_acquire_stats() {
 #endif
 }
 
+LockMechanism::StorageVariant LockMechanism::make_storage(
+    const ModeTable& table, StorageKind kind) {
+  switch (kind) {
+    case StorageKind::Flat:
+      return StorageVariant(std::in_place_type<FlatStorage>, table);
+    case StorageKind::Striped:
+      return StorageVariant(std::in_place_type<StripedStorage>, table);
+    case StorageKind::Packed:
+      return StorageVariant(std::in_place_type<PackedStorage>,
+                            *table.packed_layout());
+  }
+  return StorageVariant(std::in_place_type<FlatStorage>, table);
+}
+
 LockMechanism::LockMechanism(const ModeTable& table)
     : table_(&table),
-      stride_(table.config().pad_counters
-                  ? util::kCacheLineSize
-                  : sizeof(std::atomic<std::uint32_t>)),
-      counters_(new std::byte[static_cast<std::size_t>(table.num_modes()) *
-                              stride_]),
-      striped_row_(static_cast<std::size_t>(table.num_modes()), -1),
+      // A Packed request over a table with no packed layout (> 8 canonical
+      // modes, too many partitions, ...) silently becomes Flat; storage()
+      // reports the representation actually in use.
+      storage_kind_(table.config().storage == StorageKind::Packed &&
+                            table.packed_layout() == nullptr
+                        ? StorageKind::Flat
+                        : table.config().storage),
+      storage_(make_storage(table, storage_kind_)),
       partition_locks_(
           new util::Spinlock[static_cast<std::size_t>(
               table.num_partitions())]),
-      parking_(table.num_partitions()),
-      policy_(table.config().wait_policy),
+      parking_(uses_futex_word(table, storage_kind_)
+                   ? nullptr
+                   : std::make_unique<runtime::ParkingLot>(
+                         table.num_partitions())),
+      policy_(effective_wait_policy(table, storage_kind_)),
       spin_limit_(table.config().park_spin_limit > 0
                       ? static_cast<std::uint32_t>(
                             table.config().park_spin_limit)
@@ -119,6 +203,8 @@ LockMechanism::LockMechanism(const ModeTable& table)
 #else
       trace_(false),
 #endif
+      futex_word_(uses_futex_word(table, storage_kind_)),
+      elide_(elision_armed(table, storage_kind_)),
       grant_policy_(table.config().grant_policy),
       bypass_bound_(table.config().bypass_bound > 0
                         ? static_cast<std::uint32_t>(
@@ -127,29 +213,6 @@ LockMechanism::LockMechanism(const ModeTable& table)
   if (grant_policy_ != runtime::GrantPolicyKind::Free) {
     grant_slots_ = std::make_unique<GrantSlot[]>(
         static_cast<std::size_t>(table.num_partitions()));
-  }
-  for (int m = 0; m < table.num_modes(); ++m) {
-    new (counters_.get() + static_cast<std::size_t>(m) * stride_)
-        std::atomic<std::uint32_t>(0);
-  }
-  // Stripe the self-commuting modes: those are exactly the modes whose
-  // holders never exclude each other, so their counter line is pure
-  // mechanism overhead worth de-sharing. Self-conflicting modes stay flat —
-  // their holders serialize anyway, and the flat prev==1 release test is
-  // cheaper than a stripe sum.
-  if (table.config().stripe_self_commuting &&
-      table.config().counter_stripes > 0) {
-    std::uint32_t rows = 0;
-    for (int m = 0; m < table.num_modes(); ++m) {
-      if (table.commutes(m, m)) {
-        striped_row_[static_cast<std::size_t>(m)] =
-            static_cast<std::int32_t>(rows++);
-      }
-    }
-    if (rows > 0) {
-      bank_ = std::make_unique<util::StripedCounterBank>(
-          rows, static_cast<std::uint32_t>(table.config().counter_stripes));
-    }
   }
 #if defined(SEMLOCK_OBS)
   if (trace_) {
@@ -164,60 +227,79 @@ LockMechanism::~LockMechanism() = default;
 
 std::uint32_t LockMechanism::holder_count(int mode,
                                           std::memory_order order) const {
-  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
-  if (row >= 0) return bank_->sum(static_cast<std::uint32_t>(row), order);
-  return counter(mode).load(order);
+  return std::visit(
+      [&](const auto& s) { return s.holder_count(mode, order); }, storage_);
 }
 
-void LockMechanism::increment(int mode, std::memory_order order) {
-  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
-  if (row >= 0) {
-    bank_->local_slot(static_cast<std::uint32_t>(row)).fetch_add(1, order);
-  } else {
-    counter(mode).fetch_add(1, order);
-  }
+bool LockMechanism::mode_striped(int mode) const {
+  return std::visit([&](const auto& s) { return s.mode_striped(mode); },
+                    storage_);
 }
 
-bool LockMechanism::release_one(int mode) {
-  const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
-  if (row < 0) {
-    const std::uint32_t prev =
-        counter(mode).fetch_sub(1, std::memory_order_release);
-    return can_park_ && prev == 1;
-  }
-  if (!can_park_) {
-    // Nobody can be parked: skip the last-hold test and keep the release a
-    // single RMW, mirroring the flat path under SpinYield.
-    bank_->local_slot(static_cast<std::uint32_t>(row))
-        .fetch_sub(1, std::memory_order_release);
-    return false;
-  }
-  // The striped last-hold test: seq_cst decrement, then seq_cst sum. Against
-  // a concurrent releaser on another stripe this is Dekker: in the seq_cst
-  // total order one of the two decrements comes second, and the sum of that
-  // releaser sees both, so at least one of two racing final releasers
-  // observes the zero and wakes the partition.
-  bank_->local_slot(static_cast<std::uint32_t>(row))
-      .fetch_sub(1, std::memory_order_seq_cst);
-  return bank_->sum(static_cast<std::uint32_t>(row),
-                    std::memory_order_seq_cst) == 0;
+std::uint32_t LockMechanism::stripes() const {
+  return std::visit([](const auto& s) { return s.stripes(); }, storage_);
 }
 
-bool LockMechanism::conflicts_clear_impl(int mode, std::uint32_t self_allow,
+std::size_t LockMechanism::footprint_bytes() const {
+  const auto partitions = static_cast<std::size_t>(table_->num_partitions());
+  std::size_t total = sizeof(LockMechanism);
+  total += std::visit([](const auto& s) { return s.heap_bytes(); }, storage_);
+  total += partitions * sizeof(util::Spinlock);
+  if (parking_ != nullptr) {
+    // The lot object plus its one cache-line slot per partition
+    // (runtime/parking_lot.h).
+    total += sizeof(runtime::ParkingLot) + partitions * util::kCacheLineSize;
+  }
+  if (grant_slots_ != nullptr) total += partitions * sizeof(GrantSlot);
+#if defined(SEMLOCK_OBS)
+  if (attr_records_ != nullptr) {
+    total += static_cast<std::size_t>(table_->num_modes()) *
+             sizeof(obs::AttrRecord);
+  }
+#endif
+  return total;
+}
+
+template <class Storage>
+bool LockMechanism::conflicts_clear_impl(const Storage& s, int mode,
+                                         std::uint32_t self_allow,
                                          std::memory_order order) const {
-  for (const std::int32_t other : table_->conflicts_of(mode)) {
-    SEMLOCK_DCT_POINT("mode.check", &counter(other));
-    const std::uint32_t allow = other == mode ? self_allow : 0;
-    if (holder_count(other, order) > allow) {
-      return false;
+  if constexpr (Storage::kPacked) {
+    // The whole conflict row is one masked load against the compiled mask.
+    // A saturated own-mode field also blocks (acquiring would corrupt the
+    // mini-counter), which is the saturation fallback: the arrival waits
+    // like a conflicted one until a release drops the field. Packed storage
+    // never announces transiently, so self_allow is moot.
+    (void)self_allow;
+    const PackedLayout& layout = s.layout();
+    const auto mi = static_cast<std::size_t>(mode);
+    SEMLOCK_DCT_POINT("word.check", &s.word());
+    const std::uint64_t w = s.word().load(order);
+    return (w & layout.conflict_mask[mi]) == 0 &&
+           (w & layout.field_mask[mi]) != layout.field_mask[mi];
+  } else {
+    for (const std::int32_t other : table_->conflicts_of(mode)) {
+      SEMLOCK_DCT_POINT("mode.check", s.dct_id(other));
+      const std::uint32_t allow = other == mode ? self_allow : 0;
+      if (s.holder_count(other, order) > allow) {
+        return false;
+      }
     }
+    return true;
   }
-  return true;
 }
 
-bool LockMechanism::announce_validate(int mode, int partition,
+template <class Storage>
+bool LockMechanism::conflicts_clear(const Storage& s, int mode) const {
+  return conflicts_clear_impl(s, mode, 0, std::memory_order_acquire);
+}
+
+template <class Storage>
+bool LockMechanism::announce_validate(Storage& s, int mode, int partition,
                                       AcquireStats& stats) {
-  SEMLOCK_DCT_POINT("mode.announce", &counter(mode));
+  static_assert(!Storage::kPacked,
+                "packed storage acquires via packed_try_acquire");
+  SEMLOCK_DCT_POINT("mode.announce", s.dct_id(mode));
   // Announce-before-validate on both sides, all seq_cst: in the seq_cst
   // total order, of two conflicting announcers one increments second, and
   // that one's validation loads (also seq_cst) then see the other's
@@ -226,26 +308,170 @@ bool LockMechanism::announce_validate(int mode, int partition,
   // barrier into the load/add on ARM, which is why this beats a relaxed
   // announce plus a standalone fence. self_allow=1 discounts our own
   // announcement when the mode conflicts with itself.
-  increment(mode, std::memory_order_seq_cst);
-  if (conflicts_clear_impl(mode, 1, std::memory_order_seq_cst)) return true;
+  s.increment(mode, std::memory_order_seq_cst);
+  if (conflicts_clear_impl(s, mode, 1, std::memory_order_seq_cst)) {
+    return true;
+  }
   ++stats.retracts;
   LM_OBS_EVENT(kRetract, mode);
-  SEMLOCK_DCT_POINT("mode.retract", &counter(mode));
+  SEMLOCK_DCT_POINT("mode.retract", s.dct_id(mode));
 #if defined(SEMLOCK_DCT)
   if (dct::mutation_drop_retract_rewake()) {
     // Test-only mutation: retract without the rewake — a conflicting waiter
     // that parked against our transient announcement is never woken
     // (tests/dct_mutation_test.cpp validates the detector against it).
-    (void)release_one(mode);
+    (void)s.release_one(mode, can_park_);
     return false;
   }
 #endif
-  if (release_one(mode)) {
+  if (s.release_one(mode, can_park_)) {
     // Our transient announcement may have parked a conflicting waiter whose
     // real blocker released in the meantime; since ours was possibly the
     // last visible hold, replay the unlock wakeup so that waiter
     // re-validates instead of sleeping forever.
-    parking_.unpark_all(partition);
+    parking_->unpark_all(partition);
+  }
+  return false;
+}
+
+LockMechanism::PackedAttempt LockMechanism::packed_try_acquire(
+    PackedStorage& s, int mode, int partition, AcquireStats& stats,
+    bool doorway) {
+  const PackedLayout& layout = s.layout();
+  std::atomic<std::uint64_t>& word = s.word();
+  const auto mi = static_cast<std::size_t>(mode);
+  const auto pi = static_cast<std::size_t>(partition);
+  // Whether the folded grant-barrier bits still gate this attempt. The
+  // ticketed arbitrated tier (doorway=false) ignores them, exactly as the
+  // flat contended tier never consults fast_path_admitted.
+  bool barrier_passed = grant_slots_ == nullptr || !doorway;
+#if defined(SEMLOCK_DCT)
+  // Test-only mutation: ignore the barrier — the bypass tiers behave as
+  // under Free and the no-starvation oracle must notice.
+  if (dct::mutation_drop_barrier_check()) barrier_passed = true;
+#endif
+  std::uint64_t w = word.load(std::memory_order_seq_cst);
+  for (int attempt = 0;; ++attempt) {
+    SEMLOCK_DCT_POINT("word.check", &word);
+    std::uint64_t conflict = layout.conflict_mask[mi];
+#if defined(SEMLOCK_DCT)
+    // Test-only mutation: skip the compiled conflict-mask test — holders of
+    // conflicting modes stop excluding each other and the serializability
+    // oracle must catch the damage (tests/dct_mutation_test.cpp).
+    if (dct::mutation_drop_packed_mask_check()) conflict = 0;
+#endif
+    if ((w & conflict) != 0) return PackedAttempt::Blocked;
+    if ((w & layout.field_mask[mi]) == layout.field_mask[mi]) {
+      // Mini-counter saturated: another increment would overflow into the
+      // neighbor field, so this arrival falls back to the arbitrated/wait
+      // tier until a release drops the field below field_max (releases from
+      // saturation replay the wakeup; see unlock_impl).
+      return PackedAttempt::Blocked;
+    }
+    if (!barrier_passed) {
+      SEMLOCK_DCT_POINT("grant.barrier", &word);
+      if ((w & layout.closed_bit[pi]) != 0) {
+        ++stats.diverted;
+        LM_OBS_EVENT(kBarrierDivert, mode);
+        return PackedAttempt::Blocked;
+      }
+      if ((w & layout.counting_bit[pi]) != 0) {
+        // BoundedBypass counting: charge the budget once per attempt
+        // series; the admission that exhausts it closes the barrier for
+        // everyone after. A straggler that loaded a stale counting bit can
+        // only over-count — the bound holds. The budget itself stays in the
+        // external GrantSlot (it does not fit the word); only the 0/1/2
+        // barrier STATE is folded into the bits.
+        GrantSlot& slot = grant_slots_[pi];
+        const std::uint32_t before =
+            slot.bypasses.fetch_add(1, std::memory_order_acq_rel);
+        if (before + 1 >= bypass_bound_) {
+          std::uint64_t cur = word.load(std::memory_order_relaxed);
+          while ((cur & layout.counting_bit[pi]) != 0 &&
+                 !word.compare_exchange_weak(
+                     cur,
+                     (cur | layout.closed_bit[pi]) & ~layout.counting_bit[pi],
+                     std::memory_order_acq_rel)) {
+          }
+        }
+        if (before >= bypass_bound_) {
+          ++stats.diverted;
+          LM_OBS_EVENT(kBarrierDivert, mode);
+          return PackedAttempt::Blocked;
+        }
+        // Admitted: like the flat doorway, a barrier that rises after this
+        // point (possibly by our own hand just above) no longer diverts us.
+        barrier_passed = true;
+        w = word.load(std::memory_order_seq_cst);
+        continue;
+      }
+      barrier_passed = true;
+    }
+    // The CAS fuses announce+validate: it claims the field ONLY if the word
+    // it validated is still the word it saw, so there is no transient
+    // announcement, hence no retract and no rewake on this path.
+    SEMLOCK_DCT_POINT("word.cas", &word);
+    if (word.compare_exchange_weak(w, w + layout.inc[mi],
+                                   std::memory_order_seq_cst,
+                                   std::memory_order_seq_cst)) {
+      return PackedAttempt::Acquired;
+    }
+    // compare_exchange reloaded w; re-run the checks on the fresh value.
+    if (attempt >= kPackedCasRetries) return PackedAttempt::Contended;
+  }
+}
+
+void LockMechanism::packed_word_wait(PackedStorage& s,
+                                     std::uint64_t observed) {
+#if defined(SEMLOCK_DCT)
+  if (dct::scheduled()) {
+    dct::futex_wait(s.word(), observed);
+    return;
+  }
+#endif
+  s.word().wait(observed, std::memory_order_seq_cst);
+}
+
+bool LockMechanism::try_elide(PackedStorage& s, int mode) {
+  if (!util::htm_compiled) return false;
+  ElisionSlot& slot = elision_slot();
+  if (slot.active) {
+    // Nested acquisition inside an elided section (of this or any other
+    // mechanism): abort back to the outer htm_begin, whose retry logic
+    // falls back to the real path; the rollback resets slot.active.
+    util::htm_abort();
+    return false;  // not reached while a transaction is live
+  }
+  const std::uint32_t pause =
+      elision_pause_.load(std::memory_order_relaxed);
+  if (pause != 0) {
+    elision_pause_.store(pause - 1, std::memory_order_relaxed);
+    return false;
+  }
+  for (int attempt = 0; attempt < kElisionRetries; ++attempt) {
+    const unsigned code = util::htm_begin();
+    if (code == util::kHtmStarted) {
+      if (s.word().load(std::memory_order_relaxed) != 0) {
+        // The word is busy — a real holder, waiter bit, or barrier bit
+        // exists — so elision would have to reason about conflicts it
+        // cannot see. Abort (explicit, non-retryable) back to htm_begin.
+        util::htm_abort();
+      }
+      // Quiescent word in the read set: any concurrent real acquisition
+      // CASes the word and aborts this transaction, and vice versa this
+      // section publishes nothing until commit. Serializable by hardware.
+      slot.mech = this;
+      slot.mode = mode;
+      slot.active = true;
+      return true;
+    }
+    if (!util::htm_retryable(code)) break;
+  }
+  const std::uint32_t streak =
+      elision_aborts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= kElisionAbortThreshold) {
+    elision_aborts_.store(0, std::memory_order_relaxed);
+    elision_pause_.store(kElisionPausePeriod, std::memory_order_relaxed);
   }
   return false;
 }
@@ -280,19 +506,35 @@ bool LockMechanism::fast_path_admitted(int partition, AcquireStats& stats,
   return false;
 }
 
-std::uint64_t LockMechanism::enqueue_waiter(int partition) {
+template <class Storage>
+std::uint64_t LockMechanism::enqueue_waiter(Storage& s, int partition) {
   GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
   SEMLOCK_DCT_POINT("grant.enqueue", &slot.barrier);
   const std::uint64_t ticket =
       slot.next_ticket.fetch_add(1, std::memory_order_relaxed);
   ++slot.waiting;
+  // Barrier-state writes are representation-switched: flat/striped keep the
+  // PR 7 GrantSlot barrier word; packed raises the closed/counting bits in
+  // the lock word so the bypass tiers' doorway stays one load.
   switch (grant_policy_) {
     case runtime::GrantPolicyKind::Fifo:
       // Strict handoff: the moment anyone queues, every bypass tier closes.
-      slot.barrier.store(2, std::memory_order_release);
+      if constexpr (Storage::kPacked) {
+        s.word().fetch_or(s.layout().closed_bit[static_cast<std::size_t>(
+                              partition)],
+                          std::memory_order_seq_cst);
+      } else {
+        slot.barrier.store(2, std::memory_order_release);
+      }
       break;
     case runtime::GrantPolicyKind::PhaseFair:
-      slot.barrier.store(2, std::memory_order_release);
+      if constexpr (Storage::kPacked) {
+        s.word().fetch_or(s.layout().closed_bit[static_cast<std::size_t>(
+                              partition)],
+                          std::memory_order_seq_cst);
+      } else {
+        slot.barrier.store(2, std::memory_order_release);
+      }
       if (slot.phase_remaining == 0) {
         // Open the first phase: just this waiter. Later arrivals queue for
         // the next phase, which grant_complete sizes when this one drains.
@@ -302,12 +544,23 @@ std::uint64_t LockMechanism::enqueue_waiter(int partition) {
       break;
     case runtime::GrantPolicyKind::BoundedBypass:
       if (slot.waiting == 1) {
-        // First waiter arms the counting barrier with a fresh budget. CAS:
-        // never demote a barrier a concurrent exhaustion already closed.
+        // First waiter arms the counting barrier with a fresh budget —
+        // never demoting a barrier a concurrent exhaustion already closed.
         slot.bypasses.store(0, std::memory_order_relaxed);
-        std::uint32_t expected = 0;
-        slot.barrier.compare_exchange_strong(expected, 1,
-                                             std::memory_order_acq_rel);
+        if constexpr (Storage::kPacked) {
+          const PackedLayout& layout = s.layout();
+          const auto pi = static_cast<std::size_t>(partition);
+          std::uint64_t cur = s.word().load(std::memory_order_relaxed);
+          while ((cur & layout.closed_bit[pi]) == 0 &&
+                 !s.word().compare_exchange_weak(
+                     cur, cur | layout.counting_bit[pi],
+                     std::memory_order_acq_rel)) {
+          }
+        } else {
+          std::uint32_t expected = 0;
+          slot.barrier.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel);
+        }
       }
       break;
     case runtime::GrantPolicyKind::Free:
@@ -335,13 +588,22 @@ bool LockMechanism::waiter_eligible(int partition,
   return true;
 }
 
-bool LockMechanism::grant_complete(int partition) {
+template <class Storage>
+bool LockMechanism::grant_complete(Storage& s, int partition) {
   GrantSlot& slot = grant_slots_[static_cast<std::size_t>(partition)];
+  const auto pi = static_cast<std::size_t>(partition);
   --slot.waiting;
   slot.granted.fetch_add(1, std::memory_order_release);
   switch (grant_policy_) {
     case runtime::GrantPolicyKind::Fifo:
-      if (slot.waiting == 0) slot.barrier.store(0, std::memory_order_release);
+      if (slot.waiting == 0) {
+        if constexpr (Storage::kPacked) {
+          s.word().fetch_and(~s.layout().closed_bit[pi],
+                             std::memory_order_seq_cst);
+        } else {
+          slot.barrier.store(0, std::memory_order_release);
+        }
+      }
       break;
     case runtime::GrantPolicyKind::PhaseFair:
       if (--slot.phase_remaining == 0) {
@@ -354,7 +616,12 @@ bool LockMechanism::grant_complete(int partition) {
               slot.next_ticket.load(std::memory_order_relaxed),
               std::memory_order_release);
         } else {
-          slot.barrier.store(0, std::memory_order_release);
+          if constexpr (Storage::kPacked) {
+            s.word().fetch_and(~s.layout().closed_bit[pi],
+                               std::memory_order_seq_cst);
+          } else {
+            slot.barrier.store(0, std::memory_order_release);
+          }
         }
       }
       break;
@@ -362,7 +629,24 @@ bool LockMechanism::grant_complete(int partition) {
       // The waiter the budget protected is gone: refresh the budget for the
       // next one, or reopen the fast path when the queue is empty.
       slot.bypasses.store(0, std::memory_order_relaxed);
-      slot.barrier.store(slot.waiting > 0 ? 1 : 0, std::memory_order_release);
+      if constexpr (Storage::kPacked) {
+        const PackedLayout& layout = s.layout();
+        if (slot.waiting > 0) {
+          // Re-arm counting before reopening closed; the transient
+          // closed+counting overlap can only divert conservatively.
+          s.word().fetch_or(layout.counting_bit[pi],
+                            std::memory_order_seq_cst);
+          s.word().fetch_and(~layout.closed_bit[pi],
+                             std::memory_order_seq_cst);
+        } else {
+          s.word().fetch_and(
+              ~(layout.closed_bit[pi] | layout.counting_bit[pi]),
+              std::memory_order_seq_cst);
+        }
+      } else {
+        slot.barrier.store(slot.waiting > 0 ? 1 : 0,
+                           std::memory_order_release);
+      }
       break;
     case runtime::GrantPolicyKind::Free:
       break;
@@ -373,7 +657,32 @@ bool LockMechanism::grant_complete(int partition) {
   return slot.waiting > 0;
 }
 
-void LockMechanism::lock(int mode, const LockSiteArgs* args) {
+template <class Storage>
+void LockMechanism::wake_partition(Storage& s, int partition) {
+  if constexpr (Storage::kPacked) {
+    if (futex_word_) {
+      // Futex-word wakeup: clearing W both licenses future releases to skip
+      // the notify and CHANGES THE WORD'S VALUE, so sleepers blocked on any
+      // stale `observed` return from wait — including handoff wakeups that
+      // touched no counter field. Woken waiters re-publish W before
+      // sleeping again, so a cleared bit never strands a still-blocked
+      // waiter.
+      const PackedLayout& layout = s.layout();
+      std::atomic<std::uint64_t>& word = s.word();
+      if ((word.load(std::memory_order_seq_cst) & layout.waiters_bit) != 0) {
+        word.fetch_and(~layout.waiters_bit, std::memory_order_seq_cst);
+        SEMLOCK_DCT_POINT("word.wake", &word);
+        word.notify_all();
+      }
+      return;
+    }
+  }
+  parking_->unpark_all(partition);
+}
+
+template <class Storage>
+void LockMechanism::lock_impl(Storage& s, int mode,
+                              const LockSiteArgs* args) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
@@ -381,49 +690,91 @@ void LockMechanism::lock(int mode, const LockSiteArgs* args) {
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];
   const bool precheck = table_->config().fast_path_precheck;
-  if (optimistic_) {
-    // Tier T1: lock-free attempts. The pre-check keeps the ablation knob
-    // meaningful (and skips a futile announce when a conflict is visibly
-    // held); validation inside announce_validate is unconditional. Under a
-    // non-Free grant policy every attempt first consults the partition's
-    // barrier word — a raised barrier sends this arrival to the wait path.
-    for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
-      if (!fast_path_admitted(partition, stats, mode)) break;
-      if (precheck && !conflicts_clear(mode)) break;
-      if (announce_validate(mode, partition, stats)) {
-        ++stats.optimistic_hits;
-        LM_OBS_EVENT(kOptimisticHit, mode);
+  if constexpr (Storage::kPacked) {
+    // Tier T0: hardware elision — no counter write at all when it commits.
+    if (elide_ && try_elide(s, mode)) return;
+    if (optimistic_) {
+      // Tier T1: the packed CAS already validates, honors the folded
+      // barrier bits, and cannot leave a transient announcement, so the
+      // whole doorway+announce+validate sequence is one bounded CAS loop.
+      for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+        const PackedAttempt r =
+            packed_try_acquire(s, mode, partition, stats, /*doorway=*/true);
+        if (r == PackedAttempt::Acquired) {
+          ++stats.optimistic_hits;
+          LM_OBS_EVENT(kOptimisticHit, mode);
+          LM_ATTR_GRANT(mode, args);
+          LM_DCT_GRANT(partition);
+          return;
+        }
+        if (r == PackedAttempt::Blocked) break;
+        backoff_pause(attempt);
+      }
+    } else {
+      // Historical arbitrated flavor: one attempt under the internal lock
+      // (the CAS subsumes check-then-increment). Still a ticketless bypass,
+      // so the doorway bits apply.
+      if (!precheck || conflicts_clear(s, mode)) {
+        internal.lock();
+        const PackedAttempt r =
+            packed_try_acquire(s, mode, partition, stats, /*doorway=*/true);
+        internal.unlock();
+        if (r == PackedAttempt::Acquired) {
+          LM_OBS_EVENT(kAcquireGrant, mode);
+          LM_ATTR_GRANT(mode, args);
+          LM_DCT_GRANT(partition);
+          return;
+        }
+      }
+    }
+    lock_contended(s, mode, partition, internal, stats, args);
+  } else {
+    if (optimistic_) {
+      // Tier T1: lock-free attempts. The pre-check keeps the ablation knob
+      // meaningful (and skips a futile announce when a conflict is visibly
+      // held); validation inside announce_validate is unconditional. Under
+      // a non-Free grant policy every attempt first consults the
+      // partition's barrier word — a raised barrier sends this arrival to
+      // the wait path.
+      for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+        if (!fast_path_admitted(partition, stats, mode)) break;
+        if (precheck && !conflicts_clear(s, mode)) break;
+        if (announce_validate(s, mode, partition, stats)) {
+          ++stats.optimistic_hits;
+          LM_OBS_EVENT(kOptimisticHit, mode);
+          LM_ATTR_GRANT(mode, args);
+          LM_DCT_GRANT(partition);
+          return;
+        }
+        backoff_pause(attempt);
+      }
+      lock_contended(s, mode, partition, internal, stats, args);
+      return;
+    }
+    // Historical arbitrated path (optimistic_acquire off): check-then-
+    // increment is sound here because every increment happens under the
+    // partition's internal lock. This uncontended grant is ticketless, so
+    // it is a bypass too and obeys the same barrier.
+    if ((!precheck || conflicts_clear(s, mode)) &&
+        fast_path_admitted(partition, stats, mode)) {
+      internal.lock();
+      if (conflicts_clear(s, mode)) {
+        SEMLOCK_DCT_POINT("mode.acquire", s.dct_id(mode));
+        s.increment(mode, std::memory_order_relaxed);
+        internal.unlock();
+        LM_OBS_EVENT(kAcquireGrant, mode);
         LM_ATTR_GRANT(mode, args);
         LM_DCT_GRANT(partition);
         return;
       }
-      backoff_pause(attempt);
-    }
-    lock_contended(mode, partition, internal, stats, args);
-    return;
-  }
-  // Historical arbitrated path (optimistic_acquire off): check-then-
-  // increment is sound here because every increment happens under the
-  // partition's internal lock. This uncontended grant is ticketless, so it
-  // is a bypass too and obeys the same barrier.
-  if ((!precheck || conflicts_clear(mode)) &&
-      fast_path_admitted(partition, stats, mode)) {
-    internal.lock();
-    if (conflicts_clear(mode)) {
-      SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-      increment(mode);
       internal.unlock();
-      LM_OBS_EVENT(kAcquireGrant, mode);
-      LM_ATTR_GRANT(mode, args);
-      LM_DCT_GRANT(partition);
-      return;
     }
-    internal.unlock();
+    lock_contended(s, mode, partition, internal, stats, args);
   }
-  lock_contended(mode, partition, internal, stats, args);
 }
 
-void LockMechanism::lock_contended(int mode, int partition,
+template <class Storage>
+void LockMechanism::lock_contended(Storage& s, int mode, int partition,
                                    util::Spinlock& internal,
                                    AcquireStats& stats,
                                    const LockSiteArgs* args) {
@@ -441,7 +792,7 @@ void LockMechanism::lock_contended(int mode, int partition,
                           obs::attribution_enabled() &&
                           obs::attribution_should_sample();
     for (const std::int32_t other : table_->conflicts_of(mode)) {
-      if (holder_count(other, std::memory_order_acquire) > 0) {
+      if (s.holder_count(other, std::memory_order_acquire) > 0) {
         obs::record_blocked_by(this, mode, other);
         if (classify) {
           obs::record_attribution(
@@ -466,7 +817,7 @@ void LockMechanism::lock_contended(int mode, int partition,
   std::uint64_t ticket = kMaxTicket;
   if (grant_slots_ != nullptr) {
     internal.lock();
-    ticket = enqueue_waiter(partition);
+    ticket = enqueue_waiter(s, partition);
     internal.unlock();
   }
   runtime::WaitState wait(policy_, spin_limit_);
@@ -474,33 +825,40 @@ void LockMechanism::lock_contended(int mode, int partition,
   for (;;) {
     const bool eligible =
         ticket == kMaxTicket || waiter_eligible(partition, ticket);
-    if (eligible && (!precheck || conflicts_clear(mode))) {
+    if (eligible && (!precheck || conflicts_clear(s, mode))) {
       internal.lock();
       bool acquired;
-      if (optimistic_) {
+      if constexpr (Storage::kPacked) {
+        // Tier T2, packed: the same fused CAS, arbitrated by the internal
+        // lock and with doorway=false — a ticketed waiter whose turn came
+        // must not divert against its own barrier.
+        acquired = packed_try_acquire(s, mode, partition, stats,
+                                      /*doorway=*/false) ==
+                   PackedAttempt::Acquired;
+      } else if (optimistic_) {
         // Tier T2: same announce/validate protocol, but arbitrated — the
         // internal lock serializes the slow-path waiters of this partition
         // so they cannot starve each other with dueling announcements.
         // (Plain check-then-increment would race with the lock-free T1
         // announcers, which never take this lock.)
-        acquired = announce_validate(mode, partition, stats);
+        acquired = announce_validate(s, mode, partition, stats);
       } else {
-        acquired = conflicts_clear(mode);
+        acquired = conflicts_clear(s, mode);
         if (acquired) {
-          SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-          increment(mode);
+          SEMLOCK_DCT_POINT("mode.acquire", s.dct_id(mode));
+          s.increment(mode, std::memory_order_relaxed);
         }
       }
       bool handoff = false;
       if (acquired && ticket != kMaxTicket) {
-        handoff = grant_complete(partition);
+        handoff = grant_complete(s, partition);
       }
       internal.unlock();
       if (acquired) {
         if (handoff) {
           // The cursor moved: wake the partition so the newly eligible
           // waiter re-validates instead of sleeping on a stale turn.
-          parking_.unpark_all(partition);
+          wake_partition(s, partition);
           ++stats.handoffs;
           LM_OBS_EVENT(kGrantHandoff, mode);
         }
@@ -524,36 +882,87 @@ void LockMechanism::lock_contended(int mode, int partition,
       }
     }
     // One unit of waiting: the policy spins/yields itself (step() == false)
-    // or asks us to park. Parking re-validates after announcing so a release
-    // racing with the announcement is never missed (see parking_lot.h); with
-    // a ticket the re-validation covers eligibility too, since the handoff
-    // wakeup above races with this announcement the same way a release does.
+    // or asks us to sleep. Sleeping re-validates after announcing so a
+    // release racing with the announcement is never missed; with a ticket
+    // the re-validation covers eligibility too, since the handoff wakeup
+    // above races with this announcement the same way a release does.
     if (wait.step()) {
-      const std::uint32_t gen = parking_.prepare(partition);
-      parking_.announce(partition);
-      const bool turn_ok =
-          ticket == kMaxTicket || waiter_eligible(partition, ticket);
+      bool slept_on_word = false;
+      if constexpr (Storage::kPacked) {
+        if (futex_word_) {
+          // Waiter half of the futex-word handshake: publish the waiters
+          // bit with an RMW on the word itself, then re-validate against
+          // the value that RMW returned. The word's modification order is
+          // the Dekker arbiter: either our fetch_or precedes the release
+          // that would satisfy us (then that release observes W and
+          // notifies after clearing it), or it follows it (then `observed`
+          // already shows the conflict clear and we retry instead of
+          // sleeping). Eligibility is covered the same way — a handoff
+          // wake clears W, changing the word, so a stale `observed` never
+          // outlives its wakeup.
+          const PackedLayout& layout = s.layout();
+          const auto mi = static_cast<std::size_t>(mode);
+          SEMLOCK_DCT_POINT("word.announce", &s.word());
+          const std::uint64_t observed =
+              s.word().fetch_or(layout.waiters_bit,
+                                std::memory_order_seq_cst) |
+              layout.waiters_bit;
+          const bool turn_ok =
+              ticket == kMaxTicket || waiter_eligible(partition, ticket);
+          bool still_blocked =
+              !turn_ok ||
+              (observed & layout.conflict_mask[mi]) != 0 ||
+              (observed & layout.field_mask[mi]) == layout.field_mask[mi];
 #if defined(SEMLOCK_DCT)
-      // Test-only mutation: park blind, skipping the re-validation half of
-      // the handshake — the lost-wakeup bug the DCT harness must detect.
-      const bool revalidated = !dct::mutation_drop_announce_revalidate() &&
-                               turn_ok && conflicts_clear(mode);
-#else
-      const bool revalidated = turn_ok && conflicts_clear(mode);
+          // Test-only mutation: sleep blind, skipping the re-validation
+          // half of the handshake — the lost-wakeup bug the DCT harness
+          // must detect.
+          if (dct::mutation_drop_announce_revalidate()) still_blocked = true;
 #endif
-      if (revalidated) {
-        parking_.retract(partition);
-      } else {
-        LM_OBS_EVENT(kPark, mode);
-        parking_.park(partition, gen);
-        ++stats.parks;
-        LM_OBS_EVENT(kUnpark, mode);
+          if (still_blocked) {
+            LM_OBS_EVENT(kPark, mode);
+            packed_word_wait(s, observed);
+            ++stats.parks;
+            LM_OBS_EVENT(kUnpark, mode);
+          }
+          // No retract: W stays set until a wakeup clears it. The cost is
+          // at most one spurious notify from a release that found W with
+          // no sleeper left — cheaper than racing a clear against other
+          // announcing waiters.
+          slept_on_word = true;
+        }
+      }
+      if (!slept_on_word) {
+        const std::uint32_t gen = parking_->prepare(partition);
+        parking_->announce(partition);
+        const bool turn_ok =
+            ticket == kMaxTicket || waiter_eligible(partition, ticket);
+#if defined(SEMLOCK_DCT)
+        // Test-only mutation: park blind, skipping the re-validation half
+        // of the handshake — the lost-wakeup bug the DCT harness must
+        // detect.
+        const bool revalidated =
+            !dct::mutation_drop_announce_revalidate() && turn_ok &&
+            conflicts_clear(s, mode);
+#else
+        const bool revalidated = turn_ok && conflicts_clear(s, mode);
+#endif
+        if (revalidated) {
+          parking_->retract(partition);
+        } else {
+          LM_OBS_EVENT(kPark, mode);
+          parking_->park(partition, gen);
+          ++stats.parks;
+          LM_OBS_EVENT(kUnpark, mode);
+        }
       }
     }
   }
 }
 
-bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
+template <class Storage>
+bool LockMechanism::try_lock_impl(Storage& s, int mode,
+                                  const LockSiteArgs* args) {
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
@@ -570,41 +979,68 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
   // A try_lock never queues, so under a raised grant barrier it simply
   // refuses — overtaking the queued waiters here would reopen the
   // starvation channel the barrier exists to close.
-  if ((!precheck || conflicts_clear(mode)) &&
-      fast_path_admitted(partition, stats, mode)) {
-    if (optimistic_) {
-      // One lock-free attempt, then one arbitrated attempt. The fallback
-      // keeps try_lock as decisive as the historical path: two conflicting
-      // try_locks that retract against each other's announcements settle
-      // under the internal lock, where exactly one of them revalidates.
-      ok = announce_validate(mode, partition, stats);
+  if constexpr (Storage::kPacked) {
+    // One lock-free attempt (doorway honored — the barrier bits are part of
+    // the same word the CAS validates), then one arbitrated attempt when
+    // only CAS churn stood in the way.
+    const PackedAttempt first =
+        packed_try_acquire(s, mode, partition, stats, /*doorway=*/true);
+    if (first == PackedAttempt::Acquired) {
+      ok = true;
+      ++stats.optimistic_hits;
+      LM_OBS_EVENT(kOptimisticHit, mode);
+      LM_ATTR_GRANT(mode, args);
+      LM_DCT_GRANT(partition);
+    } else if (first == PackedAttempt::Contended) {
+      internal.lock();
+      ok = packed_try_acquire(s, mode, partition, stats,
+                              /*doorway=*/true) == PackedAttempt::Acquired;
+      internal.unlock();
       if (ok) {
-        ++stats.optimistic_hits;
-        LM_OBS_EVENT(kOptimisticHit, mode);
+        LM_OBS_EVENT(kAcquireGrant, mode);
         LM_ATTR_GRANT(mode, args);
         LM_DCT_GRANT(partition);
+      }
+    }
+    (void)precheck;  // the CAS always validates; the knob has nothing to skip
+  } else {
+    if ((!precheck || conflicts_clear(s, mode)) &&
+        fast_path_admitted(partition, stats, mode)) {
+      if (optimistic_) {
+        // One lock-free attempt, then one arbitrated attempt. The fallback
+        // keeps try_lock as decisive as the historical path: two
+        // conflicting try_locks that retract against each other's
+        // announcements settle under the internal lock, where exactly one
+        // of them revalidates.
+        ok = announce_validate(s, mode, partition, stats);
+        if (ok) {
+          ++stats.optimistic_hits;
+          LM_OBS_EVENT(kOptimisticHit, mode);
+          LM_ATTR_GRANT(mode, args);
+          LM_DCT_GRANT(partition);
+        } else {
+          internal.lock();
+          ok = announce_validate(s, mode, partition, stats);
+          internal.unlock();
+          if (ok) {
+            LM_OBS_EVENT(kAcquireGrant, mode);
+            LM_ATTR_GRANT(mode, args);
+            LM_DCT_GRANT(partition);
+          }
+        }
       } else {
         internal.lock();
-        ok = announce_validate(mode, partition, stats);
+        ok = conflicts_clear(s, mode);
+        if (ok) {
+          SEMLOCK_DCT_POINT("mode.acquire", s.dct_id(mode));
+          s.increment(mode, std::memory_order_relaxed);
+        }
         internal.unlock();
         if (ok) {
           LM_OBS_EVENT(kAcquireGrant, mode);
           LM_ATTR_GRANT(mode, args);
           LM_DCT_GRANT(partition);
         }
-      }
-    } else {
-      internal.lock();
-      ok = conflicts_clear(mode);
-      if (ok) {
-        SEMLOCK_DCT_POINT("mode.acquire", &counter(mode));
-        increment(mode);
-      }
-      internal.unlock();
-      if (ok) {
-        LM_OBS_EVENT(kAcquireGrant, mode);
-        LM_ATTR_GRANT(mode, args);
-        LM_DCT_GRANT(partition);
       }
     }
   }
@@ -616,18 +1052,59 @@ bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
   return ok;
 }
 
-void LockMechanism::unlock(int mode) {
-  LM_OBS_EVENT(kRelease, mode);
-  SEMLOCK_DCT_POINT("mode.release", &counter(mode));
-  if (release_one(mode)) {
-    // Wake only when this was the mode's last hold: a counter that stays
-    // nonzero cannot turn any waiter's conflicts_clear from false to true,
-    // so waking earlier would only stampede waiters into re-parking. Scoped
-    // to the released mode's conflict partition; unrelated mode families
-    // keep sleeping. unpark_all is a no-op (fence + relaxed load) when
-    // nobody is parked.
-    parking_.unpark_all(table_->partition_of(mode));
+template <class Storage>
+void LockMechanism::unlock_impl(Storage& s, int mode) {
+  if constexpr (Storage::kPacked) {
+    if (elide_) {
+      ElisionSlot& slot = elision_slot();
+      if (slot.active && slot.mech == this && slot.mode == mode) {
+        // Elided section: commit the hardware transaction. Nothing was
+        // written to the word, so there is nobody to wake.
+        slot.active = false;
+        util::htm_end();
+        return;
+      }
+    }
+    LM_OBS_EVENT(kRelease, mode);
+    const PackedLayout& layout = s.layout();
+    const auto mi = static_cast<std::size_t>(mode);
+    SEMLOCK_DCT_POINT("word.release", &s.word());
+    const std::uint64_t old =
+        s.word().fetch_sub(layout.inc[mi], std::memory_order_seq_cst);
+    if (!can_park_) return;
+    const std::uint64_t field = old & layout.field_mask[mi];
+    // Wake when a sleeper's predicate may have flipped: this was the mode's
+    // last hold (conflicting waiters can now validate), or the field just
+    // dropped out of saturation (same-mode waiters blocked on field_max).
+    if (field == layout.inc[mi] || field == layout.field_mask[mi]) {
+      wake_partition(s, table_->partition_of(mode));
+    }
+  } else {
+    LM_OBS_EVENT(kRelease, mode);
+    SEMLOCK_DCT_POINT("mode.release", s.dct_id(mode));
+    if (s.release_one(mode, can_park_)) {
+      // Wake only when this was the mode's last hold: a counter that stays
+      // nonzero cannot turn any waiter's conflicts_clear from false to
+      // true, so waking earlier would only stampede waiters into
+      // re-parking. Scoped to the released mode's conflict partition;
+      // unrelated mode families keep sleeping. unpark_all is a no-op
+      // (fence + relaxed load) when nobody is parked.
+      parking_->unpark_all(table_->partition_of(mode));
+    }
   }
+}
+
+void LockMechanism::lock(int mode, const LockSiteArgs* args) {
+  std::visit([&](auto& s) { lock_impl(s, mode, args); }, storage_);
+}
+
+bool LockMechanism::try_lock(int mode, const LockSiteArgs* args) {
+  return std::visit([&](auto& s) { return try_lock_impl(s, mode, args); },
+                    storage_);
+}
+
+void LockMechanism::unlock(int mode) {
+  std::visit([&](auto& s) { unlock_impl(s, mode); }, storage_);
 }
 
 }  // namespace semlock

@@ -1,27 +1,34 @@
 // The runtime locking mechanism of Fig. 20.
 //
-// Per ADT instance, one atomic counter per (canonical) locking mode holds the
-// number of transactions currently holding that mode. Acquisition runs
-// through up to three tiers (docs/FAST_PATH.md):
+// Per ADT instance, the mechanism tracks, per (canonical) locking mode, the
+// number of transactions currently holding that mode. HOW those counts are
+// represented is a storage policy (semlock/storage_policy.h) chosen per
+// mode table: Flat (one atomic per mode, the paper's layout), Striped
+// (PR 3's banks for self-commuting modes), or Packed (the whole table in
+// one 64-bit word with compiled conflict masks). Acquisition runs through
+// up to four tiers (docs/FAST_PATH.md):
 //
+//   T0 (elision, optional): under the SEMLOCK_ELISION build with RTM/TME
+//      hardware and a Packed table, run the critical section as a hardware
+//      transaction with the quiescent lock word in the read set — no
+//      counter is written at all; an abort falls back to T1.
 //   T1 (optimistic, default): announce by incrementing C_l, seq_cst fence,
 //      validate that the conflicting counters are clear; retract + replay
 //      the wakeup handshake on failure, with a few randomized-backoff
 //      retries. Lock-free — the common commuting acquisition never touches
-//      the partition spinlock.
-//   T2 (arbitrated): the same announce/validate under the partition's
-//      internal spinlock, so conflicting waiters make progress in turn.
-//      With optimistic_acquire off this is the first tier, using the
-//      historical check-then-increment (sound because then EVERY increment
-//      happens under the spinlock).
+//      the partition spinlock. Packed storage fuses announce+validate into
+//      one CAS, so the packed fast path has no retract and no rewake.
+//   T2 (arbitrated): the same protocol under the partition's internal
+//      spinlock, so conflicting waiters make progress in turn. With
+//      optimistic_acquire off this is the first tier, using the historical
+//      check-then-increment (sound because then EVERY increment happens
+//      under the spinlock).
 //   T3 (waiting): between T2 attempts, spin/yield/park per the table's wait
-//      policy.
+//      policy. Under the futex-word policy, packed waiters sleep directly
+//      on the lock word via std::atomic::wait instead of the ParkingLot.
 //
 // `unlock(l)` decrements C_l and, when that was the mode's last hold and the
 // wait policy can park, wakes the released mode's conflict partition.
-// Self-commuting modes optionally spread C_l over cache-line-padded stripes
-// (util/striped_counter.h); validation and the last-hold test then sum the
-// stripes behind the same fences.
 //
 // Lock partitioning (Section 5.2) gives each connected component of the
 // conflict graph its own internal lock, so commuting mode families never
@@ -34,11 +41,13 @@
 //
 // Under a non-Free grant policy (ModeTableConfig::grant_policy,
 // src/runtime/grant_policy.h) every bypass tier additionally consults the
-// partition's barrier word before acquiring: once a conflicting waiter has
+// partition's barrier before acquiring: once a conflicting waiter has
 // queued (Fifo/PhaseFair) or exhausted its bypass budget (BoundedBypass),
 // new arrivals — including T1 — divert to the wait path and grants hand off
 // through a ticket cursor, bounding how long a commuting flood can starve a
-// conflicting waiter (docs/RUNTIME_WAITING.md §5).
+// conflicting waiter (docs/RUNTIME_WAITING.md §5). With Packed storage the
+// barrier state lives in spare bits of the lock word itself, so the T1
+// doorway check stays one load.
 #pragma once
 
 #include <atomic>
@@ -46,6 +55,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "commute/value.h"
@@ -54,9 +64,12 @@
 #include "runtime/wait_policy.h"
 #include "semlock/acquire_stats.h"
 #include "semlock/mode_table.h"
+#include "semlock/storage_flat.h"
+#include "semlock/storage_packed.h"
+#include "semlock/storage_policy.h"
+#include "semlock/storage_striped.h"
 #include "util/align.h"
 #include "util/spinlock.h"
-#include "util/striped_counter.h"
 
 namespace semlock {
 
@@ -158,8 +171,29 @@ class LockMechanism {
 
   const ModeTable& table() const { return *table_; }
 
-  // Waiting-subsystem observability (tests, watchdog, benches).
-  const runtime::ParkingLot& parking_lot() const { return parking_; }
+  // The counter representation actually in use: the config's storage kind,
+  // except that a Packed request over a table with no packed layout (> 8
+  // canonical modes) falls back to Flat.
+  StorageKind storage() const { return storage_kind_; }
+
+  // True when the HTM elision tier is armed: ModeTableConfig::elide_locks,
+  // the SEMLOCK_ELISION build, runtime RTM/TME support, and Packed storage
+  // all present. (docs/FAST_PATH.md §8.)
+  bool elision_enabled() const { return elide_; }
+
+  // Total per-instance memory of this mechanism: the object itself plus
+  // every heap allocation it owns (counter storage, partition locks,
+  // ParkingLot, grant slots, attribution records). Logical bytes as
+  // requested from the allocator; bench_footprint compares the storage
+  // policies with it.
+  std::size_t footprint_bytes() const;
+
+  // Waiting-subsystem observability (tests, watchdog, benches). The
+  // ParkingLot exists unless waiters sleep on the packed word itself
+  // (Packed storage under the futex-word policy); callers in that
+  // configuration must not ask for it.
+  const runtime::ParkingLot& parking_lot() const { return *parking_; }
+  bool has_parking_lot() const { return parking_ != nullptr; }
   runtime::WaitPolicyKind wait_policy() const { return policy_; }
   runtime::GrantPolicyKind grant_policy() const { return grant_policy_; }
   std::uint32_t bypass_bound() const { return bypass_bound_; }
@@ -170,10 +204,8 @@ class LockMechanism {
   // (ModeTableConfig::trace_events; always false without SEMLOCK_OBS). The
   // StallWatchdog consults this before asking obs for forensics.
   bool traced() const { return trace_; }
-  bool mode_striped(int mode) const {
-    return striped_row_[static_cast<std::size_t>(mode)] >= 0;
-  }
-  std::uint32_t stripes() const { return bank_ ? bank_->stripes() : 1; }
+  bool mode_striped(int mode) const;
+  std::uint32_t stripes() const;
 
  private:
   // Per-partition grant state (docs/RUNTIME_WAITING.md §5), allocated only
@@ -183,12 +215,15 @@ class LockMechanism {
   // The barrier word is the one field the lock-free tiers read: 0 = open
   // (commuting arrivals may acquire without queueing), 1 = BoundedBypass
   // counting (arrivals charge `bypasses` and the K-th raises the barrier),
-  // 2 = closed (arrivals divert to the wait path). The ticket cursor
-  // (next_ticket/granted/phase_end) is written only under the partition's
-  // internal spinlock; waiters read it lock-free in the park re-validation,
-  // which is sound because eligibility is monotone — a ticket never becomes
-  // ineligible again before its grant. `waiting`/`phase_remaining` are plain
-  // ints touched exclusively under the internal lock.
+  // 2 = closed (arrivals divert to the wait path). With Packed storage the
+  // barrier STATE lives in the lock word's closed/counting bits instead and
+  // this word stays 0 — the ticket and budget state here is authoritative
+  // for every storage. The ticket cursor (next_ticket/granted/phase_end) is
+  // written only under the partition's internal spinlock; waiters read it
+  // lock-free in the park re-validation, which is sound because eligibility
+  // is monotone — a ticket never becomes ineligible again before its grant.
+  // `waiting`/`phase_remaining` are plain ints touched exclusively under the
+  // internal lock.
   struct alignas(util::kCacheLineSize) GrantSlot {
     std::atomic<std::uint32_t> barrier{0};
     std::atomic<std::uint32_t> bypasses{0};
@@ -199,74 +234,102 @@ class LockMechanism {
     std::uint32_t phase_remaining = 0;
   };
 
+  enum class PackedAttempt { Acquired, Blocked, Contended };
+
+  using StorageVariant =
+      std::variant<FlatStorage, StripedStorage, PackedStorage>;
+
+  static StorageVariant make_storage(const ModeTable& table, StorageKind kind);
+
+  // --- storage-generic algorithm (defined in lock_mechanism.cpp; each
+  // member template is instantiated there for the three policies, with
+  // `if constexpr (Storage::kPacked)` carrying the packed-word variants of
+  // the protocol steps). ----------------------------------------------------
+  template <class Storage>
+  void lock_impl(Storage& s, int mode, const LockSiteArgs* args);
+  template <class Storage>
+  bool try_lock_impl(Storage& s, int mode, const LockSiteArgs* args);
+  template <class Storage>
+  void unlock_impl(Storage& s, int mode);
+  template <class Storage>
+  void lock_contended(Storage& s, int mode, int partition,
+                      util::Spinlock& internal, AcquireStats& stats,
+                      const LockSiteArgs* args);
+
+  template <class Storage>
+  bool conflicts_clear(const Storage& s, int mode) const;
+  // Validation once our own announcement is already counted: `self_allow`
+  // holds of `mode` itself are ours, not a conflict (a self-conflicting mode
+  // appears in its own conflicts_of row). The optimistic tier validates with
+  // seq_cst loads (free on x86) to close the Dekker argument against the
+  // seq_cst announce RMW. (Packed storage never announces transiently, so
+  // its conflicts_clear ignores self_allow and is one masked load.)
+  template <class Storage>
+  bool conflicts_clear_impl(const Storage& s, int mode,
+                            std::uint32_t self_allow,
+                            std::memory_order order) const;
+
+  // The optimistic announce/validate/retract step (tiers T1 and T2 when
+  // optimistic_acquire is on), flat/striped storages only. Returns true when
+  // `mode` was acquired; on failure the announcement has been retracted and,
+  // if it might have parked a conflicting waiter, the partition rewoken.
+  template <class Storage>
+  bool announce_validate(Storage& s, int mode, int partition,
+                         AcquireStats& stats);
+
+  // Packed equivalent of announce_validate + fast_path_admitted: one bounded
+  // CAS-loop attempt. `doorway` selects whether the folded grant-barrier
+  // bits are honored (the bypass tiers) or ignored (the ticketed arbitrated
+  // tier). Returns Acquired, Blocked (conflict/saturation/barrier — charged
+  // to stats when diverted by the barrier) or Contended (CAS churn without a
+  // visible blocker).
+  PackedAttempt packed_try_acquire(PackedStorage& s, int mode, int partition,
+                                   AcquireStats& stats, bool doorway);
+  // Sleep on the packed word until it differs from `observed` (futex-word
+  // policy; cooperative under DCT).
+  static void packed_word_wait(PackedStorage& s, std::uint64_t observed);
+
+  // T0: attempt to elide the acquisition entirely as a hardware transaction
+  // (util/htm.h). True when the caller is now inside a live transaction
+  // with the word in its read set; unlock_impl commits it.
+  bool try_elide(PackedStorage& s, int mode);
+
   // Doorway check for the bypass tiers (T1, the historical uncontended
-  // grant, try_lock): may this arrival acquire without a ticket? Charges
-  // stats.diverted and emits kBarrierDivert when it says no. Lock-free; an
-  // arrival that passed the check before the barrier rose may still announce
-  // (the "doorway race"), which is why the certified bypass bound is K plus
-  // an in-flight allowance, not exactly K.
+  // grant, try_lock) of the flat/striped storages: may this arrival acquire
+  // without a ticket? Charges stats.diverted and emits kBarrierDivert when
+  // it says no. Lock-free; an arrival that passed the check before the
+  // barrier rose may still announce (the "doorway race"), which is why the
+  // certified bypass bound is K plus an in-flight allowance, not exactly K.
+  // (Packed storage folds this check into packed_try_acquire.)
   bool fast_path_admitted(int partition, AcquireStats& stats, int mode);
-  // Takes a ticket and raises the barrier per policy. Called once per
-  // contended acquisition, under the partition's internal lock.
-  std::uint64_t enqueue_waiter(int partition);
+  // Takes a ticket and raises the barrier per policy (in the GrantSlot or,
+  // for Packed, in the word's barrier bits). Called once per contended
+  // acquisition, under the partition's internal lock.
+  template <class Storage>
+  std::uint64_t enqueue_waiter(Storage& s, int partition);
   // May the holder of `ticket` attempt the arbitrated grant now? Lock-free
   // and monotone (see GrantSlot).
   bool waiter_eligible(int partition, std::uint64_t ticket) const;
   // Bookkeeping after a ticketed grant, under the internal lock: advances
   // the cursor, re-arms or drops the barrier, and returns whether the caller
   // must wake the partition so the next eligible waiter re-validates.
-  bool grant_complete(int partition);
+  template <class Storage>
+  bool grant_complete(Storage& s, int partition);
+  // Wake every waiter of `partition`: ParkingLot unpark, or the futex-word
+  // clear-waiters-bit + notify protocol for packed words.
+  template <class Storage>
+  void wake_partition(Storage& s, int partition);
 
-  bool conflicts_clear(int mode) const { return conflicts_clear_impl(mode, 0); }
-  // Validation once our own announcement is already counted: `self_allow`
-  // holds of `mode` itself are ours, not a conflict (a self-conflicting mode
-  // appears in its own conflicts_of row). The optimistic tier validates with
-  // seq_cst loads (free on x86) to close the Dekker argument against the
-  // seq_cst announce RMW.
-  bool conflicts_clear_impl(
-      int mode, std::uint32_t self_allow,
-      std::memory_order order = std::memory_order_acquire) const;
-
-  // The optimistic announce/validate/retract step (tiers T1 and T2 when
-  // optimistic_acquire is on). Returns true when `mode` was acquired; on
-  // failure the announcement has been retracted and, if it might have parked
-  // a conflicting waiter, the partition rewoken.
-  bool announce_validate(int mode, int partition, AcquireStats& stats);
-
-  // Logical counter ops that hide the striped/flat representation.
   std::uint32_t holder_count(int mode, std::memory_order order) const;
-  void increment(int mode,
-                 std::memory_order order = std::memory_order_relaxed);
-  // Releases one hold; true when the caller must wake the partition (the
-  // hold released may have been the mode's last and the policy can park).
-  bool release_one(int mode);
-
-  // The wait loop: spins, yields or parks per the table's wait policy until
-  // the mode is acquired. Split out so the uncontended path stays small.
-  void lock_contended(int mode, int partition, util::Spinlock& internal,
-                      AcquireStats& stats, const LockSiteArgs* args);
-
-  std::atomic<std::uint32_t>& counter(int mode) {
-    return *reinterpret_cast<std::atomic<std::uint32_t>*>(
-        counters_.get() + static_cast<std::size_t>(mode) * stride_);
-  }
-  const std::atomic<std::uint32_t>& counter(int mode) const {
-    return *reinterpret_cast<const std::atomic<std::uint32_t>*>(
-        counters_.get() + static_cast<std::size_t>(mode) * stride_);
-  }
 
   const ModeTable* table_;
-  // Counter storage with configurable stride: sizeof(atomic) packed, or a
-  // full cache line per counter when ModeTableConfig::pad_counters is set.
-  // Striped modes keep their flat slot (it stays 0 and doubles as the mode's
-  // stable identity for DCT schedule points) but count holds in bank_.
-  std::size_t stride_;
-  std::unique_ptr<std::byte[]> counters_;
-  // striped_row_[mode] is the mode's row in bank_, or -1 for flat modes.
-  std::vector<std::int32_t> striped_row_;
-  std::unique_ptr<util::StripedCounterBank> bank_;
+  StorageKind storage_kind_;
+  StorageVariant storage_;
   std::unique_ptr<util::Spinlock[]> partition_locks_;
-  runtime::ParkingLot parking_;
+  // Null only for Packed storage under the futex-word policy, where waiters
+  // sleep on the lock word itself and the per-partition slots would be dead
+  // weight at "millions of instances" scale.
+  std::unique_ptr<runtime::ParkingLot> parking_;
   runtime::WaitPolicyKind policy_;
   std::uint32_t spin_limit_;
   // False under SpinYield: unlock skips the wakeup fence entirely, keeping
@@ -274,10 +337,18 @@ class LockMechanism {
   bool can_park_;
   bool optimistic_;
   bool trace_;
+  // Packed + futex-word: waiters sleep on the word (parking_ is null).
+  bool futex_word_;
+  // HTM elision tier armed (see elision_enabled()).
+  bool elide_;
   runtime::GrantPolicyKind grant_policy_;
   std::uint32_t bypass_bound_;
   // One slot per conflict partition; nullptr under the Free policy.
   std::unique_ptr<GrantSlot[]> grant_slots_;
+  // Elision abort backoff: aborts in the current streak, and how many
+  // acquisitions must pass before elision is attempted again.
+  std::atomic<std::uint32_t> elision_aborts_{0};
+  std::atomic<std::uint32_t> elision_pause_{0};
 #if defined(SEMLOCK_OBS)
   // One seqlock-protected last-acquirer record per mode, allocated only when
   // this mechanism traces (nullptr otherwise). Written at every grant that

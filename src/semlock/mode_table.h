@@ -18,6 +18,8 @@
 #include "runtime/grant_policy.h"
 #include "runtime/wait_policy.h"
 #include "semlock/mode.h"
+#include "semlock/packed_layout.h"
+#include "semlock/storage_policy.h"
 
 namespace semlock {
 
@@ -104,6 +106,18 @@ struct ModeTableConfig {
   // 64 B * counter_stripes per striped mode per instance.
   bool stripe_self_commuting = default_stripe_self_commuting();
   int counter_stripes = default_counter_stripes();
+  // Which counter representation mechanisms built over this table use
+  // (semlock/storage_policy.h): Flat (per-mode atomics), Striped (Flat plus
+  // the striping above — the historical default; whether striping actually
+  // engages is still stripe_self_commuting/counter_stripes), or Packed (the
+  // whole table in one 64-bit word, falling back to Flat when the table has
+  // more than kMaxPackedModes modes). SEMLOCK_STORAGE overrides the default.
+  StorageKind storage = default_storage();
+  // Arm the HTM lock-elision tier above the optimistic path for Packed
+  // mechanisms (docs/FAST_PATH.md §8). Requires the SEMLOCK_ELISION build
+  // option and runtime RTM/TME support — without them the flag is inert.
+  // SEMLOCK_ELISION=0|1 sets the default; off otherwise.
+  bool elide_locks = default_elide_locks();
   // Emit binary trace events and conflict/latency metrics from mechanisms
   // built over this table (src/obs, docs/OBSERVABILITY.md). Cached by the
   // LockMechanism at construction; defaults to the ambient trace switch so
@@ -164,6 +178,14 @@ class ModeTable {
     return conflicts_[static_cast<std::size_t>(mode)];
   }
 
+  // The packed-word bit layout, or nullptr when this table does not fit in
+  // one 64-bit word (more than kMaxPackedModes canonical modes). Computed
+  // unconditionally by compile() — it is a few hundred bytes per table —
+  // so mechanisms can pack whenever their config asks for it.
+  const PackedLayout* packed_layout() const {
+    return packed_ok_ ? &packed_ : nullptr;
+  }
+
   // Human-readable dump of modes, F_c and partitions (used by examples and
   // golden tests; reproduces Fig. 19 for the paper's Set example).
   std::string describe() const;
@@ -190,6 +212,8 @@ class ModeTable {
   std::vector<std::int32_t> partition_;
   int num_partitions_ = 0;
   std::vector<std::vector<std::int32_t>> conflicts_;
+  PackedLayout packed_;
+  bool packed_ok_ = false;
 };
 
 }  // namespace semlock

@@ -1,0 +1,88 @@
+// Flat counter storage: one std::atomic<uint32_t> per canonical mode, the
+// paper's Fig. 20 layout (see storage_policy.h for the policy overview).
+//
+// The counters live in a raw byte slab so the stride is configurable —
+// sizeof(atomic) packed, or a full cache line per counter when
+// ModeTableConfig::pad_counters is set. Each slot is created by placement-
+// new in the constructor and every access goes through std::launder: the
+// placement-new ends the lifetime of the std::byte array elements and
+// starts an atomic's, and the slab pointer alone does not formally point to
+// that new object — launder reclaims a usable pointer (this was the
+// UB-adjacent reinterpret_cast called out by ISSUE 8). std::atomic<uint32_t>
+// is trivially destructible, so the destructor has nothing to do.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "semlock/mode_table.h"
+#include "util/align.h"
+
+namespace semlock {
+
+class FlatStorage {
+ public:
+  static constexpr bool kPacked = false;
+
+  explicit FlatStorage(const ModeTable& table)
+      : stride_(table.config().pad_counters
+                    ? util::kCacheLineSize
+                    : sizeof(std::atomic<std::uint32_t>)),
+        num_modes_(table.num_modes()),
+        counters_(new std::byte[static_cast<std::size_t>(table.num_modes()) *
+                                stride_]) {
+    for (int m = 0; m < num_modes_; ++m) {
+      new (counters_.get() + static_cast<std::size_t>(m) * stride_)
+          std::atomic<std::uint32_t>(0);
+    }
+  }
+
+  FlatStorage(FlatStorage&&) noexcept = default;
+
+  std::atomic<std::uint32_t>& counter(int mode) {
+    return *std::launder(reinterpret_cast<std::atomic<std::uint32_t>*>(
+        counters_.get() + static_cast<std::size_t>(mode) * stride_));
+  }
+  const std::atomic<std::uint32_t>& counter(int mode) const {
+    return *std::launder(reinterpret_cast<const std::atomic<std::uint32_t>*>(
+        counters_.get() + static_cast<std::size_t>(mode) * stride_));
+  }
+
+  std::uint32_t holder_count(int mode, std::memory_order order) const {
+    return counter(mode).load(order);
+  }
+
+  void increment(int mode, std::memory_order order) {
+    counter(mode).fetch_add(1, order);
+  }
+
+  // Releases one hold; true when the caller must wake the partition (this
+  // was the mode's last hold and the wait policy can park).
+  bool release_one(int mode, bool can_park) {
+    const std::uint32_t prev =
+        counter(mode).fetch_sub(1, std::memory_order_release);
+    return can_park && prev == 1;
+  }
+
+  // Stable identity of the mode's synchronization object for DCT schedule
+  // points.
+  const void* dct_id(int mode) const { return &counter(mode); }
+
+  bool mode_striped(int) const { return false; }
+  std::uint32_t stripes() const { return 1; }
+
+  // Heap bytes owned by this storage (footprint_bytes accounting).
+  std::size_t heap_bytes() const {
+    return static_cast<std::size_t>(num_modes_) * stride_;
+  }
+
+ private:
+  std::size_t stride_;
+  int num_modes_;
+  std::unique_ptr<std::byte[]> counters_;
+};
+
+}  // namespace semlock

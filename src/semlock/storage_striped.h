@@ -1,0 +1,108 @@
+// Striped counter storage: Flat plus PR 3's BRAVO/SNZI-style striped banks
+// for the self-commuting modes (see storage_policy.h for the policy
+// overview, util/striped_counter.h for the bank).
+//
+// Self-commuting modes are exactly the modes whose holders never exclude
+// each other, so their counter line is pure mechanism overhead worth
+// de-sharing. Self-conflicting modes stay flat — their holders serialize
+// anyway, and the flat prev==1 release test is cheaper than a stripe sum.
+// Striped modes keep their flat slot (it stays 0 and doubles as the mode's
+// stable identity for DCT schedule points) but count holds in the bank.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "semlock/mode_table.h"
+#include "semlock/storage_flat.h"
+#include "util/striped_counter.h"
+
+namespace semlock {
+
+class StripedStorage {
+ public:
+  static constexpr bool kPacked = false;
+
+  explicit StripedStorage(const ModeTable& table)
+      : flat_(table),
+        striped_row_(static_cast<std::size_t>(table.num_modes()), -1) {
+    if (table.config().stripe_self_commuting &&
+        table.config().counter_stripes > 0) {
+      std::uint32_t rows = 0;
+      for (int m = 0; m < table.num_modes(); ++m) {
+        if (table.commutes(m, m)) {
+          striped_row_[static_cast<std::size_t>(m)] =
+              static_cast<std::int32_t>(rows++);
+        }
+      }
+      if (rows > 0) {
+        bank_ = std::make_unique<util::StripedCounterBank>(
+            rows,
+            static_cast<std::uint32_t>(table.config().counter_stripes));
+      }
+    }
+  }
+
+  StripedStorage(StripedStorage&&) noexcept = default;
+
+  std::uint32_t holder_count(int mode, std::memory_order order) const {
+    const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+    if (row >= 0) return bank_->sum(static_cast<std::uint32_t>(row), order);
+    return flat_.holder_count(mode, order);
+  }
+
+  void increment(int mode, std::memory_order order) {
+    const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+    if (row >= 0) {
+      bank_->local_slot(static_cast<std::uint32_t>(row)).fetch_add(1, order);
+    } else {
+      flat_.increment(mode, order);
+    }
+  }
+
+  bool release_one(int mode, bool can_park) {
+    const std::int32_t row = striped_row_[static_cast<std::size_t>(mode)];
+    if (row < 0) return flat_.release_one(mode, can_park);
+    if (!can_park) {
+      // Nobody can be parked: skip the last-hold test and keep the release
+      // a single RMW, mirroring the flat path under SpinYield.
+      bank_->local_slot(static_cast<std::uint32_t>(row))
+          .fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    // The striped last-hold test: seq_cst decrement, then seq_cst sum.
+    // Against a concurrent releaser on another stripe this is Dekker: in
+    // the seq_cst total order one of the two decrements comes second, and
+    // the sum of that releaser sees both, so at least one of two racing
+    // final releasers observes the zero and wakes the partition.
+    bank_->local_slot(static_cast<std::uint32_t>(row))
+        .fetch_sub(1, std::memory_order_seq_cst);
+    return bank_->sum(static_cast<std::uint32_t>(row),
+                      std::memory_order_seq_cst) == 0;
+  }
+
+  const void* dct_id(int mode) const { return flat_.dct_id(mode); }
+
+  bool mode_striped(int mode) const {
+    return striped_row_[static_cast<std::size_t>(mode)] >= 0;
+  }
+  std::uint32_t stripes() const { return bank_ ? bank_->stripes() : 1; }
+
+  std::size_t heap_bytes() const {
+    std::size_t total = flat_.heap_bytes();
+    total += striped_row_.capacity() * sizeof(std::int32_t);
+    if (bank_) total += sizeof(util::StripedCounterBank) + bank_->heap_bytes();
+    return total;
+  }
+
+ private:
+  FlatStorage flat_;
+  // striped_row_[mode] is the mode's row in bank_, or -1 for flat modes.
+  std::vector<std::int32_t> striped_row_;
+  std::unique_ptr<util::StripedCounterBank> bank_;
+};
+
+}  // namespace semlock

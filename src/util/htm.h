@@ -1,0 +1,96 @@
+// Hardware-transactional-memory primitives for the optional lock-elision
+// tier (docs/FAST_PATH.md §8).
+//
+// Compiled in only under the SEMLOCK_ELISION CMake option AND a toolchain
+// that exposes a HTM ISA: x86 RTM (`-mrtm`, __RTM__) or ARM TME
+// (__ARM_FEATURE_TME). Everywhere else every function is a constexpr stub
+// the optimizer deletes, so the elision code in lock_mechanism.cpp costs
+// nothing on toolchains without HTM — the dr-m/atomic_sync
+// transactional_lock_guard discipline.
+//
+// Conventions (normalized across RTM/TME):
+//   htm_compiled          — true when a real HTM backend is compiled in.
+//   htm_supported()       — runtime CPU support (cached CPUID/ID register
+//                           probe); always check before htm_begin.
+//   htm_begin()           — returns kHtmStarted when the transaction is
+//                           live; any other value is an abort status (also
+//                           the resume value when the transaction aborts
+//                           later — execution rewinds to the htm_begin call
+//                           with all transactional writes rolled back).
+//   htm_retryable(code)   — the abort was transient (conflict/capacity
+//                           hint), worth retrying within the caller's
+//                           bounded budget.
+//   htm_abort()           — explicitly abort the live transaction (e.g. a
+//                           lock word observed busy inside the read set).
+//   htm_end()             — commit.
+#pragma once
+
+#if defined(SEMLOCK_ELISION) && defined(__RTM__)
+#define SEMLOCK_HTM_RTM 1
+#include <cpuid.h>
+#include <immintrin.h>
+#elif defined(SEMLOCK_ELISION) && defined(__ARM_FEATURE_TME)
+#define SEMLOCK_HTM_TME 1
+#include <arm_acle.h>
+#endif
+
+namespace semlock::util {
+
+#if defined(SEMLOCK_HTM_RTM)
+
+inline constexpr bool htm_compiled = true;
+inline constexpr unsigned kHtmStarted = _XBEGIN_STARTED;
+
+inline bool htm_supported() noexcept {
+  // CPUID leaf 7 subleaf 0, EBX bit 11 = RTM. Cached: the probe is a
+  // serializing instruction.
+  static const bool supported = [] {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+    return (ebx & (1u << 11)) != 0;
+  }();
+  return supported;
+}
+
+inline unsigned htm_begin() noexcept { return _xbegin(); }
+inline void htm_end() noexcept { _xend(); }
+inline void htm_abort() noexcept { _xabort(0xff); }
+inline bool htm_retryable(unsigned code) noexcept {
+  return (code & _XABORT_RETRY) != 0;
+}
+
+#elif defined(SEMLOCK_HTM_TME)
+
+inline constexpr bool htm_compiled = true;
+// __tstart returns 0 when the transaction starts, a nonzero status on
+// abort — the opposite polarity of RTM, normalized by this constant.
+inline constexpr unsigned kHtmStarted = 0u;
+
+inline bool htm_supported() noexcept {
+  // __ARM_FEATURE_TME is only defined when the target arch guarantees TME.
+  return true;
+}
+
+inline unsigned htm_begin() noexcept {
+  return static_cast<unsigned>(__tstart());
+}
+inline void htm_end() noexcept { __tcommit(); }
+inline void htm_abort() noexcept { __tcancel(0xff); }
+inline bool htm_retryable(unsigned code) noexcept {
+  return (code & _TMFAILURE_RTRY) != 0;
+}
+
+#else  // no HTM backend compiled
+
+inline constexpr bool htm_compiled = false;
+inline constexpr unsigned kHtmStarted = 0xFFFFFFFFu;
+
+inline constexpr bool htm_supported() noexcept { return false; }
+inline unsigned htm_begin() noexcept { return 0; }
+inline void htm_end() noexcept {}
+inline void htm_abort() noexcept {}
+inline constexpr bool htm_retryable(unsigned) noexcept { return false; }
+
+#endif
+
+}  // namespace semlock::util

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -66,6 +67,11 @@ class StripedCounterBank {
 
   std::uint32_t rows() const noexcept { return rows_; }
   std::uint32_t stripes() const noexcept { return stripes_; }
+
+  // Bytes of the heap slab (per-instance footprint accounting).
+  std::size_t heap_bytes() const noexcept {
+    return static_cast<std::size_t>(rows_) * stripes_ * sizeof(Slot);
+  }
 
   // The calling thread's stripe of row `row`. All RMWs a thread performs on
   // a row hit this one slot; the caller picks the memory order.

@@ -196,23 +196,25 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
-// --- ISSUE 3 fast-path matrix: optimistic × striping × wait policy ----------
+// --- fast-path matrix: optimistic × storage policy × wait policy ------------
 // The acquire tiers and counter representations must be correct under every
 // wait policy, including the parked ones whose wakeup handshake the
-// optimistic retract path replays. Kept separate from the main matrix (which
-// varies the compilation knobs) so the cross product stays small.
+// optimistic retract path replays and the futex-word policy that sleeps on
+// the packed word itself. Kept separate from the main matrix (which varies
+// the compilation knobs) so the cross product stays small.
 
-// (optimistic_acquire, stripe_self_commuting, wait_policy)
-using FastPathConfig = std::tuple<bool, bool, runtime::WaitPolicyKind>;
+// (optimistic_acquire, storage, wait_policy)
+using FastPathConfig = std::tuple<bool, StorageKind, runtime::WaitPolicyKind>;
 
 class FastPathMatrix : public ::testing::TestWithParam<FastPathConfig> {
  protected:
   ModeTableConfig make_config() const {
-    const auto [optimistic, striped, policy] = GetParam();
+    const auto [optimistic, storage, policy] = GetParam();
     ModeTableConfig cfg;
     cfg.abstract_values = 8;
     cfg.optimistic_acquire = optimistic;
-    cfg.stripe_self_commuting = striped;
+    cfg.storage = storage;
+    cfg.stripe_self_commuting = storage == StorageKind::Striped;
     cfg.counter_stripes = 4;
     cfg.wait_policy = policy;
     cfg.park_spin_limit = 4;  // reach the parked tier quickly
@@ -302,13 +304,18 @@ INSTANTIATE_TEST_SUITE_P(
     FastPathConfigs, FastPathMatrix,
     ::testing::Combine(
         ::testing::Bool(),  // optimistic_acquire
-        ::testing::Bool(),  // stripe_self_commuting
+        ::testing::Values(StorageKind::Flat, StorageKind::Striped,
+                          StorageKind::Packed),
         ::testing::Values(runtime::WaitPolicyKind::SpinYield,
                           runtime::WaitPolicyKind::SpinThenPark,
-                          runtime::WaitPolicyKind::AlwaysPark)),
+                          runtime::WaitPolicyKind::AlwaysPark,
+                          // Degrades to SpinThenPark on flat/striped;
+                          // exercises the word sleep on packed.
+                          runtime::WaitPolicyKind::FutexWord)),
     [](const auto& pinfo) {
       std::string name = std::get<0>(pinfo.param) ? "opt" : "noopt";
-      name += std::get<1>(pinfo.param) ? "_striped" : "_flat";
+      name += "_";
+      name += storage_kind_name(std::get<1>(pinfo.param));
       switch (std::get<2>(pinfo.param)) {
         case runtime::WaitPolicyKind::SpinYield:
           name += "_spinyield";
@@ -318,6 +325,9 @@ INSTANTIATE_TEST_SUITE_P(
           break;
         case runtime::WaitPolicyKind::AlwaysPark:
           name += "_alwayspark";
+          break;
+        case runtime::WaitPolicyKind::FutexWord:
+          name += "_futexword";
           break;
       }
       return name;

@@ -408,6 +408,119 @@ TEST_P(DctStarvationFairPolicy, DroppedBarrierCheckCaughtWithinBudget) {
       << result.failure;
 }
 
+// --- the packed word's compiled conflict-mask check ------------------------
+
+// Reverts the drop-packed-mask-check fault injection on scope exit.
+struct PackedMaskMutationGuard {
+  explicit PackedMaskMutationGuard(bool on) {
+    dct::set_mutation_drop_packed_mask_check(on);
+  }
+  ~PackedMaskMutationGuard() {
+    dct::set_mutation_drop_packed_mask_check(false);
+  }
+};
+
+// The write-skew workload of dct_schedule_test's serializability section,
+// pinned to Packed storage: two registers, each guarded by a packed
+// mechanism's self-conflicting write mode, two transactions running 2PL with
+// a fixed A-before-B order. The explicit sched_point between the read and
+// the write is the interleaving the locks must forbid: with the conflict
+// mask intact the second transaction blocks at its first lock; with the
+// mask dropped (the mutation) both CAS straight in, the scheduler splits
+// the transactions at "txn.mid", and the recorded history is the classic
+// 2-cycle the serializability oracle must reject.
+dct::Workload make_packed_skew_workload() {
+  struct State {
+    ModeTable table;
+    LockMechanism lock_a;
+    LockMechanism lock_b;
+    explicit State(ModeTableConfig c)
+        : table(ModeTable::compile(
+              commute::register_spec(),
+              {SymbolicSet({op("write", {commute::star()}),
+                            op("readCell")})},
+              c)),
+          lock_a(table),
+          lock_b(table) {}
+  };
+  ModeTableConfig c;
+  c.abstract_values = 1;
+  c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+  c.storage = StorageKind::Packed;
+  auto state = std::make_shared<State>(c);
+  auto recorder = std::make_shared<HistoryRecorder>();
+  const int mode = state->table.resolve_constant(0);
+  const commute::AdtSpec& reg = commute::register_spec();
+  const int read = reg.method_index("readCell");
+  const int write = reg.method_index("write");
+  const char* a = "A";
+  const char* b = "B";
+
+  auto txn_body = [state, recorder, mode, &reg, read, write, a,
+                   b](const char* read_reg, const char* write_reg) {
+    const std::uint64_t txn = recorder->begin_txn();
+    state->lock_a.lock(mode);
+    state->lock_b.lock(mode);
+    recorder->record(txn, read_reg, &reg, read, {});
+    dct::sched_point("txn.mid", recorder.get());
+    recorder->record(txn, write_reg, &reg, write, {commute::Value{1}});
+    state->lock_b.unlock(mode);
+    state->lock_a.unlock(mode);
+  };
+  dct::Workload w;
+  w.threads.push_back([txn_body, a, b] { txn_body(a, b); });
+  w.threads.push_back([txn_body, a, b] { txn_body(b, a); });
+  w.check = dct::serializability_oracle(recorder);
+  return w;
+}
+
+TEST(DctPackedMaskMutation, DroppedMaskCheckCaughtWithinBudget) {
+  // Sanity first: the workload really runs on packed storage (a table this
+  // small always has a packed layout).
+  {
+    ModeTableConfig c;
+    c.abstract_values = 1;
+    c.storage = StorageKind::Packed;
+    const auto table = ModeTable::compile(
+        commute::register_spec(),
+        {SymbolicSet({op("write", {commute::star()}), op("readCell")})}, c);
+    ASSERT_NE(table.packed_layout(), nullptr);
+    LockMechanism probe(table);
+    ASSERT_EQ(probe.storage(), StorageKind::Packed);
+  }
+  PackedMaskMutationGuard mutation(true);
+  const dct::ExploreOptions opts = budget_options();
+  const dct::ExploreResult result =
+      dct::explore(opts, make_packed_skew_workload);
+
+  ASSERT_FALSE(result.ok)
+      << "drop-packed-mask-check mutation survived " << kScheduleBudget
+      << " schedules undetected";
+  std::cout << "[ detector ] packed-mask mutation caught after "
+            << result.schedules_run << " schedules (seed "
+            << result.failing_seed << ")\n";
+  // The damage is a completed but non-serializable history, not a hang.
+  EXPECT_EQ(result.schedule.outcome,
+            dct::ScheduleResult::Outcome::Completed);
+  EXPECT_NE(result.oracle_failure.find("NOT serializable"),
+            std::string::npos)
+      << result.failure;
+  EXPECT_NE(result.failure.find("replay:"), std::string::npos);
+
+  // Deterministic replay of the printed seed: same oracle verdict.
+  const dct::ExploreResult again =
+      dct::replay(opts.sched, result.failing_seed, make_packed_skew_workload);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.oracle_failure, result.oracle_failure);
+}
+
+TEST(DctPackedMaskMutation, StockPackedProtocolSurvivesSameBudgetClean) {
+  const dct::ExploreResult result =
+      dct::explore(budget_options(), make_packed_skew_workload);
+  EXPECT_TRUE(result.ok) << result.to_string();
+  EXPECT_EQ(result.schedules_run, kScheduleBudget);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllFairPolicies, DctStarvationFairPolicy,
     ::testing::Values(runtime::GrantPolicyKind::Fifo,

@@ -173,15 +173,22 @@ TEST(DctSchedule, SerializabilityOracleFlagsNonSerializableHistory) {
   EXPECT_NE(result.failure.find("replay:"), std::string::npos);
 }
 
-TEST(DctSchedule, LockedHistoryPassesSerializabilityOracle) {
+// Parametrized over the counter representation: 2PL histories must verify
+// serializable no matter how the mechanism counts holds (flat atomics,
+// striped banks, or the packed word whose conflict check is a compiled
+// mask).
+class DctSerializability : public ::testing::TestWithParam<StorageKind> {};
+
+TEST_P(DctSerializability, LockedHistoryPassesSerializabilityOracle) {
   // Same two-register shape, but every read/write pair holds the register's
   // write mode for the whole transaction — the explorer must find no
   // schedule whose history the oracle rejects.
+  const StorageKind storage = GetParam();
   dct::ExploreOptions opts;
   opts.sched.strategy = dct::StrategyKind::Random;
   opts.base_seed = 7;
   opts.schedules = 100;
-  const dct::ExploreResult result = dct::explore(opts, [] {
+  const dct::ExploreResult result = dct::explore(opts, [storage] {
     struct State {
       ModeTable table;
       LockMechanism lock_a;
@@ -198,6 +205,9 @@ TEST(DctSchedule, LockedHistoryPassesSerializabilityOracle) {
     ModeTableConfig c;
     c.abstract_values = 1;
     c.wait_policy = runtime::WaitPolicyKind::AlwaysPark;
+    c.storage = storage;
+    c.stripe_self_commuting = storage == StorageKind::Striped;
+    c.counter_stripes = 4;
     auto state = std::make_shared<State>(c);
     auto recorder = std::make_shared<HistoryRecorder>();
     const int mode = state->table.resolve_constant(0);
@@ -227,6 +237,14 @@ TEST(DctSchedule, LockedHistoryPassesSerializabilityOracle) {
   });
   EXPECT_TRUE(result.ok) << result.to_string();
 }
+
+INSTANTIATE_TEST_SUITE_P(AllCounterRepresentations, DctSerializability,
+                         ::testing::Values(StorageKind::Flat,
+                                           StorageKind::Striped,
+                                           StorageKind::Packed),
+                         [](const auto& pinfo) {
+                           return std::string(storage_kind_name(pinfo.param));
+                         });
 
 }  // namespace
 }  // namespace semlock

@@ -316,6 +316,62 @@ TEST(FastPathEnv, ConfigDefaultsFollowProcessEnvCache) {
   EXPECT_EQ(cfg.stripe_self_commuting, default_stripe_self_commuting());
   EXPECT_EQ(cfg.counter_stripes, default_counter_stripes());
   EXPECT_GE(cfg.counter_stripes, 1);
+  EXPECT_EQ(cfg.storage, default_storage());
+  EXPECT_EQ(cfg.elide_locks, default_elide_locks());
+}
+
+TEST(StorageEnv, ParsesEveryRecognizedName) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(storage_from_env_text("flat"), StorageKind::Flat);
+    EXPECT_EQ(storage_from_env_text("striped"), StorageKind::Striped);
+    EXPECT_EQ(storage_from_env_text("packed"), StorageKind::Packed);
+    // Unset is the historical default (striped), silently.
+    EXPECT_EQ(storage_from_env_text(nullptr), StorageKind::Striped);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(StorageEnv, MalformedValuesWarnAndFallBackToStriped) {
+  for (const char* bad : {"Packed", "word", "packed ", "1", ""}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(storage_from_env_text(bad), StorageKind::Striped)
+          << "value: " << bad;
+    });
+    EXPECT_NE(err.find("SEMLOCK_STORAGE=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("striped"), std::string::npos) << err;
+  }
+}
+
+TEST(StorageEnv, NamesRoundTripThroughParse) {
+  for (const StorageKind kind :
+       {StorageKind::Flat, StorageKind::Striped, StorageKind::Packed}) {
+    const auto parsed = parse_storage_kind(storage_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << storage_kind_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(ElisionEnv, AcceptsExactlyZeroAndOne) {
+  const std::string err = captured_stderr([] {
+    EXPECT_TRUE(elision_from_env_text("1"));
+    EXPECT_FALSE(elision_from_env_text("0"));
+    // Unset: elision off, silently — it is strictly opt-in.
+    EXPECT_FALSE(elision_from_env_text(nullptr));
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(ElisionEnv, MalformedValuesWarnAndStayOff) {
+  for (const char* bad : {"true", "yes", "2", "-1", "01", "1x", ""}) {
+    const std::string err = captured_stderr(
+        [bad] { EXPECT_FALSE(elision_from_env_text(bad)); });
+    EXPECT_NE(err.find("SEMLOCK_ELISION=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+    EXPECT_NE(err.find("elision off"), std::string::npos) << err;
+  }
 }
 
 #if defined(SEMLOCK_OBS)

@@ -276,6 +276,10 @@ ModeTable make_readwrite_table(bool optimistic, bool striped, int stripes) {
   ModeTableConfig c;
   c.abstract_values = 4;
   c.optimistic_acquire = optimistic;
+  // Pinned, not inherited: these tests assert representation-specific
+  // behavior (stripe selection, retract accounting), so a SEMLOCK_STORAGE
+  // override must not swap the storage out from under them.
+  c.storage = striped ? StorageKind::Striped : StorageKind::Flat;
   c.stripe_self_commuting = striped;
   c.counter_stripes = stripes;
   return ModeTable::compile(
@@ -381,7 +385,8 @@ TEST(OptimisticAcquire, RefusedTryLockRetracts) {
   ModeTableConfig c;
   c.abstract_values = 4;
   c.optimistic_acquire = true;
-  c.stripe_self_commuting = true;
+  c.storage = StorageKind::Striped;  // retract accounting is a flat/striped
+  c.stripe_self_commuting = true;    // notion; packed fuses check+claim
   c.counter_stripes = 8;
   c.fast_path_precheck = false;
   const auto t = ModeTable::compile(

@@ -17,16 +17,17 @@
 namespace semlock::synth {
 namespace {
 
-// Parametrized over the holder-counter representation: flat atomic counters
-// vs striped banks for self-commuting modes (readCell self-commutes, so its
-// counter really is striped in the second variant). Serializability must not
-// depend on how holds are counted.
-class Serializability : public ::testing::TestWithParam<bool> {
+// Parametrized over the holder-counter representation: flat atomic counters,
+// striped banks for self-commuting modes (readCell self-commutes, so its
+// counter really is striped in that variant), and the packed single-word
+// table. Serializability must not depend on how holds are counted.
+class Serializability : public ::testing::TestWithParam<StorageKind> {
  protected:
   SynthesisOptions options() const {
     SynthesisOptions opts;
     opts.mode_config.abstract_values = 4;
-    opts.mode_config.stripe_self_commuting = GetParam();
+    opts.mode_config.storage = GetParam();
+    opts.mode_config.stripe_self_commuting = GetParam() == StorageKind::Striped;
     opts.mode_config.counter_stripes = 4;
     return opts;
   }
@@ -197,11 +198,12 @@ TEST_P(Serializability, ConditionalMovePreservesInvariants) {
   EXPECT_EQ(total, kRegs * 100);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothCounterRepresentations, Serializability,
-                         ::testing::Bool(),
+INSTANTIATE_TEST_SUITE_P(AllCounterRepresentations, Serializability,
+                         ::testing::Values(StorageKind::Flat,
+                                           StorageKind::Striped,
+                                           StorageKind::Packed),
                          [](const auto& pinfo) {
-                           return pinfo.param ? std::string("striped")
-                                              : std::string("flat");
+                           return std::string(storage_kind_name(pinfo.param));
                          });
 
 }  // namespace

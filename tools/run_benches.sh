@@ -27,7 +27,9 @@ fi
 
 # Every artifact stamps hardware_threads; make the degenerate case impossible
 # to miss in the console too. With one hardware thread all scaling series
-# collapse and only single-thread rows mean anything.
+# collapse and only single-thread rows mean anything — the run stamp in the
+# artifacts carries the refusal (scaling_claims) so CI can reject any reading
+# of single-core numbers as the paper's scaling figures.
 HW_THREADS="$(nproc 2>/dev/null || echo 1)"
 if [[ "${HW_THREADS}" -eq 1 ]]; then
   echo "##############################################################" >&2
@@ -36,6 +38,9 @@ if [[ "${HW_THREADS}" -eq 1 ]]; then
   echo "## OVERSUBSCRIPTION, not scaling. Do not read them as the   ##" >&2
   echo "## paper's figures; see EXPERIMENTS.md section 0.           ##" >&2
   echo "##############################################################" >&2
+  export SEMLOCK_SCALING_CLAIMS="refused-single-core"
+else
+  export SEMLOCK_SCALING_CLAIMS="multi-core"
 fi
 
 echo "=== bench_fig21_computeifabsent -> BENCH_fig21.json ==="
@@ -56,8 +61,12 @@ echo "=== bench_server -> BENCH_server.json ==="
 echo "=== bench_fairness -> BENCH_fairness.json ==="
 "${BUILD_DIR}/bench/bench_fairness"
 
+echo "=== bench_footprint -> BENCH_footprint.json ==="
+"${BUILD_DIR}/bench/bench_footprint"
+
 DONE="BENCH_fig21.json BENCH_contention.json BENCH_oversubscription.json \
-BENCH_conflict_probability.json BENCH_server.json BENCH_fairness.json"
+BENCH_conflict_probability.json BENCH_server.json BENCH_fairness.json \
+BENCH_footprint.json"
 
 # Attribution sweep: built only when the observability layer is in
 # (SEMLOCK_OBS=ON, the default).
