@@ -32,6 +32,10 @@ enum class EventType : std::uint32_t {
                        // partition for the next eligible waiter
 };
 
+// One past the highest EventType value: the size of per-type counter
+// arrays (the live event tallies behind obs/window.h).
+inline constexpr std::size_t kNumEventTypes = 15;
+
 // Stable names for reports and the Chrome exporter.
 const char* event_name(EventType type) noexcept;
 

@@ -16,8 +16,11 @@ namespace semlock::obs {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
-// v3 appended max_wait_ns/diverted/handoffs to the AcquireStats block.
-constexpr std::uint32_t kVersion = 3;
+// v3 appended max_wait_ns/diverted/handoffs to the AcquireStats block; v4
+// appended the hold-time profiler block at the end of the metrics section.
+// The loader still accepts v3 (hold data reads back empty).
+constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kOldestSupportedVersion = 3;
 
 // --- little binary writer/reader over stdio ---------------------------------
 
@@ -122,9 +125,24 @@ void write_metrics(Writer& w, const MetricsSnapshot& m) {
     w.u64(s.instance);
     w.i32(s.mode);
   }
+  // v4: the hold-time profiler block.
+  for (std::size_t i = 0; i < util::Log2Histogram::kBuckets; ++i) {
+    w.u64(m.hold_hist.bucket(i));
+  }
+  w.u64(m.hold_hist.total());
+  w.u64(m.holds_paired);
+  w.u64(m.holds_unmatched);
+  w.u32(static_cast<std::uint32_t>(m.top_holds.size()));
+  for (const HoldSample& s : m.top_holds) {
+    w.u64(s.hold_ns);
+    w.u64(s.instance);
+    w.i32(s.mode);
+    w.u64(s.txn);
+    w.i32(s.site);
+  }
 }
 
-bool read_metrics(Reader& r, MetricsSnapshot& m) {
+bool read_metrics(Reader& r, MetricsSnapshot& m, std::uint32_t version) {
   AcquireStats& a = m.acquire_totals;
   a.acquisitions = r.u64();
   a.contended = r.u64();
@@ -167,6 +185,23 @@ bool read_metrics(Reader& r, MetricsSnapshot& m) {
     s.wait_ns = r.u64();
     s.instance = r.u64();
     s.mode = r.i32();
+  }
+  if (version >= 4) {
+    for (std::uint64_t& b : buckets) b = r.u64();
+    const std::uint64_t hold_total = r.u64();
+    m.hold_hist.load(buckets, hold_total);
+    m.holds_paired = r.u64();
+    m.holds_unmatched = r.u64();
+    const std::uint32_t holds = r.u32();
+    if (!r.ok || holds > (1u << 16)) return false;
+    m.top_holds.resize(holds);
+    for (HoldSample& s : m.top_holds) {
+      s.hold_ns = r.u64();
+      s.instance = r.u64();
+      s.mode = r.i32();
+      s.txn = r.u64();
+      s.site = r.i32();
+    }
   }
   return r.ok;
 }
@@ -217,7 +252,7 @@ bool load_dump_file(const std::string& path, TraceDump& out,
     return false;
   }
   const std::uint32_t version = r.u32();
-  if (version != kVersion) {
+  if (version < kOldestSupportedVersion || version > kVersion) {
     if (error != nullptr) {
       *error = path + ": unsupported dump version " + std::to_string(version);
     }
@@ -229,7 +264,7 @@ bool load_dump_file(const std::string& path, TraceDump& out,
     return false;
   }
   out = TraceDump{};
-  if (!read_metrics(r, out.metrics)) {
+  if (!read_metrics(r, out.metrics, version)) {
     if (error != nullptr) *error = path + ": corrupt metrics section";
     return false;
   }
@@ -493,6 +528,18 @@ std::string text_report(const TraceDump& dump) {
                   static_cast<double>(m.wait_hist.p999()) / 1e3);
     out += buf;
   }
+
+  if (m.holds_paired > 0 || m.holds_unmatched > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\ncritical-section holds (see `semlock-trace holds`): "
+                  "%" PRIu64 " paired, %" PRIu64 " unmatched\n"
+                  "  hold p50 < %.3f us, p99 < %.3f us, p999 < %.3f us\n",
+                  m.holds_paired, m.holds_unmatched,
+                  static_cast<double>(m.hold_hist.p50()) / 1e3,
+                  static_cast<double>(m.hold_hist.p99()) / 1e3,
+                  static_cast<double>(m.hold_hist.p999()) / 1e3);
+    out += buf;
+  }
   return out;
 }
 
@@ -582,6 +629,89 @@ std::string attribution_report(const TraceDump& dump) {
     out += '\n';
   }
   if (!any_instance) out += "  (none)\n";
+  return out;
+}
+
+// --- hold-time report -------------------------------------------------------
+
+std::uint64_t pair_holds_from_events(const TraceDump& dump) {
+  std::uint64_t paired = 0;
+  for (const ThreadTrace& t : dump.threads) {
+    // Open grants per thread; LIFO match on (instance, mode), mirroring
+    // close_hold_on_release in trace.cpp.
+    std::vector<const Event*> open;
+    for (const Event& e : t.events) {
+      switch (e.type) {
+        case EventType::kAcquireGrant:
+        case EventType::kOptimisticHit:
+          open.push_back(&e);
+          break;
+        case EventType::kRelease:
+          for (std::size_t i = open.size(); i > 0; --i) {
+            if (open[i - 1]->instance == e.instance &&
+                open[i - 1]->mode == e.mode) {
+              open.erase(open.begin() + static_cast<std::ptrdiff_t>(i - 1));
+              paired += 1;
+              break;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return paired;
+}
+
+std::string holds_report(const TraceDump& dump) {
+  char buf[256];
+  const MetricsSnapshot& m = dump.metrics;
+  std::string out = "critical-section hold report\n"
+                    "============================\n";
+
+  if (m.holds_paired == 0 && m.holds_unmatched == 0) {
+    out += "no holds recorded (tracing off, or a pre-v4 dump)\n";
+    return out;
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "paired grant->release spans: %" PRIu64
+                "   unmatched releases: %" PRIu64 "\n",
+                m.holds_paired, m.holds_unmatched);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "hold time: total %.3f ms, p50 < %.3f us, p99 < %.3f us, "
+                "p999 < %.3f us\n",
+                static_cast<double>(m.hold_hist.total()) / 1e6,
+                static_cast<double>(m.hold_hist.p50()) / 1e3,
+                static_cast<double>(m.hold_hist.p99()) / 1e3,
+                static_cast<double>(m.hold_hist.p999()) / 1e3);
+  out += buf;
+
+  // Cross-check against the retained events. Only exact when no ring
+  // wrapped (every grant/release still retained), so report it as evidence,
+  // not as an error.
+  const std::uint64_t event_pairs = pair_holds_from_events(dump);
+  std::snprintf(buf, sizeof(buf),
+                "event cross-check: %" PRIu64
+                " grant->release pairs in retained events%s\n",
+                event_pairs,
+                event_pairs == m.holds_paired
+                    ? " (matches paired count exactly)"
+                    : " (differs: rings wrapped or tracing toggled mid-run)");
+  out += buf;
+
+  out += "\nlongest holds:\n";
+  if (m.top_holds.empty()) out += "  (none recorded)\n";
+  for (const HoldSample& s : m.top_holds) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %.3f ms  instance 0x%" PRIx64
+                  "  mode %d  txn %" PRIu64 "  site %d\n",
+                  static_cast<double>(s.hold_ns) / 1e6, s.instance, s.mode,
+                  s.txn, s.site);
+    out += buf;
+  }
   return out;
 }
 

@@ -3,14 +3,17 @@
 // report. Shared by the runtime's exit dump (trace.cpp) and the
 // tools/semlock-trace CLI, so both ends of the format live in one place.
 //
-// Binary dump format v3 (native endianness; produced and consumed on the
+// Binary dump format v4 (native endianness; produced and consumed on the
 // same machine):
 //   char[8]  magic "SLTRACE1"
-//   u32      version (3)
+//   u32      version (4)
 //   u32      thread count
 //   metrics section (MetricsSnapshot, see read/write below; v2 added the
 //   per-instance AttrClass tallies and the per-mode-pair attribution cells,
-//   v3 appends max_wait_ns/diverted/handoffs to the acquire totals)
+//   v3 appends max_wait_ns/diverted/handoffs to the acquire totals, v4
+//   appends the hold-time profiler block — hold histogram, paired/unmatched
+//   counts, top holds — at the end of the section, so the loader still
+//   accepts v3 dumps and reads them with empty hold data)
 //   per thread: u32 tid, u32 live, u64 event count,
 //               count * kEventWords u64 words (oldest event first)
 #pragma once
@@ -50,6 +53,19 @@ std::string text_report(const TraceDump& dump);
 // split, then the per-mode-pair breakdown by AttrClass. Backing for the
 // `semlock-trace attribution` command.
 std::string attribution_report(const TraceDump& dump);
+
+// Hold-time report: the hold histogram's tail quantiles, the paired vs.
+// unmatched counts, the top-K longest holds with holder txn and lock site,
+// and an offline re-pairing of the retained grant/release events (LIFO per
+// thread, same algorithm as the online profiler) so a short schedule can
+// cross-check metrics.holds_paired exactly. Backing for `semlock-trace
+// holds`.
+std::string holds_report(const TraceDump& dump);
+
+// The offline half of that cross-check, exposed for tests: LIFO-pairs
+// grant→release per (instance, mode) within each thread's retained events
+// and returns the number of pairs formed.
+std::uint64_t pair_holds_from_events(const TraceDump& dump);
 
 // Minimal structural JSON validator (strings/escapes/nesting/commas) used by
 // `semlock-trace check` so CI can validate the Chrome export without a JSON

@@ -1,0 +1,452 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace semlock::obs {
+
+namespace {
+
+void append_escaped_label_value(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_escaped_help(std::string& out, const std::string& v) {
+  // HELP text escapes only backslash and newline.
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const PromBuilder::Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    append_escaped_label_value(out, labels[i].second);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_double(std::string& out, double v) {
+  // %.17g round-trips doubles; trims to the short form when exact.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the short form when it round-trips (counters are integers and
+  // should read as such).
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+  out += std::strtod(short_buf, nullptr) == v ? short_buf : buf;
+}
+
+}  // namespace
+
+void PromBuilder::help(const std::string& name, const std::string& text) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  append_escaped_help(out_, text);
+  out_ += '\n';
+}
+
+void PromBuilder::type(const std::string& name, const std::string& kind) {
+  out_ += "# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += kind;
+  out_ += '\n';
+}
+
+void PromBuilder::value(const std::string& name, const Labels& labels,
+                        double v) {
+  out_ += name;
+  append_labels(out_, labels);
+  out_ += ' ';
+  append_double(out_, v);
+  out_ += '\n';
+}
+
+void PromBuilder::value_u64(const std::string& name, const Labels& labels,
+                            std::uint64_t v) {
+  out_ += name;
+  append_labels(out_, labels);
+  out_ += ' ';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  out_ += '\n';
+}
+
+void PromBuilder::histogram(const std::string& name, const Labels& labels,
+                            const util::Log2Histogram& h) {
+  const std::size_t top = h.max_bucket();  // one past last occupied
+  std::uint64_t cumulative = 0;
+  Labels bucket_labels = labels;
+  bucket_labels.emplace_back("le", "");
+  for (std::size_t b = 0; b < top && b < 64; ++b) {
+    cumulative += h.bucket(b);
+    char le[32];
+    std::snprintf(le, sizeof(le), "%llu",
+                  static_cast<unsigned long long>((1ull << b) - 1));
+    bucket_labels.back().second = le;
+    value_u64(name + "_bucket", bucket_labels, cumulative);
+  }
+  bucket_labels.back().second = "+Inf";
+  value_u64(name + "_bucket", bucket_labels, h.count());
+  value_u64(name + "_sum", labels, h.total());
+  value_u64(name + "_count", labels, h.count());
+}
+
+std::string render_prometheus(
+    const MetricsSnapshot& snap,
+    const std::array<std::uint64_t, kNumEventTypes>& events,
+    const std::vector<WindowStats>& windows) {
+  PromBuilder b;
+
+  const std::uint64_t grants =
+      events[static_cast<std::size_t>(EventType::kAcquireGrant)] +
+      events[static_cast<std::size_t>(EventType::kOptimisticHit)];
+  b.help("semlock_acquisitions_total",
+         "Granted acquisitions (arbitrated grants + optimistic hits) of "
+         "traced mechanisms");
+  b.type("semlock_acquisitions_total", "counter");
+  b.value_u64("semlock_acquisitions_total", {}, grants);
+
+  b.help("semlock_events_total",
+         "Observability events emitted, by event type");
+  b.type("semlock_events_total", "counter");
+  for (std::size_t t = 1; t < kNumEventTypes; ++t) {
+    b.value_u64("semlock_events_total",
+                {{"type", event_name(static_cast<EventType>(t))}}, events[t]);
+  }
+
+  b.help("semlock_attributed_waits_total",
+         "Classified contended waits, by attribution class");
+  b.type("semlock_attributed_waits_total", "counter");
+  std::uint64_t attr_totals[kNumAttrClasses] = {};
+  for (const AttributionCell& cell : snap.attribution) {
+    for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+      attr_totals[c] += cell.counts[c];
+    }
+  }
+  for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+    b.value_u64("semlock_attributed_waits_total",
+                {{"attribution_class",
+                  attr_class_key(static_cast<AttrClass>(c))}},
+                attr_totals[c]);
+  }
+
+  b.help("semlock_blocked_by_total",
+         "Contended-wait samples where waiter_mode observed holder_mode "
+         "held (non-commuting pairs only)");
+  b.type("semlock_blocked_by_total", "counter");
+  for (const BlockedByCell& cell : snap.conflict_matrix) {
+    char waiter[16], holder[16];
+    std::snprintf(waiter, sizeof(waiter), "%d", cell.waiter);
+    std::snprintf(holder, sizeof(holder), "%d", cell.holder);
+    b.value_u64("semlock_blocked_by_total",
+                {{"waiter_mode", waiter}, {"holder_mode", holder}},
+                cell.count);
+  }
+
+  b.help("semlock_wait_ns", "Contended wait latency, nanoseconds");
+  b.type("semlock_wait_ns", "histogram");
+  b.histogram("semlock_wait_ns", {}, snap.wait_hist);
+
+  b.help("semlock_hold_ns",
+         "Critical-section hold time (grant to release), nanoseconds");
+  b.type("semlock_hold_ns", "histogram");
+  b.histogram("semlock_hold_ns", {}, snap.hold_hist);
+
+  b.help("semlock_holds_unmatched_total",
+         "Releases with no retained grant (tracing toggled mid-hold or "
+         "open-hold table overflow)");
+  b.type("semlock_holds_unmatched_total", "counter");
+  b.value_u64("semlock_holds_unmatched_total", {}, snap.holds_unmatched);
+
+  if (!windows.empty()) {
+    const WindowStats& w = windows.front();  // newest first
+    b.help("semlock_window_seq", "Rotation number of the newest window");
+    b.type("semlock_window_seq", "gauge");
+    b.value_u64("semlock_window_seq", {}, w.seq);
+
+    b.help("semlock_window_seconds", "Length of the newest window");
+    b.type("semlock_window_seconds", "gauge");
+    b.value("semlock_window_seconds", {}, w.seconds());
+
+    b.help("semlock_window_acquisitions_per_sec",
+           "Granted acquisitions per second over the newest window");
+    b.type("semlock_window_acquisitions_per_sec", "gauge");
+    b.value("semlock_window_acquisitions_per_sec", {},
+            w.acquisitions_per_sec());
+
+    b.help("semlock_window_false_conflict_pct",
+           "Abstraction-artifact share of classified waits in the newest "
+           "window, percent");
+    b.type("semlock_window_false_conflict_pct", "gauge");
+    b.value("semlock_window_false_conflict_pct", {}, w.false_conflict_pct());
+
+    b.help("semlock_window_attributed_waits",
+           "Classified waits in the newest window, by attribution class");
+    b.type("semlock_window_attributed_waits", "gauge");
+    for (std::size_t c = 0; c < kNumAttrClasses; ++c) {
+      b.value_u64("semlock_window_attributed_waits",
+                  {{"attribution_class",
+                    attr_class_key(static_cast<AttrClass>(c))}},
+                  w.attr_classes[c]);
+    }
+
+    b.help("semlock_window_wait_p99_ns",
+           "p99 contended wait in the newest window (log2 resolution)");
+    b.type("semlock_window_wait_p99_ns", "gauge");
+    b.value_u64("semlock_window_wait_p99_ns", {}, w.wait_hist.p99());
+
+    b.help("semlock_window_hold_p99_ns",
+           "p99 hold time in the newest window (log2 resolution)");
+    b.type("semlock_window_hold_p99_ns", "gauge");
+    b.value_u64("semlock_window_hold_p99_ns", {}, w.hold_hist.p99());
+
+    b.help("semlock_window_grant_diverts",
+           "Grant-policy barrier diverts in the newest window");
+    b.type("semlock_window_grant_diverts", "gauge");
+    b.value_u64("semlock_window_grant_diverts", {}, w.diverts);
+
+    b.help("semlock_window_grant_handoffs",
+           "Ticketed grant handoffs in the newest window");
+    b.type("semlock_window_grant_handoffs", "gauge");
+    b.value_u64("semlock_window_grant_handoffs", {}, w.handoffs);
+  }
+
+  return b.text();
+}
+
+// --- validator ---------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(const char* s, const char* end) {
+  if (s == end) return false;
+  if (!std::isalpha(static_cast<unsigned char>(*s)) && *s != '_' && *s != ':') {
+    return false;
+  }
+  for (++s; s != end; ++s) {
+    if (!std::isalnum(static_cast<unsigned char>(*s)) && *s != '_' &&
+        *s != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_label_name(const char* s, const char* end) {
+  if (s == end) return false;
+  if (!std::isalpha(static_cast<unsigned char>(*s)) && *s != '_') return false;
+  for (++s; s != end; ++s) {
+    if (!std::isalnum(static_cast<unsigned char>(*s)) && *s != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_sample_value(const std::string& tok) {
+  if (tok == "+Inf" || tok == "-Inf" || tok == "NaN" || tok == "Nan" ||
+      tok == "nan") {
+    return true;
+  }
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+struct FamilyState {
+  bool saw_help = false;
+  bool saw_type = false;
+  bool saw_sample = false;
+};
+
+// The metric family a series belongs to: histogram series drop the
+// _bucket/_sum/_count suffix so they attach to the TYPE'd base name.
+std::string family_of(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::strlen(suffix);
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+      return name.substr(0, name.size() - n);
+    }
+  }
+  return name;
+}
+
+bool fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "line %zu: ", line_no);
+    *error = buf + why;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_prometheus_text(const std::string& text, std::string* error) {
+  if (text.empty()) return fail(error, 0, "empty exposition");
+  if (text.back() != '\n') {
+    return fail(error, 0, "missing final newline");
+  }
+
+  std::vector<std::pair<std::string, FamilyState>> families;
+  const auto family = [&](const std::string& name) -> FamilyState& {
+    for (auto& f : families) {
+      if (f.first == name) return f.second;
+    }
+    families.emplace_back(name, FamilyState{});
+    return families.back().second;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# HELP name text` / `# TYPE name kind`; other comments are free-form.
+      if (line.compare(0, 7, "# HELP ") == 0 ||
+          line.compare(0, 7, "# TYPE ") == 0) {
+        const bool is_help = line[2] == 'H';
+        const std::size_t name_start = 7;
+        const std::size_t name_end = line.find(' ', name_start);
+        const std::size_t actual_end =
+            name_end == std::string::npos ? line.size() : name_end;
+        const std::string name =
+            line.substr(name_start, actual_end - name_start);
+        if (!valid_metric_name(name.c_str(), name.c_str() + name.size())) {
+          return fail(error, line_no, "bad metric name in comment: " + name);
+        }
+        FamilyState& st = family(name);
+        if (is_help) {
+          if (st.saw_help) return fail(error, line_no, "duplicate HELP " + name);
+          if (st.saw_sample) {
+            return fail(error, line_no, "HELP after samples of " + name);
+          }
+          st.saw_help = true;
+        } else {
+          if (name_end == std::string::npos) {
+            return fail(error, line_no, "TYPE missing kind");
+          }
+          const std::string kind = line.substr(name_end + 1);
+          if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+              kind != "summary" && kind != "untyped") {
+            return fail(error, line_no, "unknown TYPE kind: " + kind);
+          }
+          if (st.saw_type) return fail(error, line_no, "duplicate TYPE " + name);
+          if (st.saw_sample) {
+            return fail(error, line_no, "TYPE after samples of " + name);
+          }
+          st.saw_type = true;
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!valid_metric_name(name.c_str(), name.c_str() + name.size())) {
+      return fail(error, line_no, "bad metric name: " + name);
+    }
+    family(family_of(name)).saw_sample = true;
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;  // past '{'
+      bool first = true;
+      while (true) {
+        if (i >= line.size()) return fail(error, line_no, "unterminated labels");
+        if (line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (!first) {
+          if (line[i] != ',') return fail(error, line_no, "expected ',' in labels");
+          ++i;
+        }
+        first = false;
+        const std::size_t lname_start = i;
+        while (i < line.size() && line[i] != '=') ++i;
+        if (i >= line.size()) return fail(error, line_no, "label missing '='");
+        if (!valid_label_name(line.c_str() + lname_start, line.c_str() + i)) {
+          return fail(error, line_no,
+                      "bad label name: " + line.substr(lname_start,
+                                                       i - lname_start));
+        }
+        ++i;  // past '='
+        if (i >= line.size() || line[i] != '"') {
+          return fail(error, line_no, "label value must be quoted");
+        }
+        ++i;  // past opening quote
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              return fail(error, line_no, "bad escape in label value");
+            }
+            ++i;
+          }
+          ++i;
+        }
+        if (i >= line.size()) {
+          return fail(error, line_no, "unterminated label value");
+        }
+        ++i;  // past closing quote
+      }
+    }
+
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, line_no, "missing value separator");
+    }
+    ++i;
+    const std::size_t value_end_sp = line.find(' ', i);
+    const std::string value_tok =
+        line.substr(i, value_end_sp == std::string::npos
+                           ? std::string::npos
+                           : value_end_sp - i);
+    if (!valid_sample_value(value_tok)) {
+      return fail(error, line_no, "bad sample value: " + value_tok);
+    }
+    if (value_end_sp != std::string::npos) {
+      // Optional timestamp: a (possibly negative) integer.
+      const std::string ts = line.substr(value_end_sp + 1);
+      if (ts.empty()) return fail(error, line_no, "trailing space");
+      char* end = nullptr;
+      std::strtoll(ts.c_str(), &end, 10);
+      if (end != ts.c_str() + ts.size()) {
+        return fail(error, line_no, "bad timestamp: " + ts);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace semlock::obs

@@ -1,0 +1,83 @@
+// Prometheus text exposition (format 0.0.4) for the observability tallies,
+// plus the strict grammar validator CI scrapes are checked against (ISSUE 9).
+//
+// The renderer is dependency-free string building: PromBuilder handles the
+// HELP/TYPE preamble ordering and label escaping the format requires, and
+// render_prometheus() maps the cumulative tallies (event counters, the
+// attribution classes, the wait/hold histograms) plus the newest window's
+// rates onto stable metric names:
+//
+//   semlock_acquisitions_total                     counter (grant+optimistic)
+//   semlock_events_total{type=...}                 counter per EventType
+//   semlock_attributed_waits_total{attribution_class=...}
+//   semlock_blocked_by_total{waiter_mode=,holder_mode=}
+//   semlock_wait_ns / semlock_hold_ns              histograms (log2 buckets)
+//   semlock_holds_unmatched_total                  counter
+//   semlock_window_*                               gauges from the newest
+//                                                  completed window
+//
+// Names and label keys are stable — dashboards and the CI smoke job depend
+// on them. The server layer (server/admin.h) appends its own
+// semlock_server_* family with the same builder; nothing here knows about
+// the server.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+#include "util/stats.h"
+
+namespace semlock::obs {
+
+// Incremental builder for one exposition page. Usage per metric family:
+// help() then type() then one value() per label set. Label values are
+// escaped per the format (backslash, double quote, newline).
+class PromBuilder {
+ public:
+  void help(const std::string& name, const std::string& text);
+  // `kind` is one of counter|gauge|histogram|summary|untyped.
+  void type(const std::string& name, const std::string& kind);
+
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+  void value(const std::string& name, const Labels& labels, double v);
+  void value_u64(const std::string& name, const Labels& labels,
+                 std::uint64_t v);
+
+  // Appends a full Prometheus histogram (cumulative le buckets, +Inf,
+  // _sum, _count) from a Log2Histogram. Bucket b's inclusive upper bound
+  // is 2^b - 1 (bucket 0 holds only zero); empty tail buckets are elided.
+  // `labels` ride on every series of the family.
+  void histogram(const std::string& name, const Labels& labels,
+                 const util::Log2Histogram& h);
+
+  // The page so far, ending in the newline the format requires.
+  const std::string& text() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+// Renders the full lock-runtime exposition page: cumulative counters from
+// `events` (event_count_totals()) and `snap` (collect_metrics()), window
+// gauges from `windows` (may be empty — the gauges are then omitted, not
+// faked as zero).
+std::string render_prometheus(const MetricsSnapshot& snap,
+                              const std::array<std::uint64_t,
+                                               kNumEventTypes>& events,
+                              const std::vector<WindowStats>& windows);
+
+// Strict line-level validator for text format 0.0.4. Checks: final
+// newline; comment lines are well-formed HELP/TYPE with a valid metric
+// name and known type; sample lines have a valid name, well-formed label
+// pairs (escaped values, no trailing comma), and a parseable value
+// (decimal, +Inf, -Inf, or NaN) with an optional integer timestamp; at
+// most one HELP and one TYPE per metric, both before its first sample.
+// On failure, *error names the offending line (1-based) and the reason.
+bool validate_prometheus_text(const std::string& text,
+                              std::string* error = nullptr);
+
+}  // namespace semlock::obs

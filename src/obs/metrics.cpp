@@ -31,6 +31,32 @@ std::vector<WaitSample> TopWaits::sorted() const {
   return out;
 }
 
+void TopHolds::add(const HoldSample& s) {
+  if (samples_.size() < kKeep) {
+    samples_.push_back(s);
+    return;
+  }
+  auto min_it = std::min_element(
+      samples_.begin(), samples_.end(),
+      [](const HoldSample& a, const HoldSample& b) {
+        return a.hold_ns < b.hold_ns;
+      });
+  if (s.hold_ns > min_it->hold_ns) *min_it = s;
+}
+
+void TopHolds::merge(const TopHolds& other) {
+  for (const HoldSample& s : other.samples_) add(s);
+}
+
+std::vector<HoldSample> TopHolds::sorted() const {
+  std::vector<HoldSample> out = samples_;
+  std::sort(out.begin(), out.end(),
+            [](const HoldSample& a, const HoldSample& b) {
+              return a.hold_ns > b.hold_ns;
+            });
+  return out;
+}
+
 namespace {
 
 void append_u64(std::string& out, std::uint64_t v) {
@@ -156,6 +182,32 @@ std::string MetricsSnapshot::to_json() const {
     append_hex(out, s.instance);
     char buf[32];
     std::snprintf(buf, sizeof(buf), ", \"mode\": %d}", s.mode);
+    out += buf;
+  }
+  out += "], \"hold_hist_ns\": ";
+  out += hold_hist.to_json();
+  out += ", \"hold_p50_ns\": ";
+  append_u64(out, hold_hist.p50());
+  out += ", \"hold_p99_ns\": ";
+  append_u64(out, hold_hist.p99());
+  out += ", \"hold_p999_ns\": ";
+  append_u64(out, hold_hist.p999());
+  out += ", \"holds_paired\": ";
+  append_u64(out, holds_paired);
+  out += ", \"holds_unmatched\": ";
+  append_u64(out, holds_unmatched);
+  out += ", \"top_holds\": [";
+  for (std::size_t i = 0; i < top_holds.size(); ++i) {
+    if (i > 0) out += ", ";
+    const HoldSample& s = top_holds[i];
+    out += "{\"hold_ns\": ";
+    append_u64(out, s.hold_ns);
+    out += ", \"instance\": ";
+    append_hex(out, s.instance);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"mode\": %d, \"txn\": %llu, \"site\": %d}", s.mode,
+                  static_cast<unsigned long long>(s.txn), s.site);
     out += buf;
   }
   out += "]}";

@@ -85,6 +85,30 @@ class TopWaits {
   std::vector<WaitSample> samples_;
 };
 
+// One of the longest critical-section holds observed: the grant→release
+// span of a single acquisition, with the holder's identity (txn) and lock
+// site so the offending code path is nameable from the report alone.
+struct HoldSample {
+  std::uint64_t hold_ns = 0;
+  std::uint64_t instance = 0;
+  std::int32_t mode = -1;
+  std::uint64_t txn = 0;     // holder's transaction id (0 = outside any)
+  std::int32_t site = -1;    // LockSiteArgs::site of the granting lock()
+};
+
+// Keep-the-largest set of hold samples, same shape as TopWaits.
+class TopHolds {
+ public:
+  static constexpr std::size_t kKeep = 8;
+  void add(const HoldSample& s);
+  void merge(const TopHolds& other);
+  // Descending by hold_ns.
+  std::vector<HoldSample> sorted() const;
+
+ private:
+  std::vector<HoldSample> samples_;
+};
+
 struct MetricsSnapshot {
   AcquireStats acquire_totals;               // exact cross-thread sums
   std::vector<InstanceMetrics> instances;    // sorted by contended, desc
@@ -92,6 +116,15 @@ struct MetricsSnapshot {
   std::vector<AttributionCell> attribution;  // per mode pair, busiest first
   util::Log2Histogram wait_hist;             // contended wait latencies, ns
   std::vector<WaitSample> top_waits;         // descending
+  // Hold-time profiler (ISSUE 9): grant→release spans paired online in
+  // emit() per (instance, mode), LIFO within the owning thread, so
+  // hold_hist.count() == holds_paired exactly — every paired release adds
+  // one sample. holds_unmatched counts releases with no retained grant
+  // (tracing toggled mid-hold, or the open-hold table overflowed).
+  util::Log2Histogram hold_hist;             // paired hold durations, ns
+  std::uint64_t holds_paired = 0;
+  std::uint64_t holds_unmatched = 0;
+  std::vector<HoldSample> top_holds;         // descending
 
   // JSON for the BENCH_*.json sidecar files and the dump's embedded
   // metrics section (schema in docs/OBSERVABILITY.md).

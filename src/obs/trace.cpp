@@ -103,6 +103,13 @@ struct MetricsAccum {
   std::unordered_map<std::uint64_t, AttrCounts> attr_pairs;
   util::Log2Histogram wait_hist;
   TopWaits top_waits;
+  // Hold-time profiler tallies: one hold_hist sample per paired release
+  // (hold_hist.count() == holds_paired by construction, the invariant
+  // dct_trace_test pins against offline event pairing).
+  util::Log2Histogram hold_hist;
+  TopHolds top_holds;
+  std::uint64_t holds_paired = 0;
+  std::uint64_t holds_unmatched = 0;
 
   void merge_into(MetricsAccum& out) const {
     for (const auto& [inst, acc] : instances) {
@@ -121,8 +128,27 @@ struct MetricsAccum {
     }
     out.wait_hist.merge(wait_hist);
     out.top_waits.merge(top_waits);
+    out.hold_hist.merge(hold_hist);
+    out.top_holds.merge(top_holds);
+    out.holds_paired += holds_paired;
+    out.holds_unmatched += holds_unmatched;
   }
 };
+
+// One grant the owning thread has not released yet. Plain owner-only state:
+// pushed at grant, LIFO-matched at release, never read cross-thread.
+struct OpenHold {
+  std::uint64_t instance = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t txn = 0;
+  std::int32_t mode = -1;
+  std::int32_t site = -1;
+};
+
+// Bound on per-thread simultaneously open holds the profiler tracks. A
+// transaction deeper than this sees its excess releases counted as
+// unmatched rather than growing without bound.
+constexpr std::size_t kMaxOpenHolds = 4096;
 
 struct ThreadState {
   std::uint32_t tid = 0;
@@ -132,6 +158,13 @@ struct ThreadState {
   AcquireStats stats;  // fast-path counters; owner-written, folded on retire
   mutable util::Spinlock metrics_lock;
   MetricsAccum metrics;
+  // Per-EventType tallies, bumped in emit(). Single-writer (the owner), so
+  // the increment is a relaxed load+store pair — no RMW — while any thread
+  // may sum them concurrently (event_count_totals, the window collector).
+  std::atomic<std::uint64_t> event_counts[kNumEventTypes] = {};
+  // Hold-time profiler working state (owner-only, see OpenHold).
+  std::vector<OpenHold> open_holds;
+  std::int32_t pending_site = -1;  // stashed by note_lock_site()
 
   ~ThreadState() { delete ring.load(std::memory_order_relaxed); }
 };
@@ -165,6 +198,10 @@ class Registry {
     live_.erase(std::remove(live_.begin(), live_.end(), ts), live_.end());
     retired_stats_.merge(ts->stats);
     ts->metrics.merge_into(retired_metrics_);
+    for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+      retired_event_counts_[i] +=
+          ts->event_counts[i].load(std::memory_order_relaxed);
+    }
     if (!events.empty()) {
       retired_event_count_ += events.size();
       retired_.push_back(RetiredEvents{ts->tid, std::move(events)});
@@ -200,6 +237,20 @@ class Registry {
     return out;
   }
 
+  std::array<std::uint64_t, kNumEventTypes> event_count_totals() {
+    std::array<std::uint64_t, kNumEventTypes> out{};
+    std::lock_guard<util::Spinlock> g(lock_);
+    for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+      out[i] = retired_event_counts_[i];
+    }
+    for (ThreadState* ts : live_) {
+      for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+        out[i] += ts->event_counts[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
   MetricsSnapshot collect(ThreadState* self) {
     AcquireStats totals;
     MetricsAccum merged;
@@ -221,6 +272,10 @@ class Registry {
     snap.acquire_totals = totals;
     snap.wait_hist = merged.wait_hist;
     snap.top_waits = merged.top_waits.sorted();
+    snap.hold_hist = merged.hold_hist;
+    snap.top_holds = merged.top_holds.sorted();
+    snap.holds_paired = merged.holds_paired;
+    snap.holds_unmatched = merged.holds_unmatched;
     std::unordered_map<std::uint64_t, std::uint64_t> matrix;
     for (const auto& [inst, acc] : merged.instances) {
       InstanceMetrics im;
@@ -285,9 +340,15 @@ class Registry {
     retired_event_count_ = 0;
     retired_stats_ = AcquireStats{};
     retired_metrics_ = MetricsAccum{};
+    for (std::uint64_t& c : retired_event_counts_) c = 0;
     if (self != nullptr) {
       delete self->ring.exchange(nullptr, std::memory_order_acq_rel);
       self->stats = AcquireStats{};
+      for (std::atomic<std::uint64_t>& c : self->event_counts) {
+        c.store(0, std::memory_order_relaxed);
+      }
+      self->open_holds.clear();
+      self->pending_site = -1;
       std::lock_guard<util::Spinlock> tg(self->metrics_lock);
       self->metrics = MetricsAccum{};
     }
@@ -315,6 +376,7 @@ class Registry {
   std::size_t retired_event_count_ = 0;
   AcquireStats retired_stats_;
   MetricsAccum retired_metrics_;
+  std::uint64_t retired_event_counts_[kNumEventTypes] = {};
   std::string dump_path_;
 };
 
@@ -424,6 +486,41 @@ void drain_snapshot_requests() {
   }
 }
 
+// Hold-time profiler: the grant side pushes an OpenHold, the release side
+// LIFO-matches it by (instance, mode) and records the span. LIFO is the
+// right order for lock scopes — nested acquisitions release innermost
+// first — and degrades gracefully for the rare hand-over-hand pattern (the
+// match walks past non-matching entries).
+void open_hold_on_grant(ThreadState& ts, const Event& e) {
+  if (ts.open_holds.size() >= kMaxOpenHolds) {
+    // Full table: drop this grant (its release will count as unmatched)
+    // rather than evicting an older hold into a silently wrong pairing.
+    ts.pending_site = -1;
+    return;
+  }
+  ts.open_holds.push_back(OpenHold{e.instance, e.ts_ns, e.txn,
+                                   e.mode, ts.pending_site});
+  ts.pending_site = -1;
+}
+
+void close_hold_on_release(ThreadState& ts, const Event& e) {
+  for (std::size_t i = ts.open_holds.size(); i > 0; --i) {
+    OpenHold& h = ts.open_holds[i - 1];
+    if (h.instance != e.instance || h.mode != e.mode) continue;
+    const std::uint64_t hold_ns = e.ts_ns > h.ts_ns ? e.ts_ns - h.ts_ns : 0;
+    const HoldSample sample{hold_ns, h.instance, h.mode, h.txn, h.site};
+    ts.open_holds.erase(ts.open_holds.begin() +
+                        static_cast<std::ptrdiff_t>(i - 1));
+    std::lock_guard<util::Spinlock> g(ts.metrics_lock);
+    ts.metrics.hold_hist.add(hold_ns);
+    ts.metrics.top_holds.add(sample);
+    ts.metrics.holds_paired += 1;
+    return;
+  }
+  std::lock_guard<util::Spinlock> g(ts.metrics_lock);
+  ts.metrics.holds_unmatched += 1;
+}
+
 }  // namespace
 
 void emit(EventType type, const void* instance, int mode) {
@@ -440,12 +537,38 @@ void emit(EventType type, const void* instance, int mode) {
   e.type = type;
   e.mode = mode;
   ring->append(e);
+  const auto ti = static_cast<std::size_t>(type);
+  if (ti < kNumEventTypes) {
+    // Owner-only writer: load+store, not an RMW (see event_count_totals).
+    std::atomic<std::uint64_t>& c = ts.event_counts[ti];
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+  switch (type) {
+    case EventType::kAcquireGrant:
+    case EventType::kOptimisticHit:
+      open_hold_on_grant(ts, e);
+      break;
+    case EventType::kRelease:
+      close_hold_on_release(ts, e);
+      break;
+    default:
+      break;
+  }
   // The lock-path poll point for on-demand snapshots: any tracing thread
   // between events (never inside an obs lock) claims pending requests.
   if (g_snapshot_requests.load(std::memory_order_relaxed) !=
       g_snapshot_claims.load(std::memory_order_relaxed)) [[unlikely]] {
     drain_snapshot_requests();
   }
+}
+
+void note_lock_site(std::int32_t site) noexcept {
+  thread_state().pending_site = site;
+}
+
+std::array<std::uint64_t, kNumEventTypes> event_count_totals() {
+  return Registry::instance().event_count_totals();
 }
 
 AcquireStats& thread_acquire_stats() { return thread_state().stats; }

@@ -31,6 +31,7 @@
 // for the atexit dump.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -130,6 +131,21 @@ std::uint64_t current_owner_id() noexcept;
 // --- process-level sites on runtime_enabled()) ------------------------------
 
 void emit(EventType type, const void* instance, int mode);
+
+// Stashes the caller's lock-site id (LockSiteArgs::site, -1 = unknown) for
+// the thread's NEXT grant event: lock()/try_lock() entry calls this, emit()
+// consumes it when the grant lands, and the hold-time profiler stamps the
+// resulting HoldSample with it. Thread-local, so interleaved acquisitions
+// of different mechanisms on one thread each keep their own site.
+void note_lock_site(std::int32_t site) noexcept;
+
+// Exact per-EventType totals across all threads, live and retired. Each
+// tracing thread owns a cache line of relaxed atomic counters bumped in
+// emit() (single-writer, so the bump is a load+store, not an RMW); readers
+// sum them race-free from any thread. This is the safely-scrapeable live
+// view the window collector (obs/window.h) rotates against — the plain
+// AcquireStats fast-path counters stay exact-at-quiescence only.
+std::array<std::uint64_t, kNumEventTypes> event_count_totals();
 
 // The thread's AcquireStats, owned by the obs thread state so the counters
 // are folded into the MetricsRegistry at thread exit (merge-on-exit).

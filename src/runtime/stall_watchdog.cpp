@@ -14,6 +14,14 @@
 
 namespace semlock::runtime {
 
+namespace {
+std::atomic<std::uint64_t> g_stalls_reported{0};
+}  // namespace
+
+std::uint64_t global_stalls_reported() noexcept {
+  return g_stalls_reported.load(std::memory_order_relaxed);
+}
+
 std::string StallReport::to_string() const {
   std::string out = "[semlock-watchdog] mode " + std::to_string(mode) +
                     " (partition " + std::to_string(partition) +
@@ -186,6 +194,7 @@ void StallWatchdog::sample() {
 
         track.reported_at_ns = now;
         stalls_reported_.fetch_add(1, std::memory_order_acq_rel);
+        g_stalls_reported.fetch_add(1, std::memory_order_relaxed);
         callback_(report);
       });
 }

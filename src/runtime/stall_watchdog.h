@@ -36,6 +36,12 @@ class LockMechanism;
 
 namespace semlock::runtime {
 
+// Stall reports emitted by EVERY watchdog instance since process start.
+// Watchdogs are per-harness objects that come and go; a health endpoint
+// (server/admin.h) needs the process-wide count after the instance that
+// observed the stall is gone.
+std::uint64_t global_stalls_reported() noexcept;
+
 struct StallReport {
   const LockMechanism* mechanism = nullptr;  // null if not watch()ed
   int mode = -1;

@@ -44,9 +44,19 @@
       }                                                              \
     }                                                                \
   } while (0)
+// Site hook for the hold-time profiler: stash the caller's lock site at
+// acquisition entry so the grant event (whichever tier lands it) can stamp
+// its OpenHold with the code path that took the lock.
+#define LM_OBS_SITE(args)                                            \
+  do {                                                               \
+    if (trace_) [[unlikely]]                                         \
+      ::semlock::obs::note_lock_site((args) != nullptr ? (args)->site \
+                                                       : -1);        \
+  } while (0)
 #else
 #define LM_OBS_EVENT(type, mode) ((void)0)
 #define LM_ATTR_GRANT(mode, args) ((void)0)
+#define LM_OBS_SITE(args) ((void)0)
 #endif
 
 namespace semlock {
@@ -686,6 +696,7 @@ void LockMechanism::lock_impl(Storage& s, int mode,
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
+  LM_OBS_SITE(args);
   const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];
@@ -966,6 +977,7 @@ bool LockMechanism::try_lock_impl(Storage& s, int mode,
   auto& stats = local_acquire_stats();
   ++stats.acquisitions;
   LM_OBS_EVENT(kAcquireBegin, mode);
+  LM_OBS_SITE(args);
   const int partition = table_->partition_of(mode);
   util::Spinlock& internal =
       partition_locks_[static_cast<std::size_t>(partition)];

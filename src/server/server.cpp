@@ -8,6 +8,10 @@
 #include "server/shard_queue.h"
 #include "server/traffic_gen.h"
 
+#if defined(SEMLOCK_OBS)
+#include "server/admin.h"
+#endif
+
 namespace semlock::server {
 
 namespace {
@@ -22,7 +26,10 @@ std::uint64_t ns_since(Clock::time_point start) {
 }
 
 struct WorkerState {
-  std::uint64_t completed = 0;
+  // Atomic so the admin endpoint's health provider can read completion
+  // progress while the worker runs. Single writer (the owning worker), so
+  // updates are load+store, never an RMW — no fast-path cost.
+  std::atomic<std::uint64_t> completed{0};
   std::uint64_t retries = 0;
   std::int64_t observed_sum = 0;
   util::Log2Histogram latency_ns;
@@ -65,6 +72,40 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
   std::atomic<bool> stop{false};
   Clock::time_point start_tp;  // written before go, read after (acq/rel)
 
+  // Live dispatch progress for the admin endpoint's health provider.
+  // Single writer (the dispatcher), load+store only.
+  std::atomic<std::uint64_t> offered_live{0};
+  std::atomic<std::uint64_t> shed_live{0};
+
+#if defined(SEMLOCK_OBS)
+  // /healthz and semlock_server_* scrape through this for the duration of
+  // the run; every captured local outlives the clear below.
+  set_admin_stats_provider([&, this]() {
+    HealthSample s;
+    s.server_running = true;
+    s.cc_backend = backend_->name();
+    s.workers = workers_;
+    s.shards = shards_;
+    s.offered = offered_live.load(std::memory_order_relaxed);
+    s.shed = shed_live.load(std::memory_order_relaxed);
+    for (const auto& st : states) {
+      s.completed += st->completed.load(std::memory_order_relaxed);
+    }
+    s.queue_capacity = static_cast<std::uint64_t>(queue_capacity_);
+    s.queue_depths.reserve(queues.size());
+    for (const auto& q : queues) {
+      const std::uint64_t d = q->depth();
+      s.queue_depths.push_back(d);
+      s.queue_depth_total += d;
+      if (d > s.queue_depth_max) s.queue_depth_max = d;
+      if (q->high_watermark() > s.queue_high_watermark) {
+        s.queue_high_watermark = q->high_watermark();
+      }
+    }
+    return s;
+  });
+#endif
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers_));
   for (int w = 0; w < workers_; ++w) {
@@ -83,7 +124,8 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
           const std::uint64_t t0 = ns_since(start);
           const ExecResult res = backend_->execute(r);
           const std::uint64_t t1 = ns_since(start);
-          st.completed += 1;
+          st.completed.store(st.completed.load(std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
           st.retries += res.retries;
           st.observed_sum += res.observed;
           st.latency_ns.add(t1 > r.arrival_ns ? t1 - r.arrival_ns : 0);
@@ -136,6 +178,8 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
     }
     const std::uint32_t shard =
         shard_of(r, static_cast<std::uint32_t>(shards_));
+    offered_live.store(offered_live.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
     ShardQueue& q = *queues[shard];
     if (!q.try_push(r)) {
       // Admission control: shed with a retry-after hint — the time this
@@ -147,6 +191,7 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
           states[shard % static_cast<std::uint32_t>(workers_)]
               ->ema_service_ns.load(std::memory_order_relaxed);
       report.shed += 1;
+      shed_live.store(report.shed, std::memory_order_relaxed);
       report.last_retry_after_ns =
           (static_cast<std::uint64_t>(q.depth()) + 1) * ema;
     }
@@ -154,11 +199,16 @@ ServerReport Server::run(const std::vector<Request>& schedule, bool paced) {
 
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+#if defined(SEMLOCK_OBS)
+  // The provider captures this frame's locals by reference; detach it
+  // before they go out of scope.
+  clear_admin_stats_provider();
+#endif
   report.wall_seconds =
       static_cast<double>(ns_since(start_tp)) / 1e9;
 
   for (const auto& st : states) {
-    report.completed += st->completed;
+    report.completed += st->completed.load(std::memory_order_relaxed);
     report.retries += st->retries;
     report.observed_sum += st->observed_sum;
     report.latency_ns.merge(st->latency_ns);

@@ -19,6 +19,19 @@ void Log2Histogram::merge(const Log2Histogram& other) noexcept {
   total_ += other.total_;
 }
 
+Log2Histogram Log2Histogram::delta(
+    const Log2Histogram& earlier) const noexcept {
+  Log2Histogram out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t later = buckets_[i];
+    const std::uint64_t prior = earlier.buckets_[i];
+    out.buckets_[i] = later > prior ? later - prior : 0;
+    out.count_ += out.buckets_[i];
+  }
+  out.total_ = total_ > earlier.total_ ? total_ - earlier.total_ : 0;
+  return out;
+}
+
 void Log2Histogram::load(const std::uint64_t buckets[kBuckets],
                          std::uint64_t total) noexcept {
   count_ = 0;

@@ -29,6 +29,14 @@ class Log2Histogram {
   void add(std::uint64_t value) noexcept;
   void merge(const Log2Histogram& other) noexcept;
 
+  // The per-bucket difference `*this - earlier`, for turning two cumulative
+  // snapshots of a monotonically growing histogram into the histogram of
+  // just the samples between them (the window-rotation primitive of
+  // obs/window.h). Subtraction saturates at zero per bucket — `earlier`
+  // taken from a different lineage cannot produce wrapped counts — and the
+  // result's count is recomputed from the buckets so quantiles stay exact.
+  Log2Histogram delta(const Log2Histogram& earlier) const noexcept;
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t bucket(std::size_t i) const noexcept {

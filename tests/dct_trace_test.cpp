@@ -13,6 +13,7 @@
 
 #include "commute/builtin_specs.h"
 #include "dct/scheduler.h"
+#include "obs/export.h"
 #include "obs/trace.h"
 #include "semlock/lock_mechanism.h"
 
@@ -123,6 +124,26 @@ TEST(DctTrace, DifferentSeedsMayDivergeButAlwaysBalance) {
       EXPECT_EQ(releases, begins) << "seed " << seed;
       EXPECT_EQ(parks, unparks) << "seed " << seed;
     }
+  }
+}
+
+TEST(DctTrace, HoldPairingIsExactOnScheduledReplays) {
+  // Acceptance check for the hold-time profiler (ISSUE 9): on a DCT-driven
+  // schedule — where grants and releases interleave across threads in a
+  // seed-determined order — the online pairing count, the hold histogram,
+  // and the offline re-pairing of the retained events all agree exactly.
+  for (const std::uint64_t seed : {7u, 1234u, 99999u}) {
+    obs::reset_for_test();
+    const dct::ScheduleResult r = run_traced_workload(seed);
+    ASSERT_FALSE(r.hung()) << r.to_string();
+
+    const obs::MetricsSnapshot snap = obs::collect_metrics();
+    // 3 threads × 2 lock/unlock rounds each.
+    EXPECT_EQ(snap.holds_paired, 6u) << "seed " << seed;
+    EXPECT_EQ(snap.hold_hist.count(), snap.holds_paired) << "seed " << seed;
+    EXPECT_EQ(snap.holds_unmatched, 0u) << "seed " << seed;
+    EXPECT_EQ(obs::pair_holds_from_events(obs::capture()), snap.holds_paired)
+        << "seed " << seed;
   }
 }
 

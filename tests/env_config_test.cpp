@@ -11,6 +11,8 @@
 #if defined(SEMLOCK_OBS)
 #include "obs/attribution.h"
 #include "obs/trace.h"
+#include "obs/window.h"
+#include "server/admin.h"
 #endif
 #include "runtime/grant_policy.h"
 #include "runtime/stall_watchdog.h"
@@ -484,6 +486,79 @@ TEST(AttributionEnv, SampleMalformedWarnsAndFallsBack) {
         << "value: " << bad << "\nstderr: " << err;
     EXPECT_NE(err.find("classifying every contended wait"), std::string::npos)
         << err;
+  }
+}
+
+TEST(MetricsEnv, PortAcceptsTheFullTcpRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(server::metrics_port_from_env_text("9464"), 9464);
+    EXPECT_EQ(server::metrics_port_from_env_text("1"), 1);
+    EXPECT_EQ(server::metrics_port_from_env_text("65535"), 65535);
+    // Unset: endpoint stays off, silently.
+    EXPECT_EQ(server::metrics_port_from_env_text(nullptr), 0);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(MetricsEnv, PortMalformedWarnsAndStaysOff) {
+  // Port 0 would mean "pick one for me" — explicit opt-in only, so it is
+  // rejected along with everything else outside 1..65535.
+  for (const char* bad : {"0", "65536", "-1", "http", "9464x", ""}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(server::metrics_port_from_env_text(bad), 0) << "value: " << bad;
+    });
+    EXPECT_NE(err.find("SEMLOCK_METRICS_PORT=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+  }
+}
+
+TEST(MetricsEnv, WindowCadenceParsesAndBoundsRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(obs::metrics_window_ms_from_env_text("10"), 10u);
+    EXPECT_EQ(obs::metrics_window_ms_from_env_text("250"), 250u);
+    EXPECT_EQ(obs::metrics_window_ms_from_env_text("60000"), 60000u);
+    EXPECT_EQ(obs::metrics_window_ms_from_env_text(nullptr),
+              obs::kDefaultWindowMs);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(MetricsEnv, WindowCadenceMalformedWarnsAndFallsBack) {
+  for (const char* bad : {"9", "60001", "garbage", "100x", "", "-5"}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(obs::metrics_window_ms_from_env_text(bad),
+                obs::kDefaultWindowMs)
+          << "value: " << bad;
+    });
+    EXPECT_NE(
+        err.find("SEMLOCK_METRICS_WINDOW_MS=\"" + std::string(bad) + "\""),
+        std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
+  }
+}
+
+TEST(MetricsEnv, WindowSlotsParseAndBoundRange) {
+  const std::string err = captured_stderr([] {
+    EXPECT_EQ(obs::metrics_windows_from_env_text("2"), 2u);
+    EXPECT_EQ(obs::metrics_windows_from_env_text("64"), 64u);
+    EXPECT_EQ(obs::metrics_windows_from_env_text("128"), 128u);
+    EXPECT_EQ(obs::metrics_windows_from_env_text(nullptr),
+              obs::kDefaultWindowSlots);
+  });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(MetricsEnv, WindowSlotsMalformedWarnAndFallBack) {
+  for (const char* bad : {"1", "129", "many", "8x", ""}) {
+    const std::string err = captured_stderr([bad] {
+      EXPECT_EQ(obs::metrics_windows_from_env_text(bad),
+                obs::kDefaultWindowSlots)
+          << "value: " << bad;
+    });
+    EXPECT_NE(err.find("SEMLOCK_METRICS_WINDOWS=\"" + std::string(bad) + "\""),
+              std::string::npos)
+        << "value: " << bad << "\nstderr: " << err;
   }
 }
 #endif  // SEMLOCK_OBS

@@ -406,6 +406,122 @@ TEST(ObsTrace, MetricsJsonIsStructurallyValid) {
   EXPECT_NE(json.find("\"wait_hist_ns\""), std::string::npos);
 }
 
+// --- the hold-time profiler (ISSUE 9) ---------------------------------------
+
+TEST(ObsHolds, PairsEveryGrantWithItsRelease) {
+  obs::reset_for_test();
+  const auto t = make_traced_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int mode = t.resolve(0, v0);
+  constexpr int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    m.lock(mode);
+    m.unlock(mode);
+  }
+
+  const obs::MetricsSnapshot snap = obs::collect_metrics();
+  // Online pairing is exact by construction: every paired release added one
+  // histogram sample, so the two counts cannot diverge.
+  EXPECT_EQ(snap.holds_paired, static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(snap.hold_hist.count(), snap.holds_paired);
+  EXPECT_EQ(snap.holds_unmatched, 0u);
+  ASSERT_FALSE(snap.top_holds.empty());
+  EXPECT_EQ(snap.top_holds.front().instance,
+            reinterpret_cast<std::uint64_t>(&m));
+  EXPECT_EQ(snap.top_holds.front().mode, mode);
+
+  // The offline re-pairing of the retained events agrees exactly (nothing
+  // wrapped in this short run).
+  const obs::TraceDump dump = obs::capture();
+  EXPECT_EQ(obs::pair_holds_from_events(dump),
+            static_cast<std::uint64_t>(kOps));
+  const std::string report = obs::holds_report(dump);
+  EXPECT_NE(report.find("matches paired count exactly"), std::string::npos)
+      << report;
+}
+
+TEST(ObsHolds, NestedModesPairLifoAndCarryTheLockSite) {
+  obs::reset_for_test();
+  const auto t = make_traced_table();
+  LockMechanism m(t);
+  // Two commuting modes (adds on distinct abstract values) — the mechanism
+  // is not reentrant, so nested acquisition must not conflict.
+  const Value v0[1] = {0};
+  const Value v1[1] = {1};
+  const int outer = t.resolve(0, v0);  // add(0)
+  const int inner = t.resolve(0, v1);  // add(1)
+  ASSERT_NE(outer, inner);
+
+  LockSiteArgs args;
+  args.site = 42;
+  m.lock(outer, &args);
+  m.lock(inner, &args);
+  m.unlock(inner);   // pairs with the inner grant (LIFO per instance+mode)
+  m.unlock(outer);
+
+  const obs::MetricsSnapshot snap = obs::collect_metrics();
+  EXPECT_EQ(snap.holds_paired, 2u);
+  EXPECT_EQ(snap.hold_hist.count(), 2u);
+  EXPECT_EQ(snap.holds_unmatched, 0u);
+  ASSERT_EQ(snap.top_holds.size(), 2u);
+  for (const obs::HoldSample& h : snap.top_holds) {
+    EXPECT_EQ(h.site, 42);
+    EXPECT_EQ(h.instance, reinterpret_cast<std::uint64_t>(&m));
+  }
+  // The outer hold strictly contains the inner one.
+  std::uint64_t outer_ns = 0, inner_ns = 0;
+  for (const obs::HoldSample& h : snap.top_holds) {
+    if (h.mode == outer) outer_ns = h.hold_ns;
+    if (h.mode == inner) inner_ns = h.hold_ns;
+  }
+  EXPECT_GE(outer_ns, inner_ns);
+}
+
+TEST(ObsHolds, ReleaseWithoutGrantCountsUnmatchedNotMispaired) {
+  obs::reset_for_test();
+  // Emit a bare release event (no prior grant) straight through emit() —
+  // the shape tracing sees when enabled mid-hold.
+  obs::emit(obs::EventType::kRelease, reinterpret_cast<const void*>(0x1234),
+            3);
+  const obs::MetricsSnapshot snap = obs::collect_metrics();
+  EXPECT_EQ(snap.holds_paired, 0u);
+  EXPECT_EQ(snap.hold_hist.count(), 0u);
+  EXPECT_EQ(snap.holds_unmatched, 1u);
+}
+
+TEST(ObsHolds, DumpRoundTripCarriesTheHoldBlock) {
+  obs::reset_for_test();
+  const auto t = make_traced_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int mode = t.resolve(0, v0);
+  for (int i = 0; i < 6; ++i) {
+    m.lock(mode);
+    m.unlock(mode);
+  }
+
+  const obs::TraceDump dump = obs::capture();
+  const std::string path = testing::TempDir() + "/semlock_holds_rt.bin";
+  std::string error;
+  ASSERT_TRUE(obs::write_dump_file(dump, path, &error)) << error;
+  obs::TraceDump loaded;
+  ASSERT_TRUE(obs::load_dump_file(path, loaded, &error)) << error;
+  EXPECT_EQ(loaded.metrics.holds_paired, 6u);
+  EXPECT_EQ(loaded.metrics.hold_hist.count(), 6u);
+  EXPECT_EQ(loaded.metrics.holds_unmatched, 0u);
+  ASSERT_FALSE(loaded.metrics.top_holds.empty());
+  EXPECT_EQ(loaded.metrics.top_holds.front().instance,
+            reinterpret_cast<std::uint64_t>(&m));
+  // Hold data rides in the metrics JSON and both text reports.
+  const std::string json = loaded.metrics.to_json();
+  EXPECT_TRUE(obs::validate_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"holds_paired\": 6"), std::string::npos) << json;
+  EXPECT_NE(obs::text_report(loaded).find("hold"), std::string::npos);
+  EXPECT_FALSE(obs::holds_report(loaded).empty());
+  std::remove(path.c_str());
+}
+
 TEST(ObsTrace, StallForensicsNamesHolderAndInstance) {
   obs::reset_for_test();
   const auto t = make_traced_table();

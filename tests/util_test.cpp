@@ -185,6 +185,10 @@ TEST(Log2Hist, MergeSumsBuckets) {
   EXPECT_EQ(a.count(), 4u);
   EXPECT_EQ(a.total(), 10u + 100 + 10 + 1000);
   EXPECT_EQ(a.bucket(4), 2u);  // both 10s
+  // Quantiles answer over the union: p50 falls in the 10s' bucket
+  // (values < 16), p99+ in the 1000's bucket (values < 1024).
+  EXPECT_EQ(a.quantile_upper_bound(0.5), 16u);
+  EXPECT_EQ(a.quantile_upper_bound(0.99), 1024u);
 }
 
 TEST(Log2Hist, QuantileUpperBound) {
@@ -257,6 +261,69 @@ TEST(Log2Hist, QuantileIntegerRankBoundaries) {
     h.add(3);
     h.add(1000);
     EXPECT_EQ(h.p50(), 4u);
+  }
+}
+
+// delta() is the window-rotation primitive (obs/window.h): two snapshots of
+// one growing histogram reduce to the histogram of just the samples between
+// them, with exact quantiles at the usual log2 resolution.
+TEST(Log2Hist, DeltaIsTheBetweenSnapshotsHistogram) {
+  Log2Histogram earlier;
+  earlier.add(3);
+  earlier.add(1000);
+  Log2Histogram later = earlier;
+  later.add(7);        // bucket 3
+  later.add(500000);   // bucket 19
+  later.add(500000);
+
+  const Log2Histogram d = later.delta(earlier);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.total(), 7u + 500000 + 500000);
+  EXPECT_EQ(d.bucket(3), 1u);
+  EXPECT_EQ(d.bucket(19), 2u);
+  EXPECT_EQ(d.bucket(2), 0u);   // earlier's 3 subtracted away
+  EXPECT_EQ(d.bucket(10), 0u);  // earlier's 1000 subtracted away
+  // The window's quantiles come from the delta, not the lifetime.
+  EXPECT_EQ(d.p50(), std::uint64_t{1} << 19);
+  EXPECT_EQ(d.p999(), std::uint64_t{1} << 19);
+}
+
+TEST(Log2Hist, DeltaEdgeCases) {
+  {  // n = 0: empty minus empty is empty, quantiles 0.
+    Log2Histogram a, b;
+    const Log2Histogram d = a.delta(b);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.total(), 0u);
+    EXPECT_EQ(d.p50(), 0u);
+    EXPECT_EQ(d.p999(), 0u);
+  }
+  {  // n = 1 in the window: the lone sample is every quantile.
+    Log2Histogram earlier;
+    earlier.add(10);
+    Log2Histogram later = earlier;
+    later.add(1000);  // bucket 10
+    const Log2Histogram d = later.delta(earlier);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.p50(), 1024u);
+    EXPECT_EQ(d.p99(), 1024u);
+    EXPECT_EQ(d.p999(), 1024u);
+  }
+  {  // Unrelated lineage (earlier > later): saturates at zero, never wraps.
+    Log2Histogram big, small;
+    big.add(5);
+    big.add(5);
+    big.add(70);
+    small.add(5);
+    const Log2Histogram d = small.delta(big);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.total(), 0u);
+  }
+  {  // Self-delta is empty.
+    Log2Histogram h;
+    h.add(42);
+    const Log2Histogram d = h.delta(h);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.total(), 0u);
   }
 }
 
