@@ -361,9 +361,9 @@ AttrClass classify_wait(const ModeTable& table, int waiter_mode,
   return AttrClass::kModeOverapprox;
 }
 
-void record_attribution(const void* instance, const ModeTable& table,
-                        int waiter_mode, const LockSiteArgs* waiter_args,
-                        int holder_mode, const AttrRecord* holder_rec) {
+AttrClass record_attribution(const void* instance, const ModeTable& table,
+                             int waiter_mode, const LockSiteArgs* waiter_args,
+                             int holder_mode, const AttrRecord* holder_rec) {
   AttrSnapshot waiter;
   if (waiter_args != nullptr && waiter_args->site >= 0 &&
       waiter_args->values.size() <= kAttrMaxVals) {
@@ -393,6 +393,7 @@ void record_attribution(const void* instance, const ModeTable& table,
   record_attribution_tally(instance, waiter_mode, holder_mode,
                            static_cast<std::uint32_t>(cls));
   emit(EventType::kAttribution, instance, static_cast<int>(cls));
+  return cls;
 }
 
 }  // namespace semlock::obs

@@ -1,0 +1,73 @@
+// Tail critical-path attribution over a span dump (ISSUE 10).
+//
+// Input is a v5 trace dump (obs/export.h): per-thread span timelines whose
+// lock-wait spans carry the blocking owner sampled at park time. From those
+// this analyzer answers "why were the slow transactions slow":
+//
+//   1. per-transaction latency from the exec+commit spans;
+//   2. the tail = transactions at or above the p99 latency;
+//   3. each tail transaction's longest blocking chain, reconstructed by
+//      following blocker owner ids into the blockers' own overlapping
+//      lock-wait spans (txn A waited on B, B was itself waiting on C, ...);
+//   4. tail blocked time aggregated by (instance, mode, attribution class)
+//      with its share of total tail latency — the "φ-collisions on 3 hot
+//      keys account for 41% of p99 latency" headline, and the exact signal
+//      ROADMAP item 1's online φ-refiner wants to consume.
+//
+// Also here: the offline reconstruction of blocker identities from the raw
+// *event* stream (grant/release points only, ignoring the online capture),
+// which the DCT determinism tests compare against the online capture — on a
+// deterministic schedule the two must agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace semlock::obs {
+
+// One (instance, mode, attribution class) aggregate over tail transactions.
+struct TailGroup {
+  std::uint64_t instance = 0;
+  std::int32_t mode = -1;           // the mode the tail txns waited in
+  std::uint32_t attr_class = 5;     // AttrClass index; 5 = unsampled
+  std::uint64_t blocked_ns = 0;     // tail lock-wait time in this group
+  std::uint64_t waits = 0;          // tail lock-wait spans in this group
+  double share_of_tail_latency = 0; // blocked_ns / total tail latency
+};
+
+struct CriticalPathStats {
+  std::size_t txns = 0;       // transactions with an exec span in the dump
+  std::size_t tail_txns = 0;  // those at or above the p99 threshold
+  std::uint64_t p99_threshold_ns = 0;
+  std::uint64_t tail_latency_ns = 0;  // summed exec+commit time of the tail
+  std::uint64_t tail_blocked_ns = 0;  // summed lock-wait time of the tail
+  std::vector<TailGroup> groups;      // sorted by blocked_ns, largest first
+  std::vector<std::string> chains;    // rendered longest chains, worst first
+};
+
+CriticalPathStats analyze_critical_paths(const TraceDump& dump);
+
+// Human-readable report backing `semlock-trace critical-path`.
+std::string critical_path_report(const TraceDump& dump);
+
+// Offline blocker reconstruction for one online lock-wait span: the owner
+// of the latest grant event (kAcquireGrant/kOptimisticHit) on
+// (span.instance, span.blocker_mode) at or before span.capture_ns, by an
+// owner other than the waiter. Owner ids follow current_owner_id(): the
+// event's txn, or the thread sentinel of the emitting tid when txn == 0.
+struct ReconstructedBlocker {
+  std::uint64_t waiter = 0;   // span.txn
+  std::uint64_t instance = 0;
+  std::int32_t mode = -1;     // waited mode
+  std::uint64_t online = 0;   // blocker the runtime captured
+  std::uint64_t offline = 0;  // blocker the event stream implies
+};
+
+// One entry per lock-wait span in the dump that sampled a blocker mode;
+// the DCT test asserts online == offline for every entry.
+std::vector<ReconstructedBlocker> reconstruct_blockers(const TraceDump& dump);
+
+}  // namespace semlock::obs

@@ -17,9 +17,10 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
 // v3 appended max_wait_ns/diverted/handoffs to the AcquireStats block; v4
-// appended the hold-time profiler block at the end of the metrics section.
-// The loader still accepts v3 (hold data reads back empty).
-constexpr std::uint32_t kVersion = 4;
+// appended the hold-time profiler block at the end of the metrics section;
+// v5 appends the span sections (obs/span.h) after the last thread section.
+// The loader still accepts v3/v4 (hold data and spans read back empty).
+constexpr std::uint32_t kVersion = 5;
 constexpr std::uint32_t kOldestSupportedVersion = 3;
 
 // --- little binary writer/reader over stdio ---------------------------------
@@ -231,6 +232,24 @@ bool write_dump_file(const TraceDump& dump, const std::string& path,
       w.u64(pack_type_mode(e.type, e.mode));
     }
   }
+  // v5: span sections, same per-thread shape with kSpanWords-wide records.
+  w.u32(static_cast<std::uint32_t>(dump.spans.size()));
+  for (const ThreadSpans& t : dump.spans) {
+    w.u32(t.tid);
+    w.u32(t.live ? 1 : 0);
+    w.u64(t.spans.size());
+    for (const Span& s : t.spans) {
+      w.u64(s.start_ns);
+      w.u64(s.end_ns);
+      w.u64(s.txn);
+      w.u64(s.instance);
+      w.u64(span_pack_meta(s));
+      w.u64(s.blocker);
+      w.u64((static_cast<std::uint64_t>(s.tid) << 32) |
+            static_cast<std::uint32_t>(s.blocker_site));
+      w.u64(s.capture_ns);
+    }
+  }
   const bool ok = w.ok && std::fclose(f) == 0;
   if (!ok && error != nullptr) *error = "short write to " + path;
   return ok;
@@ -285,6 +304,37 @@ bool load_dump_file(const std::string& path, TraceDump& out,
       const std::uint64_t tm = r.u64();
       e.type = unpack_type(tm);
       e.mode = unpack_mode(tm);
+    }
+  }
+  if (version >= 5) {
+    const std::uint32_t span_threads = r.u32();
+    if (!r.ok || span_threads > (1u << 20)) {
+      if (error != nullptr) *error = path + ": corrupt span header";
+      return false;
+    }
+    out.spans.resize(span_threads);
+    for (ThreadSpans& t : out.spans) {
+      t.tid = r.u32();
+      t.live = r.u32() != 0;
+      const std::uint64_t count = r.u64();
+      if (!r.ok || count > (1ull << 28)) {
+        if (error != nullptr) *error = path + ": corrupt span section";
+        return false;
+      }
+      t.spans.resize(static_cast<std::size_t>(count));
+      for (Span& s : t.spans) {
+        s.start_ns = r.u64();
+        s.end_ns = r.u64();
+        s.txn = r.u64();
+        s.instance = r.u64();
+        span_unpack_meta(r.u64(), s);
+        s.blocker = r.u64();
+        const std::uint64_t w6 = r.u64();
+        s.tid = static_cast<std::uint32_t>(w6 >> 32);
+        s.blocker_site =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(w6));
+        s.capture_ns = r.u64();
+      }
     }
   }
   if (!r.ok && error != nullptr) *error = path + ": truncated dump";
@@ -353,6 +403,30 @@ std::string to_chrome_json(const TraceDump& dump) {
   std::string out = "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
   bool first = true;
   char name[96];
+  // Raw material for the flow events below: every release point, and every
+  // parked slice actually paired. The binding release for a parked slice is
+  // the latest kRelease on the same instance from another thread inside the
+  // parked window — the wakeup that let the waiter run.
+  struct ReleasePoint {
+    std::uint32_t tid;
+    std::uint64_t instance;
+    std::uint64_t ts_ns;
+  };
+  struct ParkedSlice {
+    std::uint32_t tid;
+    std::uint64_t instance;
+    std::uint64_t park_ts_ns;
+    std::uint64_t unpark_ts_ns;
+  };
+  std::vector<ReleasePoint> releases;
+  std::vector<ParkedSlice> parked;
+  for (const ThreadTrace& t : dump.threads) {
+    for (const Event& e : t.events) {
+      if (e.type == EventType::kRelease) {
+        releases.push_back(ReleasePoint{t.tid, e.instance, e.ts_ns});
+      }
+    }
+  }
   for (const ThreadTrace& t : dump.threads) {
     // Pair begin/end events per (instance, mode) for acquires and per
     // instance for parks; everything unpaired degrades to an instant.
@@ -396,6 +470,8 @@ std::string to_chrome_json(const TraceDump& dump) {
             std::snprintf(name, sizeof(name), "parked (mode %d)", e.mode);
             append_chrome_event(out, first, name, t.tid, begin,
                                 static_cast<std::int64_t>(ts - begin), e);
+            parked.push_back(
+                ParkedSlice{t.tid, e.instance, it->second.ts_ns, e.ts_ns});
             open_park.erase(it);
           } else {
             append_chrome_event(out, first, event_name(e.type), t.tid, ts, -1,
@@ -420,6 +496,36 @@ std::string to_chrome_json(const TraceDump& dump) {
       append_chrome_event(out, first, "park (unmatched)", t.tid,
                           e.ts_ns - t0, -1, e);
     }
+  }
+  // Flow events: an "s"/"f" pair per parked slice whose waking release was
+  // found, so Perfetto draws the arrow from the releasing holder's track to
+  // the waiter's unpark — blocker chains render instead of disconnected
+  // slices. bp:"e" attaches the finish to the enclosing parked slice.
+  std::uint64_t flow_id = 0;
+  for (const ParkedSlice& p : parked) {
+    const ReleasePoint* wake = nullptr;
+    for (const ReleasePoint& rel : releases) {
+      if (rel.instance != p.instance || rel.tid == p.tid) continue;
+      if (rel.ts_ns < p.park_ts_ns || rel.ts_ns > p.unpark_ts_ns) continue;
+      if (wake == nullptr || rel.ts_ns > wake->ts_ns) wake = &rel;
+    }
+    if (wake == nullptr) continue;
+    ++flow_id;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  {\"name\": \"unblocked-by\", \"cat\": \"semlock\", "
+                  "\"ph\": \"s\", \"id\": %" PRIu64
+                  ", \"pid\": 1, \"tid\": %u, \"ts\": %.3f}",
+                  flow_id, wake->tid,
+                  static_cast<double>(wake->ts_ns - t0) / 1000.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  {\"name\": \"unblocked-by\", \"cat\": \"semlock\", "
+                  "\"ph\": \"f\", \"bp\": \"e\", \"id\": %" PRIu64
+                  ", \"pid\": 1, \"tid\": %u, \"ts\": %.3f}",
+                  flow_id, p.tid,
+                  static_cast<double>(p.unpark_ts_ns - t0) / 1000.0);
+    out += buf;
   }
   out += "\n],\n\"semlockMetrics\": ";
   out += dump.metrics.to_json();

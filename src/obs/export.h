@@ -3,10 +3,10 @@
 // report. Shared by the runtime's exit dump (trace.cpp) and the
 // tools/semlock-trace CLI, so both ends of the format live in one place.
 //
-// Binary dump format v4 (native endianness; produced and consumed on the
+// Binary dump format v5 (native endianness; produced and consumed on the
 // same machine):
 //   char[8]  magic "SLTRACE1"
-//   u32      version (4)
+//   u32      version (5)
 //   u32      thread count
 //   metrics section (MetricsSnapshot, see read/write below; v2 added the
 //   per-instance AttrClass tallies and the per-mode-pair attribution cells,
@@ -16,12 +16,17 @@
 //   accepts v3 dumps and reads them with empty hold data)
 //   per thread: u32 tid, u32 live, u64 event count,
 //               count * kEventWords u64 words (oldest event first)
+//   v5 appends the span sections (obs/span.h) after the last thread:
+//   u32 span-thread count, then per thread: u32 tid, u32 live,
+//   u64 span count, count * kSpanWords u64 words (oldest span first).
+//   Older dumps (v3/v4) load with empty spans.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace semlock::obs {
@@ -29,6 +34,7 @@ namespace semlock::obs {
 struct TraceDump {
   std::vector<ThreadTrace> threads;
   MetricsSnapshot metrics;
+  std::vector<ThreadSpans> spans;  // v5+; empty when absent from the file
 };
 
 // In-process capture: ring snapshots (live + retired) plus collect_metrics().

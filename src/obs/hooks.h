@@ -14,6 +14,7 @@
 
 #if defined(SEMLOCK_OBS)
 
+#include "obs/span.h"
 #include "obs/trace.h"
 
 // Process-level event (no owning LockMechanism): transaction epilogues,
@@ -31,10 +32,20 @@
 #define SEMLOCK_OBS_TXN_BEGIN() ::semlock::obs::txn_begin()
 #define SEMLOCK_OBS_TXN_END() ::semlock::obs::txn_end()
 
+// Span-recorder clock for the transaction exec/commit spans (obs/span.h):
+// steady-now when span recording is active (global switch AND SEMLOCK_SPANS),
+// 0 otherwise — the zero doubles as the "don't record" flag, keeping the
+// disabled cost at two relaxed loads and a branch.
+#define SEMLOCK_OBS_SPAN_CLOCK()                                       \
+  (::semlock::obs::runtime_enabled() && ::semlock::obs::spans_enabled() \
+       ? ::semlock::obs::span_now_ns()                                 \
+       : 0)
+
 #else  // !SEMLOCK_OBS
 
 #define SEMLOCK_OBS_EVENT(type, instance, mode) ((void)0)
 #define SEMLOCK_OBS_TXN_BEGIN() ((void)0)
 #define SEMLOCK_OBS_TXN_END() ((void)0)
+#define SEMLOCK_OBS_SPAN_CLOCK() 0
 
 #endif  // SEMLOCK_OBS

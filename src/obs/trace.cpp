@@ -37,6 +37,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/ring.h"
+#include "obs/span.h"
 #include "util/env.h"
 #include "util/spinlock.h"
 
@@ -579,6 +580,8 @@ std::uint64_t current_owner_id() noexcept {
   return 0x8000000000000000ull | thread_state().tid;
 }
 
+std::uint32_t thread_obs_tid() { return thread_state().tid; }
+
 void record_blocked_by(const void* instance, int waiter_mode,
                        int holder_mode) {
   ThreadState& ts = thread_state();
@@ -632,6 +635,7 @@ TraceDump capture() {
   TraceDump dump;
   dump.threads = Registry::instance().snapshot_traces();
   dump.metrics = Registry::instance().collect(nullptr);
+  dump.spans = snapshot_spans();
   return dump;
 }
 
@@ -752,9 +756,11 @@ void set_trace_file(const std::string& path) {
 
 void reset_for_test() {
   Registry::instance().reset(&thread_state());
+  reset_spans_for_test();
   detail::g_next_txn.store(0, std::memory_order_relaxed);
   detail::txn_tls().id = 0;
   detail::txn_tls().depth = 0;
+  detail::txn_tls().last_id = 0;
   // Drop un-drained snapshot requests (the written count stays monotonic so
   // earlier files are never overwritten) and the executed-ops evidence.
   g_snapshot_claims.store(g_snapshot_requests.load(std::memory_order_acquire),

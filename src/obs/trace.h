@@ -73,6 +73,10 @@ extern std::atomic<std::uint64_t> g_next_txn;
 struct TxnTls {
   std::uint64_t id = 0;
   std::uint32_t depth = 0;
+  // Id of the thread's most recently closed outermost transaction; lets the
+  // server stamp a queue-wait span with the transaction its request ran as
+  // (last_completed_txn) without threading ids through the backend API.
+  std::uint64_t last_id = 0;
 };
 inline TxnTls& txn_tls() noexcept {
   thread_local TxnTls tls;
@@ -117,15 +121,28 @@ inline void txn_begin() noexcept {
 
 inline void txn_end() noexcept {
   detail::TxnTls& tls = detail::txn_tls();
-  if (tls.depth > 0 && --tls.depth == 0) tls.id = 0;
+  if (tls.depth > 0 && --tls.depth == 0) {
+    tls.last_id = tls.id;
+    tls.id = 0;
+  }
 }
 
 inline std::uint64_t current_txn() noexcept { return detail::txn_tls().id; }
+
+// Most recently completed outermost transaction on this thread (0 if none).
+inline std::uint64_t last_completed_txn() noexcept {
+  return detail::txn_tls().last_id;
+}
 
 // Identity of the caller for attribution records: the open transaction id,
 // or (outside any transaction) the thread's obs tid with the top bit set so
 // the two id spaces never collide.
 std::uint64_t current_owner_id() noexcept;
+
+// This thread's small process-unique obs tid (registering it on first use).
+// The span recorder (obs/span.h) stamps its records with it so a dump's
+// span sections share the event sections' thread numbering.
+std::uint32_t thread_obs_tid();
 
 // --- emission (callers gate: LockMechanism on its cached trace_events flag,
 // --- process-level sites on runtime_enabled()) ------------------------------

@@ -1,0 +1,269 @@
+#include "obs/waitgraph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/span.h"
+#include "runtime/wait_registry.h"
+#include "util/align.h"
+
+namespace semlock::obs {
+
+namespace {
+
+// Seqlock slot, one per concurrently-waiting thread; the WaitRegistry
+// discipline (even seq = stable, all fields atomic).
+struct alignas(util::kCacheLineSize) EdgeSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> waiter{0};  // 0 = slot idle
+  std::atomic<std::uint64_t> instance{0};
+  std::atomic<std::int32_t> mode{-1};
+  std::atomic<std::uint64_t> blocker{0};
+  std::atomic<std::int32_t> blocker_site{-1};
+  std::atomic<std::uint64_t> since_ns{0};
+  std::atomic<bool> claimed{false};
+};
+
+EdgeSlot g_slots[kWaitGraphSlots];
+
+struct ThreadSlotOwner {
+  EdgeSlot* slot = nullptr;
+  ~ThreadSlotOwner() {
+    if (slot) slot->claimed.store(false, std::memory_order_release);
+  }
+};
+
+EdgeSlot* thread_edge_slot() {
+  thread_local ThreadSlotOwner owner;
+  thread_local bool attempted = false;
+  if (!attempted) {
+    attempted = true;
+    for (int i = 0; i < kWaitGraphSlots; ++i) {
+      bool expected = false;
+      if (g_slots[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        owner.slot = &g_slots[i];
+        break;
+      }
+    }
+  }
+  return owner.slot;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+WaitEdge::~WaitEdge() {
+  if (slot_ == nullptr) return;
+  EdgeSlot* s = static_cast<EdgeSlot*>(slot_);
+  const std::uint64_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s->waiter.store(0, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);
+}
+
+void WaitEdge::open(const void* instance, int mode, std::uint64_t waiter,
+                    std::uint64_t since_ns) {
+  EdgeSlot* s = thread_edge_slot();
+  if (s == nullptr) return;
+  slot_ = s;
+  const std::uint64_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);  // odd: writing
+  std::atomic_thread_fence(std::memory_order_release);
+  s->waiter.store(waiter, std::memory_order_relaxed);
+  s->instance.store(reinterpret_cast<std::uint64_t>(instance),
+                    std::memory_order_relaxed);
+  s->mode.store(mode, std::memory_order_relaxed);
+  s->blocker.store(0, std::memory_order_relaxed);
+  s->blocker_site.store(-1, std::memory_order_relaxed);
+  s->since_ns.store(since_ns, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);  // even: published
+}
+
+void WaitEdge::set_blocker(std::uint64_t blocker, std::int32_t site) {
+  if (slot_ == nullptr) return;
+  EdgeSlot* s = static_cast<EdgeSlot*>(slot_);
+  const std::uint64_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s->blocker.store(blocker, std::memory_order_relaxed);
+  s->blocker_site.store(site, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<WaitGraphEdge> snapshot_waitgraph() {
+  std::vector<WaitGraphEdge> out;
+  for (int i = 0; i < kWaitGraphSlots; ++i) {
+    const EdgeSlot& s = g_slots[i];
+    const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 & 1) continue;
+    WaitGraphEdge e;
+    e.waiter = s.waiter.load(std::memory_order_relaxed);
+    e.instance = s.instance.load(std::memory_order_relaxed);
+    e.mode = s.mode.load(std::memory_order_relaxed);
+    e.blocker = s.blocker.load(std::memory_order_relaxed);
+    e.blocker_site = s.blocker_site.load(std::memory_order_relaxed);
+    e.since_ns = s.since_ns.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq1) continue;
+    if (e.waiter == 0) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WaitGraphEdge& a, const WaitGraphEdge& b) {
+              return a.waiter < b.waiter;
+            });
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> waitgraph_cycles(
+    const std::vector<WaitGraphEdge>& edges) {
+  // Each waiter (a thread) has at most one outgoing edge, so the graph is
+  // functional: walking waiter->blocker from every node visits each node
+  // O(1) times with the three-color scheme.
+  std::map<std::uint64_t, std::uint64_t> next;  // waiter -> blocker
+  for (const WaitGraphEdge& e : edges) {
+    if (e.blocker != 0) next[e.waiter] = e.blocker;
+  }
+  std::vector<std::vector<std::uint64_t>> cycles;
+  std::map<std::uint64_t, int> color;  // 0 unseen, 1 on path, 2 done
+  for (const auto& [start, unused] : next) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<std::uint64_t> path;
+    std::uint64_t cur = start;
+    while (true) {
+      const int c = color[cur];
+      if (c == 1) {
+        // Found a cycle: the suffix of `path` from cur onward.
+        const auto it = std::find(path.begin(), path.end(), cur);
+        std::vector<std::uint64_t> cycle(it, path.end());
+        // Rotate to the smallest id so the representation is stable.
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        cycles.push_back(std::move(cycle));
+        break;
+      }
+      if (c == 2) break;
+      color[cur] = 1;
+      path.push_back(cur);
+      const auto nit = next.find(cur);
+      if (nit == next.end()) break;
+      cur = nit->second;
+    }
+    for (const std::uint64_t n : path) color[n] = 2;
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+std::string waitgraph_json() {
+  const std::vector<WaitGraphEdge> edges = snapshot_waitgraph();
+  const std::vector<std::vector<std::uint64_t>> cycles =
+      waitgraph_cycles(edges);
+  std::string out = "{\n  \"schema\": \"semlock-waitgraph-v1\",\n";
+  out += "  \"now_ns\": " + std::to_string(runtime::steady_now_ns()) + ",\n";
+  out += "  \"edges\": [";
+  bool first = true;
+  for (const WaitGraphEdge& e : edges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"waiter\": " + std::to_string(e.waiter) +
+           ", \"waiter_name\": \"" + format_owner(e.waiter) + "\"";
+    out += ", \"instance\": \"";
+    append_hex(out, e.instance);
+    out += "\", \"mode\": " + std::to_string(e.mode);
+    out += ", \"blocker\": " + std::to_string(e.blocker) +
+           ", \"blocker_name\": \"" + format_owner(e.blocker) + "\"";
+    out += ", \"blocker_site\": " + std::to_string(e.blocker_site);
+    out += ", \"since_ns\": " + std::to_string(e.since_ns) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"cycles\": [";
+  first = true;
+  for (const std::vector<std::uint64_t>& cycle : cycles) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    [";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(cycle[i]);
+    }
+    out += "]";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string waitgraph_dot() {
+  const std::vector<WaitGraphEdge> edges = snapshot_waitgraph();
+  const std::vector<std::vector<std::uint64_t>> cycles =
+      waitgraph_cycles(edges);
+  std::set<std::uint64_t> in_cycle;
+  for (const std::vector<std::uint64_t>& cycle : cycles) {
+    in_cycle.insert(cycle.begin(), cycle.end());
+  }
+  std::string out = "digraph waitfor {\n";
+  out += "  rankdir=LR;\n";
+  for (const WaitGraphEdge& e : edges) {
+    out += "  \"" + format_owner(e.waiter) + "\" -> \"" +
+           format_owner(e.blocker) + "\" [label=\"";
+    append_hex(out, e.instance);
+    out += " mode " + std::to_string(e.mode) + "\"";
+    if (in_cycle.count(e.waiter) != 0 && in_cycle.count(e.blocker) != 0) {
+      out += " color=red";
+    }
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string waitgraph_chain(const void* instance, int mode,
+                            std::size_t max_depth) {
+  const std::vector<WaitGraphEdge> edges = snapshot_waitgraph();
+  const std::uint64_t inst = reinterpret_cast<std::uint64_t>(instance);
+  const WaitGraphEdge* head = nullptr;
+  for (const WaitGraphEdge& e : edges) {
+    if (e.instance == inst && (mode < 0 || e.mode == mode)) {
+      head = &e;
+      break;
+    }
+  }
+  if (head == nullptr || head->blocker == 0) return "";
+  std::string out = "wait-for chain: " + format_owner(head->waiter);
+  std::set<std::uint64_t> seen{head->waiter};
+  std::uint64_t cur = head->blocker;
+  for (std::size_t depth = 0; depth < max_depth; ++depth) {
+    out += " -> " + format_owner(cur);
+    if (seen.count(cur) != 0) {
+      out += " (cycle)";
+      break;
+    }
+    seen.insert(cur);
+    const WaitGraphEdge* next = nullptr;
+    for (const WaitGraphEdge& e : edges) {
+      if (e.waiter == cur && e.blocker != 0) {
+        next = &e;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    cur = next->blocker;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace semlock::obs

@@ -10,6 +10,7 @@
 
 #if defined(SEMLOCK_OBS)
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #endif
 
 namespace semlock::runtime {
@@ -189,6 +190,13 @@ void StallWatchdog::sample() {
                     wait.mode);
           report.forensics = obs::stall_forensics(
               report.mechanism, wait.mode, report.conflicting_holders);
+          // The full blocker chain (txn -> txn -> ...) from the live
+          // wait-for graph, not just the immediate holder — when the stall
+          // is transitive (A waits on B waits on C), the root cause is the
+          // end of the chain.
+          const std::string chain =
+              obs::waitgraph_chain(report.mechanism, wait.mode);
+          if (!chain.empty()) report.forensics += "  " + chain;
         }
 #endif
 

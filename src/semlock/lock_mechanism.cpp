@@ -20,7 +20,9 @@
 
 #if defined(SEMLOCK_OBS)
 #include "obs/attribution.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 // Mechanism-level trace hook: gated on this mechanism's cached
 // ModeTableConfig::trace_events flag (trace_), not the global switch, so
 // per-table overrides work and the disabled cost is one predictable branch.
@@ -792,7 +794,36 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
   ++stats.contended;
   LM_OBS_EVENT(kContendedWait, mode);
 #if defined(SEMLOCK_OBS)
+  // Blocker identity for the causal layer (span recorder + wait-for graph):
+  // the owner that last acquired the first held conflicting mode, sampled
+  // from the PR 5 seqlock grant records. Captured on entry and refreshed at
+  // every park, so the recorded blocker is whoever was actually holding at
+  // the moment this waiter went to sleep.
+  obs::BlockerInfo blocker;
+  const bool span_on = trace_ && obs::spans_enabled();
+  const auto capture_blocker = [&](std::uint64_t now_ns) {
+    for (const std::int32_t other : table_->conflicts_of(mode)) {
+      if (s.holder_count(other, std::memory_order_acquire) == 0) continue;
+      blocker.mode = other;
+      blocker.capture_ns = now_ns;
+      blocker.owner = 0;
+      blocker.site = -1;
+      if (attr_records_ != nullptr) {
+        // The owner field is stored even for bare-mode grants (site -1), so
+        // this works without LockSiteArgs; only a torn read or our own
+        // previous grant leaves the blocker anonymous.
+        const obs::AttrSnapshot h =
+            obs::attr_read(attr_records_[static_cast<std::size_t>(other)]);
+        if (h.owner != 0 && h.owner != obs::current_owner_id()) {
+          blocker.owner = h.owner;
+          blocker.site = h.site;
+        }
+      }
+      return;
+    }
+  };
   if (trace_) {
+    if (span_on) capture_blocker(runtime::steady_now_ns());
     // Sample the blocked-by conflict matrix: which non-commuting modes were
     // actually held when this waiter gave up on the fast path. The walk is
     // over conflicts_of(mode) only, so commuting pairs can never appear.
@@ -806,9 +837,12 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
       if (s.holder_count(other, std::memory_order_acquire) > 0) {
         obs::record_blocked_by(this, mode, other);
         if (classify) {
-          obs::record_attribution(
+          const obs::AttrClass cls = obs::record_attribution(
               this, *table_, mode, args, other,
               &attr_records_[static_cast<std::size_t>(other)]);
+          if (other == blocker.mode) {
+            blocker.attr_class = static_cast<std::uint32_t>(cls);
+          }
         }
       }
     }
@@ -817,6 +851,16 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
   const std::uint64_t wait_start = runtime::steady_now_ns();
   const std::uint64_t cpu_start = runtime::thread_cpu_now_ns();
   runtime::WaitScope watchdog_scope(this, mode, partition);
+#if defined(SEMLOCK_OBS)
+  // Publish this wait's waiter -> blocker edge in the live wait-for graph
+  // beside the watchdog's WaitScope; refreshed with the blocker at each
+  // park, cleared by the destructor on grant.
+  obs::WaitEdge wait_edge;
+  if (span_on) {
+    wait_edge.open(this, mode, obs::current_owner_id(), wait_start);
+    wait_edge.set_blocker(blocker.owner, blocker.site);
+  }
+#endif
 #if defined(SEMLOCK_DCT)
   dct::StarvationWaitScope starvation_scope(this, partition);
 #endif
@@ -888,6 +932,10 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
 #endif
 #if defined(SEMLOCK_OBS)
         if (trace_) obs::record_wait(this, mode, waited);
+        if (span_on) {
+          obs::record_lock_wait_span(this, mode, wait_start,
+                                     wait_start + waited, blocker);
+        }
 #endif
         return;
       }
@@ -932,6 +980,12 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
 #endif
           if (still_blocked) {
             LM_OBS_EVENT(kPark, mode);
+#if defined(SEMLOCK_OBS)
+            if (span_on) {
+              capture_blocker(runtime::steady_now_ns());
+              wait_edge.set_blocker(blocker.owner, blocker.site);
+            }
+#endif
             packed_word_wait(s, observed);
             ++stats.parks;
             LM_OBS_EVENT(kUnpark, mode);
@@ -962,6 +1016,12 @@ void LockMechanism::lock_contended(Storage& s, int mode, int partition,
           parking_->retract(partition);
         } else {
           LM_OBS_EVENT(kPark, mode);
+#if defined(SEMLOCK_OBS)
+          if (span_on) {
+            capture_blocker(runtime::steady_now_ns());
+            wait_edge.set_blocker(blocker.owner, blocker.site);
+          }
+#endif
           parking_->park(partition, gen);
           ++stats.parks;
           LM_OBS_EVENT(kUnpark, mode);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -26,11 +27,28 @@ class Transaction {
     // every event emitted while this (outermost) transaction is open carries
     // it, which is what lets forensics name the holder.
     SEMLOCK_OBS_TXN_BEGIN();
+#if defined(SEMLOCK_OBS)
+    exec_start_ns_ = SEMLOCK_OBS_SPAN_CLOCK();
+#endif
   }
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
   ~Transaction() {
+#if defined(SEMLOCK_OBS)
+    // Exec span ends where the epilogue begins; the commit span covers
+    // unlock_all. Recorded before TXN_END so the spans carry this txn's id.
+    const std::uint64_t commit_start_ns =
+        exec_start_ns_ != 0 ? ::semlock::obs::span_now_ns() : 0;
+    const int released = static_cast<int>(entries_.size());
+#endif
     unlock_all();
+#if defined(SEMLOCK_OBS)
+    if (exec_start_ns_ != 0) {
+      ::semlock::obs::record_txn_spans(exec_start_ns_, commit_start_ns,
+                                       ::semlock::obs::span_now_ns(),
+                                       released);
+    }
+#endif
     SEMLOCK_OBS_TXN_END();
   }
 
@@ -121,6 +139,11 @@ class Transaction {
   // appears in entries_ at most once).
   std::unordered_set<const SemanticLock*> index_;
   bool index_live_ = false;
+#if defined(SEMLOCK_OBS)
+  // Span-clock stamp of construction; 0 = span recording was off, so the
+  // destructor records nothing.
+  std::uint64_t exec_start_ns_ = 0;
+#endif
 };
 
 }  // namespace semlock

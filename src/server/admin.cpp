@@ -14,6 +14,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #include "obs/window.h"
 #include "runtime/stall_watchdog.h"
 #include "util/env.h"
@@ -193,6 +194,14 @@ std::string AdminEndpoint::handle(const std::string& target, int* status,
   if (target == "/healthz") {
     *content_type = "application/json";
     return healthz_body(status);
+  }
+  if (target == "/waitgraph") {
+    *content_type = "application/json";
+    return obs::waitgraph_json();
+  }
+  if (target == "/waitgraph.dot") {
+    *content_type = "text/plain; charset=utf-8";
+    return obs::waitgraph_dot();
   }
   *status = 404;
   *content_type = "text/plain; charset=utf-8";

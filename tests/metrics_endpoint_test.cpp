@@ -11,10 +11,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "commute/builtin_specs.h"
+#include "obs/attribution.h"
 #include "obs/export.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
@@ -210,6 +214,56 @@ TEST_F(MetricsEndpointTest, HealthzReportsOkWithoutLoadAndFlipsOnOverload) {
   EXPECT_EQ(status_of(warn_resp), 200);
   EXPECT_NE(body_of(warn_resp).find("\"status\": \"saturated\""),
             std::string::npos);
+}
+
+TEST_F(MetricsEndpointTest, WaitgraphRoutesServeJsonAndDot) {
+  // Idle process: both renderings succeed with an empty edge set.
+  const std::string resp = http_get(endpoint_->port(), "/waitgraph");
+  EXPECT_EQ(status_of(resp), 200);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(obs::validate_json(body_of(resp), &error)) << error;
+  EXPECT_NE(body_of(resp).find("\"schema\": \"semlock-waitgraph-v1\""),
+            std::string::npos);
+  EXPECT_NE(body_of(resp).find("\"edges\": []"), std::string::npos);
+
+  const std::string dot_resp = http_get(endpoint_->port(), "/waitgraph.dot");
+  EXPECT_EQ(status_of(dot_resp), 200);
+  EXPECT_NE(dot_resp.find("text/plain"), std::string::npos);
+  EXPECT_NE(body_of(dot_resp).find("digraph waitfor"), std::string::npos);
+
+  // With a live blocked waiter, the served JSON names the edge.
+  obs::set_attribution_enabled(true);
+  const auto t = make_traced_table();
+  LockMechanism m(t);
+  const Value v0[1] = {0};
+  const int held = t.resolve(0, v0);
+  const int starved = t.resolve_constant(1);
+  m.lock(held);
+  std::thread waiter([&] {
+    m.lock(starved);
+    m.unlock(starved);
+  });
+  std::string loaded_body;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    loaded_body = body_of(http_get(endpoint_->port(), "/waitgraph"));
+    if (loaded_body.find("\"waiter\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  m.unlock(held);
+  waiter.join();
+  obs::set_attribution_enabled(false);
+  EXPECT_TRUE(obs::validate_json(loaded_body, &error)) << error;
+  EXPECT_NE(loaded_body.find("\"waiter\""), std::string::npos)
+      << loaded_body;
+  char instance_hex[32];
+  std::snprintf(instance_hex, sizeof(instance_hex), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(&m)));
+  EXPECT_NE(loaded_body.find(instance_hex), std::string::npos)
+      << loaded_body;
 }
 
 TEST_F(MetricsEndpointTest, UnknownPathsAndMethodsAreRejected) {

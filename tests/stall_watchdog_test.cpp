@@ -20,7 +20,10 @@
 #include "semlock/transaction.h"
 
 #if defined(SEMLOCK_OBS)
+#include "obs/attribution.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #endif
 
 namespace semlock {
@@ -331,6 +334,116 @@ TEST(StallWatchdog, ForensicsNameHolderTransactionAndMode) {
       << forensics;
   EXPECT_NE(forensics.find("last acquired by txn"), std::string::npos)
       << forensics;
+}
+// A transitive stall: txn A waits on a mode held by txn B, which is itself
+// waiting on a mode held by txn C (on another lock). The stall report for
+// A's wait must carry the FULL blocker chain from the live wait-for graph —
+// txn A -> txn B -> txn C — because the root cause is the end of the chain,
+// not A's immediate holder.
+TEST(StallWatchdog, ForensicsCarryThreeDeepBlockerChain) {
+  obs::reset_for_test();
+  obs::set_attribution_enabled(true);
+  ModeTableConfig c;
+  c.abstract_values = 4;
+  c.wait_policy = WaitPolicyKind::AlwaysPark;
+  c.trace_events = true;
+  const auto t = ModeTable::compile(
+      commute::set_spec(),
+      {SymbolicSet({op("add", {var("v")}), op("remove", {var("v")})}),
+       SymbolicSet({op("size"), op("clear")})},
+      c);
+  SemanticLock lk1(t);
+  SemanticLock lk2(t);
+  const Value v0[1] = {0};
+  const int held = t.resolve(0, v0);
+  const int starved = t.resolve_constant(1);
+  ASSERT_FALSE(t.commutes(held, starved));
+
+  ReportCollector collector;
+  StallWatchdog::Options options;
+  options.poll = std::chrono::milliseconds(10);
+  options.threshold = std::chrono::milliseconds(40);
+  options.repeat_interval = std::chrono::milliseconds(50);
+  StallWatchdog watchdog(options, collector.callback());
+  watchdog.watch(lk1.mechanism());
+  watchdog.start();
+
+  std::atomic<std::uint64_t> a_id{0}, b_id{0}, c_id{0};
+  std::atomic<bool> c_holding{false}, b_holding{false}, release_c{false};
+
+  // Looks for an edge whose waiter matches `owner` in the live graph.
+  const auto waiter_published = [](std::uint64_t owner) {
+    for (const obs::WaitGraphEdge& e : obs::snapshot_waitgraph()) {
+      if (e.waiter == owner) return true;
+    }
+    return false;
+  };
+
+  std::thread tc([&] {
+    Transaction txn;
+    txn.lv_mode(&lk2, held);
+    c_id.store(obs::current_txn(), std::memory_order_release);
+    c_holding.store(true, std::memory_order_release);
+    while (!release_c.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread tb([&] {
+    while (!c_holding.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Transaction txn;
+    txn.lv_mode(&lk1, held);
+    b_id.store(obs::current_txn(), std::memory_order_release);
+    b_holding.store(true, std::memory_order_release);
+    txn.lv_mode(&lk2, starved);  // blocks on C
+  });
+  std::thread ta([&] {
+    // Start only once B is published as blocked on C, so the graph holds
+    // the full two-hop tail before A's edge appears.
+    while (!b_holding.load(std::memory_order_acquire) ||
+           !waiter_published(b_id.load(std::memory_order_acquire))) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Transaction txn;
+    a_id.store(obs::current_txn(), std::memory_order_release);
+    txn.lv_mode(&lk1, starved);  // blocks on B
+  });
+
+  // Wait for a report on lk1 whose forensics carry the chain.
+  std::string chain_forensics;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      const std::lock_guard<std::mutex> guard(collector.mu);
+      for (const StallReport& r : collector.reports) {
+        if (r.mechanism == &lk1.mechanism() &&
+            r.forensics.find("wait-for chain: ") != std::string::npos) {
+          chain_forensics = r.forensics;
+          break;
+        }
+      }
+    }
+    if (!chain_forensics.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  release_c.store(true, std::memory_order_release);
+  tc.join();
+  tb.join();
+  ta.join();
+  watchdog.stop();
+
+  ASSERT_FALSE(chain_forensics.empty());
+  const std::string expected =
+      "wait-for chain: " +
+      obs::format_owner(a_id.load(std::memory_order_acquire)) + " -> " +
+      obs::format_owner(b_id.load(std::memory_order_acquire)) + " -> " +
+      obs::format_owner(c_id.load(std::memory_order_acquire));
+  EXPECT_NE(chain_forensics.find(expected), std::string::npos)
+      << "forensics: " << chain_forensics << "\nexpected: " << expected;
+  obs::set_attribution_enabled(false);
 }
 #endif  // SEMLOCK_OBS
 

@@ -47,6 +47,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/exposition.h"
 
@@ -62,6 +63,7 @@ int usage() {
       "[--interval-ms=M]\n"
       "       semlock-trace attribution <dump>\n"
       "       semlock-trace holds <dump>\n"
+      "       semlock-trace critical-path <dump>\n"
       "       semlock-trace check <file.json>\n"
       "       semlock-trace promcheck <file.txt>\n");
   return 2;
@@ -280,6 +282,14 @@ int main(int argc, char** argv) {
     semlock::obs::TraceDump dump;
     if (int rc = load_or_fail(path, dump)) return rc;
     const std::string report = semlock::obs::holds_report(dump);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+  }
+
+  if (std::strcmp(cmd, "critical-path") == 0) {
+    semlock::obs::TraceDump dump;
+    if (int rc = load_or_fail(path, dump)) return rc;
+    const std::string report = semlock::obs::critical_path_report(dump);
     std::fwrite(report.data(), 1, report.size(), stdout);
     return 0;
   }
